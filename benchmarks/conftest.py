@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks re-use one simulator / session model per SoC: re-building
+the RC network inside the timed region would measure network assembly,
+not the algorithm under test (assembly has its own benchmark).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import ThermalAwareScheduler
+from repro.core.session_model import SessionModelConfig, SessionThermalModel
+from repro.soc.library import ALPHA15_STC_SCALE, alpha15_soc, hypothetical7_soc
+from repro.thermal.simulator import ThermalSimulator
+
+
+@pytest.fixture(scope="session")
+def alpha_soc():
+    """The calibrated alpha15 SoC."""
+    return alpha15_soc()
+
+
+@pytest.fixture(scope="session")
+def alpha_simulator(alpha_soc):
+    """Thermal simulator with a pre-factorised network."""
+    return ThermalSimulator(
+        alpha_soc.floorplan, alpha_soc.package, alpha_soc.adjacency
+    )
+
+
+@pytest.fixture(scope="session")
+def alpha_session_model(alpha_soc):
+    """Calibrated session thermal model."""
+    return SessionThermalModel(
+        alpha_soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
+    )
+
+
+@pytest.fixture(scope="session")
+def alpha_scheduler(alpha_soc, alpha_simulator, alpha_session_model):
+    """Paper-configured scheduler bound to the shared simulator."""
+    return ThermalAwareScheduler(
+        alpha_soc, simulator=alpha_simulator, session_model=alpha_session_model
+    )
+
+
+@pytest.fixture(scope="session")
+def hypo_soc():
+    """The Figure 1 SoC."""
+    return hypothetical7_soc()

@@ -1,0 +1,107 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each benchmark times a full (TL, STCL) scheduling run under one design
+variant and records the quality metrics (length, effort) in
+``extra_info`` so variants can be compared from the benchmark report:
+
+* weight escalation factor (1.0 = no feedback, 1.1 = paper, 1.5, 2.0);
+* session-model modifications M2 / M3 toggled off;
+* vertical path included in the session model;
+* candidate scan order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, ThermalAwareScheduler
+from repro.core.session_model import SessionModelConfig, SessionThermalModel
+from repro.errors import ScheduleInfeasibleError
+from repro.soc.library import ALPHA15_STC_SCALE
+
+#: A mid-grid operating point where feedback matters (violations occur).
+TL_C = 155.0
+STCL = 60.0
+
+
+@pytest.mark.parametrize("factor", [1.0, 1.1, 1.5, 2.0])
+def test_bench_weight_factor(benchmark, alpha_soc, alpha_simulator, factor):
+    """Weight escalation ablation (paper rule: 1.1)."""
+    model = SessionThermalModel(
+        alpha_soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
+    )
+    scheduler = ThermalAwareScheduler(
+        alpha_soc,
+        simulator=alpha_simulator,
+        session_model=model,
+        config=SchedulerConfig(weight_factor=factor, max_discards=500),
+    )
+
+    def run():
+        try:
+            return scheduler.schedule(TL_C, STCL)
+        except ScheduleInfeasibleError:
+            return None  # factor=1.0 may fail to converge: that IS the result
+
+    result = benchmark(run)
+    if result is not None:
+        benchmark.extra_info["length_s"] = result.length_s
+        benchmark.extra_info["effort_s"] = result.effort_s
+        benchmark.extra_info["converged"] = True
+    else:
+        benchmark.extra_info["converged"] = False
+
+
+@pytest.mark.parametrize(
+    "label,config",
+    [
+        ("paper", SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)),
+        (
+            "no-M2-keep-active-active",
+            SessionModelConfig(
+                drop_active_active=False, stc_scale=ALPHA15_STC_SCALE
+            ),
+        ),
+        (
+            "no-M3-float-passive",
+            SessionModelConfig(ground_passive=False, stc_scale=ALPHA15_STC_SCALE),
+        ),
+        (
+            "with-vertical-path",
+            SessionModelConfig(include_vertical=True, stc_scale=ALPHA15_STC_SCALE),
+        ),
+    ],
+    ids=lambda v: v if isinstance(v, str) else "",
+)
+def test_bench_session_model_variant(
+    benchmark, alpha_soc, alpha_simulator, label, config
+):
+    """Session-model modification ablations (M2, M3, vertical path)."""
+    model = SessionThermalModel(alpha_soc, config)
+    scheduler = ThermalAwareScheduler(
+        alpha_soc, simulator=alpha_simulator, session_model=model
+    )
+    result = benchmark(scheduler.schedule, TL_C, STCL)
+    assert result.max_temperature_c < TL_C  # all variants stay safe
+    benchmark.extra_info["variant"] = label
+    benchmark.extra_info["length_s"] = result.length_s
+    benchmark.extra_info["effort_s"] = result.effort_s
+
+
+@pytest.mark.parametrize(
+    "order", ["input", "power_desc", "area_asc", "density_desc"]
+)
+def test_bench_candidate_order(benchmark, alpha_soc, alpha_simulator, order):
+    """Candidate scan order sensitivity (paper: input order)."""
+    model = SessionThermalModel(
+        alpha_soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
+    )
+    scheduler = ThermalAwareScheduler(
+        alpha_soc,
+        simulator=alpha_simulator,
+        session_model=model,
+        config=SchedulerConfig(candidate_order=order),
+    )
+    result = benchmark(scheduler.schedule, TL_C, STCL)
+    benchmark.extra_info["length_s"] = result.length_s
+    benchmark.extra_info["effort_s"] = result.effort_s

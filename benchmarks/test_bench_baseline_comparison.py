@@ -1,0 +1,66 @@
+"""Benchmark: thermal-aware vs power-constrained scheduling.
+
+Extends the paper's Figure 1 argument to a full-SoC quantitative
+comparison on alpha15: pack sessions under a chip-level power cap
+chosen to match the thermal-aware schedule's concurrency, then audit
+both schedules against the same temperature limit.  The benchmark
+records the hot-spot rate of each — the number the power-constrained
+approach has no way to control.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import PowerConstrainedConfig, PowerConstrainedScheduler
+from repro.core.safety import audit_schedule
+from repro.core.scheduler import ThermalAwareScheduler
+from repro.core.session_model import SessionModelConfig, SessionThermalModel
+from repro.soc.library import ALPHA15_STC_SCALE
+
+TL_C = 155.0
+STCL = 60.0
+
+
+def test_bench_thermal_aware(benchmark, alpha_soc, alpha_simulator):
+    model = SessionThermalModel(
+        alpha_soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
+    )
+    scheduler = ThermalAwareScheduler(
+        alpha_soc, simulator=alpha_simulator, session_model=model
+    )
+    result = benchmark(scheduler.schedule, TL_C, STCL)
+    audit = audit_schedule(result.schedule, TL_C, alpha_simulator)
+    assert audit.is_safe
+    benchmark.extra_info["length_s"] = result.length_s
+    benchmark.extra_info["hot_spot_rate"] = audit.hot_spot_rate
+    print(
+        f"\n[baseline-cmp] thermal-aware: {result.n_sessions} sessions, "
+        f"peak {audit.max_temperature_c:.1f} degC, hot-spot rate "
+        f"{audit.hot_spot_rate:.0%}"
+    )
+
+
+def test_bench_power_constrained(benchmark, alpha_soc, alpha_simulator):
+    # Cap chosen so the baseline produces a comparable session count to
+    # the thermal-aware schedule at (TL, STCL) above.
+    thermal = ThermalAwareScheduler(
+        alpha_soc,
+        simulator=alpha_simulator,
+        session_model=SessionThermalModel(
+            alpha_soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
+        ),
+    ).schedule(TL_C, STCL)
+    cap = alpha_soc.total_test_power_w() / thermal.n_sessions
+
+    scheduler = PowerConstrainedScheduler(
+        alpha_soc, PowerConstrainedConfig(power_limit_w=cap)
+    )
+    schedule = benchmark(scheduler.schedule)
+    audit = audit_schedule(schedule, TL_C, alpha_simulator)
+    benchmark.extra_info["length_s"] = schedule.length_s
+    benchmark.extra_info["hot_spot_rate"] = audit.hot_spot_rate
+    print(
+        f"\n[baseline-cmp] power-constrained (cap {cap:.0f} W): "
+        f"{len(schedule)} sessions, peak {audit.max_temperature_c:.1f} degC, "
+        f"hot-spot rate {audit.hot_spot_rate:.0%} "
+        f"({'SAFE' if audit.is_safe else 'UNSAFE'} at TL={TL_C:g})"
+    )

@@ -1,0 +1,81 @@
+"""Benchmarks for the extension studies (DESIGN.md section 7).
+
+Each study is timed end to end; its headline quality numbers land in
+``extra_info`` so the benchmark report doubles as a results table.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.heterogeneous import run_heterogeneous_study
+from repro.experiments.m1_validation import run_m1_validation
+from repro.experiments.model_accuracy import run_model_accuracy
+from repro.experiments.optimality import run_optimality_study
+
+
+def test_bench_m1_validation(benchmark, alpha_soc):
+    report = benchmark(
+        run_m1_validation, alpha_soc, 165.0, 60.0, (0.0,), 5e-3
+    )
+    assert report.ambient_bound_holds
+    assert report.back_to_back_holds
+    benchmark.extra_info["min_margin_c"] = round(
+        report.with_carry_over[0].min_margin_c, 2
+    )
+
+
+def test_bench_model_accuracy(benchmark, alpha_soc):
+    rows = benchmark(run_model_accuracy, alpha_soc, 150, 3)
+    paper = next(r for r in rows if r.variant.startswith("paper"))
+    assert paper.spearman_rho > 0.7
+    benchmark.extra_info["paper_spearman_rho"] = round(paper.spearman_rho, 3)
+    benchmark.extra_info["paper_screening_accuracy"] = round(
+        paper.screening_accuracy, 3
+    )
+    print("\n[model-accuracy] " + " | ".join(
+        f"{r.variant}: rho={r.spearman_rho:.3f}" for r in rows
+    ))
+
+
+def test_bench_optimality(benchmark):
+    cases = benchmark(run_optimality_study, ((6, 1), (7, 3), (8, 5)))
+    assert all(c.gap >= 0 for c in cases)
+    benchmark.extra_info["total_gap"] = sum(c.gap for c in cases)
+
+
+def test_bench_heterogeneous(benchmark):
+    points = benchmark(run_heterogeneous_study, None, 165.0, (20.0, 60.0, 100.0))
+    assert all(p.wasted_s >= 0.0 for p in points)
+    benchmark.extra_info["max_wasted_s"] = round(
+        max(p.wasted_s for p in points), 2
+    )
+
+
+def test_bench_grid_crosscheck(benchmark, alpha_soc):
+    from repro.experiments.grid_crosscheck import run_grid_crosscheck
+
+    report = benchmark(run_grid_crosscheck, alpha_soc, 30, 17, 32)
+    assert report.spearman_rho > 0.9
+    benchmark.extra_info["spearman_rho"] = round(report.spearman_rho, 3)
+    benchmark.extra_info["mean_peak_ratio"] = round(report.mean_peak_ratio, 3)
+
+
+def test_bench_refinement(benchmark, alpha_soc):
+    from repro.experiments.refinement import run_refinement_study
+
+    points = benchmark(
+        run_refinement_study, alpha_soc, 165.0, (0.0, 10.0), (20.0, 60.0)
+    )
+    refine_points = [p for p in points if p.mechanism == "refine"]
+    assert refine_points[-1].length_s <= refine_points[0].length_s
+    benchmark.extra_info["refined_length_s"] = refine_points[-1].length_s
+
+
+def test_bench_transient_scheduling(benchmark, alpha_soc):
+    from repro.experiments.transient_scheduling import run_transient_scheduling
+
+    points = benchmark(run_transient_scheduling, alpha_soc, ((165.0, 60.0),))
+    steady = next(p for p in points if p.validation == "steady")
+    transient = next(p for p in points if p.validation == "transient")
+    assert transient.length_s <= steady.length_s
+    benchmark.extra_info["steady_length_s"] = steady.length_s
+    benchmark.extra_info["transient_length_s"] = transient.length_s

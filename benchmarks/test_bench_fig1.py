@@ -1,0 +1,32 @@
+"""Benchmark + regeneration of the paper's Figure 1.
+
+Times the motivational experiment (two session simulations plus the
+power-cap checks) and prints the regenerated comparison, with the
+paper's numbers for reference.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig1 import PAPER_COOL_MAX_C, PAPER_HOT_MAX_C, run_fig1
+
+
+def test_bench_fig1(benchmark, hypo_soc):
+    result = benchmark(run_fig1, hypo_soc)
+
+    # The paper's headline facts must hold in the regenerated run.
+    assert result.hot_accepted and result.cool_accepted
+    assert result.hot_max_c > result.cool_max_c
+
+    benchmark.extra_info["hot_max_c"] = round(result.hot_max_c, 2)
+    benchmark.extra_info["cool_max_c"] = round(result.cool_max_c, 2)
+    print("\n[fig1] session            power  cap-ok  maxT(ours)  maxT(paper)")
+    print(
+        f"[fig1] TS1 {'+'.join(result.session_hot):<12} "
+        f"{result.hot_power_w:5.1f}W  {str(result.hot_accepted):>6}  "
+        f"{result.hot_max_c:10.2f}  {PAPER_HOT_MAX_C:11.2f}"
+    )
+    print(
+        f"[fig1] TS2 {'+'.join(result.session_cool):<12} "
+        f"{result.cool_power_w:5.1f}W  {str(result.cool_accepted):>6}  "
+        f"{result.cool_max_c:10.2f}  {PAPER_COOL_MAX_C:11.2f}"
+    )

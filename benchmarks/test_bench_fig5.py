@@ -1,0 +1,32 @@
+"""Benchmark + regeneration of the paper's Figure 5.
+
+Times the three-TL sweep (27 scheduling runs) and prints the length and
+effort series exactly as the figure plots them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweep import FIG5_TL_VALUES_C, PAPER_STCL_VALUES, run_sweep
+
+
+def test_bench_fig5(benchmark, alpha_soc):
+    grid = benchmark(
+        run_sweep,
+        soc=alpha_soc,
+        tl_values_c=FIG5_TL_VALUES_C,
+        stcl_values=PAPER_STCL_VALUES,
+    )
+
+    assert len(grid.points) == len(FIG5_TL_VALUES_C) * len(PAPER_STCL_VALUES)
+    for point in grid.points:
+        assert point.max_temperature_c < point.tl_c
+
+    print("\n[fig5] STCL  " + "  ".join(
+        f"len(TL={tl:g}) eff(TL={tl:g})" for tl in FIG5_TL_VALUES_C
+    ))
+    for stcl in grid.stcl_values:
+        cells = []
+        for tl in FIG5_TL_VALUES_C:
+            point = grid.at(tl, stcl)
+            cells.append(f"{point.length_s:11g}  {point.effort_s:11g}")
+        print(f"[fig5] {stcl:4g}  " + "  ".join(cells))

@@ -1,0 +1,53 @@
+"""Scaling study: scheduler cost vs SoC size (DESIGN.md section 7).
+
+The paper's algorithm was demonstrated on 15 cores; this benchmark
+measures how the implementation scales to larger synthetic SoCs (grid
+floorplans up to 100 cores), separating the one-off network setup from
+the per-run scheduling cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, ThermalAwareScheduler
+from repro.core.session_model import SessionModelConfig, SessionThermalModel
+from repro.soc.library import grid_soc
+from repro.thermal.simulator import ThermalSimulator
+
+
+@pytest.mark.parametrize("side", [3, 5, 8, 10])
+def test_bench_scheduler_scaling(benchmark, side):
+    """Full scheduling run on an n = side^2 core grid SoC."""
+    soc = grid_soc(side, side, seed=7, power_scale=2.0)
+    simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+    model = SessionThermalModel(soc, SessionModelConfig())
+
+    # Choose limits relative to this SoC's own regime so the run always
+    # has work to do but terminates: TL halfway between the hottest
+    # singleton and the all-active peak, STCL at 3x the max singleton STC.
+    singleton_peak = max(
+        simulator.steady_state(
+            {n: soc[n].test_power_w}
+        ).temperature_c(n)
+        for n in soc.core_names
+    )
+    all_active_peak = simulator.steady_state(
+        soc.test_power_map()
+    ).max_temperature_c()
+    tl_c = (singleton_peak + all_active_peak) / 2.0
+    stcl = 3.0 * max(
+        model.session_thermal_characteristic([n]) for n in soc.core_names
+    )
+
+    scheduler = ThermalAwareScheduler(
+        soc,
+        simulator=simulator,
+        session_model=model,
+        config=SchedulerConfig(max_discards=5_000),
+    )
+    result = benchmark(scheduler.schedule, tl_c, stcl)
+    assert result.max_temperature_c < tl_c
+    benchmark.extra_info["cores"] = side * side
+    benchmark.extra_info["sessions"] = result.n_sessions
+    benchmark.extra_info["effort_s"] = result.effort_s

@@ -1,0 +1,93 @@
+"""Micro-benchmarks for the thermal substrate.
+
+These size the cost model behind the paper's *simulation effort*
+argument: a steady-state session solve is the unit of work Algorithm 1
+spends on every candidate session, and the session-model evaluation is
+the cheap surrogate that avoids it.  The ratio between those two
+numbers is the speed-up the paper's approach banks on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.floorplan.generator import grid_floorplan
+from repro.thermal.builder import build_thermal_network
+from repro.thermal.package import DEFAULT_PACKAGE
+from repro.thermal.simulator import ThermalSimulator
+from repro.thermal.steady_state import SteadyStateSolver
+from repro.thermal.transient import TransientSolver
+
+
+def test_bench_network_build_alpha15(benchmark, alpha_soc):
+    """Floorplan -> compiled RC network (one-off setup cost)."""
+    built = benchmark(
+        build_thermal_network, alpha_soc.floorplan, alpha_soc.package
+    )
+    assert len(built.network) == 22
+
+
+def test_bench_steady_state_factorisation(benchmark, alpha_soc):
+    """Cholesky factorisation of the 22-node conductance matrix."""
+    built = build_thermal_network(alpha_soc.floorplan, alpha_soc.package)
+    solver = benchmark(SteadyStateSolver, built.network)
+    assert solver.network is built.network
+
+
+def test_bench_steady_state_session_solve(benchmark, alpha_soc, alpha_simulator):
+    """One accurate session simulation — the unit of simulation effort."""
+    power = alpha_soc.session_power_map(["IntReg", "FPAdd", "L2"])
+    field = benchmark(alpha_simulator.steady_state, power)
+    assert field.max_temperature_c() > alpha_simulator.ambient_c
+
+
+def test_bench_session_model_evaluation(
+    benchmark, alpha_soc, alpha_session_model
+):
+    """One STC evaluation — the paper's cheap surrogate for the above."""
+    session = ["IntReg", "FPAdd", "L2", "Dcache", "Bpred"]
+    stc = benchmark(
+        alpha_session_model.session_thermal_characteristic, session
+    )
+    assert stc > 0.0
+
+
+def test_bench_transient_one_second_session(benchmark, alpha_soc):
+    """Transient simulation of one 1 s session at 1 ms steps — what a
+    schedule validation would cost without modification M1."""
+    simulator = ThermalSimulator(
+        alpha_soc.floorplan, alpha_soc.package, alpha_soc.adjacency
+    )
+    power = alpha_soc.session_power_map(["IntReg", "FPAdd", "L2"])
+    result = benchmark(simulator.transient, power, 1.0, 1e-2)
+    assert result.times[-1] == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("side", [4, 8, 12])
+def test_bench_steady_state_scaling(benchmark, side):
+    """Steady-state solve cost vs floorplan size (n = side^2 blocks)."""
+    simulator = ThermalSimulator(grid_floorplan(side, side))
+    power = {f"C0_{c}": 10.0 for c in range(side)}
+    field = benchmark(simulator.steady_state, power)
+    assert field.max_temperature_c() > simulator.ambient_c
+
+
+def test_bench_grid_mode_build(benchmark, alpha_soc):
+    """Grid-mode mesh assembly + sparse LU factorisation (48x48)."""
+    from repro.thermal.grid import GridThermalSimulator
+
+    sim = benchmark(
+        GridThermalSimulator, alpha_soc.floorplan, alpha_soc.package, 48, 48
+    )
+    assert sim.resolution == (48, 48)
+
+
+def test_bench_grid_mode_session_solve(benchmark, alpha_soc):
+    """One grid-mode session solve — the fidelity-vs-speed comparison
+    point for the block-mode solve benchmarked above."""
+    from repro.thermal.grid import GridThermalSimulator
+
+    sim = GridThermalSimulator(alpha_soc.floorplan, alpha_soc.package, 48, 48)
+    power = alpha_soc.session_power_map(["IntReg", "FPAdd", "L2"])
+    field = benchmark(sim.steady_state, power)
+    assert field.max_temperature_c() > sim.ambient_c

@@ -1,0 +1,34 @@
+"""Benchmark + regeneration of the paper's Table 1.
+
+Times the full 81-point (TL, STCL) grid — the paper's whole evaluation
+— and prints every regenerated row next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweep import run_sweep
+from repro.experiments.table1 import PAPER_TABLE1
+
+
+def test_bench_table1(benchmark, alpha_soc):
+    grid = benchmark(run_sweep, soc=alpha_soc)
+
+    assert len(grid.points) == 81
+    for point in grid.points:
+        assert point.max_temperature_c < point.tl_c
+        assert point.effort_s >= point.length_s - 1e-9
+
+    benchmark.extra_info["total_simulated_seconds"] = sum(
+        p.effort_s for p in grid.points
+    )
+    print(
+        "\n[table1]  TL  STCL  len  eff   maxT     "
+        "paper: len  eff   maxT"
+    )
+    for point in grid.points:
+        paper = PAPER_TABLE1[(int(point.tl_c), int(point.stcl))]
+        print(
+            f"[table1] {point.tl_c:4g}  {point.stcl:4g}  "
+            f"{point.length_s:3g}  {point.effort_s:3g}  {point.max_temperature_c:6.2f}"
+            f"          {paper[0]:3d}  {paper[1]:3d}  {paper[2]:6.2f}"
+        )

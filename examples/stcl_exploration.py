@@ -1,0 +1,72 @@
+"""Exploring the STCL trade-off (the paper's Figure 5, interactively).
+
+The session thermal characteristic limit is the paper's user-selectable
+knob: relaxed values chase short schedules at the cost of many
+discarded (but simulated) candidate sessions; tight values find safe
+schedules on the first attempt but give up concurrency.  This script
+sweeps STCL at a fixed temperature limit and prints the trade-off table
+and an ASCII rendering of the two curves.
+
+Run:  python examples/stcl_exploration.py [TL_degC]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.reporting import ascii_series_plot, format_table
+from repro.experiments.sweep import PAPER_STCL_VALUES, run_sweep
+from repro.soc.library import alpha15_soc
+
+
+def main() -> None:
+    tl_c = float(sys.argv[1]) if len(sys.argv) > 1 else 155.0
+    soc = alpha15_soc()
+    grid = run_sweep(
+        soc=soc, tl_values_c=(tl_c,), stcl_values=PAPER_STCL_VALUES
+    )
+    row = grid.row(tl_c)
+
+    print(
+        format_table(
+            ["STCL", "length (s)", "effort (s)", "max T (degC)",
+             "discards", "first-attempt safe"],
+            [
+                (
+                    f"{p.stcl:g}",
+                    p.length_s,
+                    p.effort_s,
+                    p.max_temperature_c,
+                    p.n_discarded,
+                    "yes" if p.first_attempt_safe else "no",
+                )
+                for p in row
+            ],
+            title=f"STCL sweep at TL = {tl_c:g} degC (alpha15)",
+        )
+    )
+
+    print(
+        ascii_series_plot(
+            {
+                "schedule length": {p.stcl: p.length_s for p in row},
+                "simulation effort": {p.stcl: p.effort_s for p in row},
+            },
+            title="length and effort vs STCL (seconds)",
+        )
+    )
+
+    cheapest = min(row, key=lambda p: p.effort_s)
+    shortest = min(row, key=lambda p: p.length_s)
+    print(
+        f"shortest schedule: {shortest.length_s:g} s at STCL={shortest.stcl:g} "
+        f"(effort {shortest.effort_s:g} s)"
+    )
+    print(
+        f"cheapest search  : effort {cheapest.effort_s:g} s at "
+        f"STCL={cheapest.stcl:g} (length {cheapest.length_s:g} s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+The reference environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build; this shim lets both
+``pip install -e . --no-build-isolation`` (legacy code path) and
+``python setup.py develop`` work offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""repro — thermal-safe SoC test scheduling.
+
+A production-quality reproduction of *"Rapid generation of thermal-safe
+test schedules"* (Rosinger, Al-Hashimi, Chakrabarty — DATE 2005),
+including every substrate the paper depends on:
+
+* a floorplan geometry kernel with HotSpot ``.flp`` I/O
+  (:mod:`repro.floorplan`);
+* a block-level RC thermal simulator, steady-state and transient — the
+  HotSpot stand-in (:mod:`repro.thermal`);
+* test power modelling (:mod:`repro.power`) and SoC descriptions
+  (:mod:`repro.soc`);
+* the paper's contribution: the test-session thermal model and the
+  thermal-aware scheduling algorithm, plus the power-constrained
+  baselines it argues against (:mod:`repro.core`);
+* experiment drivers regenerating every figure and table
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import alpha15_soc, ThermalAwareScheduler
+
+    soc = alpha15_soc()
+    result = ThermalAwareScheduler(soc).schedule(tl_c=155.0, stcl=60.0)
+    print(result.describe())
+"""
+
+from .core import (
+    PowerConstrainedConfig,
+    PowerConstrainedScheduler,
+    ScheduleResult,
+    SchedulerConfig,
+    SessionModelConfig,
+    SessionThermalModel,
+    TestSchedule,
+    TestSession,
+    ThermalAwareScheduler,
+    audit_schedule,
+    sequential_schedule,
+)
+from .errors import (
+    CoreThermalViolationError,
+    FloorplanError,
+    GeometryError,
+    PowerModelError,
+    ReproError,
+    ScheduleInfeasibleError,
+    SchedulingError,
+    SolverError,
+    ThermalModelError,
+)
+from .floorplan import Floorplan, Rect, alpha15, hypothetical7, worked_example6
+from .power import PowerProfile, generate_power_profile
+from .soc import (
+    CoreUnderTest,
+    SocUnderTest,
+    alpha15_soc,
+    grid_soc,
+    hypothetical7_soc,
+    worked_example6_soc,
+)
+from .thermal import PackageConfig, TemperatureField, ThermalSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreThermalViolationError",
+    "CoreUnderTest",
+    "Floorplan",
+    "FloorplanError",
+    "GeometryError",
+    "PackageConfig",
+    "PowerConstrainedConfig",
+    "PowerConstrainedScheduler",
+    "PowerModelError",
+    "PowerProfile",
+    "Rect",
+    "ReproError",
+    "ScheduleInfeasibleError",
+    "ScheduleResult",
+    "SchedulerConfig",
+    "SchedulingError",
+    "SessionModelConfig",
+    "SessionThermalModel",
+    "SocUnderTest",
+    "SolverError",
+    "TemperatureField",
+    "TestSchedule",
+    "TestSession",
+    "ThermalAwareScheduler",
+    "ThermalModelError",
+    "ThermalSimulator",
+    "alpha15",
+    "alpha15_soc",
+    "audit_schedule",
+    "generate_power_profile",
+    "grid_soc",
+    "hypothetical7",
+    "hypothetical7_soc",
+    "sequential_schedule",
+    "worked_example6",
+    "worked_example6_soc",
+    "__version__",
+]

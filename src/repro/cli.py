@@ -1,0 +1,218 @@
+"""``repro-schedule`` — thermal-safe scheduling from the command line.
+
+The end-user flow without writing Python:
+
+* pick a SoC: a built-in platform (``--soc alpha15``) or your own
+  HotSpot ``.flp`` plus a power CSV (``--flp chip.flp --powers p.csv``);
+* pick the limits: ``--tl`` (Celsius) and ``--stcl``, or let the tool
+  derive an STCL scale from the SoC's own regime (``--auto-stcl``);
+* get the schedule, a Gantt chart, a thermal audit, and (optionally)
+  a JSON archive and per-session heatmaps.
+
+The power CSV has a header and one row per core::
+
+    core,test_w,functional_w
+    cpu0,12.5,3.1
+
+Example::
+
+    repro-schedule --soc alpha15 --tl 165 --stcl 60 --gantt --save run.json
+    repro-schedule --flp my.flp --powers my.csv --tl 150 --auto-stcl 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from .core.gantt import render_gantt, render_utilisation
+from .core.safety import audit_schedule
+from .core.scheduler import SchedulerConfig, ThermalAwareScheduler
+from .core.serialize import save_result
+from .core.session_model import SessionModelConfig, SessionThermalModel
+from .errors import ReproError
+from .floorplan.hotspot_format import read_flp
+from .power.profile import CorePower, PowerProfile
+from .soc.library import (
+    ALPHA15_STC_SCALE,
+    alpha15_soc,
+    hypothetical7_soc,
+    worked_example6_soc,
+)
+from .soc.system import SocUnderTest
+from .thermal.heatmap import render_heatmap
+from .thermal.simulator import ThermalSimulator
+
+#: Built-in SoCs selectable by name, with their calibrated STC scale.
+BUILTIN_SOCS = {
+    "alpha15": (alpha15_soc, ALPHA15_STC_SCALE),
+    "hypothetical7": (hypothetical7_soc, 1.0),
+    "worked-example6": (worked_example6_soc, 1.0),
+}
+
+
+def load_power_csv(path: Path) -> PowerProfile:
+    """Read a ``core,test_w,functional_w`` CSV into a power profile."""
+    try:
+        with path.open() as handle:
+            reader = csv.DictReader(handle)
+            required = {"core", "test_w", "functional_w"}
+            if reader.fieldnames is None or not required <= set(reader.fieldnames):
+                raise ReproError(
+                    f"power CSV must have columns {sorted(required)}, "
+                    f"got {reader.fieldnames}"
+                )
+            cores = [
+                CorePower(
+                    row["core"],
+                    functional_w=float(row["functional_w"]),
+                    test_w=float(row["test_w"]),
+                )
+                for row in reader
+            ]
+    except OSError as exc:
+        raise ReproError(f"cannot read power CSV {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ReproError(f"bad number in power CSV {path}: {exc}") from exc
+    if not cores:
+        raise ReproError(f"power CSV {path} contains no cores")
+    return PowerProfile(cores, name=path.stem)
+
+
+def build_soc(args: argparse.Namespace) -> tuple[SocUnderTest, float]:
+    """Resolve the SoC and its default STC scale from the CLI options."""
+    if args.soc is not None:
+        factory, stc_scale = BUILTIN_SOCS[args.soc]
+        return factory(), stc_scale
+    if args.flp is None or args.powers is None:
+        raise ReproError(
+            "either --soc <builtin> or both --flp and --powers are required"
+        )
+    floorplan = read_flp(args.flp)
+    profile = load_power_csv(Path(args.powers))
+    soc = SocUnderTest.from_profile(
+        floorplan, profile, test_time_s=args.test_time
+    )
+    return soc, 1.0
+
+
+def derive_stcl(
+    soc: SocUnderTest, model: SessionThermalModel, headroom: float
+) -> float:
+    """Auto-STCL: *headroom* times the largest singleton STC.
+
+    Guarantees every core is schedulable (the paper's implicit
+    precondition) while leaving room for concurrency.
+    """
+    worst = max(
+        model.session_thermal_characteristic([name]) for name in soc.core_names
+    )
+    return headroom * worst
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-schedule",
+        description="Generate a thermal-safe SoC test schedule (DATE 2005 flow).",
+    )
+    source = parser.add_argument_group("SoC selection")
+    source.add_argument(
+        "--soc", choices=sorted(BUILTIN_SOCS), help="built-in platform"
+    )
+    source.add_argument("--flp", type=Path, help="HotSpot .flp floorplan file")
+    source.add_argument(
+        "--powers", type=Path, help="CSV with core,test_w,functional_w"
+    )
+    source.add_argument(
+        "--test-time",
+        type=float,
+        default=1.0,
+        help="per-core test time in seconds (default 1.0)",
+    )
+
+    limits = parser.add_argument_group("limits")
+    limits.add_argument(
+        "--tl", type=float, required=True, help="temperature limit TL (Celsius)"
+    )
+    limits.add_argument("--stcl", type=float, help="session thermal char. limit")
+    limits.add_argument(
+        "--auto-stcl",
+        type=float,
+        metavar="HEADROOM",
+        help="derive STCL as HEADROOM x the worst singleton STC",
+    )
+    limits.add_argument(
+        "--include-vertical",
+        action="store_true",
+        help="include the vertical heat path in the session model "
+        "(required for floorplans that do not tile the die)",
+    )
+
+    output = parser.add_argument_group("output")
+    output.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    output.add_argument(
+        "--heatmap",
+        action="store_true",
+        help="print an ASCII heatmap of the hottest session",
+    )
+    output.add_argument(
+        "--save", type=Path, metavar="JSON", help="archive the result as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        soc, stc_scale = build_soc(args)
+        model = SessionThermalModel(
+            soc,
+            SessionModelConfig(
+                include_vertical=args.include_vertical, stc_scale=stc_scale
+            ),
+        )
+        simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+
+        if args.stcl is not None:
+            stcl = args.stcl
+        elif args.auto_stcl is not None:
+            stcl = derive_stcl(soc, model, args.auto_stcl)
+            print(f"auto-derived STCL = {stcl:.2f}")
+        else:
+            raise ReproError("one of --stcl or --auto-stcl is required")
+
+        scheduler = ThermalAwareScheduler(
+            soc,
+            simulator=simulator,
+            session_model=model,
+            config=SchedulerConfig(),
+        )
+        result = scheduler.schedule(tl_c=args.tl, stcl=stcl)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(result.describe())
+    audit = audit_schedule(result.schedule, limit_c=args.tl, simulator=simulator)
+    print(audit.describe())
+    print(render_utilisation(result.schedule))
+
+    if args.gantt:
+        print()
+        print(render_gantt(result.schedule, limit_c=args.tl))
+    if args.heatmap:
+        hottest = max(
+            result.schedule.sessions, key=lambda s: s.max_temperature_c
+        )
+        field = simulator.steady_state(soc.session_power_map(hottest.cores))
+        print()
+        print(f"heatmap of the hottest session [{', '.join(hottest.cores)}]:")
+        print(render_heatmap(soc.floorplan, field))
+    if args.save is not None:
+        save_result(result, args.save)
+        print(f"result archived to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,302 @@
+"""Baseline test schedulers.
+
+The paper positions thermal-aware scheduling against the classic
+*power-constrained* test scheduling literature (its references [2,6,7,
+5,4,1,9,8]): algorithms that cap the summed test power of every session
+at a chip-level limit and otherwise maximise concurrency.  This module
+implements that family plus reference points used by tests and by the
+Figure 1 experiment:
+
+* :func:`sequential_schedule` — one core per session (the schedule
+  phase A of Algorithm 1 simulates; the longest sensible schedule);
+* :class:`PowerConstrainedScheduler` — greedy first-fit(-decreasing)
+  session packing under a chip power cap, the standard formulation of
+  Chou et al. / Muresan et al.;
+* :class:`RandomScheduler` — seeded random packing under an optional
+  power cap (a sanity baseline);
+* :class:`OptimalMinSessionsScheduler` — exact branch-and-bound search
+  for the minimum number of *thermally safe* sessions.  Exponential in
+  the core count; intended for small SoCs, where it provides the lower
+  bound the heuristic is judged against.
+
+All baselines return plain :class:`~repro.core.session.TestSchedule`
+objects; thermal annotation (and safety auditing) is done by
+:mod:`repro.core.safety` so that the baselines themselves stay
+simulation-free — the point the paper makes is precisely that they are
+blind to temperature.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..soc.system import SocUnderTest
+from ..thermal.simulator import ThermalSimulator
+from .session import TestSchedule, TestSession
+
+
+def sequential_schedule(soc: SocUnderTest) -> TestSchedule:
+    """The purely sequential schedule: one core per session, input order."""
+    sessions = [
+        TestSession(cores=(core.name,), duration_s=core.test_time_s) for core in soc
+    ]
+    return TestSchedule(sessions, soc)
+
+
+def maximally_concurrent_schedule(soc: SocUnderTest) -> TestSchedule:
+    """All cores in a single session (the shortest conceivable schedule)."""
+    names = tuple(soc.core_names)
+    return TestSchedule(
+        [TestSession(cores=names, duration_s=soc.session_duration_s(names))], soc
+    )
+
+
+@dataclass(frozen=True)
+class PowerConstrainedConfig:
+    """Configuration for :class:`PowerConstrainedScheduler`.
+
+    Attributes
+    ----------
+    power_limit_w:
+        Chip-level maximum session power (the classic constraint).
+    sort_descending:
+        First-fit-decreasing (sort by test power, descending) when
+        true; plain first-fit in input order otherwise.  FFD is the
+        standard bin-packing heuristic in the power-constrained test
+        scheduling literature.
+    """
+
+    power_limit_w: float
+    sort_descending: bool = True
+
+    def __post_init__(self) -> None:
+        if self.power_limit_w <= 0.0:
+            raise SchedulingError(
+                f"power limit must be positive, got {self.power_limit_w!r}"
+            )
+
+
+class PowerConstrainedScheduler:
+    """Greedy power-constrained session packing (chip-level power cap).
+
+    This is the baseline whose blind spot the paper's Figure 1
+    demonstrates: it accepts any session whose *summed power* fits the
+    cap, with no knowledge of where on the die that power lands.
+    """
+
+    def __init__(self, soc: SocUnderTest, config: PowerConstrainedConfig) -> None:
+        self._soc = soc
+        self._config = config
+        infeasible = [
+            c.name for c in soc if c.test_power_w > config.power_limit_w
+        ]
+        if infeasible:
+            raise SchedulingError(
+                f"cores exceed the chip power limit "
+                f"{config.power_limit_w:g} W on their own: {infeasible}"
+            )
+
+    @property
+    def config(self) -> PowerConstrainedConfig:
+        """The packing configuration."""
+        return self._config
+
+    def schedule(self) -> TestSchedule:
+        """Pack cores into sessions under the power cap (first-fit)."""
+        names = list(self._soc.core_names)
+        if self._config.sort_descending:
+            names.sort(key=lambda n: -self._soc[n].test_power_w)
+
+        bins: list[list[str]] = []
+        loads: list[float] = []
+        for name in names:
+            power = self._soc[name].test_power_w
+            for i, load in enumerate(loads):
+                if load + power <= self._config.power_limit_w:
+                    bins[i].append(name)
+                    loads[i] += power
+                    break
+            else:
+                bins.append([name])
+                loads.append(power)
+
+        sessions = [
+            TestSession(
+                cores=tuple(cores), duration_s=self._soc.session_duration_s(cores)
+            )
+            for cores in bins
+        ]
+        return TestSchedule(sessions, self._soc)
+
+    def accepts_session(self, cores: list[str]) -> bool:
+        """Would this baseline accept the given set as one session?
+
+        The Figure 1 experiment uses this to show both the hot and the
+        cool session pass the 45 W chip-level check.
+        """
+        total = self._soc.total_test_power_w(cores)
+        return total <= self._config.power_limit_w
+
+
+class RandomScheduler:
+    """Seeded random session packing under an optional power cap.
+
+    Cores are shuffled, then packed first-fit; with no cap every core
+    lands in one big session.  Used as a statistical baseline for the
+    hot-spot-rate experiment.
+    """
+
+    def __init__(
+        self,
+        soc: SocUnderTest,
+        seed: int = 0,
+        power_limit_w: float | None = None,
+    ) -> None:
+        if power_limit_w is not None and power_limit_w <= 0.0:
+            raise SchedulingError(
+                f"power limit must be positive, got {power_limit_w!r}"
+            )
+        self._soc = soc
+        self._seed = seed
+        self._power_limit_w = power_limit_w
+
+    def schedule(self) -> TestSchedule:
+        """One random packing (deterministic for a given seed)."""
+        rng = np.random.default_rng(self._seed)
+        names = list(self._soc.core_names)
+        rng.shuffle(names)
+
+        if self._power_limit_w is None:
+            sessions = [
+                TestSession(
+                    cores=tuple(names), duration_s=self._soc.session_duration_s(names)
+                )
+            ]
+            return TestSchedule(sessions, self._soc)
+
+        bins: list[list[str]] = []
+        loads: list[float] = []
+        for name in names:
+            power = self._soc[name].test_power_w
+            if power > self._power_limit_w:
+                raise SchedulingError(
+                    f"core {name!r} exceeds the power limit on its own"
+                )
+            for i, load in enumerate(loads):
+                if load + power <= self._power_limit_w:
+                    bins[i].append(name)
+                    loads[i] += power
+                    break
+            else:
+                bins.append([name])
+                loads.append(power)
+        sessions = [
+            TestSession(
+                cores=tuple(cores), duration_s=self._soc.session_duration_s(cores)
+            )
+            for cores in bins
+        ]
+        return TestSchedule(sessions, self._soc)
+
+
+class OptimalMinSessionsScheduler:
+    """Exact minimum-session thermally safe scheduling (small SoCs only).
+
+    Branch-and-bound over core-to-session assignments with symmetry
+    breaking (a core may open at most one new session beyond those
+    already open).  A session is *feasible* iff the steady-state
+    simulation of its cores keeps every active core strictly below
+    ``tl_c``.  Feasibility of a core set is memoised, so the thermal
+    solver runs once per distinct subset.
+
+    The search cost grows like the Bell number of the core count; the
+    constructor refuses SoCs above ``max_cores`` to keep tests honest.
+    """
+
+    def __init__(
+        self,
+        soc: SocUnderTest,
+        simulator: ThermalSimulator | None = None,
+        max_cores: int = 12,
+    ) -> None:
+        if len(soc) > max_cores:
+            raise SchedulingError(
+                f"optimal scheduler is exponential; SoC has {len(soc)} cores, "
+                f"limit is {max_cores}"
+            )
+        self._soc = soc
+        self._simulator = (
+            simulator
+            if simulator is not None
+            else ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+        )
+        self._feasible_cache: dict[frozenset[str], bool] = {}
+
+    def _session_feasible(self, cores: frozenset[str], tl_c: float) -> bool:
+        cached = self._feasible_cache.get(cores)
+        if cached is not None:
+            return cached
+        power_map = self._soc.session_power_map(sorted(cores))
+        field = self._simulator.steady_state(power_map)
+        feasible = all(field.temperature_c(c) < tl_c for c in cores)
+        self._feasible_cache[cores] = feasible
+        return feasible
+
+    def schedule(self, tl_c: float) -> TestSchedule:
+        """Find a schedule with the provably minimal number of sessions.
+
+        Raises
+        ------
+        SchedulingError
+            When even singleton sessions are infeasible (some core
+            violates ``tl_c`` alone).
+        """
+        names = list(self._soc.core_names)
+        for name in names:
+            if not self._session_feasible(frozenset([name]), tl_c):
+                raise SchedulingError(
+                    f"core {name!r} violates TL={tl_c:g} degC even alone; "
+                    f"no schedule exists"
+                )
+
+        best: list[list[str]] | None = None
+
+        def search(index: int, partial: list[list[str]]) -> None:
+            nonlocal best
+            if best is not None and len(partial) >= len(best):
+                return  # bound: cannot improve
+            if index == len(names):
+                best = [list(s) for s in partial]
+                return
+            core = names[index]
+            for session in partial:
+                candidate = frozenset(session) | {core}
+                if self._session_feasible(candidate, tl_c):
+                    session.append(core)
+                    search(index + 1, partial)
+                    session.pop()
+            # Symmetry breaking: opening a new session is always the
+            # last alternative, and singletons are feasible by the
+            # pre-check above.
+            partial.append([core])
+            search(index + 1, partial)
+            partial.pop()
+
+        search(0, [])
+        assert best is not None  # singletons always feasible
+        sessions = [
+            TestSession(
+                cores=tuple(cores), duration_s=self._soc.session_duration_s(cores)
+            )
+            for cores in best
+        ]
+        return TestSchedule(sessions, self._soc)
+
+    @property
+    def thermal_solve_count(self) -> int:
+        """Distinct core subsets thermally evaluated (search cost metric)."""
+        return len(self._feasible_cache)

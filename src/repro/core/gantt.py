@@ -1,0 +1,113 @@
+"""ASCII Gantt rendering of test schedules.
+
+A test schedule is a timeline: cores on the rows, sessions on the
+columns.  :func:`render_gantt` draws it with per-session temperature
+annotations, making the output of the scheduler reviewable at a glance
+— which cores share a session, how long the schedule is, and how close
+each session runs to the limit.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+
+from ..errors import SchedulingError
+from .session import TestSchedule
+
+#: Glyph used for an active test interval.
+ACTIVE = "#"
+#: Glyph used for idle time.
+IDLE = "."
+
+#: Seconds represented by one character column (sessions are scaled).
+DEFAULT_SECONDS_PER_COLUMN = 0.25
+
+
+def render_gantt(
+    schedule: TestSchedule,
+    seconds_per_column: float = DEFAULT_SECONDS_PER_COLUMN,
+    limit_c: float | None = None,
+) -> str:
+    """Render a schedule as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to draw (annotated or not).
+    seconds_per_column:
+        Time resolution of the chart.
+    limit_c:
+        Optional temperature limit; annotated sessions get a
+        ``margin`` column against it.
+
+    Returns
+    -------
+    str
+        Core rows, a time axis, and a per-session summary.
+    """
+    if seconds_per_column <= 0.0:
+        raise SchedulingError(
+            f"seconds_per_column must be positive, got {seconds_per_column!r}"
+        )
+    soc = schedule.soc
+    columns_per_session = [
+        max(1, round(s.duration_s / seconds_per_column)) for s in schedule
+    ]
+    total_columns = sum(columns_per_session)
+    widest = max(len(name) for name in soc.core_names)
+
+    out = io.StringIO()
+    out.write(
+        f"Test schedule Gantt — {soc.name!r}: {len(schedule)} sessions, "
+        f"{schedule.length_s:g} s\n"
+    )
+    for name in soc.core_names:
+        out.write(f"  {name:<{widest}} |")
+        for session, n_cols in zip(schedule, columns_per_session):
+            glyph = ACTIVE if name in session else IDLE
+            out.write(glyph * n_cols)
+        out.write("|\n")
+
+    # Time axis: session boundaries marked with their index.
+    out.write("  " + " " * widest + " |")
+    for index, n_cols in enumerate(columns_per_session, start=1):
+        label = str(index)
+        if n_cols >= len(label):
+            pad = n_cols - len(label)
+            out.write(label + " " * pad)
+        else:
+            out.write("." * n_cols)
+    out.write("|\n")
+
+    for index, session in enumerate(schedule, start=1):
+        line = (
+            f"  session {index}: [{', '.join(session.cores)}] "
+            f"{session.duration_s:g} s"
+        )
+        if not math.isnan(session.max_temperature_c):
+            line += f", max {session.max_temperature_c:.2f} degC"
+            if limit_c is not None:
+                line += f" (margin {limit_c - session.max_temperature_c:+.2f})"
+        out.write(line + "\n")
+    out.write(f"  total tester time: {schedule.length_s:g} s, ")
+    out.write(f"max concurrency: {schedule.max_concurrency}\n")
+    return out.getvalue()
+
+
+def render_utilisation(schedule: TestSchedule) -> str:
+    """One-line tester-utilisation summary of a schedule.
+
+    Utilisation = total core-test-time / (cores x schedule length): 1.0
+    means fully concurrent testing, 1/n means purely sequential.
+    """
+    soc = schedule.soc
+    busy = sum(
+        soc[name].test_time_s for session in schedule for name in session.cores
+    )
+    capacity = len(soc) * schedule.length_s
+    utilisation = busy / capacity
+    return (
+        f"utilisation {utilisation:.2f} "
+        f"({busy:g} core-seconds over {capacity:g} available)"
+    )

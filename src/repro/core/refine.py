@@ -1,0 +1,227 @@
+"""Simulation-budgeted schedule refinement.
+
+The paper's conclusion notes that the approach "allows exploration of
+more efficient solutions at the expense of longer thermal simulation
+times through a user selectable parameter".  In Algorithm 1 that
+parameter is STCL; this module adds the complementary mechanism: take
+any thermally safe schedule and spend an explicit *simulation budget*
+(in seconds of simulated session time, the paper's effort currency) on
+local improvements:
+
+* **merge** — try fusing two sessions into one; costs one simulation of
+  the fused session; kept only if every core stays below ``TL``;
+* **move** — try relocating a single core from its (small) session into
+  another; costs one simulation of the grown target session; kept if
+  safe and if it empties or shortens the source session.
+
+Both operations only ever *shorten* the schedule (or leave it alone),
+and every accepted schedule is validated by simulation, so the
+refiner preserves thermal safety by construction.  Refinement stops
+when the budget is exhausted or no candidate improves the schedule.
+
+This turns the paper's length-vs-effort trade-off into a dial: run
+Algorithm 1 with a tight (cheap) STCL, then buy back concurrency with
+exactly as much simulation as the user can afford.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..errors import SchedulingError
+from ..soc.system import SocUnderTest
+from ..thermal.simulator import ThermalSimulator
+from .session import TestSchedule, TestSession
+
+
+@dataclass(frozen=True)
+class RefinementStep:
+    """One accepted improvement.
+
+    Attributes
+    ----------
+    kind:
+        ``"merge"`` or ``"move"``.
+    cores:
+        Cores of the session that resulted from the step.
+    effort_spent_s:
+        Simulated time charged for the step's validation.
+    length_after_s:
+        Schedule length after the step.
+    """
+
+    kind: Literal["merge", "move"]
+    cores: tuple[str, ...]
+    effort_spent_s: float
+    length_after_s: float
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Outcome of a refinement run.
+
+    Attributes
+    ----------
+    schedule:
+        The refined (still thermally safe) schedule.
+    effort_spent_s:
+        Total simulated session time charged, including rejected
+        attempts.
+    steps:
+        The accepted improvements, in order.
+    """
+
+    schedule: TestSchedule
+    effort_spent_s: float
+    steps: tuple[RefinementStep, ...]
+
+    @property
+    def length_s(self) -> float:
+        """Length of the refined schedule."""
+        return self.schedule.length_s
+
+
+class ScheduleRefiner:
+    """Budgeted local improvement of thermally safe schedules.
+
+    Parameters
+    ----------
+    soc:
+        The system under test.
+    simulator:
+        The accurate thermal simulator (shared with the scheduler that
+        produced the input schedule, typically).
+    tl_c:
+        The temperature limit every refined session must respect.
+    """
+
+    def __init__(
+        self,
+        soc: SocUnderTest,
+        simulator: ThermalSimulator,
+        tl_c: float,
+    ) -> None:
+        if tl_c <= soc.package.ambient_c:
+            raise SchedulingError(
+                f"TL ({tl_c!r} degC) must exceed ambient "
+                f"({soc.package.ambient_c!r} degC)"
+            )
+        self._soc = soc
+        self._simulator = simulator
+        self._tl_c = tl_c
+
+    def _try_session(
+        self, cores: tuple[str, ...]
+    ) -> tuple[TestSession | None, float]:
+        """Simulate a candidate session; return (session-if-safe, cost)."""
+        duration = self._soc.session_duration_s(cores)
+        power = self._soc.session_power_map(cores)
+        field = self._simulator.simulate_session(power, duration)
+        temps = {c: field.temperature_c(c) for c in cores}
+        if any(t >= self._tl_c for t in temps.values()):
+            return None, duration
+        session = TestSession(cores=cores, duration_s=duration).with_temperatures(
+            temps
+        )
+        return session, duration
+
+    def refine(
+        self, schedule: TestSchedule, effort_budget_s: float
+    ) -> RefinementResult:
+        """Improve *schedule* within the given simulation budget.
+
+        Parameters
+        ----------
+        schedule:
+            A thermally safe schedule for this refiner's SoC.
+        effort_budget_s:
+            Maximum simulated session time to spend (0 returns the
+            input unchanged).
+
+        Returns
+        -------
+        RefinementResult
+        """
+        if effort_budget_s < 0.0:
+            raise SchedulingError(
+                f"effort budget must be non-negative, got {effort_budget_s!r}"
+            )
+        sessions = list(schedule.sessions)
+        spent = 0.0
+        steps: list[RefinementStep] = []
+
+        improved = True
+        while improved and spent < effort_budget_s:
+            improved = False
+
+            # Pass 1: merges, smallest combined sessions first (cheapest
+            # wins: fusing two singletons saves a whole second).
+            pairs = sorted(
+                (
+                    (i, j)
+                    for i in range(len(sessions))
+                    for j in range(i + 1, len(sessions))
+                ),
+                key=lambda ij: len(sessions[ij[0]]) + len(sessions[ij[1]]),
+            )
+            for i, j in pairs:
+                if spent >= effort_budget_s:
+                    break
+                fused_cores = sessions[i].cores + sessions[j].cores
+                fused, cost = self._try_session(fused_cores)
+                spent += cost
+                if fused is None:
+                    continue
+                # Commit: replace i, drop j.
+                sessions[i] = fused
+                del sessions[j]
+                steps.append(
+                    RefinementStep(
+                        kind="merge",
+                        cores=fused.cores,
+                        effort_spent_s=cost,
+                        length_after_s=sum(s.duration_s for s in sessions),
+                    )
+                )
+                improved = True
+                break
+            if improved:
+                continue
+
+            # Pass 2: move a core out of the smallest session.  Only
+            # profitable when it empties the source (removing a whole
+            # session) — duration never shrinks otherwise with uniform
+            # test times, and heterogeneous gains are covered by merges.
+            order = sorted(range(len(sessions)), key=lambda i: len(sessions[i]))
+            for source_index in order:
+                if len(sessions[source_index]) != 1 or len(sessions) < 2:
+                    continue
+                core = sessions[source_index].cores[0]
+                for target_index, target in enumerate(sessions):
+                    if target_index == source_index or spent >= effort_budget_s:
+                        continue
+                    grown, cost = self._try_session(target.cores + (core,))
+                    spent += cost
+                    if grown is None:
+                        continue
+                    sessions[target_index] = grown
+                    del sessions[source_index]
+                    steps.append(
+                        RefinementStep(
+                            kind="move",
+                            cores=grown.cores,
+                            effort_spent_s=cost,
+                            length_after_s=sum(s.duration_s for s in sessions),
+                        )
+                    )
+                    improved = True
+                    break
+                if improved:
+                    break
+
+        return RefinementResult(
+            schedule=TestSchedule(sessions, self._soc),
+            effort_spent_s=spent,
+            steps=tuple(steps),
+        )

@@ -1,0 +1,188 @@
+"""Post-hoc thermal safety auditing of test schedules.
+
+The paper's scheduler validates its own sessions during construction;
+baseline schedulers (power-constrained, random, ...) are thermally
+blind, and the whole point of the comparison is to measure how often
+their schedules overheat.  This module provides that measurement: it
+simulates every session of any schedule and reports per-session peak
+temperatures, violations against a limit, and aggregate hot-spot
+statistics.  It is also used by integration tests to independently
+re-verify schedules produced by the thermal-aware scheduler (trust, but
+verify: the audit re-runs the simulation rather than reading the
+scheduler's annotations).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..soc.system import SocUnderTest
+from ..thermal.simulator import ThermalSimulator
+from .session import TestSchedule, TestSession
+
+
+@dataclass(frozen=True)
+class SessionAudit:
+    """Thermal audit of one session.
+
+    Attributes
+    ----------
+    session:
+        The audited session (as scheduled; annotations not trusted).
+    core_temperatures_c:
+        Freshly simulated steady-state temperature of each active core.
+    max_temperature_c:
+        Peak over the active cores.
+    max_passive_temperature_c:
+        Peak over the *passive* blocks during this session — the paper
+        checks only active cores (Algorithm 1 line 18), and this field
+        lets tests confirm passive blocks stay cooler than the actives.
+    violators:
+        Active cores at or above the audit limit.
+    """
+
+    session: TestSession
+    core_temperatures_c: Mapping[str, float]
+    max_temperature_c: float
+    max_passive_temperature_c: float
+    violators: tuple[str, ...]
+
+    @property
+    def is_safe(self) -> bool:
+        """True when no active core reached the limit."""
+        return not self.violators
+
+
+@dataclass(frozen=True)
+class ScheduleAudit:
+    """Thermal audit of a whole schedule against a temperature limit.
+
+    Attributes
+    ----------
+    limit_c:
+        The audit limit ``TL`` (Celsius).
+    sessions:
+        Per-session audits, in schedule order.
+    """
+
+    limit_c: float
+    sessions: tuple[SessionAudit, ...]
+
+    @property
+    def max_temperature_c(self) -> float:
+        """Peak active-core temperature over the whole schedule."""
+        return max(audit.max_temperature_c for audit in self.sessions)
+
+    @property
+    def is_safe(self) -> bool:
+        """True when every session is safe."""
+        return all(audit.is_safe for audit in self.sessions)
+
+    @property
+    def violating_sessions(self) -> tuple[SessionAudit, ...]:
+        """The sessions that violated the limit."""
+        return tuple(a for a in self.sessions if not a.is_safe)
+
+    @property
+    def hot_spot_rate(self) -> float:
+        """Fraction of sessions that violated the limit (0..1)."""
+        return len(self.violating_sessions) / len(self.sessions)
+
+    @property
+    def margin_c(self) -> float:
+        """Temperature headroom: ``limit - max_temperature`` (negative if unsafe)."""
+        return self.limit_c - self.max_temperature_c
+
+    def describe(self) -> str:
+        """Multi-line human-readable audit report."""
+        lines = [
+            f"Schedule audit against TL={self.limit_c:g} degC: "
+            f"{'SAFE' if self.is_safe else 'UNSAFE'}, "
+            f"peak {self.max_temperature_c:.2f} degC, "
+            f"hot-spot rate {self.hot_spot_rate * 100:.0f}%"
+        ]
+        for i, audit in enumerate(self.sessions, start=1):
+            status = "ok" if audit.is_safe else f"VIOLATES ({', '.join(audit.violators)})"
+            lines.append(
+                f"  session {i} [{', '.join(audit.session.cores)}]: "
+                f"max {audit.max_temperature_c:.2f} degC, {status}"
+            )
+        return "\n".join(lines)
+
+
+def audit_session(
+    soc: SocUnderTest,
+    simulator: ThermalSimulator,
+    session: TestSession,
+    limit_c: float,
+) -> SessionAudit:
+    """Simulate one session and compare active cores against a limit."""
+    power_map = soc.session_power_map(session.cores)
+    field = simulator.steady_state(power_map)
+    active = set(session.cores)
+    core_temps = {c: field.temperature_c(c) for c in session.cores}
+    passive_temps = [
+        field.temperature_c(name)
+        for name in soc.floorplan.block_names
+        if name not in active
+    ]
+    return SessionAudit(
+        session=session,
+        core_temperatures_c=core_temps,
+        max_temperature_c=max(core_temps.values()),
+        max_passive_temperature_c=max(passive_temps) if passive_temps else math.nan,
+        violators=tuple(c for c in session.cores if core_temps[c] >= limit_c),
+    )
+
+
+def audit_schedule(
+    schedule: TestSchedule,
+    limit_c: float,
+    simulator: ThermalSimulator | None = None,
+) -> ScheduleAudit:
+    """Independently re-simulate every session of a schedule.
+
+    Parameters
+    ----------
+    schedule:
+        Any test schedule (thermal-aware or baseline).
+    limit_c:
+        The temperature limit to audit against.
+    simulator:
+        Reused if provided (audits share the factorised network);
+        otherwise built from the schedule's SoC.
+
+    Returns
+    -------
+    ScheduleAudit
+    """
+    soc = schedule.soc
+    if simulator is None:
+        simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+    audits = tuple(
+        audit_session(soc, simulator, session, limit_c) for session in schedule
+    )
+    return ScheduleAudit(limit_c=limit_c, sessions=audits)
+
+
+def annotate_schedule(
+    schedule: TestSchedule, simulator: ThermalSimulator | None = None
+) -> TestSchedule:
+    """Return a copy of *schedule* with simulated temperatures attached.
+
+    Baselines produce unannotated schedules; this runs the simulation
+    the scheduler itself never did so that reports can show the
+    temperatures their sessions reach.
+    """
+    soc = schedule.soc
+    if simulator is None:
+        simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+    annotated = []
+    for session in schedule:
+        power_map = soc.session_power_map(session.cores)
+        field = simulator.steady_state(power_map)
+        temps = {c: field.temperature_c(c) for c in session.cores}
+        annotated.append(session.with_temperatures(temps))
+    return TestSchedule(annotated, soc)

@@ -1,0 +1,154 @@
+"""JSON serialisation of schedules and scheduling results.
+
+Schedules are the hand-off artefact between the scheduling flow and the
+test floor; this module freezes them (and the full
+:class:`~repro.core.scheduler.ScheduleResult` diagnostics) to plain
+JSON and loads them back, so runs can be archived, diffed and replayed
+without re-simulating.
+
+The schema is versioned; loaders reject unknown versions rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from ..errors import SchedulingError
+from ..soc.system import SocUnderTest
+from .scheduler import DiscardedSession, ScheduleResult
+from .session import TestSchedule, TestSession
+
+#: Current schema version.
+SCHEMA_VERSION = 1
+
+
+def _session_to_dict(session: TestSession) -> dict[str, Any]:
+    return {
+        "cores": list(session.cores),
+        "duration_s": session.duration_s,
+        "max_temperature_c": (
+            None
+            if math.isnan(session.max_temperature_c)
+            else session.max_temperature_c
+        ),
+        "core_temperatures_c": dict(session.core_temperatures_c),
+    }
+
+
+def _session_from_dict(data: dict[str, Any]) -> TestSession:
+    session = TestSession(
+        cores=tuple(data["cores"]), duration_s=float(data["duration_s"])
+    )
+    temps = data.get("core_temperatures_c") or {}
+    if temps:
+        session = session.with_temperatures(
+            {str(k): float(v) for k, v in temps.items()}
+        )
+    return session
+
+
+def schedule_to_dict(schedule: TestSchedule) -> dict[str, Any]:
+    """Serialise a schedule to a JSON-ready dict."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "soc": schedule.soc.name,
+        "sessions": [_session_to_dict(s) for s in schedule],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any], soc: SocUnderTest) -> TestSchedule:
+    """Load a schedule back; validates it against *soc* (partition etc.).
+
+    Raises
+    ------
+    SchedulingError
+        On schema mismatch or if the stored schedule does not fit the
+        SoC (wrong cores, double-tested cores, ...).
+    """
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchedulingError(
+            f"unsupported schedule schema version {version!r} "
+            f"(this library writes {SCHEMA_VERSION})"
+        )
+    sessions = [_session_from_dict(s) for s in data["sessions"]]
+    return TestSchedule(sessions, soc)
+
+
+def result_to_dict(result: ScheduleResult) -> dict[str, Any]:
+    """Serialise a full scheduling result (schedule + diagnostics)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tl_c": result.tl_c,
+        "stcl": result.stcl,
+        "length_s": result.length_s,
+        "effort_s": result.effort_s,
+        "max_temperature_c": result.max_temperature_c,
+        "forced_singletons": result.forced_singletons,
+        "bcmt_c": dict(result.bcmt_c),
+        "weights": dict(result.weights),
+        "discarded": [
+            {
+                "cores": list(d.cores),
+                "duration_s": d.duration_s,
+                "violators": list(d.violators),
+                "max_temperature_c": d.max_temperature_c,
+                "iteration": d.iteration,
+            }
+            for d in result.discarded
+        ],
+        "schedule": schedule_to_dict(result.schedule),
+    }
+
+
+def result_from_dict(data: dict[str, Any], soc: SocUnderTest) -> ScheduleResult:
+    """Load a scheduling result back (schedule revalidated against *soc*)."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchedulingError(
+            f"unsupported result schema version {version!r} "
+            f"(this library writes {SCHEMA_VERSION})"
+        )
+    schedule = schedule_from_dict(data["schedule"], soc)
+    discarded = tuple(
+        DiscardedSession(
+            cores=tuple(d["cores"]),
+            duration_s=float(d["duration_s"]),
+            violators=tuple(d["violators"]),
+            max_temperature_c=float(d["max_temperature_c"]),
+            iteration=int(d["iteration"]),
+        )
+        for d in data.get("discarded", [])
+    )
+    return ScheduleResult(
+        schedule=schedule,
+        tl_c=float(data["tl_c"]),
+        stcl=float(data["stcl"]),
+        length_s=float(data["length_s"]),
+        effort_s=float(data["effort_s"]),
+        max_temperature_c=float(data["max_temperature_c"]),
+        bcmt_c={str(k): float(v) for k, v in data["bcmt_c"].items()},
+        weights={str(k): float(v) for k, v in data["weights"].items()},
+        discarded=discarded,
+        forced_singletons=int(data.get("forced_singletons", 0)),
+    )
+
+
+def save_result(result: ScheduleResult, path: str | Path) -> None:
+    """Write a scheduling result to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: str | Path, soc: SocUnderTest) -> ScheduleResult:
+    """Read a scheduling result from a JSON file (validated against *soc*)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SchedulingError(f"cannot load schedule result {path}: {exc}") from exc
+    return result_from_dict(data, soc)

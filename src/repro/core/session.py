@@ -1,0 +1,183 @@
+"""Test session and test schedule data model.
+
+A *test session* is a set of cores tested concurrently; a *test
+schedule* is an ordered list of sessions that together test every core
+exactly once (session-based testing without preemption, the model used
+by the paper and by the classic power-constrained scheduling literature
+it compares against).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..errors import SchedulingError
+from ..soc.system import SocUnderTest
+
+
+@dataclass(frozen=True)
+class TestSession:
+    """One test session: cores tested concurrently.
+
+    Attributes
+    ----------
+    cores:
+        Names of the cores under test, in the order the scheduler added
+        them (insertion order matters for reproducing the paper's
+        greedy growth, so it is preserved; equality is set-based).
+    duration_s:
+        Session duration: the longest member test time.
+    max_temperature_c:
+        Peak simulated steady-state temperature over the session's
+        cores (Celsius); ``nan`` until the session has been simulated.
+    core_temperatures_c:
+        Simulated temperature per active core (empty until simulated).
+    """
+
+    #: Not a pytest test class despite the Test- prefix.
+    __test__ = False
+
+    cores: tuple[str, ...]
+    duration_s: float
+    max_temperature_c: float = math.nan
+    core_temperatures_c: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise SchedulingError("a test session must contain at least one core")
+        if len(set(self.cores)) != len(self.cores):
+            raise SchedulingError(f"duplicate cores in session: {self.cores}")
+        if self.duration_s <= 0.0:
+            raise SchedulingError(
+                f"session duration must be positive, got {self.duration_s!r}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.cores
+
+    def core_set(self) -> frozenset[str]:
+        """The session's cores as a set (order-independent identity)."""
+        return frozenset(self.cores)
+
+    def with_temperatures(
+        self, core_temperatures_c: Mapping[str, float]
+    ) -> "TestSession":
+        """A copy annotated with simulated core temperatures."""
+        missing = [c for c in self.cores if c not in core_temperatures_c]
+        if missing:
+            raise SchedulingError(
+                f"temperature annotation missing cores {missing}"
+            )
+        temps = {c: core_temperatures_c[c] for c in self.cores}
+        return TestSession(
+            cores=self.cores,
+            duration_s=self.duration_s,
+            max_temperature_c=max(temps.values()),
+            core_temperatures_c=temps,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        temp = (
+            f"{self.max_temperature_c:.2f} degC"
+            if not math.isnan(self.max_temperature_c)
+            else "unsimulated"
+        )
+        return f"[{', '.join(self.cores)}] ({self.duration_s:g} s, max {temp})"
+
+
+class TestSchedule:
+    """An ordered list of test sessions covering a SoC.
+
+    Parameters
+    ----------
+    sessions:
+        The committed sessions, in execution order.
+    soc:
+        The SoC this schedule tests; used to validate that the schedule
+        is a partition of the core set.
+    """
+
+    #: Not a pytest test class despite the Test- prefix.
+    __test__ = False
+
+    def __init__(self, sessions: list[TestSession], soc: SocUnderTest) -> None:
+        self._sessions: tuple[TestSession, ...] = tuple(sessions)
+        self._soc = soc
+        self._validate_partition()
+
+    def _validate_partition(self) -> None:
+        seen: set[str] = set()
+        for session in self._sessions:
+            overlap = seen & session.core_set()
+            if overlap:
+                raise SchedulingError(
+                    f"cores tested more than once: {sorted(overlap)}"
+                )
+            seen |= session.core_set()
+        missing = set(self._soc.core_names) - seen
+        if missing:
+            raise SchedulingError(f"cores never tested: {sorted(missing)}")
+        extra = seen - set(self._soc.core_names)
+        if extra:
+            raise SchedulingError(f"schedule names unknown cores: {sorted(extra)}")
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def sessions(self) -> tuple[TestSession, ...]:
+        """The sessions in execution order."""
+        return self._sessions
+
+    @property
+    def soc(self) -> SocUnderTest:
+        """The SoC under test."""
+        return self._soc
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self) -> Iterator[TestSession]:
+        return iter(self._sessions)
+
+    # -- metrics -----------------------------------------------------------------
+
+    @property
+    def length_s(self) -> float:
+        """Total test application time: the paper's *test schedule length*."""
+        return math.fsum(s.duration_s for s in self._sessions)
+
+    @property
+    def max_temperature_c(self) -> float:
+        """Peak simulated temperature over all sessions (nan if unsimulated)."""
+        temps = [s.max_temperature_c for s in self._sessions]
+        if any(math.isnan(t) for t in temps):
+            return math.nan
+        return max(temps)
+
+    @property
+    def max_concurrency(self) -> int:
+        """Largest number of cores tested in one session."""
+        return max(len(s) for s in self._sessions)
+
+    def session_of(self, core_name: str) -> TestSession:
+        """The session in which the named core is tested."""
+        for session in self._sessions:
+            if core_name in session:
+                return session
+        raise SchedulingError(f"core {core_name!r} is not in this schedule")
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"Test schedule for {self._soc.name!r}: {len(self)} sessions, "
+            f"length {self.length_s:g} s"
+        ]
+        for i, session in enumerate(self._sessions, start=1):
+            lines.append(f"  session {i}: {session.describe()}")
+        return "\n".join(lines)

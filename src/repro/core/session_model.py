@@ -1,0 +1,308 @@
+"""The paper's low-complexity test-session thermal model (Section 2).
+
+For a test session ``TS`` the model assigns every **active** core an
+equivalent thermal resistance built from the *same* resistance formulas
+as the full RC simulation (:mod:`repro.thermal.resistances`), rewired
+by the paper's three modifications:
+
+* **M1 (steady state only)** — capacitances are dropped; the model is
+  purely resistive.
+* **M2 (no active-active exchange)** — the lateral resistance between
+  two cores tested in the same session is removed: both run hot, so
+  their temperature difference (and the heat they exchange) is small.
+* **M3 (passive cores are thermal ground)** — a lateral resistance from
+  an active core to a passive neighbour now connects straight to
+  ambient, because the passive core is assumed to stay at ambient
+  temperature for the whole session.
+
+With the actives decoupled from each other (M2) and every remaining
+path terminating at ground (M3), the network falls apart into one
+independent star per active core, and the equivalent resistance is a
+plain parallel combination — the paper's Figure 4.  That is what makes
+the model "low-complexity": evaluating a candidate session is O(degree)
+arithmetic instead of a linear solve.
+
+On top of ``Rth`` the model defines (paper, end of Section 2):
+
+* the **core thermal characteristic** ``TC_TS(i) = P(i) * Rth_TS(i)`` —
+  a temperature-rise estimate for core *i* in session *TS*;
+* the **session thermal characteristic**
+  ``STC(TS) = max_i TC_TS(i) * P(i) * W(i)`` over the active cores,
+  with ``W`` the adaptive weights of :mod:`repro.core.weights`.
+
+The paper's Figures 3-4 draw only *lateral* paths (the vertical path
+through the spreader is the one the model is trying to keep from
+becoming the only escape route), so the default configuration is
+lateral-only; ``include_vertical=True`` adds the per-core vertical
+stack in parallel as an ablation.  A fully landlocked core whose
+neighbours are all active then has ``Rth = inf`` and an infinite STC —
+the scheduler reads that as "never admit this core into this session",
+which is exactly the conservative behaviour wanted.
+
+``stc_scale`` normalises STC values so that the STCL axis of the
+paper's Figure 5 / Table 1 (20..100) is meaningful for a given SoC; the
+paper's own STCL values are tied to their unpublished RC constants, so
+the scale is part of the experiment calibration (DESIGN.md,
+substitution 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import SchedulingError
+from ..floorplan.adjacency import AdjacencyMap
+from ..soc.system import SocUnderTest
+from ..thermal.package import PackageConfig
+from ..thermal.resistances import (
+    boundary_edge_resistance,
+    lateral_interface_resistance,
+    shared_path_resistance,
+    vertical_stack_resistance,
+)
+from ..units import parallel
+
+
+@dataclass(frozen=True)
+class SessionModelConfig:
+    """Configuration (and ablation switches) for the session model.
+
+    Attributes
+    ----------
+    drop_active_active:
+        Paper modification M2.  ``False`` keeps the resistance between
+        concurrently tested cores, treating the active neighbour as if
+        it were grounded — a deliberately *optimistic* ablation that
+        under-predicts hot spots (benchmarked in the ablation suite).
+    ground_passive:
+        Paper modification M3.  ``False`` removes passive-neighbour
+        paths entirely instead of grounding them — a *pessimistic*
+        ablation (only die-edge and vertical paths remain).
+    include_vertical:
+        Add the per-core vertical stack (die + TIM + spreading +
+        shared spreader/sink path) in parallel with the lateral paths.
+        The paper's Figure 4 shows lateral paths only, so the default
+        is ``False``.
+    stc_scale:
+        STC values are divided by this constant; calibrated per SoC so
+        the STCL sweep range matches the paper's 20..100 axis.
+    """
+
+    drop_active_active: bool = True
+    ground_passive: bool = True
+    include_vertical: bool = False
+    stc_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.stc_scale <= 0.0:
+            raise SchedulingError(
+                f"stc_scale must be positive, got {self.stc_scale!r}"
+            )
+
+
+#: The configuration matching the paper exactly (all defaults).
+PAPER_SESSION_MODEL = SessionModelConfig()
+
+
+class SessionThermalModel:
+    """Evaluates Rth / TC / STC for candidate test sessions of one SoC.
+
+    All lateral and vertical resistances are precomputed once per SoC;
+    evaluating a session is then pure parallel-resistance arithmetic.
+
+    Parameters
+    ----------
+    soc:
+        The system under test (supplies floorplan, adjacency, package
+        and per-core test powers).
+    config:
+        Model variant switches (defaults reproduce the paper).
+    """
+
+    def __init__(
+        self, soc: SocUnderTest, config: SessionModelConfig = PAPER_SESSION_MODEL
+    ) -> None:
+        self._soc = soc
+        self._config = config
+        adjacency: AdjacencyMap = soc.adjacency
+        package: PackageConfig = soc.package
+        floorplan = soc.floorplan
+
+        # Lateral resistance to each neighbour, per core.
+        self._neighbour_r: dict[str, dict[str, float]] = {
+            name: {} for name in floorplan.block_names
+        }
+        for interface in adjacency.interfaces:
+            block_a = floorplan[interface.block_a]
+            block_b = floorplan[interface.block_b]
+            resistance = lateral_interface_resistance(
+                block_a, block_b, interface, package
+            )
+            self._neighbour_r[block_a.name][block_b.name] = resistance
+            self._neighbour_r[block_b.name][block_a.name] = resistance
+
+        # Die-edge escape paths, combined in parallel per core (they all
+        # terminate at the package periphery, i.e. thermal ground in
+        # this model).
+        self._edge_r: dict[str, float] = {}
+        for block in floorplan:
+            segments = adjacency.boundary_segments(block.name)
+            if segments:
+                self._edge_r[block.name] = parallel(
+                    *(
+                        boundary_edge_resistance(block, segment, package)
+                        for segment in segments
+                    )
+                )
+            else:
+                self._edge_r[block.name] = math.inf
+
+        # Optional vertical path: per-core stack plus the shared
+        # spreader/sink/convection tail.
+        shared_tail = shared_path_resistance(package)
+        self._vertical_r: dict[str, float] = {
+            block.name: vertical_stack_resistance(block, package) + shared_tail
+            for block in floorplan
+        }
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def soc(self) -> SocUnderTest:
+        """The SoC this model was built for."""
+        return self._soc
+
+    @property
+    def config(self) -> SessionModelConfig:
+        """The model configuration."""
+        return self._config
+
+    def neighbour_resistances(self, core: str) -> Mapping[str, float]:
+        """Lateral resistance to each neighbour of *core* (K/W)."""
+        try:
+            return dict(self._neighbour_r[core])
+        except KeyError:
+            raise SchedulingError(f"unknown core {core!r}") from None
+
+    def edge_resistance(self, core: str) -> float:
+        """Combined die-edge escape resistance of *core* (K/W; inf if landlocked)."""
+        try:
+            return self._edge_r[core]
+        except KeyError:
+            raise SchedulingError(f"unknown core {core!r}") from None
+
+    def vertical_resistance(self, core: str) -> float:
+        """Vertical stack resistance of *core* incl. the shared tail (K/W)."""
+        try:
+            return self._vertical_r[core]
+        except KeyError:
+            raise SchedulingError(f"unknown core {core!r}") from None
+
+    # -- the paper's quantities -----------------------------------------------------
+
+    def equivalent_resistance(self, core: str, active: Iterable[str]) -> float:
+        """``Rth_TS(core)``: the paper's equivalent thermal resistance (K/W).
+
+        Parallel combination of the core's escape paths given the
+        session's active set (Figure 4 of the paper).  Returns
+        ``math.inf`` when no escape path remains (landlocked core with
+        every neighbour active, lateral-only model).
+
+        Parameters
+        ----------
+        core:
+            The active core being evaluated (must be in *active*).
+        active:
+            All cores of the candidate session, including *core*.
+        """
+        active_set = frozenset(active)
+        if core not in active_set:
+            raise SchedulingError(
+                f"core {core!r} must be part of the active set it is "
+                f"evaluated against"
+            )
+        paths: list[float] = []
+        for neighbour, resistance in self._neighbour_r[core].items():
+            if neighbour in active_set:
+                # Active neighbour: dropped under M2; kept (grounded) in
+                # the no-M2 ablation.
+                if not self._config.drop_active_active:
+                    paths.append(resistance)
+            else:
+                # Passive neighbour: grounded under M3; absent in the
+                # no-M3 ablation.
+                if self._config.ground_passive:
+                    paths.append(resistance)
+        edge = self._edge_r[core]
+        if not math.isinf(edge):
+            paths.append(edge)
+        if self._config.include_vertical:
+            paths.append(self._vertical_r[core])
+        if not paths:
+            return math.inf
+        return parallel(*paths)
+
+    def thermal_characteristic(self, core: str, active: Iterable[str]) -> float:
+        """``TC_TS(core) = P(core) * Rth_TS(core)`` (kelvin-rise estimate)."""
+        rth = self.equivalent_resistance(core, active)
+        if math.isinf(rth):
+            return math.inf
+        return self._soc[core].test_power_w * rth
+
+    def session_thermal_characteristic(
+        self,
+        active: Iterable[str],
+        weights: Mapping[str, float] | None = None,
+    ) -> float:
+        """``STC(TS) = max_i TC_TS(i) * P(i) * W(i) / stc_scale``.
+
+        Parameters
+        ----------
+        active:
+            The candidate session's cores.  An empty session has
+            ``STC = 0`` (nothing dissipates), so any first core whose
+            singleton STC fits the limit can seed a session.
+        weights:
+            Optional per-core weights ``W(i)`` (default all 1.0).
+
+        Returns
+        -------
+        float
+            The STC value; ``math.inf`` when any active core has no
+            escape path.
+        """
+        active_list = list(active)
+        if not active_list:
+            return 0.0
+        if len(set(active_list)) != len(active_list):
+            raise SchedulingError(f"duplicate cores in session: {active_list}")
+        worst = 0.0
+        for core in active_list:
+            tc = self.thermal_characteristic(core, active_list)
+            if math.isinf(tc):
+                return math.inf
+            weight = 1.0 if weights is None else weights.get(core, 1.0)
+            contribution = tc * self._soc[core].test_power_w * weight
+            worst = max(worst, contribution)
+        return worst / self._config.stc_scale
+
+    def core_contributions(
+        self,
+        active: Iterable[str],
+        weights: Mapping[str, float] | None = None,
+    ) -> dict[str, float]:
+        """Per-core ``TC * P * W / scale`` terms of the STC max (diagnostics)."""
+        active_list = list(active)
+        contributions: dict[str, float] = {}
+        for core in active_list:
+            tc = self.thermal_characteristic(core, active_list)
+            weight = 1.0 if weights is None else weights.get(core, 1.0)
+            if math.isinf(tc):
+                contributions[core] = math.inf
+            else:
+                contributions[core] = (
+                    tc * self._soc[core].test_power_w * weight / self._config.stc_scale
+                )
+        return contributions

@@ -1,0 +1,100 @@
+"""Adaptive core weights for the thermal-aware scheduler.
+
+Algorithm 1 penalises cores that violate the temperature limit inside a
+candidate session: their weight ``W(i)`` is multiplied by 1.1 (line 20)
+so the session thermal characteristic sees them as hotter and packs
+them into less busy sessions on subsequent attempts.  Weights start at
+1 and only ever grow; they persist across sessions within one
+scheduling run (a core that proved troublesome stays penalised).
+
+:class:`WeightStore` encapsulates that state with an audit trail, which
+the experiments use to report how much feedback the heuristic needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import SchedulingError
+
+#: The paper's weight escalation factor (Algorithm 1, line 20).
+PAPER_WEIGHT_FACTOR = 1.1
+
+
+@dataclass(frozen=True)
+class WeightEvent:
+    """One weight escalation: which core, when, and the new value."""
+
+    core: str
+    iteration: int
+    new_weight: float
+
+
+class WeightStore:
+    """Per-core multiplicative penalty weights.
+
+    Parameters
+    ----------
+    core_names:
+        The cores being scheduled; all weights start at 1.0.
+    factor:
+        Escalation factor applied on every violation (paper: 1.1).
+        A factor of exactly 1.0 disables the feedback loop — useful as
+        an ablation (DESIGN.md section 7).
+    """
+
+    def __init__(self, core_names: Iterable[str], factor: float = PAPER_WEIGHT_FACTOR):
+        if factor < 1.0:
+            raise SchedulingError(
+                f"weight factor must be >= 1.0 (weights only grow), got {factor!r}"
+            )
+        self._weights: dict[str, float] = {name: 1.0 for name in core_names}
+        if not self._weights:
+            raise SchedulingError("weight store needs at least one core")
+        self._factor = factor
+        self._events: list[WeightEvent] = []
+
+    @property
+    def factor(self) -> float:
+        """The escalation factor."""
+        return self._factor
+
+    def __getitem__(self, core: str) -> float:
+        try:
+            return self._weights[core]
+        except KeyError:
+            raise SchedulingError(f"unknown core {core!r} in weight store") from None
+
+    def __contains__(self, core: object) -> bool:
+        return core in self._weights
+
+    def penalise(self, core: str, iteration: int) -> float:
+        """Escalate one core's weight (``W *= factor``); returns the new value."""
+        new_weight = self[core] * self._factor
+        self._weights[core] = new_weight
+        self._events.append(WeightEvent(core, iteration, new_weight))
+        return new_weight
+
+    def penalise_all(self, cores: Iterable[str], iteration: int) -> None:
+        """Escalate several cores at once (Algorithm 1 lines 18-23)."""
+        for core in cores:
+            self.penalise(core, iteration)
+
+    def as_mapping(self) -> Mapping[str, float]:
+        """Snapshot of the current weights."""
+        return dict(self._weights)
+
+    @property
+    def events(self) -> tuple[WeightEvent, ...]:
+        """Audit trail of every escalation, in order."""
+        return tuple(self._events)
+
+    @property
+    def total_penalisations(self) -> int:
+        """How many escalations happened (diagnostics)."""
+        return len(self._events)
+
+    def max_weight(self) -> float:
+        """The largest current weight."""
+        return max(self._weights.values())

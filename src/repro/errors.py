@@ -1,0 +1,100 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  Subclasses
+are grouped by subsystem: geometry/floorplan, thermal simulation, power
+modelling and scheduling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class GeometryError(ReproError):
+    """A geometric primitive was constructed with invalid data.
+
+    Examples: a rectangle with non-positive width, a floorplan block
+    placed outside the die outline.
+    """
+
+
+class FloorplanError(ReproError):
+    """A floorplan-level consistency error.
+
+    Examples: duplicate block names, overlapping blocks, an empty
+    floorplan, a reference to a block that does not exist.
+    """
+
+
+class FloorplanFormatError(FloorplanError):
+    """A HotSpot ``.flp`` file (or string) could not be parsed."""
+
+
+class ThermalModelError(ReproError):
+    """An RC thermal network is structurally invalid.
+
+    Examples: a node with no path to thermal ground (the steady-state
+    system would be singular), a non-positive resistance or capacitance.
+    """
+
+
+class SolverError(ReproError):
+    """A thermal solve failed numerically (singular system, NaNs, ...)."""
+
+
+class PowerModelError(ReproError):
+    """A power profile is inconsistent with the SoC it is attached to."""
+
+
+class SchedulingError(ReproError):
+    """Test-schedule generation failed.
+
+    The most important subclass is :class:`CoreThermalViolationError`,
+    raised when a core violates the temperature limit even when tested
+    alone (Algorithm 1, lines 1-7 of the paper).
+    """
+
+
+class CoreThermalViolationError(SchedulingError):
+    """A core exceeds the temperature limit in a purely sequential test.
+
+    The paper's Algorithm 1 (lines 4-6) requires such violations to be
+    fixed by redesigning the core's test infrastructure or by raising the
+    temperature limit ``TL``; neither can be done automatically, so the
+    scheduler surfaces the condition as this exception.
+
+    Attributes
+    ----------
+    core_name:
+        Name of the offending core.
+    max_temperature_c:
+        Peak steady-state temperature of the core tested alone (Celsius).
+    limit_c:
+        The temperature limit ``TL`` that was violated (Celsius).
+    """
+
+    def __init__(self, core_name: str, max_temperature_c: float, limit_c: float):
+        self.core_name = core_name
+        self.max_temperature_c = max_temperature_c
+        self.limit_c = limit_c
+        super().__init__(
+            f"core {core_name!r} reaches {max_temperature_c:.2f} degC when tested "
+            f"alone, violating the temperature limit TL={limit_c:.2f} degC; fix the "
+            f"core's test infrastructure or increase TL (paper Algorithm 1, line 5)"
+        )
+
+
+class ScheduleInfeasibleError(SchedulingError):
+    """No thermally safe schedule could be found under the given limits.
+
+    Raised when session construction cannot make progress, e.g. a single
+    core repeatedly violates ``TL`` in a session of its own (which phase A
+    should have caught), or an iteration cap is exhausted.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

@@ -1,0 +1,78 @@
+"""Experiment drivers regenerating the paper's figures and tables
+(DESIGN.md system S8).
+
+===============  =====================================================
+module           paper artefact
+===============  =====================================================
+``fig1``         Figure 1 — power-safe is not thermal-safe
+``worked_example``  Figures 2-4 — session thermal model derivation
+``fig5``         Figure 5 — length & effort vs STCL
+``table1``       Table 1 — full (TL, STCL) grid
+``calibration``  platform calibration backing the frozen constants
+``sweep``        shared (TL, STCL) grid machinery
+``harness``      CLI entry point (``repro-experiments``)
+===============  =====================================================
+"""
+
+from .ablations import AblationRow, run_ablations
+from .baseline_study import BaselineStudy, run_baseline_study
+from .calibration import CalibrationReport, run_calibration
+from .fig1 import run_fig1
+from .heterogeneous import HeteroPoint, heterogeneous_alpha15, run_heterogeneous_study
+from .m1_validation import M1Report, run_m1_validation
+from .model_accuracy import AccuracyRow, run_model_accuracy
+from .optimality import OptimalityCase, run_optimality_study
+from .refinement import RefinementPoint, run_refinement_study
+from .fig5 import run_fig5
+from .grid_crosscheck import CrosscheckReport, run_grid_crosscheck
+from .records import Fig1Result, SweepPoint, WorkedExampleRow
+from .sweep import (
+    FIG5_TL_VALUES_C,
+    PAPER_STCL_VALUES,
+    PAPER_TL_VALUES_C,
+    SweepGrid,
+    run_sweep,
+)
+from .scaling import ScalingPoint, run_scaling_study
+from .table1 import PAPER_TABLE1, run_table1
+from .transient_scheduling import TransientPoint, run_transient_scheduling
+from .worked_example import run_worked_example
+
+__all__ = [
+    "AblationRow",
+    "AccuracyRow",
+    "HeteroPoint",
+    "OptimalityCase",
+    "RefinementPoint",
+    "BaselineStudy",
+    "CalibrationReport",
+    "CrosscheckReport",
+    "M1Report",
+    "ScalingPoint",
+    "FIG5_TL_VALUES_C",
+    "Fig1Result",
+    "PAPER_STCL_VALUES",
+    "PAPER_TABLE1",
+    "PAPER_TL_VALUES_C",
+    "SweepGrid",
+    "SweepPoint",
+    "TransientPoint",
+    "WorkedExampleRow",
+    "run_ablations",
+    "run_baseline_study",
+    "run_calibration",
+    "run_fig1",
+    "run_heterogeneous_study",
+    "run_m1_validation",
+    "run_model_accuracy",
+    "run_optimality_study",
+    "run_refinement_study",
+    "run_scaling_study",
+    "heterogeneous_alpha15",
+    "run_fig5",
+    "run_grid_crosscheck",
+    "run_sweep",
+    "run_table1",
+    "run_transient_scheduling",
+    "run_worked_example",
+]

@@ -1,0 +1,209 @@
+"""Ablation study — the design choices behind Algorithm 1.
+
+Three knobs the paper fixes without exploring, swept here on the
+calibrated alpha15 platform over a compact (TL, STCL) probe grid:
+
+* **weight escalation factor** — the paper multiplies violators'
+  weights by 1.1; we compare no feedback (1.0), the paper's 1.1, and
+  aggressive 1.5 / 2.0;
+* **session-model modifications** — M2 (drop active-active
+  resistances) and M3 (ground passive cores) toggled off, and the
+  vertical heat path toggled on;
+* **candidate scan order** — the paper's input order vs power-,
+  area- and density-based orders.
+
+For every variant the study reports total schedule length, total
+simulation effort, discards and forced singletons, summed over the
+probe grid — the quality/effort frontier each design choice buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.scheduler import SchedulerConfig, ThermalAwareScheduler
+from ..core.session_model import SessionModelConfig, SessionThermalModel
+from ..errors import ScheduleInfeasibleError
+from ..soc.library import ALPHA15_STC_SCALE, alpha15_soc
+from ..soc.system import SocUnderTest
+from ..thermal.simulator import ThermalSimulator
+from .reporting import format_table
+
+#: Compact probe grid: one tight, one mid, one loose point.
+PROBE_GRID = ((155.0, 30.0), (165.0, 60.0), (185.0, 90.0))
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """Aggregated outcome of one variant over the probe grid.
+
+    Attributes
+    ----------
+    group, variant:
+        Which knob and which setting.
+    total_length_s, total_effort_s:
+        Sums over the probe grid.
+    total_discards, total_forced:
+        Summed diagnostic counters.
+    converged:
+        False when any probe point exhausted ``max_discards``.
+    """
+
+    group: str
+    variant: str
+    total_length_s: float
+    total_effort_s: float
+    total_discards: int
+    total_forced: int
+    converged: bool
+
+
+def _run_variant(
+    group: str,
+    variant: str,
+    soc: SocUnderTest,
+    simulator: ThermalSimulator,
+    model: SessionThermalModel,
+    config: SchedulerConfig,
+) -> AblationRow:
+    scheduler = ThermalAwareScheduler(
+        soc, simulator=simulator, session_model=model, config=config
+    )
+    length = effort = 0.0
+    discards = forced = 0
+    converged = True
+    for tl_c, stcl in PROBE_GRID:
+        try:
+            result = scheduler.schedule(tl_c, stcl)
+        except ScheduleInfeasibleError:
+            converged = False
+            continue
+        length += result.length_s
+        effort += result.effort_s
+        discards += result.n_discarded
+        forced += result.forced_singletons
+    return AblationRow(
+        group=group,
+        variant=variant,
+        total_length_s=length,
+        total_effort_s=effort,
+        total_discards=discards,
+        total_forced=forced,
+        converged=converged,
+    )
+
+
+def run_ablations(soc: SocUnderTest | None = None) -> tuple[AblationRow, ...]:
+    """Run every ablation variant over the probe grid."""
+    if soc is None:
+        soc = alpha15_soc()
+    simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+    paper_model = SessionThermalModel(
+        soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
+    )
+    rows: list[AblationRow] = []
+
+    # 1. Weight factor sweep.
+    for factor in (1.0, 1.1, 1.5, 2.0):
+        label = f"{factor:g}" + (" (paper)" if factor == 1.1 else "")
+        rows.append(
+            _run_variant(
+                "weight-factor",
+                label,
+                soc,
+                simulator,
+                paper_model,
+                SchedulerConfig(weight_factor=factor, max_discards=400),
+            )
+        )
+
+    # 2. Session-model modification ablations.
+    model_variants = {
+        "paper (M2+M3, lateral)": SessionModelConfig(
+            stc_scale=ALPHA15_STC_SCALE
+        ),
+        "no M2 (keep active-active)": SessionModelConfig(
+            drop_active_active=False, stc_scale=ALPHA15_STC_SCALE
+        ),
+        "no M3 (float passives)": SessionModelConfig(
+            ground_passive=False, stc_scale=ALPHA15_STC_SCALE
+        ),
+        "with vertical path": SessionModelConfig(
+            include_vertical=True, stc_scale=ALPHA15_STC_SCALE
+        ),
+    }
+    for label, model_config in model_variants.items():
+        rows.append(
+            _run_variant(
+                "session-model",
+                label,
+                soc,
+                simulator,
+                SessionThermalModel(soc, model_config),
+                SchedulerConfig(),
+            )
+        )
+
+    # 3. Candidate scan order.
+    for order in ("input", "power_desc", "area_asc", "density_desc"):
+        label = order + (" (paper)" if order == "input" else "")
+        rows.append(
+            _run_variant(
+                "candidate-order",
+                label,
+                soc,
+                simulator,
+                paper_model,
+                SchedulerConfig(candidate_order=order),
+            )
+        )
+    return tuple(rows)
+
+
+def report_ablations(rows: tuple[AblationRow, ...] | None = None) -> str:
+    """Human-readable ablation report."""
+    if rows is None:
+        rows = run_ablations()
+    table_rows = [
+        (
+            r.group,
+            r.variant,
+            r.total_length_s,
+            r.total_effort_s,
+            r.total_discards,
+            r.total_forced,
+            "yes" if r.converged else "NO",
+        )
+        for r in rows
+    ]
+    table = format_table(
+        [
+            "knob",
+            "variant",
+            "sum length (s)",
+            "sum effort (s)",
+            "discards",
+            "forced",
+            "converged",
+        ],
+        table_rows,
+        title=(
+            "Ablations over probe grid "
+            + ", ".join(f"(TL={t:g}, STCL={s:g})" for t, s in PROBE_GRID)
+        ),
+    )
+    return table + (
+        "\nReading: lower length at equal effort is better; the paper's\n"
+        "1.1 weight factor trades a little length for far fewer discards\n"
+        "than no feedback; dropping M2/M3 changes how optimistic the STC\n"
+        "screen is (more/less simulation effort downstream).\n"
+    )
+
+
+def main() -> None:
+    """Console entry point."""
+    print(report_ablations())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Calibration report for the alpha15 reproduction platform.
+
+The paper never published its per-core test powers or the RC constants
+behind its STCL axis, so this reproduction calibrates both (DESIGN.md,
+substitution 3).  This module *verifies and documents* the frozen
+calibration in :mod:`repro.soc.library`:
+
+* every core tested alone stays well below the tightest limit
+  TL = 145 degC (phase A of Algorithm 1 must pass);
+* testing all 15 cores concurrently overshoots the loosest limit
+  TL = 185 degC (so the TL sweep bites);
+* every singleton session's STC is below the tightest STCL of 20 (a
+  core whose singleton STC exceeded the limit could never be scheduled
+  by the paper's pseudocode);
+* test multipliers all lie in the paper's 1.5x-8x range.
+
+Run ``python -m repro.experiments.calibration`` to print the report;
+the integration tests assert the same invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.session_model import SessionModelConfig, SessionThermalModel
+from ..soc.library import ALPHA15_STC_SCALE, alpha15_soc
+from ..soc.system import SocUnderTest
+from ..thermal.simulator import ThermalSimulator
+from .reporting import format_table
+
+#: The regime the calibration must bracket (the paper's sweep corners).
+TIGHTEST_TL_C = 145.0
+LOOSEST_TL_C = 185.0
+TIGHTEST_STCL = 20.0
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Measured calibration properties of a SoC.
+
+    Attributes
+    ----------
+    singleton_max_c:
+        Hottest single-core steady-state temperature.
+    all_active_max_c:
+        Peak temperature with every core active at once.
+    singleton_stc:
+        Per-core singleton session thermal characteristic.
+    multipliers:
+        Per-core test-to-functional power multipliers.
+    """
+
+    singleton_max_c: float
+    all_active_max_c: float
+    singleton_stc: dict[str, float]
+    multipliers: dict[str, float]
+
+    @property
+    def brackets_paper_regime(self) -> bool:
+        """True when the SoC brackets the paper's whole (TL, STCL) sweep."""
+        return (
+            self.singleton_max_c < TIGHTEST_TL_C
+            and self.all_active_max_c > LOOSEST_TL_C
+            and max(self.singleton_stc.values()) <= TIGHTEST_STCL
+            and all(1.5 <= m <= 8.0 for m in self.multipliers.values())
+        )
+
+
+def run_calibration(
+    soc: SocUnderTest | None = None, stc_scale: float = ALPHA15_STC_SCALE
+) -> CalibrationReport:
+    """Measure the calibration invariants of a SoC."""
+    if soc is None:
+        soc = alpha15_soc()
+    simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+    model = SessionThermalModel(soc, SessionModelConfig(stc_scale=stc_scale))
+
+    singleton_max = 0.0
+    singleton_stc: dict[str, float] = {}
+    for name in soc.core_names:
+        field = simulator.steady_state({name: soc[name].test_power_w})
+        singleton_max = max(singleton_max, field.temperature_c(name))
+        singleton_stc[name] = model.session_thermal_characteristic([name])
+    all_active = simulator.steady_state(soc.test_power_map())
+
+    return CalibrationReport(
+        singleton_max_c=singleton_max,
+        all_active_max_c=all_active.max_temperature_c(),
+        singleton_stc=singleton_stc,
+        multipliers={c.name: c.test_multiplier for c in soc},
+    )
+
+
+def report_calibration(report: CalibrationReport | None = None) -> str:
+    """Human-readable calibration report."""
+    if report is None:
+        report = run_calibration()
+    rows = [
+        (name, report.singleton_stc[name], report.multipliers[name])
+        for name in report.singleton_stc
+    ]
+    table = format_table(
+        ["core", "singleton STC", "test multiplier"],
+        rows,
+        title="alpha15 calibration (frozen constants in repro.soc.library)",
+    )
+    status = "OK" if report.brackets_paper_regime else "OUT OF REGIME"
+    return table + (
+        f"\nhottest core alone: {report.singleton_max_c:.1f} degC "
+        f"(must be < {TIGHTEST_TL_C:g})\n"
+        f"all cores at once:  {report.all_active_max_c:.1f} degC "
+        f"(must be > {LOOSEST_TL_C:g})\n"
+        f"max singleton STC:  {max(report.singleton_stc.values()):.2f} "
+        f"(must be <= {TIGHTEST_STCL:g})\n"
+        f"calibration status: {status}\n"
+    )
+
+
+def main() -> None:
+    """Console entry point."""
+    print(report_calibration())
+
+
+if __name__ == "__main__":
+    main()

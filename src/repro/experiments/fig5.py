@@ -1,0 +1,76 @@
+"""Figure 5 — schedule length and simulation effort vs STCL.
+
+The paper plots, for TL in {145, 155, 165} degC, two series against the
+session thermal characteristic limit: the generated test schedule
+length and the simulation effort required to reach it.  The headline
+trends (DESIGN.md shape targets):
+
+* relaxed (large) STCL -> short schedules, high simulation effort;
+* tight (small) STCL -> longer schedules found on (or near) the first
+  attempt, so the effort curve meets the length curve;
+* higher TL -> both curves drop.
+
+This driver reruns the sweep on the alpha15 SoC and renders the same
+series as a monospace table and an ASCII plot.
+"""
+
+from __future__ import annotations
+
+from ..soc.system import SocUnderTest
+from .reporting import ascii_series_plot, format_table
+from .sweep import FIG5_TL_VALUES_C, PAPER_STCL_VALUES, SweepGrid, run_sweep
+
+
+def run_fig5(
+    soc: SocUnderTest | None = None,
+    tl_values_c: tuple[float, ...] = FIG5_TL_VALUES_C,
+    stcl_values: tuple[float, ...] = PAPER_STCL_VALUES,
+) -> SweepGrid:
+    """Run the Figure 5 sweep (three TL rows of the Table 1 grid)."""
+    return run_sweep(soc=soc, tl_values_c=tl_values_c, stcl_values=stcl_values)
+
+
+def report_fig5(grid: SweepGrid | None = None) -> str:
+    """Render the Figure 5 series as a table plus an ASCII plot."""
+    if grid is None:
+        grid = run_fig5()
+
+    headers = ["STCL"]
+    for tl in grid.tl_values:
+        headers.append(f"len(TL={tl:g})")
+        headers.append(f"effort(TL={tl:g})")
+    rows = []
+    for stcl in grid.stcl_values:
+        row: list[object] = [f"{stcl:g}"]
+        for tl in grid.tl_values:
+            point = grid.at(tl, stcl)
+            row.append(point.length_s)
+            row.append(point.effort_s)
+        rows.append(row)
+    table = format_table(
+        headers,
+        rows,
+        title="Figure 5 — test schedule length and simulation effort vs STCL (seconds)",
+    )
+
+    series: dict[str, dict[float, float]] = {}
+    for tl in grid.tl_values:
+        series[f"length TL={tl:g}"] = {
+            p.stcl: p.length_s for p in grid.row(tl)
+        }
+        series[f"effort TL={tl:g}"] = {
+            p.stcl: p.effort_s for p in grid.row(tl)
+        }
+    plot = ascii_series_plot(
+        series, title="Figure 5 (ASCII rendering; x = STCL, y = seconds)"
+    )
+    return table + "\n" + plot
+
+
+def main() -> None:
+    """Console entry point."""
+    print(report_fig5())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+"""Grid-mode cross-check — does the block model get the physics right?
+
+The paper validates candidate sessions with HotSpot's block mode; our
+scheduler does the same with :class:`~repro.thermal.ThermalSimulator`.
+This study re-simulates a batch of seeded random sessions with the
+fine-grained grid solver (:mod:`repro.thermal.grid`) and compares:
+
+* per-block peak temperatures (block mode's single number vs the
+  hottest cell inside the block) — agreement ratio and rank
+  correlation;
+* the Figure 1 hot/cool verdict in both modes;
+* the intra-block gradients that only grid mode can resolve.
+
+The block model passing this check is what licenses using it as the
+"accurate" simulator in every other experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..soc.library import alpha15_soc, hypothetical7_soc
+from ..soc.system import SocUnderTest
+from ..thermal.grid import GridThermalSimulator
+from ..thermal.simulator import ThermalSimulator
+from .reporting import format_table
+
+#: Number of seeded random sessions compared.
+DEFAULT_SAMPLES = 60
+
+#: Grid resolution for the cross-check.
+RESOLUTION = 48
+
+
+@dataclass(frozen=True)
+class CrosscheckReport:
+    """Aggregate agreement between block and grid mode.
+
+    Attributes
+    ----------
+    spearman_rho:
+        Rank correlation between block-mode and grid-mode per-session
+        peak temperature rises.
+    mean_peak_ratio:
+        Mean (block peak rise / grid peak rise); > 1 means block mode
+        is conservative.
+    max_intra_block_gradient_c:
+        Largest temperature spread seen inside a single block (what
+        block mode cannot represent).
+    fig1_orderings_agree:
+        Both modes agree the Figure 1 hot session out-heats the cool
+        session.
+    """
+
+    spearman_rho: float
+    mean_peak_ratio: float
+    max_intra_block_gradient_c: float
+    fig1_orderings_agree: bool
+
+
+def run_grid_crosscheck(
+    soc: SocUnderTest | None = None,
+    n_samples: int = DEFAULT_SAMPLES,
+    seed: int = 17,
+    resolution: int = RESOLUTION,
+) -> CrosscheckReport:
+    """Run the block-vs-grid comparison."""
+    if soc is None:
+        soc = alpha15_soc()
+    block_sim = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+    grid_sim = GridThermalSimulator(
+        soc.floorplan, soc.package, nx=resolution, ny=resolution
+    )
+
+    rng = np.random.default_rng(seed)
+    names = list(soc.core_names)
+    block_peaks = []
+    grid_peaks = []
+    max_gradient = 0.0
+    for _ in range(n_samples):
+        size = int(rng.integers(1, 9))
+        picked = rng.choice(len(names), size=min(size, len(names)), replace=False)
+        session = [names[i] for i in picked]
+        power = soc.session_power_map(session)
+
+        block_field = block_sim.steady_state(power)
+        grid_field = grid_sim.steady_state(power)
+        block_peaks.append(
+            max(block_field.temperature_c(c) for c in session)
+            - block_sim.ambient_c
+        )
+        grid_peaks.append(
+            max(grid_field.block_max_c(c) for c in session)
+            - grid_sim.ambient_c
+        )
+        max_gradient = max(
+            max_gradient,
+            max(grid_field.intra_block_gradient_c(c) for c in session),
+        )
+
+    block_arr = np.array(block_peaks)
+    grid_arr = np.array(grid_peaks)
+    rho = float(stats.spearmanr(block_arr, grid_arr).statistic)
+    ratio = float(np.mean(block_arr / grid_arr))
+
+    # Figure 1 verdict in both modes.
+    hypo = hypothetical7_soc()
+    hypo_block = ThermalSimulator(hypo.floorplan, hypo.package, hypo.adjacency)
+    hypo_grid = GridThermalSimulator(
+        hypo.floorplan, hypo.package, nx=resolution, ny=resolution
+    )
+    hot_map = hypo.session_power_map(["C2", "C3", "C4"])
+    cool_map = hypo.session_power_map(["C5", "C6", "C7"])
+    block_agree = (
+        hypo_block.steady_state(hot_map).max_temperature_c()
+        > hypo_block.steady_state(cool_map).max_temperature_c()
+    )
+    grid_agree = (
+        hypo_grid.steady_state(hot_map).max_temperature_c()
+        > hypo_grid.steady_state(cool_map).max_temperature_c()
+    )
+
+    return CrosscheckReport(
+        spearman_rho=rho,
+        mean_peak_ratio=ratio,
+        max_intra_block_gradient_c=max_gradient,
+        fig1_orderings_agree=block_agree and grid_agree,
+    )
+
+
+def report_grid_crosscheck(report: CrosscheckReport | None = None) -> str:
+    """Human-readable cross-check report."""
+    if report is None:
+        report = run_grid_crosscheck()
+    table = format_table(
+        ["metric", "value"],
+        [
+            ("Spearman rho (block vs grid peaks)", f"{report.spearman_rho:.3f}"),
+            ("mean block/grid peak-rise ratio", f"{report.mean_peak_ratio:.3f}"),
+            (
+                "max intra-block gradient",
+                f"{report.max_intra_block_gradient_c:.1f} degC",
+            ),
+            (
+                "Figure 1 verdict agrees",
+                "yes" if report.fig1_orderings_agree else "NO",
+            ),
+        ],
+        title=(
+            f"Block-mode vs grid-mode ({RESOLUTION}x{RESOLUTION}) over "
+            f"{DEFAULT_SAMPLES} random sessions"
+        ),
+    )
+    return table + (
+        "\nA rank correlation near 1 and a peak ratio slightly above 1 mean\n"
+        "the block model orders sessions exactly like the fine mesh and errs\n"
+        "on the warm (safe) side — the property the scheduling results rely\n"
+        "on.  The intra-block gradient shows what the lumped model hides.\n"
+    )
+
+
+def main() -> None:
+    """Console entry point."""
+    print(report_grid_crosscheck())
+
+
+if __name__ == "__main__":
+    main()

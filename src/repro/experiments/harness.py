@@ -1,0 +1,120 @@
+"""Experiment harness: run every paper artefact from one entry point.
+
+``python -m repro.experiments.harness --all`` (or the installed
+``repro-experiments`` script) regenerates:
+
+* the Figure 1 motivational comparison,
+* the Figures 2-4 worked example of the session thermal model,
+* the Figure 5 length/effort curves,
+* the full Table 1 grid (with the paper's numbers side by side),
+* the calibration report backing the frozen constants.
+
+Individual experiments can be selected by name; ``--csv DIR`` exports
+machine-readable results next to the text report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable
+
+from .ablations import report_ablations
+from .baseline_study import report_baseline_study
+from .calibration import report_calibration
+from .fig1 import report_fig1, run_fig1
+from .fig5 import report_fig5, run_fig5
+from .grid_crosscheck import report_grid_crosscheck
+from .heterogeneous import report_heterogeneous_study
+from .m1_validation import report_m1_validation
+from .model_accuracy import report_model_accuracy
+from .optimality import report_optimality_study
+from .refinement import report_refinement_study
+from .reporting import write_csv
+from .scaling import report_scaling_study
+from .sweep import SweepGrid
+from .table1 import report_table1, run_table1
+from .transient_scheduling import report_transient_scheduling
+from .worked_example import report_worked_example, run_worked_example
+
+#: Registry of experiment name -> report function.  The first five are
+#: the paper's artefacts; the rest are the extension studies from
+#: DESIGN.md section 7.
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "calibration": report_calibration,
+    "fig1": report_fig1,
+    "worked-example": report_worked_example,
+    "fig5": report_fig5,
+    "table1": report_table1,
+    "m1-validation": report_m1_validation,
+    "baseline-study": report_baseline_study,
+    "ablations": report_ablations,
+    "scaling": report_scaling_study,
+    "model-accuracy": report_model_accuracy,
+    "heterogeneous": report_heterogeneous_study,
+    "optimality": report_optimality_study,
+    "grid-crosscheck": report_grid_crosscheck,
+    "refinement": report_refinement_study,
+    "transient-scheduling": report_transient_scheduling,
+}
+
+
+def _export_csv(directory: Path) -> None:
+    """Write CSV exports of the structured results."""
+    directory.mkdir(parents=True, exist_ok=True)
+    write_csv(directory / "fig1.csv", [run_fig1().as_dict()])
+    write_csv(
+        directory / "worked_example.csv",
+        (row.as_dict() for row in run_worked_example()),
+    )
+    fig5: SweepGrid = run_fig5()
+    write_csv(directory / "fig5.csv", (p.as_dict() for p in fig5.points))
+    table1: SweepGrid = run_table1()
+    write_csv(directory / "table1.csv", (p.as_dict() for p in table1.points))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the figures and tables of 'Rapid generation of "
+            "thermal-safe test schedules' (DATE 2005)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS.keys(), []],
+        help=f"experiments to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--csv",
+        type=Path,
+        metavar="DIR",
+        help="also export structured results as CSV files into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    selected = list(args.experiments)
+    if args.all or not selected:
+        selected = list(EXPERIMENTS)
+
+    for name in selected:
+        print("=" * 78)
+        print(f"== {name}")
+        print("=" * 78)
+        print(EXPERIMENTS[name]())
+
+    if args.csv is not None:
+        _export_csv(args.csv)
+        print(f"CSV exports written to {args.csv}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

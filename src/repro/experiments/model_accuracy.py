@@ -1,0 +1,205 @@
+"""Model accuracy study — how well does STC rank sessions?
+
+The paper's whole premise is that the session thermal characteristic is
+a *useful surrogate* for accurate simulation: sessions it flags as hot
+really are hot.  The paper demonstrates this indirectly (schedules
+converge quickly); this study measures it directly:
+
+1. draw a few hundred random candidate sessions of the alpha15 SoC
+   (seeded, sizes 1..8);
+2. evaluate each with the session model (STC) *and* the full
+   steady-state simulation (peak active-core temperature);
+3. report Spearman rank correlation, the screening accuracy when STC is
+   used as a binary classifier against a temperature limit, and the
+   same numbers for the model ablations (no M2 / no M3 / with vertical
+   path).
+
+A high rank correlation for the paper configuration — and degraded
+numbers for the ablations — is the quantitative justification for the
+modifications the paper argues only physically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..core.session_model import SessionModelConfig, SessionThermalModel
+from ..soc.library import ALPHA15_STC_SCALE, alpha15_soc
+from ..soc.system import SocUnderTest
+from ..thermal.simulator import ThermalSimulator
+from .reporting import format_table
+
+#: Number of random sessions evaluated.
+DEFAULT_SAMPLES = 300
+
+#: The audit limit used for the binary-screening accuracy numbers.
+SCREEN_TL_C = 165.0
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """Accuracy of one model variant.
+
+    Attributes
+    ----------
+    variant:
+        Model configuration label.
+    spearman_rho:
+        Rank correlation between STC and the simulated peak, over the
+        finite-STC samples.
+    finite_fraction:
+        Fraction of sessions with finite STC (landlocked-core sessions
+        go to infinity in lateral-only variants — a *correct* "too
+        risky" verdict, but excluded from rank correlation).
+    screening_accuracy:
+        Fraction of sessions where thresholding STC at its best cut
+        agrees with the simulation's hot/safe verdict at
+        :data:`SCREEN_TL_C`.
+    """
+
+    variant: str
+    spearman_rho: float
+    finite_fraction: float
+    screening_accuracy: float
+
+
+def _sample_sessions(
+    soc: SocUnderTest, n_samples: int, seed: int
+) -> list[list[str]]:
+    rng = np.random.default_rng(seed)
+    names = list(soc.core_names)
+    sessions = []
+    for _ in range(n_samples):
+        size = int(rng.integers(1, 9))
+        picked = rng.choice(len(names), size=min(size, len(names)), replace=False)
+        sessions.append([names[i] for i in picked])
+    return sessions
+
+
+def _best_threshold_accuracy(
+    stc: np.ndarray, hot: np.ndarray
+) -> float:
+    """Accuracy of the best single STC cut separating hot from safe.
+
+    Infinite STC values always classify as hot (which is correct
+    whenever the session really is hot).
+    """
+    best = 0.0
+    candidates = np.concatenate(([0.0], np.unique(stc[np.isfinite(stc)])))
+    for cut in candidates:
+        predicted_hot = stc > cut
+        best = max(best, float(np.mean(predicted_hot == hot)))
+    return best
+
+
+def run_model_accuracy(
+    soc: SocUnderTest | None = None,
+    n_samples: int = DEFAULT_SAMPLES,
+    seed: int = 42,
+    screen_tl_c: float = SCREEN_TL_C,
+) -> tuple[AccuracyRow, ...]:
+    """Run the accuracy study over all model variants."""
+    if soc is None:
+        soc = alpha15_soc()
+    simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+    sessions = _sample_sessions(soc, n_samples, seed)
+
+    # Simulate every session once (shared across variants).
+    peaks = np.array(
+        [
+            max(
+                simulator.steady_state(
+                    soc.session_power_map(session)
+                ).temperature_c(c)
+                for c in session
+            )
+            for session in sessions
+        ]
+    )
+    hot = peaks >= screen_tl_c
+
+    variants = {
+        "paper (M2+M3, lateral)": SessionModelConfig(
+            stc_scale=ALPHA15_STC_SCALE
+        ),
+        "no M2 (keep active-active)": SessionModelConfig(
+            drop_active_active=False, stc_scale=ALPHA15_STC_SCALE
+        ),
+        "no M3 (float passives)": SessionModelConfig(
+            ground_passive=False, stc_scale=ALPHA15_STC_SCALE
+        ),
+        "with vertical path": SessionModelConfig(
+            include_vertical=True, stc_scale=ALPHA15_STC_SCALE
+        ),
+    }
+
+    rows = []
+    for label, config in variants.items():
+        model = SessionThermalModel(soc, config)
+        stc = np.array(
+            [
+                model.session_thermal_characteristic(session)
+                for session in sessions
+            ]
+        )
+        finite = np.isfinite(stc)
+        if finite.sum() >= 3:
+            rho = float(stats.spearmanr(stc[finite], peaks[finite]).statistic)
+        else:
+            rho = math.nan
+        rows.append(
+            AccuracyRow(
+                variant=label,
+                spearman_rho=rho,
+                finite_fraction=float(finite.mean()),
+                screening_accuracy=_best_threshold_accuracy(stc, hot),
+            )
+        )
+    return tuple(rows)
+
+
+def report_model_accuracy(rows: tuple[AccuracyRow, ...] | None = None) -> str:
+    """Human-readable report of the accuracy study."""
+    if rows is None:
+        rows = run_model_accuracy()
+    table = format_table(
+        [
+            "model variant",
+            "Spearman rho (STC vs peak)",
+            "finite STC",
+            "screening accuracy",
+        ],
+        [
+            (
+                r.variant,
+                f"{r.spearman_rho:.3f}",
+                f"{r.finite_fraction:.0%}",
+                f"{r.screening_accuracy:.0%}",
+            )
+            for r in rows
+        ],
+        title=(
+            f"Session-model accuracy over {DEFAULT_SAMPLES} random sessions "
+            f"(screen at TL={SCREEN_TL_C:g} degC)"
+        ),
+    )
+    return table + (
+        "\nSpearman rho: how faithfully STC *ranks* sessions by their\n"
+        "simulated peak temperature.  Screening accuracy: how often a\n"
+        "single STC threshold agrees with the hot/safe verdict of a full\n"
+        "simulation — the quantity that determines how many sessions\n"
+        "Algorithm 1 discards.\n"
+    )
+
+
+def main() -> None:
+    """Console entry point."""
+    print(report_model_accuracy())
+
+
+if __name__ == "__main__":
+    main()

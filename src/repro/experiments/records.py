@@ -1,0 +1,99 @@
+"""Result records for the paper's experiments.
+
+Plain frozen dataclasses — one per table row / figure point — with
+``as_dict`` converters for CSV export.  Keeping these separate from the
+drivers lets tests assert on structured results without parsing report
+text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Outcome of the Figure 1 motivational experiment.
+
+    Attributes
+    ----------
+    power_limit_w:
+        The chip-level power cap (paper: 45 W).
+    session_hot, session_cool:
+        The two compared sessions (paper: TS1 = {C2,C3,C4},
+        TS2 = {C5,C6,C7}).
+    hot_power_w, cool_power_w:
+        Summed session powers (both must pass the cap).
+    hot_accepted, cool_accepted:
+        Whether a power-constrained scheduler accepts each session.
+    hot_max_c, cool_max_c:
+        Simulated peak temperature of each session.
+    """
+
+    power_limit_w: float
+    session_hot: tuple[str, ...]
+    session_cool: tuple[str, ...]
+    hot_power_w: float
+    cool_power_w: float
+    hot_accepted: bool
+    cool_accepted: bool
+    hot_max_c: float
+    cool_max_c: float
+
+    @property
+    def discrepancy_c(self) -> float:
+        """Temperature gap between the two power-equivalent sessions."""
+        return self.hot_max_c - self.cool_max_c
+
+    def as_dict(self) -> dict:
+        """Flat dict for CSV export."""
+        data = asdict(self)
+        data["session_hot"] = "+".join(self.session_hot)
+        data["session_cool"] = "+".join(self.session_cool)
+        data["discrepancy_c"] = self.discrepancy_c
+        return data
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (TL, STCL) scheduling run — a Table 1 row / Figure 5 sample.
+
+    Attributes mirror the paper's Table 1 columns plus diagnostics.
+    """
+
+    tl_c: float
+    stcl: float
+    length_s: float
+    effort_s: float
+    max_temperature_c: float
+    n_sessions: int
+    n_discarded: int
+    forced_singletons: int
+
+    def as_dict(self) -> dict:
+        """Flat dict for CSV export."""
+        return asdict(self)
+
+    @property
+    def first_attempt_safe(self) -> bool:
+        """True when no session had to be discarded (effort == length)."""
+        return self.n_discarded == 0
+
+
+@dataclass(frozen=True)
+class WorkedExampleRow:
+    """Session-model quantities of one active core (Figures 3-4)."""
+
+    core: str
+    active_neighbours: tuple[str, ...]
+    passive_neighbours: tuple[str, ...]
+    equivalent_resistance: float
+    thermal_characteristic: float
+    stc_contribution: float
+
+    def as_dict(self) -> dict:
+        """Flat dict for CSV export."""
+        data = asdict(self)
+        data["active_neighbours"] = "+".join(self.active_neighbours)
+        data["passive_neighbours"] = "+".join(self.passive_neighbours)
+        return data

@@ -1,0 +1,115 @@
+"""Text and CSV reporting helpers for experiment drivers.
+
+The paper reports its results as one figure (Figure 5) and one long
+table (Table 1); these helpers render our regenerated equivalents as
+monospace text (for the console and for EXPERIMENTS.md) and as CSV (for
+downstream plotting).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are shown with two decimals; everything else with ``str``.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [f"{v:.2f}" if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    out.write(header_line + "\n")
+    out.write("-" * len(header_line) + "\n")
+    for row in rendered:
+        out.write("  ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def write_csv(
+    path: str | Path, rows: Iterable[Mapping[str, object]]
+) -> None:
+    """Write dict rows to a CSV file (header from the first row)."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("write_csv() needs at least one row")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def ascii_series_plot(
+    series: Mapping[str, Mapping[float, float]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """A small dependency-free ASCII line plot (Figure 5 stand-in).
+
+    Parameters
+    ----------
+    series:
+        Mapping from series label to an ``{x: y}`` mapping.
+    width, height:
+        Plot canvas size in characters.
+    title:
+        Optional caption.
+
+    Each series is drawn with its own marker character; a legend maps
+    markers to labels.  The goal is a readable trend view in terminals
+    and text files, not publication graphics.
+    """
+    markers = "ox+*#@%&"
+    all_x = sorted({x for values in series.values() for x in values})
+    all_y = [y for values in series.values() for y in values.values()]
+    if not all_x or not all_y:
+        raise ValueError("ascii_series_plot() needs non-empty series")
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in values.items():
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(f"{y_max:8.1f} +" + "-" * width + "+\n")
+    for line in canvas:
+        out.write(" " * 9 + "|" + "".join(line) + "|\n")
+    out.write(f"{y_min:8.1f} +" + "-" * width + "+\n")
+    out.write(" " * 10 + f"{x_min:<10.3g}" + " " * (width - 20) + f"{x_max:>10.3g}\n")
+    for index, label in enumerate(series):
+        out.write(f"   {markers[index % len(markers)]} = {label}\n")
+    return out.getvalue()

@@ -1,0 +1,156 @@
+"""Scaling study — scheduler behaviour vs SoC size.
+
+The paper demonstrates Algorithm 1 on 15 cores.  This study runs the
+full flow on synthetic grid SoCs from 9 to 100 cores and records, per
+size: schedule length vs the sequential baseline, simulation effort,
+discards, and wall-clock runtime.  It documents the practical claim
+behind the paper's "rapid": the heuristic's cost is dominated by the
+(cheap) STC evaluations plus one thermal solve per attempted session,
+so it scales to SoCs far larger than the paper's platform.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.scheduler import SchedulerConfig, ThermalAwareScheduler
+from ..core.session_model import SessionModelConfig, SessionThermalModel
+from ..soc.library import grid_soc
+from ..thermal.simulator import ThermalSimulator
+from .reporting import format_table
+
+#: Grid sides swept by default: 9, 25, 64, 100 cores.
+DEFAULT_SIDES = (3, 5, 8, 10)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One SoC size's outcome.
+
+    Attributes
+    ----------
+    n_cores:
+        Number of cores (grid side squared).
+    tl_c, stcl:
+        The limits derived for this SoC (see :func:`run_scaling_study`).
+    length_s:
+        Thermal-aware schedule length.
+    sequential_s:
+        The sequential baseline's length (== core count here).
+    effort_s:
+        Simulation effort spent.
+    n_discarded:
+        Sessions rejected by thermal validation.
+    runtime_s:
+        Wall-clock scheduling time (network build excluded).
+    """
+
+    n_cores: int
+    tl_c: float
+    stcl: float
+    length_s: float
+    sequential_s: float
+    effort_s: float
+    n_discarded: int
+    runtime_s: float
+
+    @property
+    def speedup_vs_sequential(self) -> float:
+        """Test-time reduction over one-core-at-a-time testing."""
+        return self.sequential_s / self.length_s
+
+
+def run_scaling_study(
+    sides: tuple[int, ...] = DEFAULT_SIDES,
+    seed: int = 7,
+    power_scale: float = 2.0,
+) -> tuple[ScalingPoint, ...]:
+    """Run the size sweep.
+
+    TL and STCL cannot be shared across sizes (each SoC has its own
+    thermal regime), so they are derived per SoC with the same recipe
+    used to calibrate alpha15: TL halfway between the hottest singleton
+    and the all-active peak; STCL at 3x the largest singleton STC.
+    """
+    points = []
+    for side in sides:
+        soc = grid_soc(side, side, seed=seed, power_scale=power_scale)
+        simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+        model = SessionThermalModel(soc, SessionModelConfig())
+
+        singleton_peak = max(
+            simulator.steady_state({n: soc[n].test_power_w}).temperature_c(n)
+            for n in soc.core_names
+        )
+        all_active_peak = simulator.steady_state(
+            soc.test_power_map()
+        ).max_temperature_c()
+        tl_c = (singleton_peak + all_active_peak) / 2.0
+        stcl = 3.0 * max(
+            model.session_thermal_characteristic([n]) for n in soc.core_names
+        )
+
+        scheduler = ThermalAwareScheduler(
+            soc,
+            simulator=simulator,
+            session_model=model,
+            config=SchedulerConfig(max_discards=10_000),
+        )
+        started = time.perf_counter()
+        result = scheduler.schedule(tl_c, stcl)
+        runtime = time.perf_counter() - started
+
+        points.append(
+            ScalingPoint(
+                n_cores=side * side,
+                tl_c=tl_c,
+                stcl=stcl,
+                length_s=result.length_s,
+                sequential_s=float(len(soc)),
+                effort_s=result.effort_s,
+                n_discarded=result.n_discarded,
+                runtime_s=runtime,
+            )
+        )
+    return tuple(points)
+
+
+def report_scaling_study(points: tuple[ScalingPoint, ...] | None = None) -> str:
+    """Human-readable report of the scaling study."""
+    if points is None:
+        points = run_scaling_study()
+    rows = [
+        (
+            p.n_cores,
+            f"{p.tl_c:.0f}",
+            p.length_s,
+            f"{p.speedup_vs_sequential:.1f}x",
+            p.effort_s,
+            p.n_discarded,
+            f"{p.runtime_s * 1e3:.0f} ms",
+        )
+        for p in points
+    ]
+    return format_table(
+        [
+            "cores",
+            "TL (degC)",
+            "length (s)",
+            "vs sequential",
+            "effort (s)",
+            "discards",
+            "runtime",
+        ],
+        rows,
+        title="Scaling study — thermal-aware scheduling on synthetic grid SoCs",
+    )
+
+
+def main() -> None:
+    """Console entry point."""
+    print(report_scaling_study())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Shared (TL, STCL) sweep machinery for Figure 5 and Table 1.
+
+Both paper artefacts are cuts through the same experiment: run
+Algorithm 1 on the alpha15 SoC for a grid of temperature limits and
+session-thermal-characteristic limits, recording schedule length,
+simulation effort and peak temperature.  This module runs that grid
+once and the figure/table drivers format different views of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.scheduler import SchedulerConfig, ThermalAwareScheduler
+from ..core.session_model import SessionModelConfig, SessionThermalModel
+from ..soc.library import ALPHA15_STC_SCALE, alpha15_soc
+from ..soc.system import SocUnderTest
+from ..thermal.simulator import ThermalSimulator
+from .records import SweepPoint
+
+#: The paper's Table 1 grid.
+PAPER_TL_VALUES_C = tuple(float(t) for t in range(145, 190, 5))
+PAPER_STCL_VALUES = tuple(float(s) for s in range(20, 110, 10))
+
+#: The subset of TL values plotted in Figure 5.
+FIG5_TL_VALUES_C = (145.0, 155.0, 165.0)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A completed (TL, STCL) sweep.
+
+    Attributes
+    ----------
+    points:
+        One :class:`SweepPoint` per (TL, STCL) pair, row-major in TL.
+    """
+
+    points: tuple[SweepPoint, ...]
+
+    def at(self, tl_c: float, stcl: float) -> SweepPoint:
+        """The point for an exact (TL, STCL) pair."""
+        for point in self.points:
+            if point.tl_c == tl_c and point.stcl == stcl:
+                return point
+        raise KeyError(f"no sweep point at TL={tl_c!r}, STCL={stcl!r}")
+
+    def row(self, tl_c: float) -> tuple[SweepPoint, ...]:
+        """All points for one TL, ordered by STCL."""
+        row = tuple(
+            sorted(
+                (p for p in self.points if p.tl_c == tl_c),
+                key=lambda p: p.stcl,
+            )
+        )
+        if not row:
+            raise KeyError(f"no sweep points at TL={tl_c!r}")
+        return row
+
+    @property
+    def tl_values(self) -> tuple[float, ...]:
+        """Distinct TL values, ascending."""
+        return tuple(sorted({p.tl_c for p in self.points}))
+
+    @property
+    def stcl_values(self) -> tuple[float, ...]:
+        """Distinct STCL values, ascending."""
+        return tuple(sorted({p.stcl for p in self.points}))
+
+
+def run_sweep(
+    soc: SocUnderTest | None = None,
+    tl_values_c: tuple[float, ...] = PAPER_TL_VALUES_C,
+    stcl_values: tuple[float, ...] = PAPER_STCL_VALUES,
+    stc_scale: float = ALPHA15_STC_SCALE,
+    scheduler_config: SchedulerConfig | None = None,
+    session_model_config: SessionModelConfig | None = None,
+) -> SweepGrid:
+    """Run Algorithm 1 over a (TL, STCL) grid.
+
+    The thermal simulator and the session model are built once and
+    shared across the grid (the scheduler itself is stateless between
+    runs — weights are per-run state).
+    """
+    if soc is None:
+        soc = alpha15_soc()
+    simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+    model_config = (
+        session_model_config
+        if session_model_config is not None
+        else SessionModelConfig(stc_scale=stc_scale)
+    )
+    model = SessionThermalModel(soc, model_config)
+    scheduler = ThermalAwareScheduler(
+        soc,
+        simulator=simulator,
+        session_model=model,
+        config=scheduler_config if scheduler_config is not None else SchedulerConfig(),
+    )
+
+    points: list[SweepPoint] = []
+    for tl_c in tl_values_c:
+        for stcl in stcl_values:
+            result = scheduler.schedule(tl_c, stcl)
+            points.append(
+                SweepPoint(
+                    tl_c=tl_c,
+                    stcl=stcl,
+                    length_s=result.length_s,
+                    effort_s=result.effort_s,
+                    max_temperature_c=result.max_temperature_c,
+                    n_sessions=result.n_sessions,
+                    n_discarded=result.n_discarded,
+                    forced_singletons=result.forced_singletons,
+                )
+            )
+    return SweepGrid(points=tuple(points))

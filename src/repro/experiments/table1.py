@@ -1,0 +1,136 @@
+"""Table 1 — length, effort and max temperature over the full grid.
+
+The paper's Table 1 sweeps TL from 145 to 185 degC in 5-degree steps
+and STCL from 20 to 100 in steps of 10 (81 rows), reporting for each
+run the test schedule length, the simulation effort and the maximum
+simulated temperature.  This driver regenerates all 81 rows on the
+alpha15 SoC.
+
+Key shape targets checked against the regenerated table (the
+integration tests assert these):
+
+* max temperature is always strictly below TL (the schedules are
+  thermally safe by construction);
+* max temperature approaches TL for short schedules and stays tens of
+  degrees below TL for high TL + tight STCL (the STCL constraint
+  dominating, as the paper notes for TL=185/STCL=30);
+* effort >= length everywhere, with equality when no session was
+  discarded.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..soc.system import SocUnderTest
+from .reporting import format_table, write_csv
+from .sweep import PAPER_STCL_VALUES, PAPER_TL_VALUES_C, SweepGrid, run_sweep
+
+#: The paper's Table 1 (TL, STCL) -> (length, effort, max temp) for
+#: side-by-side reporting.  Transcribed from the paper.
+PAPER_TABLE1: dict[tuple[int, int], tuple[int, int, float]] = {
+    (145, 20): (7, 8, 144.29), (145, 30): (6, 6, 144.29),
+    (145, 40): (5, 7, 144.51), (145, 50): (5, 14, 144.00),
+    (145, 60): (5, 18, 144.00), (145, 70): (5, 20, 144.00),
+    (145, 80): (5, 24, 144.00), (145, 90): (5, 22, 144.51),
+    (145, 100): (5, 26, 144.00),
+    (150, 20): (7, 8, 144.29), (150, 30): (6, 6, 144.29),
+    (150, 40): (4, 4, 149.12), (150, 50): (4, 6, 147.54),
+    (150, 60): (4, 15, 149.20), (150, 70): (4, 14, 147.80),
+    (150, 80): (4, 19, 149.20), (150, 90): (4, 18, 149.31),
+    (150, 100): (4, 17, 149.38),
+    (155, 20): (7, 7, 150.85), (155, 30): (6, 6, 144.29),
+    (155, 40): (4, 4, 149.12), (155, 50): (3, 5, 154.91),
+    (155, 60): (3, 9, 154.40), (155, 70): (3, 13, 153.20),
+    (155, 80): (4, 16, 154.40), (155, 90): (3, 15, 153.51),
+    (155, 100): (3, 15, 154.40),
+    (160, 20): (7, 7, 150.85), (160, 30): (6, 6, 144.29),
+    (160, 40): (4, 4, 149.12), (160, 50): (3, 5, 154.91),
+    (160, 60): (4, 12, 154.40), (160, 70): (3, 13, 153.20),
+    (160, 80): (3, 14, 158.92), (160, 90): (3, 11, 157.83),
+    (160, 100): (3, 12, 159.74),
+    (165, 20): (7, 7, 150.85), (165, 30): (6, 6, 144.29),
+    (165, 40): (4, 4, 149.12), (165, 50): (3, 5, 154.91),
+    (165, 60): (2, 8, 161.69), (165, 70): (2, 12, 161.69),
+    (165, 80): (3, 12, 164.48), (165, 90): (3, 11, 158.73),
+    (165, 100): (3, 12, 161.14),
+    (170, 20): (7, 7, 150.85), (170, 30): (6, 6, 144.29),
+    (170, 40): (4, 4, 149.12), (170, 50): (3, 3, 169.61),
+    (170, 60): (2, 8, 161.69), (170, 70): (3, 12, 167.52),
+    (170, 80): (3, 12, 164.48), (170, 90): (2, 8, 168.46),
+    (170, 100): (2, 8, 168.46),
+    (175, 20): (7, 7, 150.85), (175, 30): (6, 6, 144.29),
+    (175, 40): (4, 4, 149.12), (175, 50): (3, 3, 169.61),
+    (175, 60): (2, 2, 172.28), (175, 70): (2, 9, 171.47),
+    (175, 80): (2, 11, 174.02), (175, 90): (2, 8, 168.81),
+    (175, 100): (2, 8, 168.81),
+    (180, 20): (7, 7, 150.85), (180, 30): (6, 6, 144.29),
+    (180, 40): (4, 4, 149.12), (180, 50): (3, 3, 169.61),
+    (180, 60): (2, 2, 172.28), (180, 70): (2, 3, 176.63),
+    (180, 80): (2, 7, 176.35), (180, 90): (2, 8, 168.81),
+    (180, 100): (2, 8, 168.81),
+    (185, 20): (7, 7, 150.85), (185, 30): (6, 6, 144.29),
+    (185, 40): (4, 4, 149.12), (185, 50): (3, 3, 169.61),
+    (185, 60): (2, 2, 172.28), (185, 70): (2, 3, 176.63),
+    (185, 80): (2, 7, 176.35), (185, 90): (2, 8, 168.81),
+    (185, 100): (2, 8, 168.81),
+}
+
+
+def run_table1(soc: SocUnderTest | None = None) -> SweepGrid:
+    """Run the full 81-point Table 1 grid."""
+    return run_sweep(
+        soc=soc, tl_values_c=PAPER_TL_VALUES_C, stcl_values=PAPER_STCL_VALUES
+    )
+
+
+def report_table1(grid: SweepGrid | None = None) -> str:
+    """Render Table 1 with paper values alongside ours."""
+    if grid is None:
+        grid = run_table1()
+    rows = []
+    for point in grid.points:
+        paper = PAPER_TABLE1.get((int(point.tl_c), int(point.stcl)))
+        paper_len, paper_eff, paper_temp = paper if paper else ("-", "-", "-")
+        rows.append(
+            (
+                f"{point.tl_c:g}",
+                f"{point.stcl:g}",
+                f"{point.length_s:g}",
+                f"{point.effort_s:g}",
+                f"{point.max_temperature_c:.2f}",
+                f"{paper_len}",
+                f"{paper_eff}",
+                f"{paper_temp}",
+            )
+        )
+    return format_table(
+        [
+            "TL (degC)",
+            "STCL",
+            "length (s)",
+            "effort (s)",
+            "max T (degC)",
+            "paper len",
+            "paper eff",
+            "paper max T",
+        ],
+        rows,
+        title="Table 1 — thermal-aware scheduling over the full (TL, STCL) grid",
+    )
+
+
+def export_table1_csv(path: str | Path, grid: SweepGrid | None = None) -> None:
+    """Write the regenerated Table 1 to CSV."""
+    if grid is None:
+        grid = run_table1()
+    write_csv(path, (point.as_dict() for point in grid.points))
+
+
+def main() -> None:
+    """Console entry point."""
+    print(report_table1())
+
+
+if __name__ == "__main__":
+    main()

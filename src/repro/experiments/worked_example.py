@@ -1,0 +1,99 @@
+"""Figures 2-4 — the paper's worked example of the session thermal model.
+
+The paper illustrates its model on a 6-block layout with the session
+{2, 4, 5}: Figure 2 shows the layout and the lateral escape paths,
+Figure 3 the rewired resistive network (active-active resistances
+dropped, passive cores grounded), and Figure 4 the per-core equivalent
+resistances, e.g. core 2's ``R_1,2 || R_2,N || R_2,3``.
+
+This driver reproduces the derivation on our
+:func:`~repro.floorplan.library.worked_example6` layout: for each
+active core it lists which neighbours are active (paths removed, M2)
+and passive (paths grounded, M3), and reports the equivalent
+resistance, thermal characteristic and STC contribution.
+"""
+
+from __future__ import annotations
+
+from ..core.session_model import SessionModelConfig, SessionThermalModel
+from ..floorplan.library import WORKED_EXAMPLE_SESSION
+from ..soc.library import worked_example6_soc
+from ..soc.system import SocUnderTest
+from .records import WorkedExampleRow
+from .reporting import format_table
+
+
+def run_worked_example(
+    soc: SocUnderTest | None = None,
+    session: tuple[str, ...] = WORKED_EXAMPLE_SESSION,
+) -> list[WorkedExampleRow]:
+    """Evaluate the session model for the paper's example session."""
+    if soc is None:
+        soc = worked_example6_soc()
+    model = SessionThermalModel(soc, SessionModelConfig())
+    active = list(session)
+    contributions = model.core_contributions(active)
+
+    rows: list[WorkedExampleRow] = []
+    for core in active:
+        neighbours = model.neighbour_resistances(core)
+        active_neighbours = tuple(
+            sorted(n for n in neighbours if n in session)
+        )
+        passive_neighbours = tuple(
+            sorted(n for n in neighbours if n not in session)
+        )
+        rows.append(
+            WorkedExampleRow(
+                core=core,
+                active_neighbours=active_neighbours,
+                passive_neighbours=passive_neighbours,
+                equivalent_resistance=model.equivalent_resistance(core, active),
+                thermal_characteristic=model.thermal_characteristic(core, active),
+                stc_contribution=contributions[core],
+            )
+        )
+    return rows
+
+
+def report_worked_example(rows: list[WorkedExampleRow] | None = None) -> str:
+    """Human-readable report of the Figures 2-4 worked example."""
+    if rows is None:
+        rows = run_worked_example()
+    table_rows = [
+        (
+            row.core,
+            "+".join(row.active_neighbours) or "(none)",
+            "+".join(row.passive_neighbours) or "(none)",
+            row.equivalent_resistance,
+            row.thermal_characteristic,
+            row.stc_contribution,
+        )
+        for row in rows
+    ]
+    table = format_table(
+        [
+            "active core",
+            "active nbrs (paths dropped, M2)",
+            "passive nbrs (grounded, M3)",
+            "Rth (K/W)",
+            "TC = P*Rth (K)",
+            "STC term",
+        ],
+        table_rows,
+        title=(
+            "Figures 2-4 — session thermal model for session "
+            f"{{{', '.join(r.core for r in rows)}}}"
+        ),
+    )
+    stc = max(row.stc_contribution for row in rows)
+    return table + f"\nSTC(TS) = max of the last column = {stc:.3f}\n"
+
+
+def main() -> None:
+    """Console entry point."""
+    print(report_worked_example())
+
+
+if __name__ == "__main__":
+    main()

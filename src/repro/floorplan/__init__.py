@@ -1,0 +1,54 @@
+"""Floorplan geometry substrate (DESIGN.md system S1).
+
+Public surface: rectangles and adjacency primitives, the validated
+:class:`Floorplan` container, HotSpot ``.flp`` I/O, synthetic floorplan
+generators, and the bundled layouts used by the paper's experiments.
+"""
+
+from .adjacency import AdjacencyMap, BoundarySegment, Interface, adjacency_graph
+from .floorplan import Block, Floorplan, floorplan_from_rects
+from .generator import grid_floorplan, slicing_floorplan
+from .geometry import Rect, Side, boundary_exposure, shared_edge
+from .hotspot_format import format_flp, parse_flp, read_flp, write_flp
+from .render import render_floorplan
+from .library import (
+    ALPHA15_CLASSES,
+    FIG1_CORE_POWER_W,
+    FIG1_POWER_LIMIT_W,
+    FIG1_SESSION_COOL,
+    FIG1_SESSION_HOT,
+    WORKED_EXAMPLE_SESSION,
+    alpha15,
+    hypothetical7,
+    worked_example6,
+)
+
+__all__ = [
+    "AdjacencyMap",
+    "ALPHA15_CLASSES",
+    "Block",
+    "BoundarySegment",
+    "FIG1_CORE_POWER_W",
+    "FIG1_POWER_LIMIT_W",
+    "FIG1_SESSION_COOL",
+    "FIG1_SESSION_HOT",
+    "Floorplan",
+    "Interface",
+    "Rect",
+    "Side",
+    "WORKED_EXAMPLE_SESSION",
+    "adjacency_graph",
+    "alpha15",
+    "boundary_exposure",
+    "floorplan_from_rects",
+    "format_flp",
+    "grid_floorplan",
+    "hypothetical7",
+    "parse_flp",
+    "read_flp",
+    "render_floorplan",
+    "shared_edge",
+    "slicing_floorplan",
+    "worked_example6",
+    "write_flp",
+]

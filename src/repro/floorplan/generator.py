@@ -1,0 +1,177 @@
+"""Synthetic floorplan generation.
+
+Two generators are provided:
+
+* :func:`grid_floorplan` — a uniform m x n grid of equally sized cores.
+  Used by the scaling study (DESIGN.md section 7) and by property-based
+  tests that need predictable adjacency.
+* :func:`slicing_floorplan` — a randomised slicing-tree floorplan, the
+  classic recursive bipartition used in floorplanning research.  It
+  produces fully tiled layouts with a controllable spread of block
+  areas, which is exactly the property the paper's motivational example
+  relies on (power density variation across cores).
+
+Both generators are deterministic given their seed; nothing in this
+library draws from global random state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FloorplanError
+from .floorplan import Block, Floorplan
+from .geometry import Rect
+
+#: Minimum block side produced by the slicing generator, as a fraction of
+#: the die side.  Prevents degenerate slivers whose lateral resistances
+#: would dwarf everything else in the RC network.
+_MIN_SIDE_FRACTION = 0.04
+
+
+def grid_floorplan(
+    rows: int,
+    cols: int,
+    die_width: float = 16e-3,
+    die_height: float = 16e-3,
+    name: str | None = None,
+) -> Floorplan:
+    """A uniform grid of ``rows x cols`` identical rectangular cores.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions; both must be >= 1.
+    die_width, die_height:
+        Die size in metres (defaults to a 16 mm x 16 mm die).
+    name:
+        Optional floorplan name (default ``"grid<rows>x<cols>"``).
+
+    Block names are ``C<r>_<c>`` with 0-based row/column indices,
+    row-major from the south-west corner.
+    """
+    if rows < 1 or cols < 1:
+        raise FloorplanError(f"grid must be at least 1x1, got {rows}x{cols}")
+    if die_width <= 0.0 or die_height <= 0.0:
+        raise FloorplanError("die dimensions must be positive")
+    cell_w = die_width / cols
+    cell_h = die_height / rows
+    blocks = []
+    for r in range(rows):
+        for c in range(cols):
+            blocks.append(
+                Block(f"C{r}_{c}", Rect(c * cell_w, r * cell_h, cell_w, cell_h))
+            )
+    return Floorplan(
+        blocks,
+        name=name if name is not None else f"grid{rows}x{cols}",
+        outline=Rect(0.0, 0.0, die_width, die_height),
+        require_full_coverage=True,
+    )
+
+
+def slicing_floorplan(
+    n_blocks: int,
+    die_width: float = 16e-3,
+    die_height: float = 16e-3,
+    seed: int = 0,
+    split_bias: float = 0.5,
+    name: str | None = None,
+) -> Floorplan:
+    """A randomised slicing-tree floorplan with *n_blocks* blocks.
+
+    The die is recursively cut by alternating-preference horizontal and
+    vertical guillotine cuts.  The cut position is drawn uniformly from
+    the central portion of the parent rectangle so that no block becomes
+    a degenerate sliver.  The recursion always splits the rectangle with
+    the largest remaining block budget, so the tree stays balanced in
+    expectation while ``split_bias`` skews cut positions to produce a
+    wider spread of block areas (``split_bias`` of 0.5 cuts near the
+    middle; values toward 0 or 1 produce strongly unequal children).
+
+    Parameters
+    ----------
+    n_blocks:
+        Number of blocks to produce (>= 1).
+    die_width, die_height:
+        Die size in metres.
+    seed:
+        RNG seed; the same seed always yields the same floorplan.
+    split_bias:
+        Mean relative cut position in (0, 1).
+    name:
+        Optional floorplan name (default ``"slicing<n>"``).
+
+    Returns
+    -------
+    Floorplan
+        Fully tiled floorplan with blocks named ``B0 .. B<n-1>`` in
+        generation order.
+    """
+    if n_blocks < 1:
+        raise FloorplanError(f"n_blocks must be >= 1, got {n_blocks}")
+    if not 0.0 < split_bias < 1.0:
+        raise FloorplanError(f"split_bias must lie in (0, 1), got {split_bias!r}")
+    rng = np.random.default_rng(seed)
+
+    # Each work item is (rect, number of blocks it still must contain).
+    work: list[tuple[Rect, int]] = [(Rect(0.0, 0.0, die_width, die_height), n_blocks)]
+    leaves: list[Rect] = []
+    while work:
+        # Split the rectangle with the largest remaining budget first so
+        # block counts stay balanced across the die.
+        work.sort(key=lambda item: item[1])
+        rect, budget = work.pop()
+        if budget == 1:
+            leaves.append(rect)
+            continue
+        left_budget = budget // 2
+        right_budget = budget - left_budget
+        # Prefer cutting across the long dimension; fall back if the
+        # resulting pieces would violate the minimum side.
+        cut_vertical = rect.width >= rect.height
+        fraction = _draw_cut_fraction(rng, split_bias, left_budget / budget)
+        for attempt_vertical in (cut_vertical, not cut_vertical):
+            side = rect.width if attempt_vertical else rect.height
+            min_side = _MIN_SIDE_FRACTION * min(die_width, die_height)
+            cut = side * fraction
+            cut = min(max(cut, min_side), side - min_side)
+            if cut <= 0.0 or cut >= side:
+                continue
+            if attempt_vertical:
+                first = Rect(rect.x, rect.y, cut, rect.height)
+                second = Rect(rect.x + cut, rect.y, rect.width - cut, rect.height)
+            else:
+                first = Rect(rect.x, rect.y, rect.width, cut)
+                second = Rect(rect.x, rect.y + cut, rect.width, rect.height - cut)
+            work.append((first, left_budget))
+            work.append((second, right_budget))
+            break
+        else:
+            # Rectangle too small to split further under the minimum
+            # side constraint; absorb the budget as a single leaf.  The
+            # caller still receives a valid (if smaller) floorplan.
+            leaves.append(rect)
+
+    blocks = [Block(f"B{i}", rect) for i, rect in enumerate(leaves)]
+    return Floorplan(
+        blocks,
+        name=name if name is not None else f"slicing{n_blocks}",
+        outline=Rect(0.0, 0.0, die_width, die_height),
+        require_full_coverage=True,
+    )
+
+
+def _draw_cut_fraction(
+    rng: np.random.Generator, split_bias: float, budget_fraction: float
+) -> float:
+    """Draw the relative position of a guillotine cut.
+
+    The cut position tracks the budget split (so a 1-vs-3 budget split
+    tends to produce a small and a large child) and is then jittered
+    toward ``split_bias``.  The result is clamped to [0.15, 0.85] to
+    avoid slivers before the absolute minimum-side clamp is applied.
+    """
+    base = 0.5 * budget_fraction + 0.5 * split_bias
+    jitter = rng.uniform(-0.15, 0.15)
+    return float(np.clip(base + jitter, 0.15, 0.85))

@@ -1,0 +1,79 @@
+"""ASCII rendering of floorplans.
+
+Draws the die as a character raster with one letter per block (plus a
+legend), so layouts can be reviewed in a terminal or embedded in text
+reports.  The thermal heatmap (:mod:`repro.thermal.heatmap`) uses the
+same sampling scheme, so the two renderings line up cell for cell.
+"""
+
+from __future__ import annotations
+
+import io
+import string
+
+from ..errors import FloorplanError
+from .floorplan import Floorplan
+
+#: Glyph alphabet for blocks (cycled if the floorplan is larger).
+BLOCK_GLYPHS = string.ascii_uppercase + string.ascii_lowercase + string.digits
+
+
+def render_floorplan(
+    floorplan: Floorplan, width: int = 48, height: int = 24
+) -> str:
+    """Render a floorplan as an ASCII raster with a legend.
+
+    Parameters
+    ----------
+    floorplan:
+        The floorplan to draw.
+    width, height:
+        Raster size in characters (terminal cells are tall, so a 2:1
+        ratio renders roughly square dies).
+
+    Returns
+    -------
+    str
+        The raster (north edge on top) and a block legend with
+        dimensions and areas.
+    """
+    if width < 2 or height < 2:
+        raise FloorplanError("floorplan raster must be at least 2x2")
+
+    glyph_of = {
+        block.name: BLOCK_GLYPHS[i % len(BLOCK_GLYPHS)]
+        for i, block in enumerate(floorplan)
+    }
+
+    def cell(x: float, y: float) -> str:
+        for block in floorplan:
+            r = block.rect
+            if r.x <= x < r.x2 and r.y <= y < r.y2:
+                return glyph_of[block.name]
+        return " "
+
+    outline = floorplan.outline
+    out = io.StringIO()
+    out.write(
+        f"{floorplan.name}: {len(floorplan)} blocks, "
+        f"{outline.width * 1e3:.1f} x {outline.height * 1e3:.1f} mm\n"
+    )
+    out.write("+" + "-" * width + "+\n")
+    for row in range(height):
+        y = outline.y2 - (row + 0.5) * outline.height / height
+        out.write("|")
+        for col in range(width):
+            x = outline.x + (col + 0.5) * outline.width / width
+            out.write(cell(x, y))
+        out.write("|\n")
+    out.write("+" + "-" * width + "+\n")
+
+    widest = max(len(b.name) for b in floorplan)
+    for block in floorplan:
+        r = block.rect
+        out.write(
+            f"  {glyph_of[block.name]} = {block.name:<{widest}}  "
+            f"{r.width * 1e3:6.2f} x {r.height * 1e3:6.2f} mm  "
+            f"({r.area * 1e6:7.2f} mm^2)\n"
+        )
+    return out.getvalue()

@@ -1,0 +1,19 @@
+"""Test power modelling (DESIGN.md system S3)."""
+
+from .generator import (
+    DEFAULT_CLASS_DENSITIES,
+    PowerGeneratorConfig,
+    generate_power_profile,
+    uniform_test_power_profile,
+)
+from .profile import PAPER_MULTIPLIER_RANGE, CorePower, PowerProfile
+
+__all__ = [
+    "CorePower",
+    "DEFAULT_CLASS_DENSITIES",
+    "PAPER_MULTIPLIER_RANGE",
+    "PowerGeneratorConfig",
+    "PowerProfile",
+    "generate_power_profile",
+    "uniform_test_power_profile",
+]

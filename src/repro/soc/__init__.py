@@ -1,0 +1,15 @@
+"""SoC-under-test modelling (DESIGN.md system S4)."""
+
+from .core import DEFAULT_TEST_TIME_S, CoreUnderTest
+from .library import alpha15_soc, grid_soc, hypothetical7_soc, worked_example6_soc
+from .system import SocUnderTest
+
+__all__ = [
+    "CoreUnderTest",
+    "DEFAULT_TEST_TIME_S",
+    "SocUnderTest",
+    "alpha15_soc",
+    "grid_soc",
+    "hypothetical7_soc",
+    "worked_example6_soc",
+]

@@ -1,0 +1,50 @@
+"""RC thermal simulation substrate (DESIGN.md system S2).
+
+A block-level HotSpot work-alike: floorplans become RC networks
+(:mod:`builder`), solved for steady state (:mod:`steady_state`) or
+transients (:mod:`transient`), all behind the
+:class:`~repro.thermal.simulator.ThermalSimulator` facade.
+"""
+
+from .builder import BuiltModel, build_thermal_network, die_node
+from .grid import GridTemperatureField, GridThermalSimulator
+from .heatmap import render_heatmap, render_power_density_map
+from .materials import COPPER, INTERFACE, SILICON, Material
+from .package import DEFAULT_PACKAGE, PackageConfig
+from .rc_network import CompiledNetwork, ThermalNetwork
+from .simulator import TemperatureField, ThermalSimulator
+from .steady_state import SteadyStateSolver
+from .transient import TransientResult, TransientSolver
+from .validation import (
+    ScheduleBoundCheck,
+    SessionBoundCheck,
+    check_schedule_bound,
+    check_session_bound,
+)
+
+__all__ = [
+    "BuiltModel",
+    "COPPER",
+    "CompiledNetwork",
+    "DEFAULT_PACKAGE",
+    "GridTemperatureField",
+    "GridThermalSimulator",
+    "INTERFACE",
+    "Material",
+    "PackageConfig",
+    "SILICON",
+    "SteadyStateSolver",
+    "TemperatureField",
+    "ThermalNetwork",
+    "ThermalSimulator",
+    "TransientResult",
+    "TransientSolver",
+    "ScheduleBoundCheck",
+    "SessionBoundCheck",
+    "build_thermal_network",
+    "check_schedule_bound",
+    "check_session_bound",
+    "die_node",
+    "render_heatmap",
+    "render_power_density_map",
+]

@@ -1,0 +1,146 @@
+"""ASCII thermal maps of a floorplan.
+
+Renders a :class:`~repro.thermal.simulator.TemperatureField` over its
+floorplan as a character raster, dependency-free: each cell shows the
+temperature band of the block covering it (hot blocks get dense
+glyphs), plus a per-block legend.  Useful for eyeballing why a session
+was rejected — the hot spot is literally visible in the terminal.
+
+Example::
+
+    field = simulator.steady_state(power_map)
+    print(render_heatmap(simulator.floorplan, field))
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..errors import ThermalModelError
+from ..floorplan.floorplan import Floorplan
+from .simulator import TemperatureField
+
+#: Glyph ramp from coolest to hottest band.
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def _block_at(floorplan: Floorplan, x: float, y: float) -> str | None:
+    for block in floorplan:
+        r = block.rect
+        if r.x <= x < r.x2 and r.y <= y < r.y2:
+            return block.name
+    return None
+
+
+def render_heatmap(
+    floorplan: Floorplan,
+    field: TemperatureField,
+    width: int = 48,
+    height: int = 24,
+    show_legend: bool = True,
+) -> str:
+    """Render block temperatures as an ASCII raster.
+
+    Parameters
+    ----------
+    floorplan:
+        The floorplan the field was computed on.
+    field:
+        Steady-state temperatures (from ``ThermalSimulator``).
+    width, height:
+        Raster size in characters.  The die aspect ratio is *not*
+        preserved exactly; terminal cells are taller than wide, so a
+        2:1 width:height ratio roughly squares up.
+    show_legend:
+        Append a per-block temperature table sorted hottest-first.
+
+    Returns
+    -------
+    str
+        The raster (row 0 at the die's north edge) plus the legend.
+    """
+    if width < 2 or height < 2:
+        raise ThermalModelError("heatmap raster must be at least 2x2")
+    temps = field.block_temperatures_c()
+    missing = [n for n in floorplan.block_names if n not in temps]
+    if missing:
+        raise ThermalModelError(f"field lacks temperatures for {missing}")
+
+    t_min = min(temps.values())
+    t_max = max(temps.values())
+    span = (t_max - t_min) or 1.0
+
+    def glyph(name: str | None) -> str:
+        if name is None:
+            return " "  # uncovered die (whitespace in the layout)
+        level = (temps[name] - t_min) / span
+        index = min(int(level * len(HEAT_RAMP)), len(HEAT_RAMP) - 1)
+        return HEAT_RAMP[index]
+
+    outline = floorplan.outline
+    out = io.StringIO()
+    out.write("+" + "-" * width + "+\n")
+    for row in range(height):
+        # Row 0 renders the top (north) strip of the die.
+        y = outline.y2 - (row + 0.5) * outline.height / height
+        out.write("|")
+        for col in range(width):
+            x = outline.x + (col + 0.5) * outline.width / width
+            out.write(glyph(_block_at(floorplan, x, y)))
+        out.write("|\n")
+    out.write("+" + "-" * width + "+\n")
+    out.write(
+        f"scale: '{HEAT_RAMP[0]}' = {t_min:.1f} degC .. "
+        f"'{HEAT_RAMP[-1]}' = {t_max:.1f} degC\n"
+    )
+
+    if show_legend:
+        hottest_first = sorted(temps, key=temps.get, reverse=True)
+        widest = max(len(n) for n in hottest_first)
+        for name in hottest_first:
+            out.write(
+                f"  {name:<{widest}}  {temps[name]:7.2f} degC  "
+                f"[{glyph(name)}]\n"
+            )
+    return out.getvalue()
+
+
+def render_power_density_map(
+    floorplan: Floorplan,
+    power_by_block: dict[str, float],
+    width: int = 48,
+    height: int = 24,
+) -> str:
+    """Render a power-density raster (W/cm^2) of a session's power map.
+
+    The visual companion to the paper's Figure 1 argument: equal-power
+    sessions can look radically different in density.
+    """
+    if not power_by_block:
+        raise ThermalModelError("power map must not be empty")
+    densities = {
+        name: power_by_block.get(name, 0.0) / floorplan[name].area / 1e4
+        for name in floorplan.block_names
+    }
+    d_max = max(densities.values()) or 1.0
+
+    def glyph(name: str | None) -> str:
+        if name is None:
+            return " "
+        level = densities[name] / d_max
+        index = min(int(level * len(HEAT_RAMP)), len(HEAT_RAMP) - 1)
+        return HEAT_RAMP[index]
+
+    outline = floorplan.outline
+    out = io.StringIO()
+    out.write("+" + "-" * width + "+\n")
+    for row in range(height):
+        y = outline.y2 - (row + 0.5) * outline.height / height
+        out.write("|")
+        for col in range(width):
+            x = outline.x + (col + 0.5) * outline.width / width
+            out.write(glyph(_block_at(floorplan, x, y)))
+        out.write("|\n")
+    out.write("+" + "-" * width + "+\n")
+    out.write(f"scale: blank = 0 .. '{HEAT_RAMP[-1]}' = {d_max:.1f} W/cm^2\n")
+    return out.getvalue()

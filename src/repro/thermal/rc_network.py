@@ -1,0 +1,262 @@
+"""Generic thermal RC network.
+
+A :class:`ThermalNetwork` is a graph of thermal nodes connected by
+thermal resistances, with optional thermal capacitances on the nodes and
+resistive ties to *thermal ground* (the ambient).  It exploits the
+thermal-electrical duality the paper inherits from HotSpot:
+
+=============  =====================
+thermal        electrical
+=============  =====================
+temperature    voltage
+heat flow      current
+R (K/W)        resistance
+C (J/K)        capacitance
+ambient        ground
+power source   current source
+=============  =====================
+
+The network is assembled incrementally (``add_node`` / ``add_resistance``
+/ ``add_ground_resistance``) and then *sealed* by :meth:`compile`, which
+builds the conductance (Laplacian + ground) matrix ``G`` and the
+capacitance vector ``C`` used by the solvers.  Compilation validates the
+network: every node must have a resistive path to ground, otherwise the
+steady-state system ``G dT = P`` is singular.
+
+Temperatures inside the network are expressed as **rises above ambient**
+(``dT``); the simulator facade converts to absolute Celsius at its API
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ThermalModelError
+
+
+@dataclass(frozen=True)
+class ResistiveEdge:
+    """A thermal resistance between two named nodes."""
+
+    node_a: str
+    node_b: str
+    resistance: float
+
+
+@dataclass(frozen=True)
+class GroundTie:
+    """A thermal resistance from a node to ambient (thermal ground)."""
+
+    node: str
+    resistance: float
+
+
+class CompiledNetwork:
+    """Immutable compiled form of a thermal network.
+
+    Attributes
+    ----------
+    node_names:
+        Node names in matrix order.
+    conductance:
+        Dense ``(n, n)`` symmetric positive-definite conductance matrix
+        ``G`` such that steady state satisfies ``G dT = P``.
+    capacitance:
+        Length-``n`` vector of node capacitances (J/K); zero entries are
+        legal for steady-state-only networks but rejected by the
+        transient solver.
+    """
+
+    def __init__(
+        self,
+        node_names: tuple[str, ...],
+        conductance: np.ndarray,
+        capacitance: np.ndarray,
+    ) -> None:
+        self.node_names = node_names
+        self.conductance = conductance
+        self.capacitance = capacitance
+        self._index = {name: i for i, name in enumerate(node_names)}
+
+    def __len__(self) -> int:
+        return len(self.node_names)
+
+    def index_of(self, name: str) -> int:
+        """Matrix row/column of the named node."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ThermalModelError(f"unknown thermal node {name!r}") from None
+
+    def power_vector(self, power_by_node: dict[str, float]) -> np.ndarray:
+        """Assemble the power injection vector from a name->watts mapping.
+
+        Nodes not mentioned inject zero power.  Negative powers are
+        rejected: blocks are heat sources, never sinks.
+        """
+        power = np.zeros(len(self.node_names))
+        for name, watts in power_by_node.items():
+            if watts < 0.0:
+                raise ThermalModelError(
+                    f"power injection must be non-negative, got {watts!r} W "
+                    f"for node {name!r}"
+                )
+            power[self.index_of(name)] = watts
+        return power
+
+
+class ThermalNetwork:
+    """Mutable builder for a thermal RC network.
+
+    Typical use::
+
+        net = ThermalNetwork()
+        net.add_node("die:Icache", capacitance=1.3e-3)
+        net.add_node("spreader:center", capacitance=2.1)
+        net.add_resistance("die:Icache", "spreader:center", 2.5)
+        net.add_ground_resistance("spreader:center", 0.6)
+        compiled = net.compile()
+    """
+
+    def __init__(self) -> None:
+        self._capacitance: dict[str, float] = {}
+        self._edges: list[ResistiveEdge] = []
+        self._ground_ties: list[GroundTie] = []
+
+    # -- construction ----------------------------------------------------------
+
+    def add_node(self, name: str, capacitance: float = 0.0) -> None:
+        """Register a node.
+
+        Parameters
+        ----------
+        name:
+            Unique node name.
+        capacitance:
+            Thermal capacitance in J/K (0.0 for a massless junction
+            node; such nodes are fine for steady-state solves and are
+            given a tiny stabilising mass by the transient solver).
+        """
+        if name in self._capacitance:
+            raise ThermalModelError(f"duplicate thermal node {name!r}")
+        if capacitance < 0.0:
+            raise ThermalModelError(
+                f"node {name!r}: capacitance must be non-negative, got {capacitance!r}"
+            )
+        self._capacitance[name] = capacitance
+
+    def has_node(self, name: str) -> bool:
+        """True if the node exists."""
+        return name in self._capacitance
+
+    def add_resistance(self, node_a: str, node_b: str, resistance: float) -> None:
+        """Connect two existing nodes with a thermal resistance (K/W)."""
+        self._require_node(node_a)
+        self._require_node(node_b)
+        if node_a == node_b:
+            raise ThermalModelError(f"self-loop resistance on node {node_a!r}")
+        if resistance <= 0.0:
+            raise ThermalModelError(
+                f"resistance {node_a!r}--{node_b!r} must be positive, "
+                f"got {resistance!r}"
+            )
+        self._edges.append(ResistiveEdge(node_a, node_b, resistance))
+
+    def add_ground_resistance(self, node: str, resistance: float) -> None:
+        """Connect an existing node to ambient with a resistance (K/W)."""
+        self._require_node(node)
+        if resistance <= 0.0:
+            raise ThermalModelError(
+                f"ground resistance on {node!r} must be positive, got {resistance!r}"
+            )
+        self._ground_ties.append(GroundTie(node, resistance))
+
+    def _require_node(self, name: str) -> None:
+        if name not in self._capacitance:
+            raise ThermalModelError(
+                f"unknown thermal node {name!r}; add_node() it first"
+            )
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        """Node names in insertion order (the matrix order after compile)."""
+        return tuple(self._capacitance)
+
+    @property
+    def edges(self) -> tuple[ResistiveEdge, ...]:
+        """All node-to-node resistive edges."""
+        return tuple(self._edges)
+
+    @property
+    def ground_ties(self) -> tuple[GroundTie, ...]:
+        """All node-to-ambient resistive ties."""
+        return tuple(self._ground_ties)
+
+    # -- compilation -----------------------------------------------------------------
+
+    def compile(self) -> CompiledNetwork:
+        """Validate the network and build its matrices.
+
+        Raises
+        ------
+        ThermalModelError
+            If the network is empty or any node lacks a resistive path
+            to ground (which would make the steady-state system
+            singular: that node's temperature would be unbounded for
+            any injected power).
+        """
+        names = self.node_names
+        if not names:
+            raise ThermalModelError("cannot compile an empty thermal network")
+        n = len(names)
+        index = {name: i for i, name in enumerate(names)}
+
+        conductance = np.zeros((n, n))
+        for edge in self._edges:
+            g = 1.0 / edge.resistance
+            i, j = index[edge.node_a], index[edge.node_b]
+            conductance[i, i] += g
+            conductance[j, j] += g
+            conductance[i, j] -= g
+            conductance[j, i] -= g
+        for tie in self._ground_ties:
+            i = index[tie.node]
+            conductance[i, i] += 1.0 / tie.resistance
+
+        self._check_grounded(names, index)
+
+        capacitance = np.array([self._capacitance[name] for name in names])
+        return CompiledNetwork(names, conductance, capacitance)
+
+    def _check_grounded(self, names: tuple[str, ...], index: dict[str, int]) -> None:
+        """Every node must reach a ground tie through resistive edges."""
+        grounded = {tie.node for tie in self._ground_ties}
+        if not grounded:
+            raise ThermalModelError(
+                "thermal network has no connection to ambient; "
+                "add_ground_resistance() at least once"
+            )
+        # Breadth-first flood from the grounded nodes across all edges.
+        adjacency: dict[str, list[str]] = {name: [] for name in names}
+        for edge in self._edges:
+            adjacency[edge.node_a].append(edge.node_b)
+            adjacency[edge.node_b].append(edge.node_a)
+        reached = set(grounded)
+        frontier = list(grounded)
+        while frontier:
+            current = frontier.pop()
+            for neighbour in adjacency[current]:
+                if neighbour not in reached:
+                    reached.add(neighbour)
+                    frontier.append(neighbour)
+        floating = [name for name in names if name not in reached]
+        if floating:
+            raise ThermalModelError(
+                f"thermal nodes have no path to ambient (singular steady state): "
+                f"{', '.join(sorted(floating))}"
+            )

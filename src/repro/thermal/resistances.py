@@ -1,0 +1,165 @@
+"""Thermal resistance formulas shared by the full RC model and the
+test-session thermal model.
+
+This module is the single source of truth for how a floorplan turns
+into resistances.  The paper's session thermal model (Section 2) is
+*derived from* the full RC-equivalent model by dropping capacitances
+and rewiring resistances (modifications M1-M3); implementing both on
+top of the same formulas guarantees that derivation relationship holds
+in code as it does in the paper.
+
+Three resistance families exist:
+
+* **lateral block-to-block** (:func:`lateral_interface_resistance`) —
+  conduction through the die from the centre of one block to the centre
+  of its neighbour across their shared edge;
+* **lateral block-to-die-edge** (:func:`boundary_edge_resistance`) —
+  conduction from a block's centre to the die rim plus the rim's weak
+  coupling into the package periphery (the ``R_2,N`` style paths of the
+  paper's Figure 3);
+* **vertical** (:func:`vertical_stack_resistance` and the split parts
+  used by the network builder) — conduction from a block upward through
+  the remaining die thickness, the TIM, and into the spreader,
+  including a spreading (constriction) term that penalises small,
+  power-dense blocks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..floorplan.adjacency import BoundarySegment, Interface
+from ..floorplan.floorplan import Block
+from .package import PackageConfig
+
+
+def _half_path_resistance(
+    block: Block, side_is_horizontal: bool, shared_length: float, package: PackageConfig
+) -> float:
+    """Resistance from a block's centre to one of its edges.
+
+    1-D conduction across half the block extent perpendicular to the
+    edge, through the die cross-section ``die_thickness x shared_length``.
+    """
+    extent = block.rect.height if side_is_horizontal else block.rect.width
+    area = package.die_thickness * shared_length
+    return (extent / 2.0) / (package.die_material.conductivity * area)
+
+
+def lateral_interface_resistance(
+    block_a: Block, block_b: Block, interface: Interface, package: PackageConfig
+) -> float:
+    """Centre-to-centre lateral resistance across a shared edge (K/W).
+
+    Sum of the two half-path resistances; each half conducts through
+    the die cross-section under the shared edge segment.
+    """
+    side_a = interface.side_of(block_a.name)
+    side_b = interface.side_of(block_b.name)
+    return _half_path_resistance(
+        block_a, side_a.is_horizontal, interface.length, package
+    ) + _half_path_resistance(block_b, side_b.is_horizontal, interface.length, package)
+
+
+def boundary_edge_resistance(
+    block: Block, segment: BoundarySegment, package: PackageConfig
+) -> float:
+    """Resistance from a block's centre through the die rim (K/W).
+
+    Half-path conduction from the block centre to the die edge, in
+    series with the rim escape path ``rim_coefficient / L``.  The rim
+    path dominates (the die edge is a poor heat port), which is the
+    physical reason the paper's session model treats passive-neighbour
+    paths as the valuable ones.
+    """
+    half_path = _half_path_resistance(
+        block, segment.side.is_horizontal, segment.length, package
+    )
+    rim = package.rim_coefficient / segment.length
+    return half_path + rim
+
+
+def spreading_resistance(area: float, package: PackageConfig) -> float:
+    """Constriction resistance of a small heat source on the spreader (K/W).
+
+    Uses the classic semi-infinite-medium disc formula ``R = 1/(2 k d)``
+    with ``d`` the diameter of the equal-area disc; it scales as
+    ``1/sqrt(area)`` so small blocks couple into the spreader less
+    efficiently than big ones.  This is the term that makes power
+    *density* (not just power) matter in the full simulation, which is
+    the physical effect the paper's motivational example demonstrates.
+    """
+    if area <= 0.0:
+        raise ValueError(f"block area must be positive, got {area!r}")
+    disc_diameter = 2.0 * math.sqrt(area / math.pi)
+    return 1.0 / (2.0 * package.spreader_material.conductivity * disc_diameter)
+
+
+def vertical_die_resistance(block: Block, package: PackageConfig) -> float:
+    """Conduction from the block's heat source plane to the die top (K/W).
+
+    The heat source sits at the transistor layer; heat crosses the die
+    thickness over the block footprint.
+    """
+    return package.die_material.conduction_resistance(
+        package.die_thickness, block.area
+    )
+
+
+def vertical_tim_resistance(block: Block, package: PackageConfig) -> float:
+    """Conduction through the TIM layer over the block footprint (K/W)."""
+    return package.tim_material.conduction_resistance(
+        package.tim_thickness, block.area
+    )
+
+
+def vertical_stack_resistance(block: Block, package: PackageConfig) -> float:
+    """Total per-block vertical resistance into the spreader body (K/W).
+
+    Die conduction + TIM + spreading constriction.  The network builder
+    places this between a die block node and the spreader centre node;
+    the session thermal model (when configured to include the vertical
+    path) uses the same value in series with the shared spreader-to-
+    ambient path.
+    """
+    return (
+        vertical_die_resistance(block, package)
+        + vertical_tim_resistance(block, package)
+        + spreading_resistance(block.area, package)
+    )
+
+
+def spreader_to_sink_resistance(package: PackageConfig) -> float:
+    """Spreader body to sink base conduction resistance (K/W)."""
+    return package.spreader_material.conduction_resistance(
+        package.spreader_thickness, package.spreader_area
+    ) + package.sink_material.conduction_resistance(
+        package.sink_thickness, package.spreader_area
+    )
+
+
+def spreader_centre_to_edge_resistance(package: PackageConfig) -> float:
+    """Spreader centre node to one peripheral node (K/W).
+
+    Quarter-plate conduction over half the spreader side; the factor of
+    four peripheral nodes splits the plate into quadrants.
+    """
+    cross_section = package.spreader_thickness * package.spreader_side
+    return (package.spreader_side / 2.0) / (
+        package.spreader_material.conductivity * cross_section
+    )
+
+
+def sink_convection_resistance(package: PackageConfig) -> float:
+    """Sink-to-ambient convection resistance (K/W)."""
+    return package.convection_resistance
+
+
+def shared_path_resistance(package: PackageConfig) -> float:
+    """Lumped spreader+sink+convection resistance to ambient (K/W).
+
+    Used by the session thermal model's optional vertical path: every
+    active core shares this tail, so it is the series term after the
+    per-block :func:`vertical_stack_resistance`.
+    """
+    return spreader_to_sink_resistance(package) + sink_convection_resistance(package)

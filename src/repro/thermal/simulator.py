@@ -1,0 +1,242 @@
+"""High-level thermal simulation facade.
+
+:class:`ThermalSimulator` is the "accurate thermal simulation" of the
+paper's Algorithm 1 (the role HotSpot plays in the original work): given
+a floorplan and package it answers *"what temperature does each core
+reach for this power map?"* for both steady-state and transient
+questions, in Celsius, by block name.
+
+The facade also keeps the bookkeeping the scheduler needs:
+
+* a cached steady-state factorisation (hundreds of candidate sessions
+  are solved against the same network);
+* a count of how much simulated test time has been requested, which is
+  the paper's *simulation effort* metric (see
+  :class:`repro.core.scheduler.ThermalAwareScheduler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ThermalModelError
+from ..floorplan.adjacency import AdjacencyMap
+from ..floorplan.floorplan import Floorplan
+from .builder import BuiltModel, build_thermal_network, die_node
+from .package import DEFAULT_PACKAGE, PackageConfig
+from .steady_state import SteadyStateSolver
+from .transient import TransientResult, TransientSolver
+
+
+@dataclass(frozen=True)
+class TemperatureField:
+    """Steady-state temperatures for one power map.
+
+    Attributes
+    ----------
+    ambient_c:
+        Ambient temperature (Celsius).
+    rises:
+        Temperature rise above ambient per network node (K).
+    block_names:
+        Floorplan block names (subset of the nodes, without prefixes).
+    """
+
+    ambient_c: float
+    rises: Mapping[str, float]
+    block_names: tuple[str, ...]
+
+    def rise_of(self, block_name: str) -> float:
+        """Temperature rise of a block above ambient (K)."""
+        node = die_node(block_name)
+        if node not in self.rises:
+            raise ThermalModelError(f"unknown block {block_name!r}")
+        return self.rises[node]
+
+    def temperature_c(self, block_name: str) -> float:
+        """Absolute block temperature (Celsius)."""
+        return self.ambient_c + self.rise_of(block_name)
+
+    def block_temperatures_c(self) -> dict[str, float]:
+        """All block temperatures (Celsius), by block name."""
+        return {name: self.temperature_c(name) for name in self.block_names}
+
+    def max_temperature_c(self) -> float:
+        """Hottest block temperature (Celsius)."""
+        return max(self.temperature_c(name) for name in self.block_names)
+
+    def hottest_block(self) -> str:
+        """Name of the hottest block."""
+        return max(self.block_names, key=self.temperature_c)
+
+
+class ThermalSimulator:
+    """Steady-state and transient thermal simulation for one floorplan.
+
+    Parameters
+    ----------
+    floorplan:
+        The die floorplan.
+    package:
+        Package stack (defaults to :data:`DEFAULT_PACKAGE`).
+    adjacency:
+        Optional precomputed adjacency map.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        package: PackageConfig = DEFAULT_PACKAGE,
+        adjacency: AdjacencyMap | None = None,
+    ) -> None:
+        self._model: BuiltModel = build_thermal_network(floorplan, package, adjacency)
+        self._steady = SteadyStateSolver(self._model.network)
+        self._transient_solvers: dict[float, TransientSolver] = {}
+        self._simulated_time_s = 0.0
+        self._steady_solve_count = 0
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def floorplan(self) -> Floorplan:
+        """The floorplan being simulated."""
+        return self._model.floorplan
+
+    @property
+    def adjacency(self) -> AdjacencyMap:
+        """Adjacency map of the floorplan."""
+        return self._model.adjacency
+
+    @property
+    def package(self) -> PackageConfig:
+        """Package configuration."""
+        return self._model.package
+
+    @property
+    def model(self) -> BuiltModel:
+        """The underlying compiled RC model."""
+        return self._model
+
+    @property
+    def ambient_c(self) -> float:
+        """Ambient temperature (Celsius)."""
+        return self._model.package.ambient_c
+
+    # -- effort accounting ------------------------------------------------------------
+
+    @property
+    def simulated_time_s(self) -> float:
+        """Cumulative simulated test time requested so far (s).
+
+        This is the paper's *simulation effort*: every call to
+        :meth:`simulate_session` adds the session's duration, whether or
+        not the session is eventually kept.  The scheduler reads (and
+        may reset) this counter.
+        """
+        return self._simulated_time_s
+
+    @property
+    def steady_solve_count(self) -> int:
+        """Number of steady-state solves performed (diagnostics)."""
+        return self._steady_solve_count
+
+    def reset_effort(self) -> None:
+        """Zero the simulation-effort counters."""
+        self._simulated_time_s = 0.0
+        self._steady_solve_count = 0
+
+    # -- simulation ---------------------------------------------------------------------
+
+    def _power_vector(self, power_by_block: Mapping[str, float]) -> np.ndarray:
+        prefixed: dict[str, float] = {}
+        for name, watts in power_by_block.items():
+            if name not in self.floorplan:
+                raise ThermalModelError(
+                    f"power map names unknown block {name!r}; floorplan has "
+                    f"{', '.join(self.floorplan.block_names)}"
+                )
+            prefixed[die_node(name)] = watts
+        return self._model.network.power_vector(prefixed)
+
+    def steady_state(self, power_by_block: Mapping[str, float]) -> TemperatureField:
+        """Steady-state temperatures for a block power map (W by name).
+
+        Blocks not present in the map dissipate zero power (they are
+        passive cores in the test-session reading).
+        """
+        power = self._power_vector(power_by_block)
+        rises = self._steady.solve(power)
+        self._steady_solve_count += 1
+        return TemperatureField(
+            ambient_c=self.ambient_c,
+            rises=dict(zip(self._model.network.node_names, rises.tolist())),
+            block_names=self.floorplan.block_names,
+        )
+
+    def simulate_session(
+        self, power_by_block: Mapping[str, float], duration_s: float
+    ) -> TemperatureField:
+        """Simulate one test session and charge its duration as effort.
+
+        The thermal answer is the steady-state field (the paper's
+        modification M1: steady-state temperatures upper-bound the
+        transient peaks, so validating against them is conservative),
+        but the *cost* charged is the session duration, mirroring how
+        the paper counts "the amount of test session time which needs
+        to be simulated".
+        """
+        if duration_s <= 0.0:
+            raise ThermalModelError(
+                f"session duration must be positive, got {duration_s!r}"
+            )
+        field = self.steady_state(power_by_block)
+        self._simulated_time_s += duration_s
+        return field
+
+    def transient(
+        self,
+        power_by_block: Mapping[str, float],
+        duration_s: float,
+        dt: float = 1e-3,
+        initial_rises: np.ndarray | None = None,
+    ) -> TransientResult:
+        """Transient response to a constant power map from ambient.
+
+        A solver is cached per step size; repeated calls with the same
+        ``dt`` re-use the matrix factorisation.
+        """
+        solver = self._transient_solvers.get(dt)
+        if solver is None:
+            solver = TransientSolver(self._model.network, dt)
+            self._transient_solvers[dt] = solver
+        power = self._power_vector(power_by_block)
+        return solver.simulate(power, duration_s, initial_rises=initial_rises)
+
+    def transient_schedule(
+        self,
+        intervals: list[tuple[Mapping[str, float], float]],
+        dt: float = 1e-3,
+    ) -> TransientResult:
+        """Transient response to a piecewise-constant schedule of power maps."""
+        solver = self._transient_solvers.get(dt)
+        if solver is None:
+            solver = TransientSolver(self._model.network, dt)
+            self._transient_solvers[dt] = solver
+        power_intervals = [
+            (self._power_vector(power_map), duration)
+            for power_map, duration in intervals
+        ]
+        return solver.simulate_schedule(power_intervals)
+
+    def block_peak_transient_c(
+        self, power_by_block: Mapping[str, float], duration_s: float, dt: float = 1e-3
+    ) -> dict[str, float]:
+        """Peak transient temperature (Celsius) of every block."""
+        result = self.transient(power_by_block, duration_s, dt)
+        return {
+            name: self.ambient_c + result.peak_rise(die_node(name))
+            for name in self.floorplan.block_names
+        }

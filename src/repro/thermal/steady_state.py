@@ -1,0 +1,94 @@
+"""Steady-state solver for compiled thermal networks.
+
+Solves ``G dT = P`` for the vector of temperature rises above ambient.
+``G`` is symmetric positive definite for any validated network (the
+Laplacian of a connected resistive graph plus at least one positive
+ground conductance), so Cholesky factorisation is both the fastest and
+the most numerically robust choice.  The factorisation is cached: test
+scheduling solves the *same* network for hundreds of different power
+vectors (one per candidate test session), and re-using the factor makes
+each additional session solve O(n^2) instead of O(n^3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+from ..errors import SolverError
+from .rc_network import CompiledNetwork
+
+
+class SteadyStateSolver:
+    """Cached-factorisation steady-state solver for one network."""
+
+    def __init__(self, network: CompiledNetwork) -> None:
+        self._network = network
+        try:
+            self._factor = cho_factor(network.conductance)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(
+                f"conductance matrix is not positive definite: {exc}; "
+                f"the network validator should have rejected this topology"
+            ) from exc
+
+    @property
+    def network(self) -> CompiledNetwork:
+        """The compiled network this solver factorised."""
+        return self._network
+
+    def solve(self, power: np.ndarray) -> np.ndarray:
+        """Temperature rises ``dT`` (K) for the power vector ``P`` (W).
+
+        Parameters
+        ----------
+        power:
+            Length-``n`` vector of heat injections, one per node, in
+            network node order.
+
+        Returns
+        -------
+        numpy.ndarray
+            Length-``n`` vector of temperature rises above ambient.
+
+        Raises
+        ------
+        SolverError
+            On shape mismatch or non-finite results.
+        """
+        if power.shape != (len(self._network),):
+            raise SolverError(
+                f"power vector has shape {power.shape}, expected "
+                f"({len(self._network)},)"
+            )
+        rises = cho_solve(self._factor, power)
+        if not np.all(np.isfinite(rises)):
+            raise SolverError("steady-state solve produced non-finite temperatures")
+        return rises
+
+    def solve_by_name(self, power_by_node: dict[str, float]) -> dict[str, float]:
+        """Solve from a name->watts mapping to a name->rise mapping."""
+        rises = self.solve(self._network.power_vector(power_by_node))
+        return dict(zip(self._network.node_names, rises.tolist()))
+
+    def input_output_resistance(self, node: str) -> float:
+        """Self thermal resistance of a node (K/W).
+
+        The temperature rise of *node* per watt injected at *node*:
+        the diagonal entry of ``G^-1``.  Used by tests (reciprocity,
+        positivity) and useful for floorplan analysis.
+        """
+        unit = np.zeros(len(self._network))
+        unit[self._network.index_of(node)] = 1.0
+        return float(self.solve(unit)[self._network.index_of(node)])
+
+    def transfer_resistance(self, source: str, observation: str) -> float:
+        """Mutual thermal resistance between two nodes (K/W).
+
+        Temperature rise at *observation* per watt injected at
+        *source*.  Symmetric (``G`` is symmetric), which the test suite
+        verifies as a physical sanity check (reciprocity).
+        """
+        unit = np.zeros(len(self._network))
+        unit[self._network.index_of(source)] = 1.0
+        return float(self.solve(unit)[self._network.index_of(observation)])

@@ -1,0 +1,176 @@
+"""Transient solver for compiled thermal networks.
+
+Integrates ``C dT'/dt + G dT = P`` with the implicit (backward) Euler
+scheme::
+
+    (C/dt + G) dT_{k+1} = (C/dt) dT_k + P
+
+Backward Euler is unconditionally stable and strictly monotone for this
+system, which matters here: the paper's modification M1 replaces
+transient peaks with steady-state values on the grounds that the steady
+state *upper-bounds* the transient response for a step power input from
+ambient.  The transient solver exists to verify exactly that property
+(see ``tests/thermal/test_transient.py`` and the M1 validation bench),
+and to let users study heating time constants.
+
+Massless junction nodes (capacitance 0) are given a tiny stabilising
+mass (1e-9 of the largest capacitance) rather than being eliminated;
+with backward Euler this is harmless and keeps the implementation
+simple and fully dense-matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from ..errors import SolverError
+from .rc_network import CompiledNetwork
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Trajectory of a transient simulation.
+
+    Attributes
+    ----------
+    times:
+        Sample instants (s), starting at ``dt``.
+    rises:
+        Array of shape ``(len(times), n_nodes)``: temperature rises
+        above ambient at each instant.
+    node_names:
+        Node order of the columns.
+    """
+
+    times: np.ndarray
+    rises: np.ndarray
+    node_names: tuple[str, ...]
+
+    def final_rises(self) -> np.ndarray:
+        """Temperature rises at the last simulated instant."""
+        return self.rises[-1]
+
+    def peak_rise(self, node: str) -> float:
+        """Maximum rise of the named node over the trajectory (K)."""
+        column = self.node_names.index(node)
+        return float(self.rises[:, column].max())
+
+    def rise_of(self, node: str) -> np.ndarray:
+        """Full trajectory of one node."""
+        return self.rises[:, self.node_names.index(node)]
+
+
+class TransientSolver:
+    """Backward-Euler transient integrator with cached LU factorisation.
+
+    The factorisation of ``(C/dt + G)`` depends only on the network and
+    the step size, so a solver instance bound to one ``dt`` amortises
+    the factorisation over every step and every simulation.
+    """
+
+    def __init__(self, network: CompiledNetwork, dt: float) -> None:
+        if dt <= 0.0:
+            raise SolverError(f"time step must be positive, got {dt!r}")
+        self._network = network
+        self._dt = dt
+
+        capacitance = network.capacitance.copy()
+        largest = capacitance.max()
+        if largest <= 0.0:
+            raise SolverError(
+                "transient simulation requires at least one node with "
+                "positive capacitance"
+            )
+        capacitance[capacitance == 0.0] = 1e-9 * largest
+        self._c_over_dt = capacitance / dt
+        system = network.conductance + np.diag(self._c_over_dt)
+        try:
+            self._factor = lu_factor(system)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(f"transient system factorisation failed: {exc}") from exc
+
+    @property
+    def dt(self) -> float:
+        """Integration step size (s)."""
+        return self._dt
+
+    def simulate(
+        self,
+        power: np.ndarray,
+        duration: float,
+        initial_rises: np.ndarray | None = None,
+    ) -> TransientResult:
+        """Integrate a constant-power interval.
+
+        Parameters
+        ----------
+        power:
+            Heat injection vector (W), constant over the interval.
+        duration:
+            Interval length (s); rounded up to a whole number of steps.
+        initial_rises:
+            Starting temperature rises (defaults to all-ambient).
+
+        Returns
+        -------
+        TransientResult
+            One sample per integration step.
+        """
+        n = len(self._network)
+        if power.shape != (n,):
+            raise SolverError(f"power vector has shape {power.shape}, expected ({n},)")
+        if duration <= 0.0:
+            raise SolverError(f"duration must be positive, got {duration!r}")
+        state = (
+            np.zeros(n) if initial_rises is None else np.asarray(initial_rises, float)
+        )
+        if state.shape != (n,):
+            raise SolverError(
+                f"initial state has shape {state.shape}, expected ({n},)"
+            )
+
+        steps = int(np.ceil(duration / self._dt))
+        times = np.empty(steps)
+        rises = np.empty((steps, n))
+        for k in range(steps):
+            rhs = self._c_over_dt * state + power
+            state = lu_solve(self._factor, rhs)
+            times[k] = (k + 1) * self._dt
+            rises[k] = state
+        if not np.all(np.isfinite(rises)):
+            raise SolverError("transient solve produced non-finite temperatures")
+        return TransientResult(times, rises, self._network.node_names)
+
+    def simulate_schedule(
+        self,
+        power_intervals: list[tuple[np.ndarray, float]],
+        initial_rises: np.ndarray | None = None,
+    ) -> TransientResult:
+        """Integrate a piecewise-constant power schedule.
+
+        Each element of *power_intervals* is ``(power_vector, duration)``;
+        intervals are concatenated, carrying the thermal state across
+        boundaries.  This models a full test schedule: each test session
+        is one constant-power interval, exactly the structure the paper's
+        simulation effort metric counts.
+        """
+        if not power_intervals:
+            raise SolverError("simulate_schedule() requires at least one interval")
+        state = initial_rises
+        all_times: list[np.ndarray] = []
+        all_rises: list[np.ndarray] = []
+        offset = 0.0
+        for power, duration in power_intervals:
+            segment = self.simulate(power, duration, initial_rises=state)
+            state = segment.final_rises()
+            all_times.append(segment.times + offset)
+            all_rises.append(segment.rises)
+            offset += segment.times[-1]
+        return TransientResult(
+            np.concatenate(all_times),
+            np.vstack(all_rises),
+            self._network.node_names,
+        )

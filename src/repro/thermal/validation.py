@@ -1,0 +1,180 @@
+"""Validation of the paper's modification M1 (steady state as a bound).
+
+The session thermal model keeps only resistances because "steady-state
+temperatures ... represent upper bounds for the transient thermal
+profiles of individual cores" (paper, Section 2).  For a single session
+started from ambient that is a theorem for RC networks (monotone step
+response), and :func:`check_session_bound` verifies it numerically.
+
+For a *schedule* the claim needs care: sessions run back to back, so a
+session starts from whatever heat its predecessors left behind.
+:func:`check_schedule_bound` simulates the whole schedule transiently
+(with an optional inter-session cooling gap) and compares every
+session's transient peak against its steady-state prediction.  Two
+findings the experiments report:
+
+* with the library's default package the bound holds even back to back
+  — the package time constants (~minutes) dwarf 1 s sessions, so
+  steady-state predictions carry enormous margin;
+* the *margin* quantifies exactly how conservative the paper's M1 is
+  for short sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core.session import TestSchedule
+from ..errors import ThermalModelError
+from ..soc.system import SocUnderTest
+from .builder import die_node
+from .simulator import ThermalSimulator
+
+
+@dataclass(frozen=True)
+class SessionBoundCheck:
+    """Steady-vs-transient comparison for one session.
+
+    Attributes
+    ----------
+    cores:
+        The session's active cores.
+    steady_c:
+        Steady-state temperature per active core (the M1 prediction).
+    transient_peak_c:
+        Peak transient temperature per active core over the session.
+    """
+
+    cores: tuple[str, ...]
+    steady_c: Mapping[str, float]
+    transient_peak_c: Mapping[str, float]
+
+    @property
+    def holds(self) -> bool:
+        """True when every transient peak is at or below its steady bound."""
+        return all(
+            self.transient_peak_c[c] <= self.steady_c[c] + 1e-6
+            for c in self.cores
+        )
+
+    @property
+    def min_margin_c(self) -> float:
+        """Smallest (steady - transient peak) margin over the cores."""
+        return min(
+            self.steady_c[c] - self.transient_peak_c[c] for c in self.cores
+        )
+
+    @property
+    def max_margin_c(self) -> float:
+        """Largest margin — how conservative M1 is at its loosest."""
+        return max(
+            self.steady_c[c] - self.transient_peak_c[c] for c in self.cores
+        )
+
+
+def check_session_bound(
+    simulator: ThermalSimulator,
+    soc: SocUnderTest,
+    cores: list[str],
+    dt: float = 2e-3,
+) -> SessionBoundCheck:
+    """Verify M1 for one session started from ambient."""
+    if not cores:
+        raise ThermalModelError("session bound check needs at least one core")
+    power = soc.session_power_map(cores)
+    duration = soc.session_duration_s(cores)
+    steady = simulator.steady_state(power)
+    transient = simulator.transient(power, duration, dt=dt)
+    steady_c = {c: steady.temperature_c(c) for c in cores}
+    peak_c = {
+        c: simulator.ambient_c + transient.peak_rise(die_node(c)) for c in cores
+    }
+    return SessionBoundCheck(
+        cores=tuple(cores), steady_c=steady_c, transient_peak_c=peak_c
+    )
+
+
+@dataclass(frozen=True)
+class ScheduleBoundCheck:
+    """Steady-vs-transient comparison across a whole schedule.
+
+    Attributes
+    ----------
+    cooling_gap_s:
+        Idle (zero-power) time inserted between sessions.
+    sessions:
+        One :class:`SessionBoundCheck` per session, in order, with the
+        transient peaks taken from the *continuous* schedule simulation
+        (heat carries over between sessions).
+    """
+
+    cooling_gap_s: float
+    sessions: tuple[SessionBoundCheck, ...]
+
+    @property
+    def holds(self) -> bool:
+        """True when M1 bounds every session even with heat carry-over."""
+        return all(check.holds for check in self.sessions)
+
+    @property
+    def min_margin_c(self) -> float:
+        """Tightest margin anywhere in the schedule."""
+        return min(check.min_margin_c for check in self.sessions)
+
+
+def check_schedule_bound(
+    simulator: ThermalSimulator,
+    schedule: TestSchedule,
+    cooling_gap_s: float = 0.0,
+    dt: float = 2e-3,
+) -> ScheduleBoundCheck:
+    """Verify M1 across a schedule simulated continuously.
+
+    The schedule is simulated as one piecewise-constant transient (each
+    session a constant-power interval, optionally separated by
+    zero-power cooling gaps); each session's per-core transient peak is
+    then compared against that session's steady-state prediction.
+    """
+    if cooling_gap_s < 0.0:
+        raise ThermalModelError(
+            f"cooling gap must be non-negative, got {cooling_gap_s!r}"
+        )
+    soc = schedule.soc
+    intervals: list[tuple[Mapping[str, float], float]] = []
+    for session in schedule:
+        intervals.append(
+            (soc.session_power_map(session.cores), session.duration_s)
+        )
+        if cooling_gap_s > 0.0:
+            intervals.append(({}, cooling_gap_s))
+    trajectory = simulator.transient_schedule(intervals, dt=dt)
+
+    # Recover per-session time windows on the concatenated axis.
+    checks: list[SessionBoundCheck] = []
+    start = 0.0
+    for session in schedule:
+        end = start + session.duration_s
+        window = (trajectory.times > start) & (trajectory.times <= end + dt / 2)
+        steady = simulator.steady_state(
+            soc.session_power_map(session.cores)
+        )
+        steady_c = {c: steady.temperature_c(c) for c in session.cores}
+        peak_c = {}
+        for core in session.cores:
+            column = trajectory.node_names.index(die_node(core))
+            peak_rise = float(trajectory.rises[window, column].max())
+            peak_c[core] = simulator.ambient_c + peak_rise
+        checks.append(
+            SessionBoundCheck(
+                cores=session.cores,
+                steady_c=steady_c,
+                transient_peak_c=peak_c,
+            )
+        )
+        start = end + (cooling_gap_s if cooling_gap_s > 0.0 else 0.0)
+    return ScheduleBoundCheck(
+        cooling_gap_s=cooling_gap_s, sessions=tuple(checks)
+    )

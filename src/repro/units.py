@@ -1,0 +1,115 @@
+"""Unit conventions, conversions and physical constants.
+
+The library uses SI units internally everywhere:
+
+===============  ======================  =======
+quantity         unit                    symbol
+===============  ======================  =======
+length           metre                   m
+area             square metre            m^2
+power            watt                    W
+power density    watt per square metre   W/m^2
+temperature      kelvin (internal)       K
+thermal R        kelvin per watt         K/W
+thermal C        joule per kelvin        J/K
+time             second                  s
+===============  ======================  =======
+
+Temperatures cross the public API in **Celsius** (the paper quotes all
+its limits and results in Celsius); they are converted to Kelvin at the
+boundary with :func:`celsius_to_kelvin` / :func:`kelvin_to_celsius`.
+Because the thermal model is linear and only ever deals in temperature
+*differences* against ambient, the two scales are interchangeable for
+deltas; the helpers exist so that absolute temperatures are never mixed
+up.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Offset between the Celsius and Kelvin scales.
+KELVIN_OFFSET = 273.15
+
+#: Default ambient temperature used by HotSpot and by this library (Celsius).
+#: HotSpot ships with 45 degC as its default ambient, which is also the
+#: natural choice for the paper's experiments (their safe schedules sit
+#: between 144 degC and 177 degC above a 45 degC ambient).
+DEFAULT_AMBIENT_C = 45.0
+
+#: Convenience: one millimetre in metres.
+MILLIMETRE = 1e-3
+
+#: Convenience: one micrometre in metres.
+MICROMETRE = 1e-6
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from Celsius to Kelvin."""
+    return temp_c + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from Kelvin to Celsius."""
+    return temp_k - KELVIN_OFFSET
+
+
+def mm(value_mm: float) -> float:
+    """Convert millimetres to metres (readability helper for layouts)."""
+    return value_mm * MILLIMETRE
+
+
+def mm2(value_mm2: float) -> float:
+    """Convert square millimetres to square metres."""
+    return value_mm2 * MILLIMETRE * MILLIMETRE
+
+
+def to_mm(value_m: float) -> float:
+    """Convert metres to millimetres (for reporting)."""
+    return value_m / MILLIMETRE
+
+
+def parallel(*resistances: float) -> float:
+    """Parallel combination of thermal resistances.
+
+    ``parallel(r1, r2, ..., rn) = 1 / (1/r1 + ... + 1/rn)``
+
+    Infinite resistances (open circuits) are permitted and simply drop
+    out of the combination; if *all* inputs are infinite the result is
+    ``math.inf``.  Non-positive resistances are rejected because a
+    physical thermal resistance is strictly positive.
+
+    This is the algebra used by the paper's equivalent test-session
+    thermal model (Figure 4), where the lateral and vertical escape
+    paths of an active core combine in parallel.
+    """
+    if not resistances:
+        raise ValueError("parallel() requires at least one resistance")
+    total_conductance = 0.0
+    for resistance in resistances:
+        if resistance <= 0.0:
+            raise ValueError(f"thermal resistance must be positive, got {resistance!r}")
+        if math.isinf(resistance):
+            continue
+        total_conductance += 1.0 / resistance
+    if total_conductance == 0.0:
+        return math.inf
+    return 1.0 / total_conductance
+
+
+def series(*resistances: float) -> float:
+    """Series combination of thermal resistances (simple sum).
+
+    Provided for symmetry with :func:`parallel`; validates positivity.
+    """
+    if not resistances:
+        raise ValueError("series() requires at least one resistance")
+    for resistance in resistances:
+        if resistance <= 0.0:
+            raise ValueError(f"thermal resistance must be positive, got {resistance!r}")
+    return math.fsum(resistances)
+
+
+def approx_equal(a: float, b: float, rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+    """Tolerant float comparison used by validation code paths."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

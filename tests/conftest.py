@@ -1,0 +1,81 @@
+"""Shared fixtures for the repro test suite.
+
+Expensive objects (SoCs, simulators, sweep grids) are session-scoped:
+they are immutable once built, and the suite solves hundreds of
+steady-state systems against the same factorised networks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import ThermalAwareScheduler
+from repro.core.session_model import SessionModelConfig, SessionThermalModel
+from repro.floorplan.library import alpha15, hypothetical7, worked_example6
+from repro.soc.library import (
+    ALPHA15_STC_SCALE,
+    alpha15_soc,
+    hypothetical7_soc,
+    worked_example6_soc,
+)
+from repro.thermal.simulator import ThermalSimulator
+
+
+@pytest.fixture(scope="session")
+def alpha15_floorplan():
+    """The 15-block Alpha-class floorplan."""
+    return alpha15()
+
+
+@pytest.fixture(scope="session")
+def hypothetical7_floorplan():
+    """The Figure 1 hypothetical floorplan."""
+    return hypothetical7()
+
+
+@pytest.fixture(scope="session")
+def worked_example_floorplan():
+    """The Figures 2-4 didactic floorplan."""
+    return worked_example6()
+
+
+@pytest.fixture(scope="session")
+def alpha_soc():
+    """The calibrated alpha15 SoC."""
+    return alpha15_soc()
+
+
+@pytest.fixture(scope="session")
+def hypo_soc():
+    """The Figure 1 SoC (7 cores, 15 W each)."""
+    return hypothetical7_soc()
+
+
+@pytest.fixture(scope="session")
+def example_soc():
+    """The worked-example SoC (6 blocks, 10 W each)."""
+    return worked_example6_soc()
+
+
+@pytest.fixture(scope="session")
+def alpha_simulator(alpha_soc):
+    """Thermal simulator bound to the alpha15 SoC."""
+    return ThermalSimulator(
+        alpha_soc.floorplan, alpha_soc.package, alpha_soc.adjacency
+    )
+
+
+@pytest.fixture(scope="session")
+def alpha_session_model(alpha_soc):
+    """Calibrated session thermal model for alpha15."""
+    return SessionThermalModel(
+        alpha_soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
+    )
+
+
+@pytest.fixture(scope="session")
+def alpha_scheduler(alpha_soc, alpha_simulator, alpha_session_model):
+    """Paper-configured thermal-aware scheduler for alpha15."""
+    return ThermalAwareScheduler(
+        alpha_soc, simulator=alpha_simulator, session_model=alpha_session_model
+    )

@@ -1,0 +1,83 @@
+"""Unit tests for the Gantt renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gantt import ACTIVE, IDLE, render_gantt, render_utilisation
+from repro.core.session import TestSchedule, TestSession
+from repro.errors import SchedulingError
+from repro.floorplan.generator import grid_floorplan
+from repro.power.generator import uniform_test_power_profile
+from repro.soc.system import SocUnderTest
+
+
+@pytest.fixture(scope="module")
+def soc():
+    plan = grid_floorplan(1, 3)
+    return SocUnderTest.from_profile(
+        plan, uniform_test_power_profile(plan, 10.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def schedule(soc):
+    return TestSchedule(
+        [
+            TestSession(cores=("C0_0", "C0_1"), duration_s=1.0),
+            TestSession(cores=("C0_2",), duration_s=1.0),
+        ],
+        soc,
+    )
+
+
+class TestRenderGantt:
+    def test_rows_for_every_core(self, schedule, soc):
+        text = render_gantt(schedule)
+        for name in soc.core_names:
+            assert name in text
+
+    def test_active_and_idle_glyphs(self, schedule):
+        text = render_gantt(schedule, seconds_per_column=0.5)
+        lines = {line.split()[0]: line for line in text.splitlines() if "|" in line}
+        # C0_0 active in session 1 (first 2 cols), idle in session 2.
+        row = lines["C0_0"].split("|")[1]
+        assert row == ACTIVE * 2 + IDLE * 2
+        row2 = lines["C0_2"].split("|")[1]
+        assert row2 == IDLE * 2 + ACTIVE * 2
+
+    def test_session_summary_lines(self, schedule):
+        text = render_gantt(schedule)
+        assert "session 1: [C0_0, C0_1]" in text
+        assert "max concurrency: 2" in text
+
+    def test_temperature_and_margin_annotations(self, soc):
+        annotated = TestSchedule(
+            [
+                TestSession(cores=("C0_0", "C0_1"), duration_s=1.0)
+                .with_temperatures({"C0_0": 100.0, "C0_1": 110.0}),
+                TestSession(cores=("C0_2",), duration_s=1.0)
+                .with_temperatures({"C0_2": 90.0}),
+            ],
+            soc,
+        )
+        text = render_gantt(annotated, limit_c=120.0)
+        assert "max 110.00 degC" in text
+        assert "margin +10.00" in text
+
+    def test_bad_resolution_rejected(self, schedule):
+        with pytest.raises(SchedulingError):
+            render_gantt(schedule, seconds_per_column=0.0)
+
+
+class TestUtilisation:
+    def test_sequentialish_schedule(self, schedule):
+        # 3 core-seconds of testing over 3 cores x 2 s = 0.5.
+        text = render_utilisation(schedule)
+        assert "0.50" in text
+
+    def test_fully_concurrent_schedule(self, soc):
+        one = TestSchedule(
+            [TestSession(cores=("C0_0", "C0_1", "C0_2"), duration_s=1.0)], soc
+        )
+        assert "1.00" in render_utilisation(one)

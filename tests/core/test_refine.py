@@ -1,0 +1,115 @@
+"""Unit + integration tests for the budgeted schedule refiner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import sequential_schedule
+from repro.core.refine import ScheduleRefiner
+from repro.core.safety import audit_schedule
+from repro.errors import SchedulingError
+from repro.floorplan.generator import grid_floorplan
+from repro.power.generator import uniform_test_power_profile
+from repro.soc.system import SocUnderTest
+from repro.thermal.simulator import ThermalSimulator
+
+
+@pytest.fixture(scope="module")
+def soc():
+    plan = grid_floorplan(2, 2)
+    return SocUnderTest.from_profile(
+        plan, uniform_test_power_profile(plan, 25.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def simulator(soc):
+    return ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+
+
+class TestRefinerValidation:
+    def test_tl_below_ambient_rejected(self, soc, simulator):
+        with pytest.raises(SchedulingError):
+            ScheduleRefiner(soc, simulator, tl_c=20.0)
+
+    def test_negative_budget_rejected(self, soc, simulator):
+        refiner = ScheduleRefiner(soc, simulator, tl_c=150.0)
+        with pytest.raises(SchedulingError):
+            refiner.refine(sequential_schedule(soc), effort_budget_s=-1.0)
+
+
+class TestRefinement:
+    def test_zero_budget_is_identity(self, soc, simulator):
+        refiner = ScheduleRefiner(soc, simulator, tl_c=150.0)
+        base = sequential_schedule(soc)
+        result = refiner.refine(base, effort_budget_s=0.0)
+        assert result.length_s == base.length_s
+        assert result.effort_spent_s == 0.0
+        assert result.steps == ()
+
+    def test_generous_budget_fully_merges_when_cool(self, soc, simulator):
+        """At a loose TL, everything fits one session and the refiner
+        should find that."""
+        refiner = ScheduleRefiner(soc, simulator, tl_c=300.0)
+        result = refiner.refine(sequential_schedule(soc), effort_budget_s=50.0)
+        assert len(result.schedule) == 1
+        assert result.length_s == pytest.approx(1.0)
+
+    def test_never_lengthens(self, soc, simulator):
+        refiner = ScheduleRefiner(soc, simulator, tl_c=130.0)
+        base = sequential_schedule(soc)
+        result = refiner.refine(base, effort_budget_s=20.0)
+        assert result.length_s <= base.length_s
+
+    def test_result_is_thermally_safe(self, soc, simulator):
+        tl_c = 130.0
+        refiner = ScheduleRefiner(soc, simulator, tl_c=tl_c)
+        result = refiner.refine(sequential_schedule(soc), effort_budget_s=30.0)
+        audit = audit_schedule(result.schedule, tl_c, simulator)
+        assert audit.is_safe
+
+    def test_result_is_a_partition(self, soc, simulator):
+        refiner = ScheduleRefiner(soc, simulator, tl_c=140.0)
+        result = refiner.refine(sequential_schedule(soc), effort_budget_s=30.0)
+        tested = sorted(c for s in result.schedule for c in s.cores)
+        assert tested == sorted(soc.core_names)
+
+    def test_effort_respects_budget_granularity(self, soc, simulator):
+        """Spending stops once the budget is reached; each attempt costs
+        its session duration, so total spend is bounded by budget plus
+        one session."""
+        refiner = ScheduleRefiner(soc, simulator, tl_c=300.0)
+        result = refiner.refine(sequential_schedule(soc), effort_budget_s=2.0)
+        assert result.effort_spent_s <= 2.0 + 1.0
+
+    def test_steps_recorded_with_lengths(self, soc, simulator):
+        refiner = ScheduleRefiner(soc, simulator, tl_c=300.0)
+        result = refiner.refine(sequential_schedule(soc), effort_budget_s=50.0)
+        assert result.steps
+        lengths = [step.length_after_s for step in result.steps]
+        assert lengths == sorted(lengths, reverse=True)
+        assert result.steps[-1].length_after_s == result.length_s
+
+    def test_budget_monotone_in_quality(self, soc, simulator):
+        """More budget never yields a longer schedule."""
+        refiner = ScheduleRefiner(soc, simulator, tl_c=300.0)
+        base = sequential_schedule(soc)
+        previous = base.length_s
+        for budget in (0.0, 2.0, 5.0, 20.0):
+            result = refiner.refine(base, effort_budget_s=budget)
+            assert result.length_s <= previous
+            previous = result.length_s
+
+
+class TestRefinementOnAlpha15:
+    def test_improves_tight_stcl_schedule(self, alpha_soc, alpha_scheduler):
+        base = alpha_scheduler.schedule(tl_c=165.0, stcl=20.0)
+        refiner = ScheduleRefiner(
+            alpha_soc, alpha_scheduler.simulator, tl_c=165.0
+        )
+        refined = refiner.refine(base.schedule, effort_budget_s=20.0)
+        assert refined.length_s <= base.length_s
+        audit = audit_schedule(
+            refined.schedule, 165.0, alpha_scheduler.simulator
+        )
+        assert audit.is_safe

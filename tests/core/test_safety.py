@@ -1,0 +1,117 @@
+"""Unit tests for schedule auditing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.baselines import (
+    PowerConstrainedConfig,
+    PowerConstrainedScheduler,
+    maximally_concurrent_schedule,
+    sequential_schedule,
+)
+from repro.core.safety import annotate_schedule, audit_schedule
+from repro.floorplan.generator import grid_floorplan
+from repro.power.generator import uniform_test_power_profile
+from repro.soc.system import SocUnderTest
+from repro.thermal.simulator import ThermalSimulator
+
+
+@pytest.fixture(scope="module")
+def soc() -> SocUnderTest:
+    plan = grid_floorplan(2, 2)
+    return SocUnderTest.from_profile(
+        plan, uniform_test_power_profile(plan, 40.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def simulator(soc) -> ThermalSimulator:
+    return ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+
+
+class TestAuditSchedule:
+    def test_sequential_is_safer_than_concurrent(self, soc, simulator):
+        seq = audit_schedule(sequential_schedule(soc), 200.0, simulator)
+        conc = audit_schedule(maximally_concurrent_schedule(soc), 200.0, simulator)
+        assert seq.max_temperature_c < conc.max_temperature_c
+
+    def test_violations_detected(self, soc, simulator):
+        concurrent = maximally_concurrent_schedule(soc)
+        peak = audit_schedule(concurrent, 1000.0, simulator).max_temperature_c
+        audit = audit_schedule(concurrent, peak - 1.0, simulator)
+        assert not audit.is_safe
+        assert audit.hot_spot_rate == pytest.approx(1.0)
+        assert audit.margin_c < 0.0
+        assert len(audit.violating_sessions) == 1
+
+    def test_safe_schedule_reports_safe(self, soc, simulator):
+        audit = audit_schedule(sequential_schedule(soc), 500.0, simulator)
+        assert audit.is_safe
+        assert audit.hot_spot_rate == 0.0
+        assert audit.margin_c > 0.0
+
+    def test_passive_blocks_cooler_than_actives(self, soc, simulator):
+        """Supports the paper's modification M3: during a session the
+        passive blocks sit near ambient relative to the actives."""
+        audit = audit_schedule(sequential_schedule(soc), 500.0, simulator)
+        for session_audit in audit.sessions:
+            assert (
+                session_audit.max_passive_temperature_c
+                < session_audit.max_temperature_c
+            )
+
+    def test_single_session_schedule_has_nan_passive(self, soc, simulator):
+        audit = audit_schedule(
+            maximally_concurrent_schedule(soc), 500.0, simulator
+        )
+        assert math.isnan(audit.sessions[0].max_passive_temperature_c)
+
+    def test_describe(self, soc, simulator):
+        audit = audit_schedule(sequential_schedule(soc), 500.0, simulator)
+        text = audit.describe()
+        assert "SAFE" in text
+
+    def test_builds_simulator_when_missing(self, soc):
+        audit = audit_schedule(sequential_schedule(soc), 500.0)
+        assert audit.is_safe
+
+
+class TestAnnotate:
+    def test_annotation_fills_temperatures(self, soc, simulator):
+        schedule = sequential_schedule(soc)
+        assert math.isnan(schedule.max_temperature_c)
+        annotated = annotate_schedule(schedule, simulator)
+        assert not math.isnan(annotated.max_temperature_c)
+        assert len(annotated) == len(schedule)
+
+    def test_annotation_matches_audit(self, soc, simulator):
+        schedule = maximally_concurrent_schedule(soc)
+        annotated = annotate_schedule(schedule, simulator)
+        audit = audit_schedule(schedule, 500.0, simulator)
+        assert annotated.max_temperature_c == pytest.approx(
+            audit.max_temperature_c
+        )
+
+
+class TestPowerConstrainedBlindSpot:
+    """The Figure 1 claim as an executable statement on the real SoC."""
+
+    def test_power_safe_schedule_can_be_thermally_unsafe(self, hypo_soc):
+        scheduler = PowerConstrainedScheduler(
+            hypo_soc, PowerConstrainedConfig(power_limit_w=45.0, sort_descending=False)
+        )
+        schedule = scheduler.schedule()
+        # Every session satisfies the cap...
+        for session in schedule:
+            assert hypo_soc.total_test_power_w(session.cores) <= 45.0
+        # ...but the audit against a limit between the cool and hot
+        # session peaks flags violations.
+        audit_loose = audit_schedule(schedule, 1000.0)
+        hot = audit_loose.max_temperature_c
+        cool = min(a.max_temperature_c for a in audit_loose.sessions)
+        middle = (hot + cool) / 2.0
+        audit_tight = audit_schedule(schedule, middle)
+        assert not audit_tight.is_safe

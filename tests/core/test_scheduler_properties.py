@@ -1,0 +1,124 @@
+"""Property-based tests: Algorithm 1 on randomly generated SoCs.
+
+These are the strongest correctness guarantees in the suite: for *any*
+slicing floorplan, seeded power profile and (TL, STCL) drawn from wide
+ranges, the scheduler must terminate with a valid, thermally safe
+partition and coherent metrics — or fail with the specific exceptions
+its contract names.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import SchedulerConfig, ThermalAwareScheduler
+from repro.errors import CoreThermalViolationError, ScheduleInfeasibleError
+from repro.floorplan.generator import slicing_floorplan
+from repro.power.generator import PowerGeneratorConfig, generate_power_profile
+from repro.soc.system import SocUnderTest
+
+
+def build_random_soc(n_cores: int, seed: int, power_scale: float) -> SocUnderTest:
+    plan = slicing_floorplan(n_cores, seed=seed)
+    profile = generate_power_profile(plan, PowerGeneratorConfig(seed=seed))
+    if power_scale != 1.0:
+        profile = profile.scaled(power_scale)
+    return SocUnderTest.from_profile(plan, profile)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n_cores=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+    power_scale=st.floats(min_value=0.5, max_value=3.0),
+    tl_c=st.floats(min_value=80.0, max_value=250.0),
+    stcl=st.floats(min_value=5.0, max_value=5_000.0),
+)
+def test_scheduler_contract_on_random_socs(n_cores, seed, power_scale, tl_c, stcl):
+    """Termination + partition + safety + metric coherence, or the
+    documented exceptions."""
+    soc = build_random_soc(n_cores, seed, power_scale)
+    scheduler = ThermalAwareScheduler(
+        soc, config=SchedulerConfig(max_discards=2_000)
+    )
+    try:
+        result = scheduler.schedule(tl_c=tl_c, stcl=stcl)
+    except CoreThermalViolationError as err:
+        # Contract: only raised when that core really is too hot alone.
+        assert err.max_temperature_c >= tl_c
+        return
+    except ScheduleInfeasibleError:
+        # Permitted outcome under the discard cap; nothing to check.
+        return
+
+    # 1. The schedule is a partition of the cores.
+    tested = sorted(c for s in result.schedule for c in s.cores)
+    assert tested == sorted(soc.core_names)
+
+    # 2. Every committed session is thermally safe per its annotations.
+    for session in result.schedule:
+        assert session.max_temperature_c < tl_c
+
+    # 3. Metrics are coherent.
+    assert result.length_s == pytest.approx(result.schedule.length_s)
+    assert result.effort_s >= result.length_s - 1e-9
+    discarded_time = sum(d.duration_s for d in result.discarded)
+    assert result.effort_s == pytest.approx(result.length_s + discarded_time)
+
+    # 4. Weights only ever grow from 1.0.
+    assert all(w >= 1.0 for w in result.weights.values())
+
+    # 5. Phase-A temperatures are below TL (or we would have raised).
+    assert all(t < tl_c for t in result.bcmt_c.values())
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n_cores=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_schedule_independently_revalidates(n_cores, seed):
+    """Re-simulating committed sessions (fresh simulator) reproduces
+    the annotated temperatures: the scheduler does not mis-report."""
+    from repro.core.safety import audit_schedule
+
+    soc = build_random_soc(n_cores, seed, power_scale=1.0)
+    scheduler = ThermalAwareScheduler(soc)
+    try:
+        result = scheduler.schedule(tl_c=200.0, stcl=1_000.0)
+    except (CoreThermalViolationError, ScheduleInfeasibleError):
+        return
+    audit = audit_schedule(result.schedule, limit_c=200.0)
+    assert audit.is_safe
+    assert audit.max_temperature_c == pytest.approx(result.max_temperature_c)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n_cores=st.integers(min_value=3, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_tighter_stcl_never_shortens_schedule(n_cores, seed):
+    """For a fixed SoC and TL, halving STCL cannot produce a *shorter*
+    schedule when both runs are violation-free (pure STC packing is
+    monotone in the limit)."""
+    soc = build_random_soc(n_cores, seed, power_scale=0.5)  # cool: no violations
+    scheduler = ThermalAwareScheduler(soc)
+    loose = scheduler.schedule(tl_c=300.0, stcl=1_000.0)
+    tight = scheduler.schedule(tl_c=300.0, stcl=50.0)
+    if loose.n_discarded == 0 and tight.n_discarded == 0:
+        assert tight.n_sessions >= loose.n_sessions

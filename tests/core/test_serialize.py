@@ -1,0 +1,122 @@
+"""Unit tests for schedule / result JSON serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.scheduler import ThermalAwareScheduler
+from repro.core.serialize import (
+    SCHEMA_VERSION,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.core.session import TestSchedule, TestSession
+from repro.errors import SchedulingError
+from repro.floorplan.generator import grid_floorplan
+from repro.power.generator import uniform_test_power_profile
+from repro.soc.system import SocUnderTest
+
+
+@pytest.fixture(scope="module")
+def soc():
+    plan = grid_floorplan(2, 2)
+    return SocUnderTest.from_profile(
+        plan, uniform_test_power_profile(plan, 30.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def result(soc):
+    return ThermalAwareScheduler(soc).schedule(tl_c=130.0, stcl=50.0)
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip_preserves_structure(self, soc, result):
+        data = schedule_to_dict(result.schedule)
+        loaded = schedule_from_dict(data, soc)
+        assert len(loaded) == len(result.schedule)
+        for original, restored in zip(result.schedule, loaded):
+            assert restored.cores == original.cores
+            assert restored.duration_s == original.duration_s
+            assert restored.max_temperature_c == pytest.approx(
+                original.max_temperature_c
+            )
+
+    def test_unannotated_sessions_survive(self, soc):
+        schedule = TestSchedule(
+            [
+                TestSession(cores=("C0_0", "C0_1"), duration_s=1.0),
+                TestSession(cores=("C1_0", "C1_1"), duration_s=1.0),
+            ],
+            soc,
+        )
+        loaded = schedule_from_dict(schedule_to_dict(schedule), soc)
+        assert loaded.sessions[0].core_temperatures_c == {}
+
+    def test_wrong_schema_version_rejected(self, soc, result):
+        data = schedule_to_dict(result.schedule)
+        data["schema_version"] = 999
+        with pytest.raises(SchedulingError, match="schema version"):
+            schedule_from_dict(data, soc)
+
+    def test_loaded_schedule_revalidated(self, soc, result):
+        data = schedule_to_dict(result.schedule)
+        data["sessions"][0]["cores"].append("ghost")
+        with pytest.raises(SchedulingError):
+            schedule_from_dict(data, soc)
+
+
+class TestResultRoundTrip:
+    def test_metrics_preserved(self, soc, result):
+        restored = result_from_dict(result_to_dict(result), soc)
+        assert restored.tl_c == result.tl_c
+        assert restored.stcl == result.stcl
+        assert restored.length_s == result.length_s
+        assert restored.effort_s == result.effort_s
+        assert restored.max_temperature_c == pytest.approx(
+            result.max_temperature_c
+        )
+        assert restored.weights == pytest.approx(dict(result.weights))
+        assert restored.bcmt_c == pytest.approx(dict(result.bcmt_c))
+
+    def test_discards_preserved(self, soc, result):
+        restored = result_from_dict(result_to_dict(result), soc)
+        assert len(restored.discarded) == result.n_discarded
+        for original, loaded in zip(result.discarded, restored.discarded):
+            assert loaded.cores == original.cores
+            assert loaded.violators == original.violators
+
+    def test_json_serialisable(self, result):
+        text = json.dumps(result_to_dict(result))
+        assert "schema_version" in text
+
+    def test_file_round_trip(self, soc, result, tmp_path):
+        path = tmp_path / "runs" / "result.json"
+        save_result(result, path)
+        restored = load_result(path, soc)
+        assert restored.length_s == result.length_s
+
+    def test_load_missing_file(self, soc, tmp_path):
+        with pytest.raises(SchedulingError, match="cannot load"):
+            load_result(tmp_path / "nope.json", soc)
+
+    def test_load_corrupt_json(self, soc, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SchedulingError, match="cannot load"):
+            load_result(path, soc)
+
+    def test_wrong_version_rejected(self, soc, result):
+        data = result_to_dict(result)
+        data["schema_version"] = 0
+        with pytest.raises(SchedulingError, match="schema version"):
+            result_from_dict(data, soc)
+
+    def test_schema_version_constant(self):
+        assert SCHEMA_VERSION == 1

@@ -1,0 +1,138 @@
+"""Unit tests for the TestSession / TestSchedule data model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.session import TestSchedule, TestSession
+from repro.errors import SchedulingError
+from repro.floorplan.generator import grid_floorplan
+from repro.power.generator import uniform_test_power_profile
+from repro.soc.system import SocUnderTest
+
+
+@pytest.fixture(scope="module")
+def quad_soc() -> SocUnderTest:
+    plan = grid_floorplan(2, 2)
+    return SocUnderTest.from_profile(
+        plan, uniform_test_power_profile(plan, 10.0)
+    )
+
+
+class TestTestSession:
+    def test_basic(self):
+        session = TestSession(cores=("a", "b"), duration_s=1.0)
+        assert len(session) == 2
+        assert "a" in session
+        assert session.core_set() == frozenset({"a", "b"})
+        assert math.isnan(session.max_temperature_c)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            TestSession(cores=(), duration_s=1.0)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchedulingError, match="duplicate"):
+            TestSession(cores=("a", "a"), duration_s=1.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(SchedulingError):
+            TestSession(cores=("a",), duration_s=0.0)
+
+    def test_with_temperatures(self):
+        session = TestSession(cores=("a", "b"), duration_s=1.0)
+        annotated = session.with_temperatures({"a": 100.0, "b": 120.0, "c": 1.0})
+        assert annotated.max_temperature_c == pytest.approx(120.0)
+        assert annotated.core_temperatures_c == {"a": 100.0, "b": 120.0}
+
+    def test_with_temperatures_missing_core_rejected(self):
+        session = TestSession(cores=("a", "b"), duration_s=1.0)
+        with pytest.raises(SchedulingError, match="missing"):
+            session.with_temperatures({"a": 100.0})
+
+    def test_describe(self):
+        session = TestSession(cores=("a",), duration_s=2.0)
+        assert "unsimulated" in session.describe()
+        annotated = session.with_temperatures({"a": 99.0})
+        assert "99.00" in annotated.describe()
+
+
+class TestTestSchedule:
+    def test_valid_partition(self, quad_soc):
+        schedule = TestSchedule(
+            [
+                TestSession(cores=("C0_0", "C0_1"), duration_s=1.0),
+                TestSession(cores=("C1_0", "C1_1"), duration_s=1.0),
+            ],
+            quad_soc,
+        )
+        assert len(schedule) == 2
+        assert schedule.length_s == pytest.approx(2.0)
+        assert schedule.max_concurrency == 2
+
+    def test_double_tested_core_rejected(self, quad_soc):
+        with pytest.raises(SchedulingError, match="more than once"):
+            TestSchedule(
+                [
+                    TestSession(cores=("C0_0", "C0_1"), duration_s=1.0),
+                    TestSession(cores=("C0_0", "C1_0", "C1_1"), duration_s=1.0),
+                ],
+                quad_soc,
+            )
+
+    def test_missing_core_rejected(self, quad_soc):
+        with pytest.raises(SchedulingError, match="never tested"):
+            TestSchedule(
+                [TestSession(cores=("C0_0",), duration_s=1.0)], quad_soc
+            )
+
+    def test_unknown_core_rejected(self, quad_soc):
+        with pytest.raises(SchedulingError, match="unknown"):
+            TestSchedule(
+                [
+                    TestSession(
+                        cores=("C0_0", "C0_1", "C1_0", "C1_1", "ghost"),
+                        duration_s=1.0,
+                    )
+                ],
+                quad_soc,
+            )
+
+    def test_session_of(self, quad_soc):
+        schedule = TestSchedule(
+            [
+                TestSession(cores=("C0_0", "C0_1"), duration_s=1.0),
+                TestSession(cores=("C1_0", "C1_1"), duration_s=1.0),
+            ],
+            quad_soc,
+        )
+        assert "C1_0" in schedule.session_of("C1_0")
+        with pytest.raises(SchedulingError):
+            schedule.session_of("ghost")
+
+    def test_max_temperature_nan_until_all_simulated(self, quad_soc):
+        simulated = TestSession(
+            cores=("C0_0", "C0_1"), duration_s=1.0
+        ).with_temperatures({"C0_0": 80.0, "C0_1": 85.0})
+        raw = TestSession(cores=("C1_0", "C1_1"), duration_s=1.0)
+        schedule = TestSchedule([simulated, raw], quad_soc)
+        assert math.isnan(schedule.max_temperature_c)
+
+    def test_length_uses_durations(self, quad_soc):
+        schedule = TestSchedule(
+            [
+                TestSession(cores=("C0_0", "C0_1"), duration_s=2.5),
+                TestSession(cores=("C1_0", "C1_1"), duration_s=1.0),
+            ],
+            quad_soc,
+        )
+        assert schedule.length_s == pytest.approx(3.5)
+
+    def test_describe(self, quad_soc):
+        schedule = TestSchedule(
+            [TestSession(cores=("C0_0", "C0_1", "C1_0", "C1_1"), duration_s=1.0)],
+            quad_soc,
+        )
+        assert "1 sessions" in schedule.describe()

@@ -1,0 +1,126 @@
+"""Tests for the transient-validation scheduler mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, ThermalAwareScheduler
+from repro.errors import SchedulingError
+from repro.experiments.transient_scheduling import (
+    report_transient_scheduling,
+    run_transient_scheduling,
+)
+from repro.floorplan.generator import grid_floorplan
+from repro.power.generator import uniform_test_power_profile
+from repro.soc.system import SocUnderTest
+from repro.thermal.simulator import ThermalSimulator
+
+
+@pytest.fixture(scope="module")
+def soc():
+    plan = grid_floorplan(2, 2)
+    return SocUnderTest.from_profile(
+        plan, uniform_test_power_profile(plan, 40.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def simulator(soc):
+    return ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+
+
+class TestTransientMode:
+    def test_bad_dt_rejected(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(transient_dt_s=0.0)
+
+    def test_transient_packs_at_least_as_hard(self, soc, simulator):
+        """M1 is conservative, so transient validation never yields a
+        longer schedule than steady validation at the same limits."""
+        steady = ThermalAwareScheduler(
+            soc, simulator=simulator,
+            config=SchedulerConfig(validation="steady"),
+        ).schedule(tl_c=120.0, stcl=1e6)
+        transient = ThermalAwareScheduler(
+            soc, simulator=simulator,
+            config=SchedulerConfig(validation="transient"),
+        ).schedule(tl_c=120.0, stcl=1e6)
+        assert transient.n_sessions <= steady.n_sessions
+
+    def test_transient_annotations_below_tl(self, soc, simulator):
+        result = ThermalAwareScheduler(
+            soc, simulator=simulator,
+            config=SchedulerConfig(validation="transient"),
+        ).schedule(tl_c=120.0, stcl=1e6)
+        for session in result.schedule:
+            assert session.max_temperature_c < 120.0
+
+    def test_transient_peaks_verified_independently(self, soc, simulator):
+        """The annotated temperatures equal fresh transient peaks."""
+        result = ThermalAwareScheduler(
+            soc, simulator=simulator,
+            config=SchedulerConfig(validation="transient"),
+        ).schedule(tl_c=120.0, stcl=1e6)
+        for session in result.schedule:
+            peaks = simulator.block_peak_transient_c(
+                soc.session_power_map(session.cores),
+                session.duration_s,
+                dt=1e-2,
+            )
+            for core in session.cores:
+                assert session.core_temperatures_c[core] == pytest.approx(
+                    peaks[core]
+                )
+
+    def test_tl_between_transient_and_steady_separates_modes(
+        self, soc, simulator
+    ):
+        """Pick TL between the all-active transient peak and steady
+        peak: transient mode fits everything in one session, steady
+        mode must split."""
+        power = soc.test_power_map()
+        steady_peak = simulator.steady_state(power).max_temperature_c()
+        transient_peak = max(
+            simulator.block_peak_transient_c(power, 1.0, dt=1e-2).values()
+        )
+        assert transient_peak < steady_peak
+        tl_c = (transient_peak + steady_peak) / 2.0
+
+        transient = ThermalAwareScheduler(
+            soc, simulator=simulator,
+            config=SchedulerConfig(validation="transient"),
+        ).schedule(tl_c=tl_c, stcl=1e6)
+        steady = ThermalAwareScheduler(
+            soc, simulator=simulator,
+            config=SchedulerConfig(validation="steady"),
+        ).schedule(tl_c=tl_c, stcl=1e6)
+        assert transient.n_sessions == 1
+        assert steady.n_sessions > 1
+
+
+class TestTransientStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_transient_scheduling(probe_grid=((165.0, 60.0),))
+
+    def test_both_modes_present(self, points):
+        assert {p.validation for p in points} == {"steady", "transient"}
+
+    def test_transient_shorter_or_equal(self, points):
+        steady = next(p for p in points if p.validation == "steady")
+        transient = next(p for p in points if p.validation == "transient")
+        assert transient.length_s <= steady.length_s
+
+    def test_peak_during_test_below_tl_in_both(self, points):
+        for p in points:
+            assert p.transient_peak_c < p.tl_c
+
+    def test_steady_mode_equilibrium_safe_transient_not_necessarily(
+        self, points
+    ):
+        steady = next(p for p in points if p.validation == "steady")
+        assert steady.steady_peak_c < steady.tl_c
+
+    def test_report_renders(self, points):
+        text = report_transient_scheduling(points)
+        assert "equilibrium" in text

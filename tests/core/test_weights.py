@@ -1,0 +1,83 @@
+"""Unit tests for the adaptive weight store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.weights import PAPER_WEIGHT_FACTOR, WeightStore
+from repro.errors import SchedulingError
+
+
+class TestConstruction:
+    def test_initial_weights_are_one(self):
+        store = WeightStore(["a", "b"])
+        assert store["a"] == 1.0
+        assert store["b"] == 1.0
+        assert store.max_weight() == 1.0
+
+    def test_paper_factor_default(self):
+        assert WeightStore(["a"]).factor == PAPER_WEIGHT_FACTOR == 1.1
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            WeightStore([])
+
+    def test_shrinking_factor_rejected(self):
+        with pytest.raises(SchedulingError):
+            WeightStore(["a"], factor=0.9)
+
+    def test_unknown_core_rejected(self):
+        store = WeightStore(["a"])
+        with pytest.raises(SchedulingError):
+            store["b"]
+        assert "a" in store
+        assert "b" not in store
+
+
+class TestPenalisation:
+    def test_single_penalty_is_paper_rule(self):
+        store = WeightStore(["a", "b"])
+        new = store.penalise("a", iteration=1)
+        assert new == pytest.approx(1.1)
+        assert store["a"] == pytest.approx(1.1)
+        assert store["b"] == 1.0  # untouched
+
+    def test_penalties_compound(self):
+        store = WeightStore(["a"])
+        for i in range(5):
+            store.penalise("a", iteration=i)
+        assert store["a"] == pytest.approx(1.1**5)
+
+    def test_penalise_all(self):
+        store = WeightStore(["a", "b", "c"])
+        store.penalise_all(["a", "c"], iteration=3)
+        assert store["a"] == pytest.approx(1.1)
+        assert store["b"] == 1.0
+        assert store["c"] == pytest.approx(1.1)
+
+    def test_factor_one_disables_feedback(self):
+        store = WeightStore(["a"], factor=1.0)
+        store.penalise("a", iteration=1)
+        assert store["a"] == 1.0
+        assert store.total_penalisations == 1  # still audited
+
+
+class TestAudit:
+    def test_events_recorded_in_order(self):
+        store = WeightStore(["a", "b"])
+        store.penalise("b", iteration=1)
+        store.penalise("a", iteration=2)
+        store.penalise("b", iteration=2)
+        events = store.events
+        assert [(e.core, e.iteration) for e in events] == [
+            ("b", 1),
+            ("a", 2),
+            ("b", 2),
+        ]
+        assert events[2].new_weight == pytest.approx(1.21)
+
+    def test_snapshot_is_independent(self):
+        store = WeightStore(["a"])
+        snap = store.as_mapping()
+        store.penalise("a", iteration=1)
+        assert snap["a"] == 1.0

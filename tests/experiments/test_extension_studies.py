@@ -1,0 +1,134 @@
+"""Integration tests for the extension studies (DESIGN.md section 7):
+M1 validation, baseline comparison, ablations and scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import report_ablations, run_ablations
+from repro.experiments.baseline_study import (
+    report_baseline_study,
+    run_baseline_study,
+)
+from repro.experiments.m1_validation import (
+    report_m1_validation,
+    run_m1_validation,
+)
+from repro.experiments.scaling import report_scaling_study, run_scaling_study
+
+
+class TestM1Validation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_m1_validation(cooling_gaps_s=(0.0, 1.0), dt=5e-3)
+
+    def test_bound_holds_from_ambient(self, report):
+        """The paper's M1 justification, verified numerically."""
+        assert report.ambient_bound_holds
+        for check in report.from_ambient:
+            assert check.min_margin_c >= 0.0
+
+    def test_bound_holds_back_to_back(self, report):
+        """Stronger than the paper claims: still a bound with heat
+        carry-over between sessions."""
+        assert report.back_to_back_holds
+
+    def test_cooling_gap_never_hurts(self, report):
+        gaps = [c.cooling_gap_s for c in report.with_carry_over]
+        margins = [c.min_margin_c for c in report.with_carry_over]
+        assert gaps == sorted(gaps)
+        assert margins[-1] >= margins[0]
+
+    def test_report_renders(self, report):
+        text = report_m1_validation(report)
+        assert "M1" in text
+        assert "bound holds" in text
+
+
+class TestBaselineStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_baseline_study()
+
+    def test_some_cap_is_unsafe(self, study):
+        """The paper's thesis: power caps alone do not guarantee
+        thermal safety — at least one swept cap overheats."""
+        assert study.unsafe_caps
+
+    def test_tightest_cap_is_safe_but_long(self, study):
+        tightest = study.points[0]
+        assert tightest.is_safe
+        assert tightest.length_s > study.thermal_length_s
+
+    def test_looser_caps_shorter_schedules(self, study):
+        lengths = [p.length_s for p in study.points]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_thermal_reference_safe(self, study):
+        assert study.thermal_peak_c < study.tl_c
+
+    def test_report_renders(self, study):
+        text = report_baseline_study(study)
+        assert "UNSAFE" in text
+        assert "thermal-aware reference" in text
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_ablations()
+
+    def test_all_variants_present(self, rows):
+        groups = {r.group for r in rows}
+        assert groups == {"weight-factor", "session-model", "candidate-order"}
+        assert len(rows) == 4 + 4 + 4
+
+    def test_paper_configuration_converges(self, rows):
+        paper = [r for r in rows if "(paper)" in r.variant]
+        assert paper
+        assert all(r.converged for r in paper)
+
+    def test_stronger_feedback_reduces_discards(self, rows):
+        by_factor = {
+            r.variant.split()[0]: r
+            for r in rows
+            if r.group == "weight-factor" and r.converged
+        }
+        assert by_factor["2"].total_discards < by_factor["1.1"].total_discards
+
+    def test_no_m3_is_most_conservative(self, rows):
+        """Removing passive-neighbour grounding (no M3) leaves almost no
+        modelled escape paths, driving schedules toward sequential."""
+        by_variant = {r.variant: r for r in rows if r.group == "session-model"}
+        paper = by_variant["paper (M2+M3, lateral)"]
+        no_m3 = by_variant["no M3 (float passives)"]
+        assert no_m3.total_length_s > paper.total_length_s
+        assert no_m3.total_discards <= paper.total_discards
+
+    def test_report_renders(self, rows):
+        text = report_ablations(rows)
+        assert "weight-factor" in text
+        assert "candidate-order" in text
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_scaling_study(sides=(3, 5))
+
+    def test_all_sizes_complete(self, points):
+        assert [p.n_cores for p in points] == [9, 25]
+
+    def test_speedup_over_sequential(self, points):
+        for point in points:
+            assert point.speedup_vs_sequential > 1.0
+            assert point.length_s < point.sequential_s
+
+    def test_effort_accounting(self, points):
+        for point in points:
+            assert point.effort_s >= point.length_s
+
+    def test_report_renders(self, points):
+        text = report_scaling_study(points)
+        assert "cores" in text
+        assert "vs sequential" in text

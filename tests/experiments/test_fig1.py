@@ -1,0 +1,49 @@
+"""Integration tests for the Figure 1 experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig1 import report_fig1, run_fig1
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig1()
+
+
+class TestFig1Shape:
+    """The paper's claims, as assertions on the regenerated experiment."""
+
+    def test_both_sessions_power_safe(self, result):
+        assert result.hot_accepted
+        assert result.cool_accepted
+        assert result.hot_power_w == pytest.approx(45.0)
+        assert result.cool_power_w == pytest.approx(45.0)
+
+    def test_hot_session_much_hotter(self, result):
+        """Paper: 125.5 vs 67.5 degC.  Shape target: a large gap, with
+        the dense cluster on the hot side."""
+        assert result.hot_max_c > result.cool_max_c + 20.0
+
+    def test_discrepancy_metric(self, result):
+        assert result.discrepancy_c == pytest.approx(
+            result.hot_max_c - result.cool_max_c
+        )
+
+    def test_rise_ratio_tracks_density_ratio(self, result):
+        """Power density differs 4x; the temperature rises over ambient
+        should differ substantially (paper's ratio was about 3.6x)."""
+        ambient = 45.0
+        ratio = (result.hot_max_c - ambient) / (result.cool_max_c - ambient)
+        assert ratio > 1.5
+
+    def test_report_renders(self, result):
+        text = report_fig1(result)
+        assert "TS1" in text and "TS2" in text
+        assert "45" in text
+
+    def test_as_dict_round_trip(self, result):
+        data = result.as_dict()
+        assert data["session_hot"] == "C2+C3+C4"
+        assert data["discrepancy_c"] == pytest.approx(result.discrepancy_c)

@@ -1,0 +1,73 @@
+"""Integration tests for the experiment harness CLI and calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.calibration import (
+    CalibrationReport,
+    report_calibration,
+    run_calibration,
+)
+from repro.experiments.harness import EXPERIMENTS, main
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def report(self) -> CalibrationReport:
+        return run_calibration()
+
+    def test_regime_is_bracketed(self, report):
+        """The frozen constants must keep the paper's sweep in regime."""
+        assert report.brackets_paper_regime
+
+    def test_singleton_stcs_graded(self, report):
+        values = sorted(report.singleton_stc.values())
+        assert values[0] > 5.0  # nothing absurdly cold
+        assert values[-1] <= 20.0  # everything schedulable at STCL=20
+
+    def test_report_text(self, report):
+        text = report_calibration(report)
+        assert "calibration status: OK" in text
+
+
+class TestHarnessCli:
+    def test_registry_covers_all_artefacts(self):
+        assert set(EXPERIMENTS) == {
+            "calibration",
+            "fig1",
+            "worked-example",
+            "fig5",
+            "table1",
+            "m1-validation",
+            "baseline-study",
+            "ablations",
+            "scaling",
+            "model-accuracy",
+            "heterogeneous",
+            "optimality",
+            "grid-crosscheck",
+            "refinement",
+            "transient-scheduling",
+        }
+
+    def test_single_experiment(self, capsys):
+        exit_code = main(["fig1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        exit_code = main(["fig1", "--csv", str(tmp_path / "csv")])
+        assert exit_code == 0
+        assert (tmp_path / "csv" / "fig1.csv").exists()
+        assert (tmp_path / "csv" / "table1.csv").exists()
+        assert (tmp_path / "csv" / "fig5.csv").exists()
+        assert (tmp_path / "csv" / "worked_example.csv").exists()
+
+    def test_default_runs_everything(self, capsys):
+        exit_code = main([])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert f"== {name}" in out

@@ -1,0 +1,108 @@
+"""Integration tests for the model-accuracy, heterogeneous-test-time
+and optimality studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.heterogeneous import (
+    TEST_TIME_RANGE_S,
+    heterogeneous_alpha15,
+    report_heterogeneous_study,
+    run_heterogeneous_study,
+    wasted_tester_time_s,
+)
+from repro.experiments.model_accuracy import (
+    report_model_accuracy,
+    run_model_accuracy,
+)
+from repro.experiments.optimality import (
+    report_optimality_study,
+    run_optimality_study,
+)
+
+
+class TestModelAccuracy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_model_accuracy(n_samples=120, seed=7)
+
+    def test_paper_model_ranks_well(self, rows):
+        """The central quantitative claim: STC is a faithful risk
+        ranking.  Spearman rho must be strongly positive."""
+        paper = next(r for r in rows if r.variant.startswith("paper"))
+        assert paper.spearman_rho > 0.7
+        assert paper.screening_accuracy > 0.8
+
+    def test_dropping_m2_degrades_ranking(self, rows):
+        paper = next(r for r in rows if r.variant.startswith("paper"))
+        no_m2 = next(r for r in rows if "no M2" in r.variant)
+        assert no_m2.spearman_rho < paper.spearman_rho
+
+    def test_dropping_m3_starves_the_model(self, rows):
+        """Without grounded passives, most sessions have no finite STC
+        — the model stops being usable as a screen."""
+        no_m3 = next(r for r in rows if "no M3" in r.variant)
+        assert no_m3.finite_fraction < 0.5
+
+    def test_report_renders(self, rows):
+        text = report_model_accuracy(rows)
+        assert "Spearman" in text
+
+
+class TestHeterogeneous:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_heterogeneous_study(stcl_values=(20.0, 60.0, 100.0))
+
+    def test_soc_has_varied_test_times(self):
+        soc = heterogeneous_alpha15()
+        times = {c.test_time_s for c in soc}
+        assert len(times) == len(soc)  # all distinct (continuous draw)
+        low, high = TEST_TIME_RANGE_S
+        assert all(low <= t <= high for t in times)
+
+    def test_length_not_equal_session_count(self, points):
+        """With heterogeneous times, seconds decouple from sessions."""
+        assert any(p.length_s != p.n_sessions for p in points)
+
+    def test_wasted_time_nonnegative(self, points):
+        for p in points:
+            assert p.wasted_s >= 0.0
+
+    def test_wasted_time_zero_for_singletons(self):
+        from repro.core.baselines import sequential_schedule
+
+        soc = heterogeneous_alpha15()
+        assert wasted_tester_time_s(sequential_schedule(soc)) == pytest.approx(0.0)
+
+    def test_both_orders_swept(self, points):
+        orders = {p.candidate_order for p in points}
+        assert orders == {"input", "power_desc"}
+
+    def test_report_renders(self, points):
+        text = report_heterogeneous_study(points)
+        assert "wasted" in text
+
+
+class TestOptimality:
+    @pytest.fixture(scope="class")
+    def cases(self):
+        return run_optimality_study(cases=((6, 1), (7, 3), (8, 5)))
+
+    def test_cases_complete(self, cases):
+        assert len(cases) == 3
+
+    def test_heuristic_never_beats_optimal(self, cases):
+        for case in cases:
+            assert case.heuristic_sessions >= case.optimal_sessions
+            assert case.gap >= 0
+
+    def test_mostly_optimal(self, cases):
+        """Algorithm 1 should match the optimum on most small cases."""
+        exact = sum(1 for c in cases if c.gap == 0)
+        assert exact >= len(cases) - 1
+
+    def test_report_renders(self, cases):
+        text = report_optimality_study(cases)
+        assert "optimal" in text

@@ -1,0 +1,87 @@
+"""Unit tests for experiment result records and the sweep grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.records import Fig1Result, SweepPoint, WorkedExampleRow
+from repro.experiments.sweep import SweepGrid
+
+
+def make_point(tl=145.0, stcl=20.0, length=6.0, effort=15.0, discarded=3):
+    return SweepPoint(
+        tl_c=tl,
+        stcl=stcl,
+        length_s=length,
+        effort_s=effort,
+        max_temperature_c=140.0,
+        n_sessions=int(length),
+        n_discarded=discarded,
+        forced_singletons=0,
+    )
+
+
+class TestSweepPoint:
+    def test_first_attempt_safe(self):
+        assert make_point(discarded=0).first_attempt_safe
+        assert not make_point(discarded=2).first_attempt_safe
+
+    def test_as_dict_keys(self):
+        data = make_point().as_dict()
+        assert data["tl_c"] == 145.0
+        assert data["effort_s"] == 15.0
+        assert "forced_singletons" in data
+
+
+class TestSweepGrid:
+    def test_rows_sorted_by_stcl(self):
+        grid = SweepGrid(
+            points=(
+                make_point(stcl=60.0),
+                make_point(stcl=20.0),
+                make_point(stcl=40.0),
+            )
+        )
+        row = grid.row(145.0)
+        assert [p.stcl for p in row] == [20.0, 40.0, 60.0]
+
+    def test_value_lists(self):
+        grid = SweepGrid(
+            points=(make_point(tl=145.0), make_point(tl=155.0))
+        )
+        assert grid.tl_values == (145.0, 155.0)
+        assert grid.stcl_values == (20.0,)
+
+
+class TestFig1Result:
+    def test_discrepancy(self):
+        result = Fig1Result(
+            power_limit_w=45.0,
+            session_hot=("C2", "C3", "C4"),
+            session_cool=("C5", "C6", "C7"),
+            hot_power_w=45.0,
+            cool_power_w=45.0,
+            hot_accepted=True,
+            cool_accepted=True,
+            hot_max_c=112.1,
+            cool_max_c=80.1,
+        )
+        assert result.discrepancy_c == pytest.approx(32.0)
+        data = result.as_dict()
+        assert data["session_cool"] == "C5+C6+C7"
+        assert data["discrepancy_c"] == pytest.approx(32.0)
+
+
+class TestWorkedExampleRow:
+    def test_as_dict_joins_neighbours(self):
+        row = WorkedExampleRow(
+            core="B4",
+            active_neighbours=("B5",),
+            passive_neighbours=("B1", "B6"),
+            equivalent_resistance=7.0,
+            thermal_characteristic=70.0,
+            stc_contribution=700.0,
+        )
+        data = row.as_dict()
+        assert data["active_neighbours"] == "B5"
+        assert data["passive_neighbours"] == "B1+B6"

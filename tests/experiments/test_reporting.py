@@ -1,0 +1,63 @@
+"""Unit tests for the reporting helpers."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.experiments.reporting import ascii_series_plot, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [("a", 1.0), ("long-name", 123.456)],
+            title="My table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "123.46" in text  # floats at 2 decimals
+        assert "long-name" in text
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_non_float_cells_stringified(self):
+        text = format_table(["k", "v"], [("x", 7), ("y", "str")])
+        assert " 7" in text and "str" in text
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out" / "rows.csv"
+        write_csv(path, [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "rows.csv", [])
+
+
+class TestAsciiPlot:
+    def test_renders_markers_and_legend(self):
+        text = ascii_series_plot(
+            {"up": {0.0: 0.0, 1.0: 1.0}, "down": {0.0: 1.0, 1.0: 0.0}},
+            width=20,
+            height=5,
+        )
+        assert "o = up" in text
+        assert "x = down" in text
+        assert "o" in text.splitlines()[1] or "o" in text
+
+    def test_constant_series_ok(self):
+        text = ascii_series_plot({"flat": {0.0: 5.0, 1.0: 5.0}}, width=10, height=3)
+        assert "flat" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series_plot({})

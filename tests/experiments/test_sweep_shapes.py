@@ -1,0 +1,171 @@
+"""Paper-shape integration tests over the Figure 5 / Table 1 sweep.
+
+These tests regenerate the full 81-point (TL, STCL) grid on the
+calibrated alpha15 SoC and assert the qualitative findings of the
+paper's evaluation section (DESIGN.md shape targets).  Absolute numbers
+legitimately differ from the paper (different RC constants and power
+values); the *shape* must not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5 import report_fig5, run_fig5
+from repro.experiments.sweep import (
+    PAPER_STCL_VALUES,
+    PAPER_TL_VALUES_C,
+    run_sweep,
+)
+from repro.experiments.table1 import PAPER_TABLE1, report_table1
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """The full Table 1 grid (81 scheduling runs, shared by the tests)."""
+    return run_sweep()
+
+
+class TestGridStructure:
+    def test_all_81_points_present(self, grid):
+        assert len(grid.points) == 81
+        assert grid.tl_values == PAPER_TL_VALUES_C
+        assert grid.stcl_values == PAPER_STCL_VALUES
+
+    def test_lookup(self, grid):
+        point = grid.at(165.0, 60.0)
+        assert point.tl_c == 165.0 and point.stcl == 60.0
+        with pytest.raises(KeyError):
+            grid.at(166.0, 60.0)
+        with pytest.raises(KeyError):
+            grid.row(111.0)
+
+    def test_deterministic(self):
+        a = run_sweep(tl_values_c=(165.0,), stcl_values=(40.0,))
+        b = run_sweep(tl_values_c=(165.0,), stcl_values=(40.0,))
+        assert a.points == b.points
+
+
+class TestThermalSafety:
+    def test_every_schedule_is_below_its_tl(self, grid):
+        """The defining property: all 81 generated schedules are
+        thermally safe."""
+        for point in grid.points:
+            assert point.max_temperature_c < point.tl_c
+
+    def test_effort_at_least_length(self, grid):
+        for point in grid.points:
+            assert point.effort_s >= point.length_s - 1e-9
+
+    def test_effort_equals_length_iff_no_discards(self, grid):
+        for point in grid.points:
+            if point.n_discarded == 0:
+                assert point.effort_s == pytest.approx(point.length_s)
+            else:
+                assert point.effort_s > point.length_s
+
+
+class TestPaperShapeTargets:
+    def test_tight_stcl_first_attempt_safe_at_high_tl(self, grid):
+        """Paper: 'for very tight constraints the simulation effort
+        equals the length of the generated test schedule'."""
+        for tl in (165.0, 175.0, 185.0):
+            point = grid.at(tl, 20.0)
+            assert point.n_discarded == 0
+            assert point.effort_s == pytest.approx(point.length_s)
+
+    def test_higher_tl_never_lengthens_schedule(self, grid):
+        """Paper: 'as TL is increased, the test schedules get shorter'."""
+        for stcl in grid.stcl_values:
+            tightest = grid.at(145.0, stcl).length_s
+            loosest = grid.at(185.0, stcl).length_s
+            assert loosest <= tightest
+
+    def test_relaxing_stcl_shortens_schedules_on_average(self, grid):
+        """Paper: 'relaxed (large) STCL values lead to short test
+        schedules'.  Asserted on the TL-averaged series (individual
+        rows show the same greedy noise the paper's own Table 1 has)."""
+        def average_length(stcl: float) -> float:
+            lengths = [grid.at(tl, stcl).length_s for tl in grid.tl_values]
+            return sum(lengths) / len(lengths)
+
+        assert average_length(100.0) < average_length(20.0)
+        assert average_length(60.0) <= average_length(20.0)
+
+    def test_relaxed_stcl_costs_more_effort_at_tight_tl(self, grid):
+        """Paper: '...at the expense of a significant simulation
+        effort', most visible at the tightest temperature limit."""
+        row = grid.row(145.0)
+        tight = row[0]  # STCL=20
+        loose = row[-1]  # STCL=100
+        assert loose.effort_s > tight.effort_s
+
+    def test_effort_grows_along_stcl_at_tight_tl(self, grid):
+        """Efforts trend upward with STCL at TL=145 (allowing greedy
+        noise: compare thirds of the row)."""
+        row = grid.row(145.0)
+        first_third = sum(p.effort_s for p in row[:3])
+        last_third = sum(p.effort_s for p in row[-3:])
+        assert last_third > first_third
+
+    def test_length_reduction_within_a_row(self, grid):
+        """Paper: 'reductions up to 3.5X in test schedule length can be
+        obtained' at fixed TL.  Our calibration reaches at least 2x
+        (documented difference: adjacency-bound tight-end lengths)."""
+        best_ratio = 0.0
+        for tl in grid.tl_values:
+            row = grid.row(tl)
+            lengths = [p.length_s for p in row]
+            best_ratio = max(best_ratio, max(lengths) / min(lengths))
+        assert best_ratio >= 2.0
+
+    def test_max_temperature_approaches_tl_for_loose_constraints(self, grid):
+        """Paper: 'the maximum temperature approaches TL especially for
+        very short test schedules'."""
+        row = grid.row(185.0)
+        closest = min(185.0 - p.max_temperature_c for p in row)
+        assert closest < 2.0
+
+    def test_tight_stcl_leaves_large_margin_at_high_tl(self, grid):
+        """Paper: 'for high TL and low STCL, the simulated maximum
+        temperature can be up to 35 degC below TL' — the STCL
+        constraint dominating TL."""
+        point = grid.at(185.0, 20.0)
+        assert 185.0 - point.max_temperature_c > 20.0
+
+    def test_schedule_lengths_span_paper_range(self, grid):
+        """Across the grid, lengths span from near-half-sequential to
+        2 sessions, like the paper's 7..2."""
+        lengths = {p.length_s for p in grid.points}
+        assert min(lengths) <= 2.0
+        assert max(lengths) >= 5.0
+
+
+class TestFig5Consistency:
+    def test_fig5_is_a_subset_of_table1(self, grid):
+        fig5 = run_fig5(stcl_values=(20.0, 60.0, 100.0))
+        for point in fig5.points:
+            table_point = grid.at(point.tl_c, point.stcl)
+            assert point.length_s == table_point.length_s
+            assert point.effort_s == table_point.effort_s
+
+    def test_fig5_report_renders(self):
+        fig5 = run_fig5(
+            tl_values_c=(165.0,), stcl_values=(20.0, 60.0, 100.0)
+        )
+        text = report_fig5(fig5)
+        assert "Figure 5" in text
+        assert "STCL" in text
+        assert "length TL=165" in text
+
+
+class TestTable1Report:
+    def test_report_includes_paper_columns(self, grid):
+        text = report_table1(grid)
+        assert "paper len" in text
+        # The paper's (145, 20) row reports length 7, effort 8.
+        assert PAPER_TABLE1[(145, 20)] == (7, 8, 144.29)
+        assert "144.29" in text
+
+    def test_paper_reference_complete(self):
+        assert len(PAPER_TABLE1) == 81

@@ -1,0 +1,50 @@
+"""Integration tests for the Figures 2-4 worked example."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.worked_example import (
+    report_worked_example,
+    run_worked_example,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_worked_example()
+
+
+class TestWorkedExample:
+    def test_covers_the_papers_session(self, rows):
+        assert [r.core for r in rows] == ["B2", "B4", "B5"]
+
+    def test_b4_b5_mutual_path_dropped(self, rows):
+        """Modification M2 on the paper's own example: B4 and B5 are
+        both active, so each lists the other as an active neighbour."""
+        by_core = {r.core: r for r in rows}
+        assert "B5" in by_core["B4"].active_neighbours
+        assert "B4" in by_core["B5"].active_neighbours
+
+    def test_b2_has_no_active_neighbours(self, rows):
+        by_core = {r.core: r for r in rows}
+        assert by_core["B2"].active_neighbours == ()
+        assert set(by_core["B2"].passive_neighbours) >= {"B1", "B3"}
+
+    def test_resistances_finite_and_positive(self, rows):
+        for row in rows:
+            assert math.isfinite(row.equivalent_resistance)
+            assert row.equivalent_resistance > 0.0
+            assert row.thermal_characteristic > 0.0
+
+    def test_report_renders(self, rows):
+        text = report_worked_example(rows)
+        assert "STC(TS)" in text
+        assert "B4" in text
+
+    def test_as_dict(self, rows):
+        data = rows[0].as_dict()
+        assert data["core"] == "B2"
+        assert isinstance(data["passive_neighbours"], str)

@@ -1,0 +1,174 @@
+"""Unit tests for the Floorplan container and its validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FloorplanError, GeometryError
+from repro.floorplan.floorplan import Block, Floorplan, floorplan_from_rects
+from repro.floorplan.geometry import Rect
+
+
+def two_block_plan() -> Floorplan:
+    return Floorplan(
+        [
+            Block("left", Rect(0.0, 0.0, 1.0, 2.0)),
+            Block("right", Rect(1.0, 0.0, 1.0, 2.0)),
+        ],
+        name="two",
+    )
+
+
+class TestBlock:
+    def test_area_and_density(self):
+        block = Block("a", Rect(0.0, 0.0, 2.0, 3.0))
+        assert block.area == 6.0
+        assert block.power_density(12.0) == pytest.approx(2.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(FloorplanError):
+            Block("", Rect(0.0, 0.0, 1.0, 1.0))
+
+    def test_rejects_whitespace_name(self):
+        with pytest.raises(FloorplanError):
+            Block("bad name", Rect(0.0, 0.0, 1.0, 1.0))
+
+
+class TestFloorplanValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(FloorplanError):
+            Floorplan([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(FloorplanError, match="duplicate"):
+            Floorplan(
+                [
+                    Block("a", Rect(0.0, 0.0, 1.0, 1.0)),
+                    Block("a", Rect(1.0, 0.0, 1.0, 1.0)),
+                ]
+            )
+
+    def test_overlap_rejected(self):
+        with pytest.raises(FloorplanError, match="overlap"):
+            Floorplan(
+                [
+                    Block("a", Rect(0.0, 0.0, 2.0, 2.0)),
+                    Block("b", Rect(1.0, 0.0, 2.0, 2.0)),
+                ]
+            )
+
+    def test_edge_contact_allowed(self):
+        plan = two_block_plan()
+        assert len(plan) == 2
+
+    def test_block_outside_outline_rejected(self):
+        with pytest.raises(FloorplanError, match="outside"):
+            Floorplan(
+                [Block("a", Rect(0.0, 0.0, 2.0, 2.0))],
+                outline=Rect(0.0, 0.0, 1.0, 1.0),
+            )
+
+    def test_full_coverage_enforced(self):
+        blocks = [Block("a", Rect(0.0, 0.0, 1.0, 1.0))]
+        with pytest.raises(FloorplanError, match="coverage"):
+            Floorplan(
+                blocks,
+                outline=Rect(0.0, 0.0, 2.0, 2.0),
+                require_full_coverage=True,
+            )
+
+    def test_full_coverage_passes_when_tiled(self):
+        plan = Floorplan(
+            [
+                Block("a", Rect(0.0, 0.0, 1.0, 2.0)),
+                Block("b", Rect(1.0, 0.0, 1.0, 2.0)),
+            ],
+            outline=Rect(0.0, 0.0, 2.0, 2.0),
+            require_full_coverage=True,
+        )
+        assert plan.coverage == pytest.approx(1.0)
+
+
+class TestFloorplanAccess:
+    def test_lookup_by_name(self):
+        plan = two_block_plan()
+        assert plan["left"].rect.x == 0.0
+        assert "right" in plan
+        assert "missing" not in plan
+
+    def test_unknown_name_raises_with_hint(self):
+        plan = two_block_plan()
+        with pytest.raises(FloorplanError, match="left"):
+            plan["nope"]
+
+    def test_index_of_is_canonical(self):
+        plan = two_block_plan()
+        assert plan.index_of("left") == 0
+        assert plan.index_of("right") == 1
+        with pytest.raises(FloorplanError):
+            plan.index_of("nope")
+
+    def test_iteration_order_preserved(self):
+        plan = two_block_plan()
+        assert [b.name for b in plan] == ["left", "right"]
+        assert plan.block_names == ("left", "right")
+
+    def test_outline_defaults_to_bounding_box(self):
+        plan = two_block_plan()
+        assert plan.outline == Rect(0.0, 0.0, 2.0, 2.0)
+
+    def test_describe_mentions_every_block(self):
+        text = two_block_plan().describe()
+        assert "left" in text and "right" in text
+
+
+class TestFloorplanMetrics:
+    def test_areas_and_coverage(self):
+        plan = two_block_plan()
+        assert plan.die_area == pytest.approx(4.0)
+        assert plan.blocks_area == pytest.approx(4.0)
+        assert plan.coverage == pytest.approx(1.0)
+        assert plan.areas() == {"left": 2.0, "right": 2.0}
+
+    def test_area_ratio(self):
+        plan = Floorplan(
+            [
+                Block("small", Rect(0.0, 0.0, 1.0, 1.0)),
+                Block("big", Rect(1.0, 0.0, 4.0, 1.0)),
+            ]
+        )
+        assert plan.area_ratio() == pytest.approx(4.0)
+
+
+class TestFloorplanTransforms:
+    def test_scaled_preserves_structure(self):
+        plan = two_block_plan().scaled(2.0)
+        assert plan["left"].rect == Rect(0.0, 0.0, 2.0, 4.0)
+        assert plan["right"].rect == Rect(2.0, 0.0, 2.0, 4.0)
+        assert plan.outline == Rect(0.0, 0.0, 4.0, 4.0)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            two_block_plan().scaled(-1.0)
+
+    def test_subset(self):
+        plan = two_block_plan()
+        sub = plan.subset(["left"], name="half")
+        assert sub.name == "half"
+        assert sub.block_names == ("left",)
+        # Subset keeps the parent outline for boundary semantics.
+        assert sub.outline == plan.outline
+
+    def test_subset_unknown_block_rejected(self):
+        with pytest.raises(FloorplanError):
+            two_block_plan().subset(["nope"])
+
+
+class TestFromRects:
+    def test_mapping_constructor(self):
+        plan = floorplan_from_rects(
+            {"a": Rect(0.0, 0.0, 1.0, 1.0), "b": Rect(1.0, 0.0, 1.0, 1.0)},
+            name="mapped",
+        )
+        assert plan.name == "mapped"
+        assert plan.block_names == ("a", "b")

@@ -1,0 +1,106 @@
+"""Unit + property tests for the synthetic floorplan generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FloorplanError
+from repro.floorplan.adjacency import AdjacencyMap
+from repro.floorplan.generator import grid_floorplan, slicing_floorplan
+
+
+class TestGrid:
+    def test_block_count_and_names(self):
+        plan = grid_floorplan(2, 3)
+        assert len(plan) == 6
+        assert "C0_0" in plan and "C1_2" in plan
+
+    def test_cells_are_equal_area(self):
+        plan = grid_floorplan(4, 4, die_width=8e-3, die_height=8e-3)
+        areas = set(round(b.area, 18) for b in plan)
+        assert len(areas) == 1
+
+    def test_full_coverage(self):
+        plan = grid_floorplan(3, 5)
+        assert plan.coverage == pytest.approx(1.0)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(FloorplanError):
+            grid_floorplan(0, 3)
+        with pytest.raises(FloorplanError):
+            grid_floorplan(3, 3, die_width=-1.0)
+
+    def test_custom_name(self):
+        assert grid_floorplan(2, 2, name="mygrid").name == "mygrid"
+
+
+class TestSlicing:
+    def test_exact_block_count(self):
+        for n in (1, 2, 7, 16, 33):
+            plan = slicing_floorplan(n, seed=1)
+            assert len(plan) == n
+
+    def test_deterministic_for_seed(self):
+        a = slicing_floorplan(12, seed=42)
+        b = slicing_floorplan(12, seed=42)
+        assert a.block_names == b.block_names
+        for name in a.block_names:
+            assert a[name].rect == b[name].rect
+
+    def test_different_seeds_differ(self):
+        a = slicing_floorplan(12, seed=1)
+        b = slicing_floorplan(12, seed=2)
+        assert any(a[n].rect != b[n].rect for n in a.block_names)
+
+    def test_full_coverage(self):
+        plan = slicing_floorplan(20, seed=3)
+        assert plan.coverage == pytest.approx(1.0)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(FloorplanError):
+            slicing_floorplan(0)
+        with pytest.raises(FloorplanError):
+            slicing_floorplan(4, split_bias=1.5)
+
+    def test_split_bias_skews_areas(self):
+        balanced = slicing_floorplan(16, seed=7, split_bias=0.5)
+        skewed = slicing_floorplan(16, seed=7, split_bias=0.8)
+        assert skewed.area_ratio() != pytest.approx(balanced.area_ratio())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=24),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_slicing_floorplans_are_always_valid(n, seed):
+    """Any (n, seed) yields a tiled, validated floorplan.
+
+    Floorplan.__init__ enforces non-overlap and containment; this adds
+    tiling and adjacency sanity on top.
+    """
+    plan = slicing_floorplan(n, seed=seed)
+    assert len(plan) == n
+    assert plan.coverage == pytest.approx(1.0, rel=1e-6)
+    amap = AdjacencyMap(plan)
+    assert amap.is_fully_tiled()
+    # Adjacency symmetry: if a lists b, b lists a.
+    for name in plan.block_names:
+        for neighbour in amap.neighbours(name):
+            assert name in amap.neighbours(neighbour)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=8),
+    cols=st.integers(min_value=1, max_value=8),
+)
+def test_grid_adjacency_is_symmetric_and_irreflexive(rows, cols):
+    amap = AdjacencyMap(grid_floorplan(rows, cols))
+    for name in amap.floorplan.block_names:
+        neighbours = amap.neighbours(name)
+        assert name not in neighbours
+        for other in neighbours:
+            assert name in amap.neighbours(other)

@@ -1,0 +1,216 @@
+"""Unit tests for the geometry primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.floorplan.geometry import (
+    Rect,
+    Side,
+    boundary_exposure,
+    bounding_box,
+    shared_edge,
+    total_area,
+)
+
+
+class TestRectConstruction:
+    def test_basic_properties(self):
+        r = Rect(1.0, 2.0, 3.0, 4.0)
+        assert r.x2 == 4.0
+        assert r.y2 == 6.0
+        assert r.area == 12.0
+        assert r.perimeter == 14.0
+        assert r.center == (2.5, 4.0)
+        assert r.aspect_ratio == 0.75
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(GeometryError):
+            Rect(0.0, 0.0, 0.0, 1.0)
+
+    def test_rejects_negative_height(self):
+        with pytest.raises(GeometryError):
+            Rect(0.0, 0.0, 1.0, -1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            Rect(math.nan, 0.0, 1.0, 1.0)
+
+    def test_rejects_infinite_width(self):
+        with pytest.raises(GeometryError):
+            Rect(0.0, 0.0, math.inf, 1.0)
+
+    def test_from_corners_any_order(self):
+        a = Rect.from_corners(0.0, 0.0, 2.0, 3.0)
+        b = Rect.from_corners(2.0, 3.0, 0.0, 0.0)
+        assert a == b
+        assert a.width == 2.0 and a.height == 3.0
+
+    def test_frozen_and_hashable(self):
+        r = Rect(0.0, 0.0, 1.0, 1.0)
+        assert hash(r) == hash(Rect(0.0, 0.0, 1.0, 1.0))
+        with pytest.raises(AttributeError):
+            r.x = 5.0  # type: ignore[misc]
+
+    def test_translated(self):
+        r = Rect(0.0, 0.0, 1.0, 2.0).translated(3.0, 4.0)
+        assert (r.x, r.y, r.width, r.height) == (3.0, 4.0, 1.0, 2.0)
+
+    def test_scaled(self):
+        r = Rect(1.0, 1.0, 2.0, 2.0).scaled(2.0)
+        assert (r.x, r.y, r.width, r.height) == (2.0, 2.0, 4.0, 4.0)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            Rect(0.0, 0.0, 1.0, 1.0).scaled(0.0)
+
+
+class TestSide:
+    def test_opposites(self):
+        assert Side.NORTH.opposite is Side.SOUTH
+        assert Side.SOUTH.opposite is Side.NORTH
+        assert Side.EAST.opposite is Side.WEST
+        assert Side.WEST.opposite is Side.EAST
+
+    def test_horizontal_classification(self):
+        assert Side.NORTH.is_horizontal
+        assert Side.SOUTH.is_horizontal
+        assert not Side.EAST.is_horizontal
+        assert not Side.WEST.is_horizontal
+
+    def test_side_length_and_coordinate(self):
+        r = Rect(1.0, 2.0, 3.0, 4.0)
+        assert r.side_length(Side.NORTH) == 3.0
+        assert r.side_length(Side.EAST) == 4.0
+        assert r.side_coordinate(Side.NORTH) == 6.0
+        assert r.side_coordinate(Side.SOUTH) == 2.0
+        assert r.side_coordinate(Side.EAST) == 4.0
+        assert r.side_coordinate(Side.WEST) == 1.0
+
+
+class TestContainmentAndOverlap:
+    def test_contains_point(self):
+        r = Rect(0.0, 0.0, 2.0, 2.0)
+        assert r.contains_point(1.0, 1.0)
+        assert r.contains_point(0.0, 0.0)  # boundary counts
+        assert not r.contains_point(3.0, 1.0)
+
+    def test_contains_rect(self):
+        outer = Rect(0.0, 0.0, 10.0, 10.0)
+        assert outer.contains_rect(Rect(1.0, 1.0, 2.0, 2.0))
+        assert outer.contains_rect(outer)  # self-containment
+        assert not outer.contains_rect(Rect(9.0, 9.0, 2.0, 2.0))
+
+    def test_interior_overlap_detected(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(1.0, 1.0, 2.0, 2.0)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert a.overlap_area(b) == pytest.approx(1.0)
+
+    def test_edge_touch_is_not_overlap(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(2.0, 0.0, 2.0, 2.0)
+        assert not a.overlaps(b)
+        assert a.overlap_area(b) == 0.0
+
+    def test_corner_touch_is_not_overlap(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(2.0, 2.0, 2.0, 2.0)
+        assert not a.overlaps(b)
+
+    def test_disjoint(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(5.0, 5.0, 1.0, 1.0)
+        assert not a.overlaps(b)
+        assert a.overlap_area(b) == 0.0
+
+
+class TestSharedEdge:
+    def test_east_west_adjacency(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(2.0, 0.0, 2.0, 2.0)
+        side, length = shared_edge(a, b)
+        assert side is Side.EAST
+        assert length == pytest.approx(2.0)
+        # And the reverse direction reports WEST.
+        side_rev, length_rev = shared_edge(b, a)
+        assert side_rev is Side.WEST
+        assert length_rev == pytest.approx(2.0)
+
+    def test_north_south_adjacency(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(0.0, 2.0, 2.0, 2.0)
+        side, length = shared_edge(a, b)
+        assert side is Side.NORTH
+        assert length == pytest.approx(2.0)
+
+    def test_partial_overlap_length(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(2.0, 1.0, 2.0, 4.0)
+        side, length = shared_edge(a, b)
+        assert side is Side.EAST
+        assert length == pytest.approx(1.0)
+
+    def test_corner_contact_is_not_adjacent(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(2.0, 2.0, 2.0, 2.0)
+        assert shared_edge(a, b) is None
+
+    def test_gap_is_not_adjacent(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(2.1, 0.0, 2.0, 2.0)
+        assert shared_edge(a, b) is None
+
+    def test_overlapping_rects_not_adjacent(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(1.0, 0.0, 2.0, 2.0)
+        assert shared_edge(a, b) is None
+
+    def test_tolerance_closes_seam(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(2.0 + 5e-8, 0.0, 2.0, 2.0)  # 50 nm seam
+        result = shared_edge(a, b)
+        assert result is not None
+        assert result[0] is Side.EAST
+
+
+class TestBoundaryExposure:
+    def test_corner_block_two_sides(self):
+        outline = Rect(0.0, 0.0, 10.0, 10.0)
+        block = Rect(0.0, 0.0, 3.0, 2.0)
+        exposure = boundary_exposure(block, outline)
+        assert exposure == {Side.SOUTH: 3.0, Side.WEST: 2.0}
+
+    def test_interior_block_no_sides(self):
+        outline = Rect(0.0, 0.0, 10.0, 10.0)
+        block = Rect(3.0, 3.0, 2.0, 2.0)
+        assert boundary_exposure(block, outline) == {}
+
+    def test_full_die_block_all_sides(self):
+        outline = Rect(0.0, 0.0, 10.0, 10.0)
+        exposure = boundary_exposure(outline, outline)
+        assert set(exposure) == {Side.NORTH, Side.SOUTH, Side.EAST, Side.WEST}
+
+    def test_block_outside_outline_rejected(self):
+        outline = Rect(0.0, 0.0, 10.0, 10.0)
+        with pytest.raises(GeometryError):
+            boundary_exposure(Rect(9.0, 9.0, 2.0, 2.0), outline)
+
+
+class TestAggregates:
+    def test_bounding_box(self):
+        rects = [Rect(0.0, 0.0, 1.0, 1.0), Rect(3.0, 4.0, 1.0, 2.0)]
+        box = bounding_box(rects)
+        assert (box.x, box.y, box.x2, box.y2) == (0.0, 0.0, 4.0, 6.0)
+
+    def test_bounding_box_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            bounding_box([])
+
+    def test_total_area(self):
+        rects = [Rect(0.0, 0.0, 2.0, 2.0), Rect(5.0, 5.0, 1.0, 3.0)]
+        assert total_area(rects) == pytest.approx(7.0)

@@ -1,0 +1,82 @@
+"""Unit tests for HotSpot .flp parsing and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FloorplanFormatError
+from repro.floorplan.hotspot_format import (
+    format_flp,
+    parse_flp,
+    read_flp,
+    write_flp,
+)
+from repro.floorplan.library import alpha15
+
+SAMPLE = """\
+# a comment line
+Icache\t0.0031\t0.0026\t0.0049\t0.0098
+
+Dcache\t0.0031\t0.0026\t0.0080\t0.0098
+"""
+
+
+class TestParse:
+    def test_parses_blocks_and_skips_comments(self):
+        plan = parse_flp(SAMPLE, name="sample")
+        assert plan.block_names == ("Icache", "Dcache")
+        icache = plan["Icache"].rect
+        assert icache.width == pytest.approx(0.0031)
+        assert icache.height == pytest.approx(0.0026)
+        assert icache.x == pytest.approx(0.0049)
+        assert icache.y == pytest.approx(0.0098)
+
+    def test_space_separated_fields_accepted(self):
+        plan = parse_flp("A 1.0 2.0 0.0 0.0")
+        assert plan["A"].rect.height == 2.0
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(FloorplanFormatError, match="line 1"):
+            parse_flp("A 1.0 2.0 0.0")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(FloorplanFormatError, match="non-numeric"):
+            parse_flp("A one 2.0 0.0 0.0")
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(FloorplanFormatError, match="non-positive"):
+            parse_flp("A 0.0 2.0 0.0 0.0")
+
+    def test_empty_content_rejected(self):
+        with pytest.raises(FloorplanFormatError, match="no blocks"):
+            parse_flp("# nothing here\n")
+
+    def test_overlapping_blocks_rejected_via_floorplan_validation(self):
+        text = "A 2.0 2.0 0.0 0.0\nB 2.0 2.0 1.0 0.0\n"
+        with pytest.raises(Exception, match="overlap"):
+            parse_flp(text)
+
+
+class TestRoundTrip:
+    def test_alpha15_round_trips(self):
+        original = alpha15()
+        text = format_flp(original)
+        parsed = parse_flp(text, name=original.name)
+        assert parsed.block_names == original.block_names
+        for name in original.block_names:
+            assert parsed[name].rect == original[name].rect
+
+    def test_header_toggle(self):
+        text = format_flp(alpha15(), header=False)
+        assert not text.startswith("#")
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "alpha15.flp"
+        write_flp(alpha15(), path)
+        loaded = read_flp(path)
+        assert loaded.name == "alpha15"
+        assert loaded.block_names == alpha15().block_names
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(FloorplanFormatError, match="cannot read"):
+            read_flp(tmp_path / "nope.flp")

@@ -1,0 +1,85 @@
+"""Tests for the bundled paper floorplans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.floorplan.library import (
+    FIG1_CORE_POWER_W,
+    FIG1_POWER_LIMIT_W,
+    FIG1_SESSION_COOL,
+    FIG1_SESSION_HOT,
+    WORKED_EXAMPLE_SESSION,
+    alpha15,
+    hypothetical7,
+    worked_example6,
+)
+
+
+class TestAlpha15:
+    def test_fifteen_blocks(self, alpha15_floorplan):
+        assert len(alpha15_floorplan) == 15
+
+    def test_die_is_16mm_square(self, alpha15_floorplan):
+        outline = alpha15_floorplan.outline
+        assert outline.width == pytest.approx(16e-3)
+        assert outline.height == pytest.approx(16e-3)
+
+    def test_fully_tiled(self, alpha15_floorplan):
+        assert alpha15_floorplan.coverage == pytest.approx(1.0)
+
+    def test_wide_area_spread(self, alpha15_floorplan):
+        """The paper's premise: strongly non-uniform block areas."""
+        assert alpha15_floorplan.area_ratio() > 20.0
+
+    def test_l2_is_largest(self, alpha15_floorplan):
+        areas = alpha15_floorplan.areas()
+        assert max(areas, key=areas.get) == "L2"
+
+    def test_expected_unit_mix(self, alpha15_floorplan):
+        names = set(alpha15_floorplan.block_names)
+        assert {"L2", "L2_left", "L2_right", "Icache", "Dcache"} <= names
+        assert {"IntReg", "IntExec", "FPAdd", "FPMul"} <= names
+
+    def test_calls_return_equal_layouts(self):
+        a, b = alpha15(), alpha15()
+        for name in a.block_names:
+            assert a[name].rect == b[name].rect
+
+
+class TestHypothetical7:
+    def test_seven_cores(self, hypothetical7_floorplan):
+        assert len(hypothetical7_floorplan) == 7
+        assert hypothetical7_floorplan.block_names == (
+            "C1", "C2", "C3", "C4", "C5", "C6", "C7",
+        )
+
+    def test_power_density_ratio_is_exactly_four(self, hypothetical7_floorplan):
+        """The paper: 'the power density of core C2 is 4 times higher
+        than that of C5' at equal power."""
+        c2 = hypothetical7_floorplan["C2"].power_density(FIG1_CORE_POWER_W)
+        c5 = hypothetical7_floorplan["C5"].power_density(FIG1_CORE_POWER_W)
+        assert c2 / c5 == pytest.approx(4.0)
+
+    def test_small_cores_same_size(self, hypothetical7_floorplan):
+        areas = {n: hypothetical7_floorplan[n].area for n in FIG1_SESSION_HOT}
+        assert len({round(a, 12) for a in areas.values()}) == 1
+
+    def test_session_powers_meet_cap(self, hypothetical7_floorplan):
+        assert len(FIG1_SESSION_HOT) * FIG1_CORE_POWER_W == FIG1_POWER_LIMIT_W
+        assert len(FIG1_SESSION_COOL) * FIG1_CORE_POWER_W == FIG1_POWER_LIMIT_W
+
+    def test_not_fully_tiled_by_design(self, hypothetical7_floorplan):
+        assert hypothetical7_floorplan.coverage < 1.0
+
+
+class TestWorkedExample6:
+    def test_six_blocks_fully_tiled(self, worked_example_floorplan):
+        assert len(worked_example_floorplan) == 6
+        assert worked_example_floorplan.coverage == pytest.approx(1.0)
+
+    def test_session_constant(self):
+        assert WORKED_EXAMPLE_SESSION == ("B2", "B4", "B5")
+        plan = worked_example6()
+        for name in WORKED_EXAMPLE_SESSION:
+            assert name in plan

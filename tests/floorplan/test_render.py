@@ -1,0 +1,79 @@
+"""Unit tests for the floorplan ASCII renderer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FloorplanError
+from repro.floorplan.generator import grid_floorplan, slicing_floorplan
+from repro.floorplan.hotspot_format import format_flp, parse_flp
+from repro.floorplan.library import alpha15, hypothetical7
+from repro.floorplan.render import render_floorplan
+
+
+class TestRenderFloorplan:
+    def test_every_block_in_legend(self):
+        text = render_floorplan(alpha15())
+        for name in alpha15().block_names:
+            assert name in text
+
+    def test_raster_dimensions(self):
+        text = render_floorplan(grid_floorplan(2, 2), width=10, height=5)
+        raster_rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(raster_rows) == 5
+        assert all(len(row) == 12 for row in raster_rows)  # |..........|
+
+    def test_distinct_blocks_distinct_glyphs(self):
+        text = render_floorplan(grid_floorplan(1, 2), width=8, height=4)
+        raster = [l for l in text.splitlines() if l.startswith("|")][0]
+        interior = raster[1:-1]
+        assert len(set(interior)) == 2
+
+    def test_whitespace_blank(self):
+        text = render_floorplan(hypothetical7(), width=24, height=12)
+        raster_rows = [l[1:-1] for l in text.splitlines() if l.startswith("|")]
+        assert any(" " in row for row in raster_rows)
+
+    def test_orientation_north_on_top(self):
+        # grid 2x1: C1_0 is the northern cell, rendered in the top rows.
+        plan = grid_floorplan(2, 1)
+        text = render_floorplan(plan, width=4, height=4)
+        raster_rows = [l[1:-1] for l in text.splitlines() if l.startswith("|")]
+        top_glyph = raster_rows[0][0]
+        bottom_glyph = raster_rows[-1][0]
+        assert top_glyph != bottom_glyph
+        legend = {l.split("=")[1].split()[0]: l.split("=")[0].strip()
+                  for l in text.splitlines() if "=" in l and "mm" in l}
+        assert legend["C1_0"] == top_glyph
+
+    def test_tiny_raster_rejected(self):
+        with pytest.raises(FloorplanError):
+            render_floorplan(alpha15(), width=1, height=1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_flp_round_trip(n, seed):
+    """Any generated floorplan survives .flp serialise -> parse exactly."""
+    original = slicing_floorplan(n, seed=seed)
+    parsed = parse_flp(format_flp(original), name=original.name)
+    assert parsed.block_names == original.block_names
+    for name in original.block_names:
+        assert parsed[name].rect == original[name].rect
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=15),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_render_never_crashes(n, seed):
+    """The renderer handles any valid floorplan."""
+    plan = slicing_floorplan(n, seed=seed)
+    text = render_floorplan(plan, width=20, height=10)
+    assert plan.name in text

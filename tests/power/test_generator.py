@@ -1,0 +1,106 @@
+"""Unit + property tests for the power generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PowerModelError
+from repro.floorplan.generator import grid_floorplan, slicing_floorplan
+from repro.power.generator import (
+    PowerGeneratorConfig,
+    generate_power_profile,
+    uniform_test_power_profile,
+)
+
+
+class TestGeneratorConfig:
+    def test_bad_multiplier_range_rejected(self):
+        with pytest.raises(PowerModelError):
+            PowerGeneratorConfig(multiplier_range=(8.0, 1.5))
+        with pytest.raises(PowerModelError):
+            PowerGeneratorConfig(multiplier_range=(-1.0, 2.0))
+
+    def test_bad_density_range_rejected(self):
+        with pytest.raises(PowerModelError):
+            PowerGeneratorConfig(density_range=(0.0, 1.0))
+
+
+class TestGeneration:
+    def test_covers_every_block(self):
+        plan = grid_floorplan(2, 3)
+        profile = generate_power_profile(plan)
+        profile.validate_against(plan)
+
+    def test_deterministic_for_seed(self):
+        plan = grid_floorplan(2, 2)
+        a = generate_power_profile(plan, PowerGeneratorConfig(seed=7))
+        b = generate_power_profile(plan, PowerGeneratorConfig(seed=7))
+        for name in plan.block_names:
+            assert a[name].test_w == b[name].test_w
+
+    def test_seeds_differ(self):
+        plan = grid_floorplan(2, 2)
+        a = generate_power_profile(plan, PowerGeneratorConfig(seed=1))
+        b = generate_power_profile(plan, PowerGeneratorConfig(seed=2))
+        assert any(a[n].test_w != b[n].test_w for n in plan.block_names)
+
+    def test_class_densities_used(self):
+        plan = grid_floorplan(1, 2)
+        profile = generate_power_profile(
+            plan,
+            block_classes={"C0_0": "cache", "C0_1": "register"},
+        )
+        # Equal areas: the register block must burn far more functional
+        # power than the cache block.
+        assert profile["C0_1"].functional_w > 5.0 * profile["C0_0"].functional_w
+
+    def test_unknown_class_rejected(self):
+        plan = grid_floorplan(1, 1)
+        with pytest.raises(PowerModelError, match="unknown unit class"):
+            generate_power_profile(plan, block_classes={"C0_0": "warp-core"})
+
+    def test_custom_class_density_override(self):
+        plan = grid_floorplan(1, 1)
+        profile = generate_power_profile(
+            plan,
+            block_classes={"C0_0": "cache"},
+            class_densities={"cache": 1e5},
+        )
+        expected = 1e5 * plan["C0_0"].area
+        assert profile["C0_0"].functional_w == pytest.approx(expected)
+
+
+class TestUniformProfile:
+    def test_equal_test_powers(self):
+        plan = grid_floorplan(2, 2)
+        profile = uniform_test_power_profile(plan, 15.0)
+        assert all(c.test_w == 15.0 for c in profile)
+
+    def test_multiplier_applied(self):
+        plan = grid_floorplan(1, 1)
+        profile = uniform_test_power_profile(plan, 12.0, multiplier=3.0)
+        assert profile["C0_0"].functional_w == pytest.approx(4.0)
+
+    def test_rejects_bad_args(self):
+        plan = grid_floorplan(1, 1)
+        with pytest.raises(PowerModelError):
+            uniform_test_power_profile(plan, 0.0)
+        with pytest.raises(PowerModelError):
+            uniform_test_power_profile(plan, 5.0, multiplier=-1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=1, max_value=16),
+)
+def test_property_multipliers_always_in_paper_range(seed, n):
+    """Every generated profile satisfies the paper's 1.5x-8x premise."""
+    plan = slicing_floorplan(n, seed=seed)
+    profile = generate_power_profile(plan, PowerGeneratorConfig(seed=seed))
+    for core in profile:
+        assert 1.5 <= core.test_multiplier <= 8.0
+        assert core.test_w > 0.0
+        assert core.functional_w > 0.0

@@ -1,0 +1,99 @@
+"""Tests for the prebuilt SoC library, including calibration invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soc.library import (
+    ALPHA15_STC_SCALE,
+    ALPHA15_TEST_POWERS_W,
+    alpha15_power_profile,
+    alpha15_soc,
+    grid_soc,
+    hypothetical7_soc,
+    worked_example6_soc,
+)
+
+
+class TestAlpha15Soc:
+    def test_fifteen_cores(self, alpha_soc):
+        assert len(alpha_soc) == 15
+
+    def test_powers_match_frozen_table(self, alpha_soc):
+        for name, watts in ALPHA15_TEST_POWERS_W.items():
+            assert alpha_soc[name].test_power_w == pytest.approx(watts)
+
+    def test_multipliers_in_paper_range(self, alpha_soc):
+        for core in alpha_soc:
+            assert 1.5 <= core.test_multiplier <= 8.0
+
+    def test_profile_is_deterministic(self):
+        a = alpha15_power_profile()
+        b = alpha15_power_profile()
+        for name in a.core_names:
+            assert a[name].functional_w == b[name].functional_w
+
+    def test_power_scale_parameter(self):
+        scaled = alpha15_soc(power_scale=2.0)
+        base = alpha15_soc()
+        assert scaled["L2"].test_power_w == pytest.approx(
+            2.0 * base["L2"].test_power_w
+        )
+
+    def test_bad_power_scale_rejected(self):
+        with pytest.raises(Exception):
+            alpha15_soc(power_scale=0.0)
+
+    def test_unit_test_times(self, alpha_soc):
+        assert all(c.test_time_s == 1.0 for c in alpha_soc)
+
+
+class TestCalibrationInvariants:
+    """The regime constraints DESIGN.md substitution 3 commits to."""
+
+    def test_every_core_individually_safe_at_tightest_tl(
+        self, alpha_soc, alpha_simulator
+    ):
+        for name in alpha_soc.core_names:
+            field = alpha_simulator.steady_state(
+                {name: alpha_soc[name].test_power_w}
+            )
+            assert field.temperature_c(name) < 145.0
+
+    def test_full_concurrency_exceeds_loosest_tl(self, alpha_soc, alpha_simulator):
+        field = alpha_simulator.steady_state(alpha_soc.test_power_map())
+        assert field.max_temperature_c() > 185.0
+
+    def test_every_singleton_stc_below_tightest_stcl(
+        self, alpha_soc, alpha_session_model
+    ):
+        for name in alpha_soc.core_names:
+            stc = alpha_session_model.session_thermal_characteristic([name])
+            assert stc <= 20.0
+
+    def test_stc_scale_constant(self, alpha_session_model):
+        assert alpha_session_model.config.stc_scale == ALPHA15_STC_SCALE
+
+
+class TestOtherSocs:
+    def test_hypothetical7_equal_powers(self, hypo_soc):
+        assert len(hypo_soc) == 7
+        powers = {c.test_power_w for c in hypo_soc}
+        assert powers == {15.0}
+
+    def test_worked_example_soc(self, example_soc):
+        assert len(example_soc) == 6
+        assert all(c.test_power_w == 10.0 for c in example_soc)
+
+    def test_grid_soc(self):
+        soc = grid_soc(2, 3, seed=5)
+        assert len(soc) == 6
+        for core in soc:
+            assert 1.5 <= core.test_multiplier <= 8.0
+
+    def test_grid_soc_power_scale(self):
+        base = grid_soc(2, 2, seed=1)
+        scaled = grid_soc(2, 2, seed=1, power_scale=3.0)
+        assert scaled["C0_0"].test_power_w == pytest.approx(
+            3.0 * base["C0_0"].test_power_w
+        )

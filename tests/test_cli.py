@@ -1,0 +1,113 @@
+"""Integration tests for the repro-schedule CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import load_power_csv, main
+from repro.errors import ReproError
+from repro.floorplan.generator import grid_floorplan
+from repro.floorplan.hotspot_format import write_flp
+
+
+@pytest.fixture()
+def custom_soc_files(tmp_path):
+    """A 2x2 grid .flp plus a matching power CSV."""
+    flp = tmp_path / "chip.flp"
+    write_flp(grid_floorplan(2, 2), flp)
+    powers = tmp_path / "powers.csv"
+    powers.write_text(
+        "core,test_w,functional_w\n"
+        "C0_0,30.0,10.0\nC0_1,25.0,8.0\nC1_0,28.0,9.0\nC1_1,26.0,7.0\n"
+    )
+    return flp, powers
+
+
+class TestBuiltinSoc:
+    def test_alpha15_run(self, capsys):
+        exit_code = main(["--soc", "alpha15", "--tl", "165", "--stcl", "60"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Thermal-aware schedule" in out
+        assert "SAFE" in out
+        assert "utilisation" in out
+
+    def test_gantt_and_heatmap_flags(self, capsys):
+        exit_code = main(
+            ["--soc", "alpha15", "--tl", "175", "--stcl", "40",
+             "--gantt", "--heatmap"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Gantt" in out
+        assert "scale:" in out  # heatmap footer
+
+    def test_save_json(self, tmp_path, capsys):
+        target = tmp_path / "run.json"
+        exit_code = main(
+            ["--soc", "alpha15", "--tl", "165", "--stcl", "60",
+             "--save", str(target)]
+        )
+        assert exit_code == 0
+        data = json.loads(target.read_text())
+        assert data["tl_c"] == 165.0
+
+    def test_missing_limits_is_an_error(self, capsys):
+        exit_code = main(["--soc", "alpha15", "--tl", "165"])
+        assert exit_code == 1
+        assert "stcl" in capsys.readouterr().err.lower()
+
+
+class TestCustomSoc:
+    def test_flp_plus_csv_flow(self, custom_soc_files, capsys):
+        flp, powers = custom_soc_files
+        exit_code = main(
+            ["--flp", str(flp), "--powers", str(powers),
+             "--tl", "140", "--auto-stcl", "2.0"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "auto-derived STCL" in out
+        assert "SAFE" in out
+
+    def test_missing_powers_is_an_error(self, custom_soc_files, capsys):
+        flp, _ = custom_soc_files
+        exit_code = main(["--flp", str(flp), "--tl", "140", "--stcl", "10"])
+        assert exit_code == 1
+        assert "powers" in capsys.readouterr().err
+
+    def test_infeasible_core_reports_cleanly(self, custom_soc_files, capsys):
+        flp, powers = custom_soc_files
+        # TL below what any core reaches alone -> CoreThermalViolation.
+        exit_code = main(
+            ["--flp", str(flp), "--powers", str(powers),
+             "--tl", "50", "--auto-stcl", "2.0"]
+        )
+        assert exit_code == 1
+        assert "tested" in capsys.readouterr().err
+
+
+class TestPowerCsv:
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("name,watts\nx,1\n")
+        with pytest.raises(ReproError, match="columns"):
+            load_power_csv(path)
+
+    def test_bad_number_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("core,test_w,functional_w\nx,ten,1\n")
+        with pytest.raises(ReproError, match="bad number"):
+            load_power_csv(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("core,test_w,functional_w\n")
+        with pytest.raises(ReproError, match="no cores"):
+            load_power_csv(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_power_csv(tmp_path / "nope.csv")

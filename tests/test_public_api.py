@@ -1,0 +1,108 @@
+"""Public API surface tests.
+
+Every name promised by ``__all__`` must exist, and the error hierarchy
+must behave as documented (single catchable base class, informative
+messages).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.core
+import repro.experiments
+import repro.floorplan
+import repro.power
+import repro.soc
+import repro.thermal
+from repro.errors import (
+    CoreThermalViolationError,
+    FloorplanError,
+    FloorplanFormatError,
+    GeometryError,
+    PowerModelError,
+    ReproError,
+    ScheduleInfeasibleError,
+    SchedulingError,
+    SolverError,
+    ThermalModelError,
+)
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.core, repro.experiments, repro.floorplan, repro.power,
+     repro.soc, repro.thermal],
+)
+def test_all_names_resolve(module):
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GeometryError,
+            FloorplanError,
+            FloorplanFormatError,
+            ThermalModelError,
+            SolverError,
+            PowerModelError,
+            SchedulingError,
+            CoreThermalViolationError,
+            ScheduleInfeasibleError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_format_error_is_floorplan_error(self):
+        assert issubclass(FloorplanFormatError, FloorplanError)
+
+    def test_specialised_scheduling_errors(self):
+        assert issubclass(CoreThermalViolationError, SchedulingError)
+        assert issubclass(ScheduleInfeasibleError, SchedulingError)
+
+    def test_core_violation_carries_context(self):
+        err = CoreThermalViolationError("IntReg", 151.2, 145.0)
+        assert err.core_name == "IntReg"
+        assert err.max_temperature_c == 151.2
+        assert err.limit_c == 145.0
+        assert "IntReg" in str(err)
+        assert "145" in str(err)
+        assert "Algorithm 1" in str(err)
+
+    def test_single_catch_point(self):
+        """A caller catching ReproError sees every library failure."""
+        from repro.floorplan import parse_flp
+
+        with pytest.raises(ReproError):
+            parse_flp("garbage line")
+
+
+class TestQuickstartDocExample:
+    def test_readme_quickstart_runs(self):
+        """The README's quickstart snippet, executed verbatim."""
+        from repro import ThermalAwareScheduler, alpha15_soc, audit_schedule
+        from repro.core.session_model import (
+            SessionModelConfig,
+            SessionThermalModel,
+        )
+        from repro.soc.library import ALPHA15_STC_SCALE
+
+        soc = alpha15_soc()
+        model = SessionThermalModel(
+            soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
+        )
+        result = ThermalAwareScheduler(soc, session_model=model).schedule(
+            tl_c=155.0, stcl=60.0
+        )
+        assert result.max_temperature_c < 155.0
+        audit = audit_schedule(result.schedule, limit_c=155.0)
+        assert audit.is_safe

@@ -1,0 +1,107 @@
+"""Unit tests for unit helpers and the resistance algebra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.units import (
+    DEFAULT_AMBIENT_C,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    mm,
+    mm2,
+    parallel,
+    series,
+    to_mm,
+)
+
+
+class TestTemperatureConversion:
+    def test_round_trip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(45.0)) == pytest.approx(45.0)
+
+    def test_absolute_zero(self):
+        assert celsius_to_kelvin(-273.15) == pytest.approx(0.0)
+
+    def test_default_ambient(self):
+        assert DEFAULT_AMBIENT_C == 45.0
+
+
+class TestLengthHelpers:
+    def test_mm(self):
+        assert mm(16.0) == pytest.approx(0.016)
+
+    def test_mm2(self):
+        assert mm2(1.0) == pytest.approx(1e-6)
+
+    def test_to_mm_round_trip(self):
+        assert to_mm(mm(3.5)) == pytest.approx(3.5)
+
+
+class TestParallel:
+    def test_two_equal(self):
+        assert parallel(2.0, 2.0) == pytest.approx(1.0)
+
+    def test_classic_pair(self):
+        assert parallel(3.0, 6.0) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert parallel(5.0) == pytest.approx(5.0)
+
+    def test_infinite_drops_out(self):
+        assert parallel(4.0, math.inf) == pytest.approx(4.0)
+
+    def test_all_infinite(self):
+        assert parallel(math.inf, math.inf) == math.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            parallel(1.0, 0.0)
+        with pytest.raises(ValueError):
+            parallel(-2.0)
+
+
+class TestSeries:
+    def test_sum(self):
+        assert series(1.0, 2.0, 3.5) == pytest.approx(6.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            series(1.0, -1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rs=st.lists(
+        st.floats(min_value=1e-3, max_value=1e3), min_size=1, max_size=8
+    )
+)
+def test_property_parallel_below_min(rs):
+    """The parallel combination never exceeds the smallest branch."""
+    combined = parallel(*rs)
+    assert combined <= min(rs) + 1e-12
+    assert combined > 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rs=st.lists(
+        st.floats(min_value=1e-3, max_value=1e3), min_size=2, max_size=8
+    )
+)
+def test_property_adding_branches_reduces_resistance(rs):
+    """Each extra escape path can only help — the physical fact behind
+    the paper's 'maximise lateral heat paths' heuristic."""
+    assert parallel(*rs) <= parallel(*rs[:-1]) + 1e-12

@@ -1,0 +1,151 @@
+"""Unit + integration tests for the grid-mode thermal simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan.generator import grid_floorplan
+from repro.floorplan.library import hypothetical7
+from repro.soc.library import alpha15_soc
+from repro.thermal.grid import GridThermalSimulator
+from repro.thermal.package import PackageConfig
+from repro.thermal.simulator import ThermalSimulator
+
+
+@pytest.fixture(scope="module")
+def quad_grid():
+    return GridThermalSimulator(grid_floorplan(2, 2), nx=16, ny=16)
+
+
+class TestConstruction:
+    def test_too_coarse_mesh_rejected(self):
+        with pytest.raises(ThermalModelError):
+            GridThermalSimulator(grid_floorplan(2, 2), nx=1, ny=16)
+
+    def test_uncoverable_block_rejected(self):
+        # 16 tiny blocks on a 2x2 mesh: most blocks cover no cell centre.
+        with pytest.raises(ThermalModelError, match="resolution"):
+            GridThermalSimulator(grid_floorplan(4, 4), nx=2, ny=2)
+
+    def test_resolution_property(self, quad_grid):
+        assert quad_grid.resolution == (16, 16)
+
+
+class TestSteadyState:
+    def test_zero_power_is_ambient(self, quad_grid):
+        field = quad_grid.steady_state({})
+        assert field.max_temperature_c() == pytest.approx(quad_grid.ambient_c)
+        assert np.allclose(field.rises, 0.0)
+
+    def test_heated_block_is_hottest(self, quad_grid):
+        field = quad_grid.steady_state({"C1_1": 20.0})
+        assert field.block_max_c("C1_1") == pytest.approx(
+            field.max_temperature_c()
+        )
+        assert field.block_mean_c("C1_1") > field.block_mean_c("C0_0")
+
+    def test_linearity(self, quad_grid):
+        f1 = quad_grid.steady_state({"C0_0": 10.0})
+        f2 = quad_grid.steady_state({"C0_0": 20.0})
+        assert np.allclose(f2.rises, 2.0 * f1.rises, rtol=1e-9)
+
+    def test_unknown_block_rejected(self, quad_grid):
+        with pytest.raises(ThermalModelError):
+            quad_grid.steady_state({"nope": 1.0})
+
+    def test_negative_power_rejected(self, quad_grid):
+        with pytest.raises(ThermalModelError):
+            quad_grid.steady_state({"C0_0": -1.0})
+
+    def test_field_unknown_block_rejected(self, quad_grid):
+        field = quad_grid.steady_state({})
+        with pytest.raises(ThermalModelError):
+            field.block_max_c("nope")
+
+
+class TestIntraBlockResolution:
+    def test_gradient_positive_for_heated_block(self, quad_grid):
+        """Grid mode resolves what block mode lumps: the heated block's
+        interior is hotter than its rim."""
+        field = quad_grid.steady_state({"C0_0": 30.0})
+        assert field.intra_block_gradient_c("C0_0") > 0.1
+
+    def test_gradient_zero_when_cold(self, quad_grid):
+        field = quad_grid.steady_state({})
+        assert field.intra_block_gradient_c("C0_0") == pytest.approx(0.0)
+
+    def test_uncovered_silicon_conducts(self):
+        """On a sparse layout (hypothetical7), whitespace cells exist
+        and carry heat: cells outside all blocks warm up."""
+        sim = GridThermalSimulator(hypothetical7(), nx=24, ny=24)
+        field = sim.steady_state({"C1": 30.0})
+        whitespace = field.rises[field.cell_cover == -1]
+        assert whitespace.size > 0
+        assert whitespace.max() > 0.1
+
+
+class TestAgainstBlockMode:
+    """The cross-validation that matters: both solvers, same physics."""
+
+    @pytest.fixture(scope="class")
+    def soc(self):
+        return alpha15_soc()
+
+    @pytest.fixture(scope="class")
+    def both(self, soc):
+        return (
+            ThermalSimulator(soc.floorplan, soc.package, soc.adjacency),
+            GridThermalSimulator(soc.floorplan, soc.package, nx=48, ny=48),
+        )
+
+    def test_block_mode_is_conservative(self, soc, both):
+        """Block-mode peaks sit at or slightly above grid-mode peaks
+        (the lumped model concentrates heat)."""
+        block_sim, grid_sim = both
+        for session in (["IntReg"], ["IntReg", "FPAdd", "L2"], ["Bpred", "DTB"]):
+            power = soc.session_power_map(session)
+            block_peak = max(
+                block_sim.steady_state(power).temperature_c(c) for c in session
+            )
+            grid_peak = max(
+                grid_sim.steady_state(power).block_max_c(c) for c in session
+            )
+            assert block_peak >= grid_peak * 0.95  # never wildly optimistic
+            assert block_peak <= grid_peak * 1.35  # never wildly pessimistic
+
+    def test_same_hottest_core(self, soc, both):
+        block_sim, grid_sim = both
+        session = ["IntReg", "L2", "Dcache", "FPMul"]
+        power = soc.session_power_map(session)
+        block_field = block_sim.steady_state(power)
+        grid_field = grid_sim.steady_state(power)
+        block_hottest = max(session, key=block_field.temperature_c)
+        grid_hottest = max(session, key=grid_field.block_max_c)
+        assert block_hottest == grid_hottest
+
+    def test_fig1_ordering_preserved(self):
+        from repro.soc.library import hypothetical7_soc
+
+        soc = hypothetical7_soc()
+        sim = GridThermalSimulator(soc.floorplan, soc.package, nx=48, ny=48)
+        hot = sim.steady_state(soc.session_power_map(["C2", "C3", "C4"]))
+        cool = sim.steady_state(soc.session_power_map(["C5", "C6", "C7"]))
+        assert hot.max_temperature_c() > cool.max_temperature_c() + 10.0
+
+
+class TestRimConfig:
+    def test_stronger_rim_cools_boundary(self):
+        plan = grid_floorplan(2, 2)
+        weak = GridThermalSimulator(
+            plan, PackageConfig(rim_coefficient=1.0), nx=16, ny=16
+        )
+        strong = GridThermalSimulator(
+            plan, PackageConfig(rim_coefficient=0.01), nx=16, ny=16
+        )
+        p = {"C0_0": 20.0}
+        assert (
+            strong.steady_state(p).block_max_c("C0_0")
+            < weak.steady_state(p).block_max_c("C0_0")
+        )

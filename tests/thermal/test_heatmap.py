@@ -1,0 +1,68 @@
+"""Unit tests for the ASCII heatmap renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan.generator import grid_floorplan
+from repro.floorplan.library import hypothetical7
+from repro.thermal.heatmap import HEAT_RAMP, render_heatmap, render_power_density_map
+from repro.thermal.simulator import ThermalSimulator
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return ThermalSimulator(grid_floorplan(2, 2))
+
+
+class TestRenderHeatmap:
+    def test_hot_block_gets_hottest_glyph(self, sim):
+        field = sim.steady_state({"C1_1": 50.0})
+        text = render_heatmap(sim.floorplan, field, width=16, height=8)
+        # C1_1 is the north-east cell; row 1 (top), right half must show
+        # the hottest glyph.
+        top_row = text.splitlines()[1]
+        assert HEAT_RAMP[-1] in top_row[9:]
+        assert "degC" in text
+
+    def test_legend_sorted_hottest_first(self, sim):
+        field = sim.steady_state({"C0_0": 50.0})
+        text = render_heatmap(sim.floorplan, field, width=8, height=4)
+        legend_lines = [l for l in text.splitlines() if "degC" in l and "[" in l]
+        assert legend_lines[0].strip().startswith("C0_0")
+
+    def test_legend_toggle(self, sim):
+        field = sim.steady_state({})
+        text = render_heatmap(
+            sim.floorplan, field, width=8, height=4, show_legend=False
+        )
+        assert "[" not in text
+
+    def test_whitespace_rendered_blank(self):
+        plan = hypothetical7()
+        sim = ThermalSimulator(plan)
+        field = sim.steady_state({"C1": 10.0})
+        text = render_heatmap(plan, field, width=24, height=12, show_legend=False)
+        interior = [line[1:-1] for line in text.splitlines()[1:13]]
+        assert any(" " in row for row in interior)  # uncovered die visible
+
+    def test_too_small_raster_rejected(self, sim):
+        field = sim.steady_state({})
+        with pytest.raises(ThermalModelError):
+            render_heatmap(sim.floorplan, field, width=1, height=5)
+
+
+class TestPowerDensityMap:
+    def test_denser_block_darker(self):
+        plan = hypothetical7()
+        # C2 (4 mm^2) and C5 (16 mm^2) at equal power: C2 is 4x denser.
+        text = render_power_density_map(
+            plan, {"C2": 15.0, "C5": 15.0}, width=24, height=12
+        )
+        assert HEAT_RAMP[-1] in text  # the dense block saturates the ramp
+        assert "W/cm^2" in text
+
+    def test_empty_power_map_rejected(self):
+        with pytest.raises(ThermalModelError):
+            render_power_density_map(hypothetical7(), {})

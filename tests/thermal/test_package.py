@@ -1,0 +1,50 @@
+"""Unit tests for the package configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.package import DEFAULT_PACKAGE, PackageConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "die_thickness",
+            "tim_thickness",
+            "spreader_side",
+            "spreader_thickness",
+            "sink_side",
+            "sink_thickness",
+            "convection_resistance",
+            "convection_capacitance",
+            "rim_coefficient",
+        ],
+    )
+    def test_nonpositive_parameter_rejected(self, field):
+        with pytest.raises(ThermalModelError, match=field):
+            PackageConfig(**{field: 0.0})
+
+    def test_sink_smaller_than_spreader_rejected(self):
+        with pytest.raises(ThermalModelError, match="sink"):
+            PackageConfig(spreader_side=60e-3, sink_side=30e-3)
+
+    def test_default_is_valid(self):
+        assert DEFAULT_PACKAGE.spreader_area == pytest.approx(9e-4)
+        assert DEFAULT_PACKAGE.sink_area == pytest.approx(36e-4)
+
+
+class TestDerived:
+    def test_areas(self):
+        pkg = PackageConfig(spreader_side=20e-3, sink_side=40e-3)
+        assert pkg.spreader_area == pytest.approx(4e-4)
+        assert pkg.sink_area == pytest.approx(16e-4)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_PACKAGE.die_thickness = 1.0  # type: ignore[misc]
+
+    def test_ambient_default_is_hotspot_45c(self):
+        assert DEFAULT_PACKAGE.ambient_c == 45.0

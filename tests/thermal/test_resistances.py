@@ -1,0 +1,141 @@
+"""Unit tests for the shared resistance formulas.
+
+These formulas feed both the full RC network and the session thermal
+model, so their correctness underwrites the paper's claim that the
+session model is *derived from* the accurate model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.floorplan.adjacency import AdjacencyMap
+from repro.floorplan.floorplan import Block, Floorplan
+from repro.floorplan.geometry import Rect
+from repro.thermal.package import DEFAULT_PACKAGE, PackageConfig
+from repro.thermal.resistances import (
+    boundary_edge_resistance,
+    lateral_interface_resistance,
+    shared_path_resistance,
+    spreading_resistance,
+    spreader_centre_to_edge_resistance,
+    spreader_to_sink_resistance,
+    vertical_die_resistance,
+    vertical_stack_resistance,
+    vertical_tim_resistance,
+)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """Two 2 mm x 4 mm blocks side by side, sharing a 4 mm edge."""
+    plan = Floorplan(
+        [
+            Block("a", Rect(0.0, 0.0, 2e-3, 4e-3)),
+            Block("b", Rect(2e-3, 0.0, 2e-3, 4e-3)),
+        ]
+    )
+    return plan, AdjacencyMap(plan)
+
+
+class TestLateral:
+    def test_symmetric_pair_analytic_value(self, pair):
+        plan, amap = pair
+        interface = amap.interfaces[0]
+        r = lateral_interface_resistance(plan["a"], plan["b"], interface, DEFAULT_PACKAGE)
+        # Each half: (2mm/2) / (k * t * L) = 1e-3 / (100 * 0.5e-3 * 4e-3)
+        half = 1e-3 / (100.0 * 0.5e-3 * 4e-3)
+        assert r == pytest.approx(2.0 * half)
+
+    def test_order_independent(self, pair):
+        plan, amap = pair
+        interface = amap.interfaces[0]
+        r_ab = lateral_interface_resistance(plan["a"], plan["b"], interface, DEFAULT_PACKAGE)
+        r_ba = lateral_interface_resistance(plan["b"], plan["a"], interface, DEFAULT_PACKAGE)
+        assert r_ab == pytest.approx(r_ba)
+
+    def test_thicker_die_conducts_better(self, pair):
+        plan, amap = pair
+        interface = amap.interfaces[0]
+        thin = lateral_interface_resistance(
+            plan["a"], plan["b"], interface, PackageConfig(die_thickness=0.2e-3)
+        )
+        thick = lateral_interface_resistance(
+            plan["a"], plan["b"], interface, PackageConfig(die_thickness=1.0e-3)
+        )
+        assert thick < thin
+
+
+class TestBoundary:
+    def test_rim_dominates_half_path(self, pair):
+        plan, amap = pair
+        segment = next(
+            s for s in amap.boundary_segments("a") if s.side.name == "WEST"
+        )
+        r = boundary_edge_resistance(plan["a"], segment, DEFAULT_PACKAGE)
+        rim_only = DEFAULT_PACKAGE.rim_coefficient / segment.length
+        assert r > rim_only  # half-path adds on top
+        assert rim_only / r > 0.5  # but the rim is the dominant term
+
+    def test_longer_edge_escapes_better(self, pair):
+        plan, amap = pair
+        west = next(s for s in amap.boundary_segments("a") if s.side.name == "WEST")
+        south = next(s for s in amap.boundary_segments("a") if s.side.name == "SOUTH")
+        # West edge is 4 mm, south edge 2 mm.
+        r_west = boundary_edge_resistance(plan["a"], west, DEFAULT_PACKAGE)
+        r_south = boundary_edge_resistance(plan["a"], south, DEFAULT_PACKAGE)
+        assert r_west < r_south
+
+
+class TestVertical:
+    def test_die_resistance_formula(self, pair):
+        plan, _ = pair
+        r = vertical_die_resistance(plan["a"], DEFAULT_PACKAGE)
+        assert r == pytest.approx(0.5e-3 / (100.0 * 8e-6))
+
+    def test_tim_resistance_formula(self, pair):
+        plan, _ = pair
+        r = vertical_tim_resistance(plan["a"], DEFAULT_PACKAGE)
+        assert r == pytest.approx(20e-6 / (4.0 * 8e-6))
+
+    def test_spreading_scales_as_inverse_sqrt_area(self):
+        r1 = spreading_resistance(1e-6, DEFAULT_PACKAGE)
+        r4 = spreading_resistance(4e-6, DEFAULT_PACKAGE)
+        assert r1 / r4 == pytest.approx(2.0)
+
+    def test_spreading_rejects_bad_area(self):
+        with pytest.raises(ValueError):
+            spreading_resistance(0.0, DEFAULT_PACKAGE)
+
+    def test_stack_is_sum_of_parts(self, pair):
+        plan, _ = pair
+        block = plan["a"]
+        total = vertical_stack_resistance(block, DEFAULT_PACKAGE)
+        parts = (
+            vertical_die_resistance(block, DEFAULT_PACKAGE)
+            + vertical_tim_resistance(block, DEFAULT_PACKAGE)
+            + spreading_resistance(block.area, DEFAULT_PACKAGE)
+        )
+        assert total == pytest.approx(parts)
+
+
+class TestPackagePaths:
+    def test_shared_path_composition(self):
+        assert shared_path_resistance(DEFAULT_PACKAGE) == pytest.approx(
+            spreader_to_sink_resistance(DEFAULT_PACKAGE)
+            + DEFAULT_PACKAGE.convection_resistance
+        )
+
+    def test_spreader_centre_to_edge_positive(self):
+        assert spreader_centre_to_edge_resistance(DEFAULT_PACKAGE) > 0.0
+
+    def test_all_paths_finite(self, pair):
+        plan, amap = pair
+        for block in plan:
+            assert math.isfinite(vertical_stack_resistance(block, DEFAULT_PACKAGE))
+            for segment in amap.boundary_segments(block.name):
+                assert math.isfinite(
+                    boundary_edge_resistance(block, segment, DEFAULT_PACKAGE)
+                )

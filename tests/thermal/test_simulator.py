@@ -1,0 +1,144 @@
+"""Unit + integration tests for the ThermalSimulator facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan.generator import grid_floorplan
+from repro.thermal.builder import die_node
+from repro.thermal.package import PackageConfig
+from repro.thermal.simulator import ThermalSimulator
+
+
+@pytest.fixture(scope="module")
+def grid_sim():
+    return ThermalSimulator(grid_floorplan(3, 3))
+
+
+class TestSteadyState:
+    def test_zero_power_is_ambient_everywhere(self, grid_sim):
+        field = grid_sim.steady_state({})
+        for name in grid_sim.floorplan.block_names:
+            assert field.temperature_c(name) == pytest.approx(
+                grid_sim.ambient_c
+            )
+
+    def test_heated_block_is_hottest(self, grid_sim):
+        field = grid_sim.steady_state({"C1_1": 20.0})
+        assert field.hottest_block() == "C1_1"
+        assert field.max_temperature_c() == field.temperature_c("C1_1")
+
+    def test_neighbours_warmer_than_corners(self, grid_sim):
+        """Heat injected at the centre decays with distance."""
+        field = grid_sim.steady_state({"C1_1": 20.0})
+        assert field.temperature_c("C0_1") > field.temperature_c("C0_0")
+
+    def test_linearity_in_power(self, grid_sim):
+        f1 = grid_sim.steady_state({"C0_0": 10.0})
+        f2 = grid_sim.steady_state({"C0_0": 20.0})
+        rise1 = f1.temperature_c("C0_0") - grid_sim.ambient_c
+        rise2 = f2.temperature_c("C0_0") - grid_sim.ambient_c
+        assert rise2 == pytest.approx(2.0 * rise1, rel=1e-9)
+
+    def test_unknown_block_rejected(self, grid_sim):
+        with pytest.raises(ThermalModelError, match="unknown block"):
+            grid_sim.steady_state({"nope": 1.0})
+
+    def test_field_unknown_block_rejected(self, grid_sim):
+        field = grid_sim.steady_state({})
+        with pytest.raises(ThermalModelError):
+            field.temperature_c("nope")
+
+    def test_block_temperatures_map(self, grid_sim):
+        field = grid_sim.steady_state({"C0_0": 5.0})
+        temps = field.block_temperatures_c()
+        assert set(temps) == set(grid_sim.floorplan.block_names)
+
+    def test_ambient_configurable(self):
+        hot_ambient = ThermalSimulator(
+            grid_floorplan(2, 2), PackageConfig(ambient_c=85.0)
+        )
+        field = hot_ambient.steady_state({})
+        assert field.temperature_c("C0_0") == pytest.approx(85.0)
+
+
+class TestEffortAccounting:
+    def test_simulate_session_charges_duration(self):
+        sim = ThermalSimulator(grid_floorplan(2, 2))
+        assert sim.simulated_time_s == 0.0
+        sim.simulate_session({"C0_0": 5.0}, duration_s=1.0)
+        sim.simulate_session({"C0_1": 5.0}, duration_s=2.5)
+        assert sim.simulated_time_s == pytest.approx(3.5)
+
+    def test_steady_state_does_not_charge_effort(self):
+        sim = ThermalSimulator(grid_floorplan(2, 2))
+        sim.steady_state({"C0_0": 5.0})
+        assert sim.simulated_time_s == 0.0
+        assert sim.steady_solve_count == 1
+
+    def test_reset_effort(self):
+        sim = ThermalSimulator(grid_floorplan(2, 2))
+        sim.simulate_session({"C0_0": 5.0}, duration_s=1.0)
+        sim.reset_effort()
+        assert sim.simulated_time_s == 0.0
+        assert sim.steady_solve_count == 0
+
+    def test_nonpositive_duration_rejected(self):
+        sim = ThermalSimulator(grid_floorplan(2, 2))
+        with pytest.raises(ThermalModelError):
+            sim.simulate_session({"C0_0": 5.0}, duration_s=0.0)
+
+
+class TestTransientFacade:
+    def test_transient_approaches_steady_state(self, grid_sim):
+        power = {"C1_1": 20.0}
+        steady = grid_sim.steady_state(power)
+        result = grid_sim.transient(power, duration_s=500.0, dt=0.5)
+        final = result.final_rises()[
+            result.node_names.index(die_node("C1_1"))
+        ]
+        steady_rise = steady.temperature_c("C1_1") - grid_sim.ambient_c
+        assert final == pytest.approx(steady_rise, rel=0.02)
+
+    def test_peak_transient_below_steady(self, grid_sim):
+        """The M1 justification at facade level."""
+        power = {"C1_1": 20.0}
+        steady = grid_sim.steady_state(power)
+        peaks = grid_sim.block_peak_transient_c(power, duration_s=5.0, dt=0.05)
+        for name in grid_sim.floorplan.block_names:
+            assert peaks[name] <= steady.temperature_c(name) + 1e-6
+
+    def test_transient_schedule_concatenates(self, grid_sim):
+        result = grid_sim.transient_schedule(
+            [({"C0_0": 10.0}, 1.0), ({}, 1.0)], dt=0.1
+        )
+        assert result.times[-1] == pytest.approx(2.0)
+
+    def test_solver_cache_reused(self, grid_sim):
+        grid_sim.transient({"C0_0": 1.0}, duration_s=0.5, dt=0.25)
+        first = grid_sim._transient_solvers[0.25]
+        grid_sim.transient({"C0_0": 2.0}, duration_s=0.5, dt=0.25)
+        assert grid_sim._transient_solvers[0.25] is first
+
+
+class TestPowerDensityEffect:
+    def test_equal_power_smaller_block_runs_hotter(self):
+        """The paper's central physical premise, on the full simulator:
+        same power into a smaller block yields a higher temperature."""
+        plan = grid_floorplan(1, 2, die_width=12e-3, die_height=12e-3)
+        # Make an uneven variant: 1/4 vs 3/4 split.
+        from repro.floorplan.floorplan import Block, Floorplan
+        from repro.floorplan.geometry import Rect
+
+        uneven = Floorplan(
+            [
+                Block("small", Rect(0.0, 0.0, 3e-3, 12e-3)),
+                Block("big", Rect(3e-3, 0.0, 9e-3, 12e-3)),
+            ],
+            outline=Rect(0.0, 0.0, 12e-3, 12e-3),
+        )
+        sim = ThermalSimulator(uneven)
+        hot_small = sim.steady_state({"small": 15.0}).temperature_c("small")
+        hot_big = sim.steady_state({"big": 15.0}).temperature_c("big")
+        assert hot_small > hot_big

@@ -1,0 +1,157 @@
+"""Unit + property tests for the steady-state solver.
+
+Analytic cases first (hand-solvable ladder networks), then the physical
+invariants: superposition (the system is linear), reciprocity (G is
+symmetric), and positivity (heating any node warms every connected
+node).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.thermal.rc_network import ThermalNetwork
+from repro.thermal.steady_state import SteadyStateSolver
+
+
+def ladder(r_ab: float = 2.0, r_bg: float = 4.0) -> SteadyStateSolver:
+    """a --r_ab-- b --r_bg-- ground."""
+    net = ThermalNetwork()
+    net.add_node("a", 1.0)
+    net.add_node("b", 1.0)
+    net.add_resistance("a", "b", r_ab)
+    net.add_ground_resistance("b", r_bg)
+    return SteadyStateSolver(net.compile())
+
+
+class TestAnalyticCases:
+    def test_single_node(self):
+        net = ThermalNetwork()
+        net.add_node("x", 1.0)
+        net.add_ground_resistance("x", 3.0)
+        solver = SteadyStateSolver(net.compile())
+        rises = solver.solve_by_name({"x": 2.0})
+        # dT = P * R = 2 * 3
+        assert rises["x"] == pytest.approx(6.0)
+
+    def test_two_node_ladder(self):
+        solver = ladder(r_ab=2.0, r_bg=4.0)
+        rises = solver.solve_by_name({"a": 1.0})
+        # All 1 W flows a->b->ground: dT_b = 4, dT_a = 4 + 2.
+        assert rises["b"] == pytest.approx(4.0)
+        assert rises["a"] == pytest.approx(6.0)
+
+    def test_zero_power_means_ambient(self):
+        solver = ladder()
+        rises = solver.solve_by_name({})
+        assert rises["a"] == pytest.approx(0.0)
+        assert rises["b"] == pytest.approx(0.0)
+
+    def test_parallel_paths_split_heat(self):
+        # a has two routes to ground: direct (2 K/W) and via b (1+1 K/W).
+        net = ThermalNetwork()
+        net.add_node("a", 1.0)
+        net.add_node("b", 1.0)
+        net.add_resistance("a", "b", 1.0)
+        net.add_ground_resistance("a", 2.0)
+        net.add_ground_resistance("b", 1.0)
+        solver = SteadyStateSolver(net.compile())
+        rises = solver.solve_by_name({"a": 1.0})
+        # Requivalent at a = 2 || (1 + 1) = 1.0
+        assert rises["a"] == pytest.approx(1.0)
+
+    def test_self_resistance_query(self):
+        solver = ladder(r_ab=2.0, r_bg=4.0)
+        assert solver.input_output_resistance("a") == pytest.approx(6.0)
+        assert solver.input_output_resistance("b") == pytest.approx(4.0)
+
+    def test_transfer_resistance_reciprocity(self):
+        solver = ladder()
+        assert solver.transfer_resistance("a", "b") == pytest.approx(
+            solver.transfer_resistance("b", "a")
+        )
+
+
+class TestErrorHandling:
+    def test_shape_mismatch_rejected(self):
+        solver = ladder()
+        with pytest.raises(SolverError, match="shape"):
+            solver.solve(np.zeros(3))
+
+
+def random_grounded_network(draw) -> ThermalNetwork:
+    """Strategy helper: a random connected network with ground ties."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    net = ThermalNetwork()
+    for i in range(n):
+        net.add_node(f"n{i}", capacitance=1.0)
+    # Spanning chain guarantees connectivity.
+    for i in range(n - 1):
+        r = draw(st.floats(min_value=0.1, max_value=10.0))
+        net.add_resistance(f"n{i}", f"n{i + 1}", r)
+    # A few extra random edges.
+    extras = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extras):
+        i = draw(st.integers(min_value=0, max_value=n - 1))
+        j = draw(st.integers(min_value=0, max_value=n - 1))
+        if i != j:
+            net.add_resistance(
+                f"n{i}", f"n{j}", draw(st.floats(min_value=0.1, max_value=10.0))
+            )
+    net.add_ground_resistance("n0", draw(st.floats(min_value=0.1, max_value=10.0)))
+    return net
+
+
+@st.composite
+def grounded_networks(draw):
+    return random_grounded_network(draw)
+
+
+@settings(max_examples=40, deadline=None)
+@given(net=grounded_networks(), power=st.floats(min_value=0.0, max_value=100.0))
+def test_property_positivity(net, power):
+    """Injecting non-negative power never cools any node below ambient."""
+    solver = SteadyStateSolver(net.compile())
+    rises = solver.solve_by_name({"n0": power})
+    assert all(r >= -1e-9 for r in rises.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(net=grounded_networks())
+def test_property_superposition(net):
+    """solve(P1 + P2) == solve(P1) + solve(P2): the system is linear."""
+    solver = SteadyStateSolver(net.compile())
+    n = len(solver.network)
+    rng = np.random.default_rng(0)
+    p1 = rng.uniform(0.0, 5.0, n)
+    p2 = rng.uniform(0.0, 5.0, n)
+    combined = solver.solve(p1 + p2)
+    separate = solver.solve(p1) + solver.solve(p2)
+    assert np.allclose(combined, separate, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(net=grounded_networks())
+def test_property_reciprocity(net):
+    """Transfer resistances are symmetric for any topology."""
+    solver = SteadyStateSolver(net.compile())
+    names = solver.network.node_names
+    a, b = names[0], names[-1]
+    assert solver.transfer_resistance(a, b) == pytest.approx(
+        solver.transfer_resistance(b, a), rel=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(net=grounded_networks())
+def test_property_self_resistance_dominates_transfer(net):
+    """dT at the source is at least the dT anywhere else (max principle)."""
+    solver = SteadyStateSolver(net.compile())
+    names = solver.network.node_names
+    source = names[0]
+    rises = solver.solve_by_name({source: 1.0})
+    assert rises[source] >= max(rises.values()) - 1e-12

@@ -1,0 +1,139 @@
+"""Unit tests for the transient solver.
+
+The key physical property tested here is the one the paper's
+modification M1 rests on: for a step power input from ambient, the
+transient response rises monotonically toward the steady state and
+never overshoots it.  This is what justifies validating test sessions
+against steady-state temperatures only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.thermal.rc_network import ThermalNetwork
+from repro.thermal.steady_state import SteadyStateSolver
+from repro.thermal.transient import TransientSolver
+
+
+def rc_single(r: float = 2.0, c: float = 3.0) -> ThermalNetwork:
+    net = ThermalNetwork()
+    net.add_node("x", capacitance=c)
+    net.add_ground_resistance("x", r)
+    return net
+
+
+class TestAnalyticRC:
+    def test_exponential_charging(self):
+        """Single RC node: dT(t) = P R (1 - exp(-t / RC))."""
+        r, c, p = 2.0, 3.0, 5.0
+        tau = r * c
+        solver = TransientSolver(rc_single(r, c).compile(), dt=tau / 2000.0)
+        result = solver.simulate(np.array([p]), duration=3.0 * tau)
+        expected = p * r * (1.0 - np.exp(-result.times / tau))
+        # Backward Euler at tau/2000 tracks the analytic curve closely.
+        assert np.allclose(result.rises[:, 0], expected, rtol=2e-3, atol=1e-4)
+
+    def test_steady_state_is_the_limit(self):
+        net = rc_single()
+        compiled = net.compile()
+        steady = SteadyStateSolver(compiled).solve(np.array([5.0]))
+        transient = TransientSolver(compiled, dt=0.01).simulate(
+            np.array([5.0]), duration=100.0
+        )
+        assert transient.final_rises() == pytest.approx(steady, rel=1e-6)
+
+    def test_monotone_rise_no_overshoot(self):
+        """The M1 bound: transient from ambient never exceeds steady state."""
+        net = ThermalNetwork()
+        net.add_node("a", 1.0)
+        net.add_node("b", 2.0)
+        net.add_resistance("a", "b", 1.5)
+        net.add_ground_resistance("b", 0.5)
+        compiled = net.compile()
+        power = np.array([4.0, 1.0])
+        steady = SteadyStateSolver(compiled).solve(power)
+        result = TransientSolver(compiled, dt=0.01).simulate(power, duration=50.0)
+        for col in range(2):
+            trajectory = result.rises[:, col]
+            assert np.all(np.diff(trajectory) >= -1e-12)  # monotone rise
+            assert trajectory.max() <= steady[col] + 1e-9  # bounded by steady
+
+
+class TestCoolingAndSchedules:
+    def test_cooling_from_hot_state(self):
+        net = rc_single(r=1.0, c=1.0)
+        solver = TransientSolver(net.compile(), dt=0.001)
+        hot = np.array([10.0])
+        result = solver.simulate(np.zeros(1), duration=5.0, initial_rises=hot)
+        # Exponential decay toward ambient.
+        assert result.final_rises()[0] < 0.1
+        assert np.all(np.diff(result.rises[:, 0]) <= 1e-12)
+
+    def test_schedule_carries_state_across_intervals(self):
+        net = rc_single(r=1.0, c=1.0)
+        solver = TransientSolver(net.compile(), dt=0.001)
+        intervals = [(np.array([10.0]), 2.0), (np.zeros(1), 2.0)]
+        result = solver.simulate_schedule(intervals)
+        # Peak occurs at the heat/cool boundary, then decays.
+        peak_index = int(np.argmax(result.rises[:, 0]))
+        boundary_index = int(np.searchsorted(result.times, 2.0)) - 1
+        assert abs(peak_index - boundary_index) <= 1
+        assert result.rises[-1, 0] < result.rises[peak_index, 0]
+
+    def test_schedule_times_are_increasing(self):
+        net = rc_single()
+        solver = TransientSolver(net.compile(), dt=0.01)
+        result = solver.simulate_schedule(
+            [(np.array([1.0]), 0.5), (np.array([2.0]), 0.5)]
+        )
+        assert np.all(np.diff(result.times) > 0)
+
+    def test_empty_schedule_rejected(self):
+        solver = TransientSolver(rc_single().compile(), dt=0.01)
+        with pytest.raises(SolverError):
+            solver.simulate_schedule([])
+
+
+class TestResultQueries:
+    def test_peak_and_trajectory_queries(self):
+        net = rc_single(r=2.0, c=1.0)
+        solver = TransientSolver(net.compile(), dt=0.01)
+        result = solver.simulate(np.array([1.0]), duration=20.0)
+        assert result.peak_rise("x") == pytest.approx(2.0, rel=1e-3)
+        assert result.rise_of("x").shape == result.times.shape
+
+
+class TestValidation:
+    def test_nonpositive_dt_rejected(self):
+        with pytest.raises(SolverError):
+            TransientSolver(rc_single().compile(), dt=0.0)
+
+    def test_all_zero_capacitance_rejected(self):
+        net = ThermalNetwork()
+        net.add_node("x", capacitance=0.0)
+        net.add_ground_resistance("x", 1.0)
+        with pytest.raises(SolverError, match="capacitance"):
+            TransientSolver(net.compile(), dt=0.01)
+
+    def test_massless_junction_tolerated(self):
+        net = ThermalNetwork()
+        net.add_node("mass", capacitance=1.0)
+        net.add_node("junction", capacitance=0.0)
+        net.add_resistance("mass", "junction", 1.0)
+        net.add_ground_resistance("junction", 1.0)
+        solver = TransientSolver(net.compile(), dt=0.01)
+        result = solver.simulate(np.array([1.0, 0.0]), duration=20.0)
+        assert result.final_rises()[0] == pytest.approx(2.0, rel=1e-2)
+
+    def test_bad_power_shape_rejected(self):
+        solver = TransientSolver(rc_single().compile(), dt=0.01)
+        with pytest.raises(SolverError, match="shape"):
+            solver.simulate(np.zeros(5), duration=1.0)
+
+    def test_bad_duration_rejected(self):
+        solver = TransientSolver(rc_single().compile(), dt=0.01)
+        with pytest.raises(SolverError):
+            solver.simulate(np.zeros(1), duration=-1.0)

@@ -1,0 +1,78 @@
+"""Tests for the M1 (steady-bounds-transient) validation machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import sequential_schedule
+from repro.errors import ThermalModelError
+from repro.floorplan.generator import grid_floorplan
+from repro.power.generator import uniform_test_power_profile
+from repro.soc.system import SocUnderTest
+from repro.thermal.simulator import ThermalSimulator
+from repro.thermal.validation import check_schedule_bound, check_session_bound
+
+
+@pytest.fixture(scope="module")
+def soc():
+    plan = grid_floorplan(2, 2)
+    return SocUnderTest.from_profile(
+        plan, uniform_test_power_profile(plan, 30.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def simulator(soc):
+    return ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+
+
+class TestSessionBound:
+    def test_bound_holds_from_ambient(self, soc, simulator):
+        check = check_session_bound(simulator, soc, ["C0_0", "C1_1"])
+        assert check.holds
+        assert check.min_margin_c >= 0.0
+        assert check.max_margin_c >= check.min_margin_c
+
+    def test_margins_positive_for_short_sessions(self, soc, simulator):
+        """1 s sessions vs a package with ~minute time constants: the
+        steady-state prediction must be far above the transient peak."""
+        check = check_session_bound(simulator, soc, ["C0_0"])
+        assert check.min_margin_c > 1.0
+
+    def test_empty_session_rejected(self, soc, simulator):
+        with pytest.raises(ThermalModelError):
+            check_session_bound(simulator, soc, [])
+
+
+class TestScheduleBound:
+    def test_back_to_back_bound(self, soc, simulator):
+        schedule = sequential_schedule(soc)
+        check = check_schedule_bound(simulator, schedule, cooling_gap_s=0.0)
+        assert len(check.sessions) == len(schedule)
+        assert check.holds
+        assert check.min_margin_c > 0.0
+
+    def test_cooling_gap_increases_margin(self, soc, simulator):
+        schedule = sequential_schedule(soc)
+        hot = check_schedule_bound(simulator, schedule, cooling_gap_s=0.0)
+        cooled = check_schedule_bound(simulator, schedule, cooling_gap_s=2.0)
+        assert cooled.min_margin_c >= hot.min_margin_c
+
+    def test_negative_gap_rejected(self, soc, simulator):
+        schedule = sequential_schedule(soc)
+        with pytest.raises(ThermalModelError):
+            check_schedule_bound(simulator, schedule, cooling_gap_s=-1.0)
+
+    def test_carry_over_reduces_margin_vs_ambient(self, soc, simulator):
+        """Later sessions start warmer than ambient, so the continuous
+        schedule's margins are no better than the from-ambient ones."""
+        schedule = sequential_schedule(soc)
+        continuous = check_schedule_bound(simulator, schedule, cooling_gap_s=0.0)
+        for index, session in enumerate(schedule):
+            ambient_check = check_session_bound(
+                simulator, soc, list(session.cores)
+            )
+            assert (
+                continuous.sessions[index].min_margin_c
+                <= ambient_check.min_margin_c + 1e-6
+            )
