@@ -1,12 +1,32 @@
-"""Legacy setuptools shim.
+"""Setuptools packaging for the ``repro`` library.
 
 The reference environment has no ``wheel`` package, so PEP 660 editable
-installs (``pip install -e .``) cannot build; this shim lets both
-``pip install -e . --no-build-isolation`` (legacy code path) and
-``python setup.py develop`` work offline.  All metadata lives in
-``pyproject.toml``.
+installs (``pip install -e .``) cannot build; this legacy ``setup.py``
+lets both ``pip install -e . --no-build-isolation`` and
+``python setup.py develop`` work offline, and installs the console
+commands::
+
+    repro           # umbrella command: `repro schedule`, `repro batch`
+    repro-schedule  # alias for `repro schedule`
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Rapid Generation of Thermal-Safe Test Schedules' "
+        "(DATE 2005) with a batch scheduling engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:repro_main",
+            "repro-schedule=repro.cli:schedule_entry",
+        ]
+    },
+)

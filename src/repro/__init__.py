@@ -16,6 +16,9 @@ including every substrate the paper depends on:
 * experiment drivers regenerating every figure and table
   (:mod:`repro.experiments`).
 
+* the batch engine: scenario fleets, a shared thermal-model cache and
+  parallel execution backends (:mod:`repro.engine`).
+
 Quickstart::
 
     from repro import alpha15_soc, ThermalAwareScheduler
@@ -23,6 +26,13 @@ Quickstart::
     soc = alpha15_soc()
     result = ThermalAwareScheduler(soc).schedule(tl_c=155.0, stcl=60.0)
     print(result.describe())
+
+Batch quickstart::
+
+    from repro import BatchRunner, generate_fleet
+
+    batch = BatchRunner(backend="process").run(generate_fleet(100, seed=0))
+    print(batch.describe())
 """
 
 from .core import (
@@ -49,6 +59,18 @@ from .errors import (
     SolverError,
     ThermalModelError,
 )
+from .engine import (
+    BatchResult,
+    BatchRunner,
+    FleetConfig,
+    JobResult,
+    JobSpec,
+    ScenarioSpec,
+    ThermalModelCache,
+    available_backends,
+    generate_fleet,
+    generate_scenarios,
+)
 from .floorplan import Floorplan, Rect, alpha15, hypothetical7, worked_example6
 from .power import PowerProfile, generate_power_profile
 from .soc import (
@@ -64,11 +86,16 @@ from .thermal import PackageConfig, TemperatureField, ThermalSimulator
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
+    "BatchRunner",
     "CoreThermalViolationError",
     "CoreUnderTest",
+    "FleetConfig",
     "Floorplan",
     "FloorplanError",
     "GeometryError",
+    "JobResult",
+    "JobSpec",
     "PackageConfig",
     "PowerConstrainedConfig",
     "PowerConstrainedScheduler",
@@ -76,6 +103,7 @@ __all__ = [
     "PowerProfile",
     "Rect",
     "ReproError",
+    "ScenarioSpec",
     "ScheduleInfeasibleError",
     "ScheduleResult",
     "SchedulerConfig",
@@ -88,12 +116,16 @@ __all__ = [
     "TestSchedule",
     "TestSession",
     "ThermalAwareScheduler",
+    "ThermalModelCache",
     "ThermalModelError",
     "ThermalSimulator",
     "alpha15",
     "alpha15_soc",
     "audit_schedule",
+    "available_backends",
+    "generate_fleet",
     "generate_power_profile",
+    "generate_scenarios",
     "grid_soc",
     "hypothetical7",
     "hypothetical7_soc",

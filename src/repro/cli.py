@@ -1,6 +1,13 @@
-"""``repro-schedule`` — thermal-safe scheduling from the command line.
+"""``repro`` — thermal-safe scheduling from the command line.
 
-The end-user flow without writing Python:
+Two subcommands::
+
+    repro schedule ...   # one SoC, one (TL, STCL) question
+    repro batch ...      # a generated fleet of scenarios over a backend
+
+(``repro-schedule`` remains as an alias for ``repro schedule``.)
+
+The single-run flow without writing Python:
 
 * pick a SoC: a built-in platform (``--soc alpha15``) or your own
   HotSpot ``.flp`` plus a power CSV (``--flp chip.flp --powers p.csv``);
@@ -14,10 +21,11 @@ The power CSV has a header and one row per core::
     core,test_w,functional_w
     cpu0,12.5,3.1
 
-Example::
+Examples::
 
-    repro-schedule --soc alpha15 --tl 165 --stcl 60 --gantt --save run.json
-    repro-schedule --flp my.flp --powers my.csv --tl 150 --auto-stcl 2.0
+    repro schedule --soc alpha15 --tl 165 --stcl 60 --gantt --save run.json
+    repro schedule --flp my.flp --powers my.csv --tl 150 --auto-stcl 2.0
+    repro batch --count 100 --seed 0 --backend process --out fleet.jsonl
 """
 
 from __future__ import annotations
@@ -214,5 +222,125 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def batch_main(argv: list[str] | None = None) -> int:
+    """``repro batch`` — schedule a generated scenario fleet."""
+    from .engine import (
+        BatchRunner,
+        FleetConfig,
+        available_backends,
+        generate_fleet,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Generate and schedule a fleet of thermal scenarios.",
+    )
+    fleet = parser.add_argument_group("fleet")
+    fleet.add_argument(
+        "--count", type=int, default=100, help="fleet size (default 100)"
+    )
+    fleet.add_argument("--seed", type=int, default=0, help="fleet RNG seed")
+    fleet.add_argument(
+        "--no-builtins",
+        action="store_true",
+        help="generated scenarios only (skip alpha15 etc.)",
+    )
+    execution = parser.add_argument_group("execution")
+    execution.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="execution backend (default serial)",
+    )
+    execution.add_argument(
+        "--workers", type=int, help="worker count (default: CPU count)"
+    )
+    execution.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared thermal-model cache",
+    )
+    output = parser.add_argument_group("output")
+    output.add_argument(
+        "--out", type=Path, metavar="JSONL", help="archive job records as JSONL"
+    )
+    output.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="per-job summary lines to print (default 10)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.count < 1:
+            raise ReproError(f"--count must be >= 1, got {args.count}")
+        config = FleetConfig(include_builtins=not args.no_builtins)
+        jobs = generate_fleet(args.count, seed=args.seed, config=config)
+        runner = BatchRunner(
+            backend=args.backend,
+            max_workers=args.workers,
+            use_cache=not args.no_cache,
+        )
+        batch = runner.run(jobs, jsonl_path=args.out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(batch.describe(limit=args.limit))
+    if args.out is not None:
+        print(f"{batch.n_jobs} job records archived to {args.out}")
+    return 0 if not batch.failed else 1
+
+
+#: ``repro`` subcommands.
+COMMANDS = {
+    "schedule": main,
+    "batch": batch_main,
+}
+
+
+def _exit_quietly_on_broken_pipe() -> int:
+    """Handle a downstream consumer (e.g. ``| head``) closing stdout.
+
+    Redirects stdout to devnull so the interpreter-shutdown flush does
+    not raise a second time, and returns the conventional
+    128+SIGPIPE exit code.
+    """
+    import os
+
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 128 + 13
+
+
+def repro_main(argv: list[str] | None = None) -> int:
+    """Console entry point of the ``repro`` umbrella command."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    usage = (
+        f"usage: repro {{{','.join(COMMANDS)}}} ...\n"
+        f"  repro schedule --help   one SoC, one (TL, STCL) question\n"
+        f"  repro batch --help      schedule a generated scenario fleet"
+    )
+    if not argv or argv[0] in ("-h", "--help"):
+        print(usage)
+        return 0 if argv else 2
+    command = COMMANDS.get(argv[0])
+    if command is None:
+        print(f"error: unknown command {argv[0]!r}\n{usage}", file=sys.stderr)
+        return 2
+    try:
+        return command(argv[1:])
+    except BrokenPipeError:
+        return _exit_quietly_on_broken_pipe()
+
+
+def schedule_entry(argv: list[str] | None = None) -> int:
+    """Console entry point of the ``repro-schedule`` alias."""
+    try:
+        return main(argv)
+    except BrokenPipeError:
+        return _exit_quietly_on_broken_pipe()
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(repro_main())

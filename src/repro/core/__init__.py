@@ -20,6 +20,8 @@ from .gantt import render_gantt, render_utilisation
 from .refine import RefinementResult, RefinementStep, ScheduleRefiner
 from .safety import ScheduleAudit, SessionAudit, annotate_schedule, audit_schedule
 from .serialize import (
+    dump_jsonl,
+    load_jsonl,
     load_result,
     result_from_dict,
     result_to_dict,
@@ -67,6 +69,8 @@ __all__ = [
     "WeightStore",
     "annotate_schedule",
     "audit_schedule",
+    "dump_jsonl",
+    "load_jsonl",
     "load_result",
     "render_gantt",
     "render_utilisation",

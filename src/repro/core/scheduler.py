@@ -179,6 +179,12 @@ class ScheduleResult:
     forced_singletons:
         How many sessions had to be forced through the ``on_stuck``
         path (0 in every paper-regime run).
+    steady_solves:
+        Number of steady-state solves the run issued against the
+        simulator (phase A + every candidate session).  Unlike
+        ``effort_s`` (simulated seconds, the paper's metric) this
+        counts actual linear-system solves, so it tracks real compute
+        and surfaces perf regressions in benchmark output.
     """
 
     schedule: TestSchedule
@@ -191,6 +197,7 @@ class ScheduleResult:
     weights: Mapping[str, float]
     discarded: tuple[DiscardedSession, ...] = field(default_factory=tuple)
     forced_singletons: int = 0
+    steady_solves: int = 0
 
     @property
     def n_sessions(self) -> int:
@@ -210,6 +217,8 @@ class ScheduleResult:
             f"max temp {self.max_temperature_c:.2f} degC",
             self.schedule.describe(),
         ]
+        if self.steady_solves:
+            lines.append(f"  steady-state solves: {self.steady_solves}")
         if self.discarded:
             lines.append(f"  discarded sessions: {self.n_discarded}")
         if self.forced_singletons:
@@ -373,6 +382,7 @@ class ThermalAwareScheduler:
         """
         if stcl <= 0.0:
             raise SchedulingError(f"STCL must be positive, got {stcl!r}")
+        solves_before = self._simulator.steady_solve_count
 
         # Phase A: individual-core thermal sanity (lines 1-7).
         bcmt, phase_a_effort = self.best_case_max_temperatures()
@@ -456,4 +466,5 @@ class ThermalAwareScheduler:
             weights=weights.as_mapping(),
             discarded=tuple(discarded),
             forced_singletons=forced_singletons,
+            steady_solves=self._simulator.steady_solve_count - solves_before,
         )

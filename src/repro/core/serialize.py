@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from ..errors import SchedulingError
 from ..soc.system import SocUnderTest
@@ -89,6 +89,7 @@ def result_to_dict(result: ScheduleResult) -> dict[str, Any]:
         "effort_s": result.effort_s,
         "max_temperature_c": result.max_temperature_c,
         "forced_singletons": result.forced_singletons,
+        "steady_solves": result.steady_solves,
         "bcmt_c": dict(result.bcmt_c),
         "weights": dict(result.weights),
         "discarded": [
@@ -135,7 +136,46 @@ def result_from_dict(data: dict[str, Any], soc: SocUnderTest) -> ScheduleResult:
         weights={str(k): float(v) for k, v in data["weights"].items()},
         discarded=discarded,
         forced_singletons=int(data.get("forced_singletons", 0)),
+        steady_solves=int(data.get("steady_solves", 0)),
     )
+
+
+def dump_jsonl(records: Iterable[dict[str, Any]], path: str | Path) -> int:
+    """Write dict records to a JSON-Lines file; returns the record count.
+
+    JSONL is the batch engine's persistence format: one self-contained
+    record per line, so fleets of thousands of job results stream to
+    disk without holding the whole batch in memory and can be grepped,
+    tailed and concatenated like logs.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Read every record of a JSON-Lines file (blank lines skipped)."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise SchedulingError(f"cannot load JSONL file {path}: {exc}") from exc
+    records: list[dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise SchedulingError(
+                f"corrupt JSONL record at {path}:{lineno}: {exc}"
+            ) from exc
+    return records
 
 
 def save_result(result: ScheduleResult, path: str | Path) -> None:

@@ -1,0 +1,94 @@
+"""Batch scheduling engine: scenario fleets, parallel backends, model cache.
+
+The single-run flow answers one ``(SoC, TL, STCL)`` question; this
+subsystem turns it into a high-throughput batch service:
+
+* :mod:`scenarios` — declarative, picklable SoC descriptions and a
+  seeded generator that emits diverse fleets in one call;
+* :mod:`jobs` — frozen :class:`JobSpec` / :class:`JobResult` records
+  that round-trip through dicts and JSONL;
+* :mod:`cache` — a content-hash-keyed cache sharing compiled thermal
+  networks and steady-state factorisations across jobs;
+* :mod:`backends` — a pluggable execution-backend registry (serial,
+  thread, multiprocessing);
+* :mod:`runner` — :class:`BatchRunner`, which fans jobs out, aggregates
+  results and archives them as JSONL.
+
+Quickstart::
+
+    from repro.engine import BatchRunner, generate_fleet
+
+    fleet = generate_fleet(100, seed=0)
+    batch = BatchRunner(backend="process").run(fleet)
+    print(batch.describe())
+"""
+
+from .backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    create_backend,
+    default_worker_count,
+    register_backend,
+)
+from .cache import (
+    CacheStats,
+    ThermalModelCache,
+    floorplan_fingerprint,
+    model_key,
+    package_fingerprint,
+)
+from .jobs import (
+    JobResult,
+    JobSpec,
+    job_result_from_dict,
+    job_result_to_dict,
+    job_spec_from_dict,
+    job_spec_to_dict,
+)
+from .runner import (
+    BatchResult,
+    BatchRunner,
+    load_batch_jsonl,
+    run_job,
+    save_batch_jsonl,
+)
+from .scenarios import (
+    FleetConfig,
+    ScenarioSpec,
+    generate_fleet,
+    generate_scenarios,
+)
+
+__all__ = [
+    "BatchResult",
+    "BatchRunner",
+    "CacheStats",
+    "ExecutionBackend",
+    "FleetConfig",
+    "JobResult",
+    "JobSpec",
+    "ProcessBackend",
+    "ScenarioSpec",
+    "SerialBackend",
+    "ThermalModelCache",
+    "ThreadBackend",
+    "available_backends",
+    "create_backend",
+    "default_worker_count",
+    "floorplan_fingerprint",
+    "generate_fleet",
+    "generate_scenarios",
+    "job_result_from_dict",
+    "job_result_to_dict",
+    "job_spec_from_dict",
+    "job_spec_to_dict",
+    "load_batch_jsonl",
+    "model_key",
+    "package_fingerprint",
+    "register_backend",
+    "run_job",
+    "save_batch_jsonl",
+]

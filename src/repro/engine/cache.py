@@ -1,0 +1,225 @@
+"""Shared thermal-model cache for the batch engine.
+
+Building a thermal model is the expensive, power-independent part of a
+scheduling job: compiling the RC network from floorplan + package and
+Cholesky-factorising its conductance matrix.  Scenarios in a fleet
+frequently share that pair (same grid shape, same cooling regime) while
+differing in powers, limits or scheduler knobs — so the batch engine
+caches ``(compiled network, factorisation)`` under a **content hash**
+of the floorplan geometry and package parameters, and hands every job a
+lightweight :class:`~repro.thermal.simulator.ThermalSimulator` facade
+(with its own effort counters) around the shared immutable artefacts.
+
+The cache is thread-safe (the thread backend shares one instance across
+workers) and keeps hit/miss statistics for batch summaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..floorplan.adjacency import AdjacencyMap
+from ..floorplan.floorplan import Floorplan
+from ..thermal.builder import BuiltModel, build_thermal_network
+from ..thermal.package import PackageConfig
+from ..thermal.simulator import ThermalSimulator
+from ..thermal.steady_state import SteadyStateSolver
+
+
+def floorplan_fingerprint(floorplan: Floorplan) -> str:
+    """Content hash of a floorplan's thermally relevant geometry.
+
+    Block order matters (it defines the solver's node indexing) and
+    float coordinates are hashed via ``repr`` so any bit-level
+    difference produces a different key — false cache misses are
+    acceptable, false hits are not.  The floorplan *name* is excluded:
+    two identically shaped dies share a thermal network regardless of
+    what they are called.
+    """
+    digest = hashlib.sha256()
+    for block in floorplan:
+        rect = block.rect
+        digest.update(
+            f"{block.name}|{rect.x!r}|{rect.y!r}|{rect.width!r}|{rect.height!r};".encode()
+        )
+    outline = floorplan.outline
+    digest.update(
+        f"@{outline.x!r}|{outline.y!r}|{outline.width!r}|{outline.height!r}".encode()
+    )
+    return digest.hexdigest()
+
+
+def package_fingerprint(package: PackageConfig) -> str:
+    """Content hash of every package parameter (materials included)."""
+    digest = hashlib.sha256()
+    digest.update(
+        "|".join(
+            [
+                repr(package.die_thickness),
+                repr(package.die_material),
+                repr(package.tim_thickness),
+                repr(package.tim_material),
+                repr(package.spreader_side),
+                repr(package.spreader_thickness),
+                repr(package.spreader_material),
+                repr(package.sink_side),
+                repr(package.sink_thickness),
+                repr(package.sink_material),
+                repr(package.convection_resistance),
+                repr(package.convection_capacitance),
+                repr(package.rim_coefficient),
+                repr(package.ambient_c),
+            ]
+        ).encode()
+    )
+    return digest.hexdigest()
+
+
+def model_key(floorplan: Floorplan, package: PackageConfig) -> str:
+    """Cache key of the (floorplan, package) pair."""
+    return floorplan_fingerprint(floorplan) + ":" + package_fingerprint(package)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`ThermalModelCache`.
+
+    Attributes
+    ----------
+    hits:
+        Lookups served from the cache.
+    misses:
+        Lookups that had to build (and factorise) a model.
+    entries:
+        Models currently cached.
+    evictions:
+        Entries dropped by the LRU bound.
+    """
+
+    hits: int
+    misses: int
+    entries: int
+    evictions: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"thermal-model cache: {self.hits} hits / {self.lookups} lookups "
+            f"({self.hit_rate * 100:.0f}%), {self.entries} entries, "
+            f"{self.evictions} evictions"
+        )
+
+
+class ThermalModelCache:
+    """Content-hash-keyed cache of compiled networks and factorisations.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU bound on cached models (``None`` = unbounded).  A compiled
+        model plus factor for an *n*-block die is O((n+7)^2) floats, so
+        even large fleets rarely need a bound; it exists for services
+        that run forever.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
+        self._max_entries = max_entries
+        self._entries: OrderedDict[str, tuple[BuiltModel, SteadyStateSolver]] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss statistics (snapshot)."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._entries),
+                evictions=self._evictions,
+            )
+
+    def reset_stats(self) -> None:
+        """Zero the counters (entries are kept)."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def clear(self) -> None:
+        """Drop every cached model and zero the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def simulator_for(
+        self,
+        floorplan: Floorplan,
+        package: PackageConfig,
+        adjacency: AdjacencyMap | None = None,
+    ) -> tuple[ThermalSimulator, bool]:
+        """A fresh simulator facade over the cached model for this pair.
+
+        Returns
+        -------
+        (simulator, hit)
+            *simulator* has its own effort counters but shares the
+            compiled network and factorisation with every other
+            simulator handed out for the same content hash; *hit* says
+            whether the model came from the cache.
+        """
+        key = model_key(floorplan, package)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        if cached is not None:
+            model, solver = cached
+            return ThermalSimulator.from_handles(model, solver), True
+
+        # Build outside the lock: factorisation is the expensive part and
+        # the thread backend must not serialise on it.  Two threads may
+        # race to build the same key; the loser's build is discarded.
+        model = build_thermal_network(floorplan, package, adjacency)
+        solver = SteadyStateSolver(model.network)
+        with self._lock:
+            self._misses += 1
+            existing = self._entries.get(key)
+            if existing is not None:
+                model, solver = existing
+                self._entries.move_to_end(key)
+            else:
+                self._entries[key] = (model, solver)
+                if (
+                    self._max_entries is not None
+                    and len(self._entries) > self._max_entries
+                ):
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+        return ThermalSimulator.from_handles(model, solver), False

@@ -1,0 +1,332 @@
+"""Job specifications and results for the batch scheduling engine.
+
+A :class:`JobSpec` pairs a :class:`~repro.engine.scenarios.ScenarioSpec`
+(the SoC description) with the scheduling question asked of it: the
+temperature limit ``TL``, the session-thermal-characteristic limit
+``STCL`` and the scheduler-variant knobs.  Limits can be given
+absolutely or as *headrooms* relative to the scenario's own thermal
+regime; headrooms keep generated fleets feasible by construction.
+
+A :class:`JobResult` is the complete record of one executed job:
+the resolved limits, the :class:`~repro.core.scheduler.ScheduleResult`
+(on success), the failure (on error — batch runs never die because one
+scenario was infeasible), wall-clock timing, simulation-effort metrics
+and whether the job's thermal model came out of the shared cache.
+
+Both are frozen dataclasses of picklable content so they cross process
+boundaries unchanged, and both round-trip through plain dicts (and
+therefore through the JSONL archives the runner writes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Any, Literal
+
+from ..core.scheduler import SchedulerConfig, ScheduleResult
+from ..core.serialize import SCHEMA_VERSION, result_from_dict, result_to_dict
+from ..core.session_model import SessionModelConfig, SessionThermalModel
+from ..errors import SchedulingError
+from ..soc.system import SocUnderTest
+from .scenarios import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One scheduling question: a scenario plus limits and knobs.
+
+    Exactly one of (``tl_c``, ``tl_headroom``) and one of
+    (``stcl``, ``stcl_headroom``) must be set.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within a batch.
+    scenario:
+        Declarative SoC description.
+    tl_c:
+        Absolute temperature limit (Celsius).
+    tl_headroom:
+        Alternative: TL sits ``headroom x`` the hottest
+        singleton-session temperature *rise* above ambient
+        (``TL = ambient + headroom * (max BCMT - ambient)``; > 1
+        guarantees phase A passes).
+    stcl:
+        Absolute session-thermal-characteristic limit.
+    stcl_headroom:
+        Alternative: ``STCL = headroom x`` the worst singleton STC
+        (> 1 keeps every core individually schedulable).
+    weight_factor, candidate_order, validation:
+        Scheduler-variant knobs (see
+        :class:`~repro.core.scheduler.SchedulerConfig`).
+    include_vertical:
+        Session-model ablation switch.
+    stc_scale:
+        STC normalisation; ``None`` uses the scenario's calibrated
+        default.
+    """
+
+    job_id: str
+    scenario: ScenarioSpec
+    tl_c: float | None = None
+    tl_headroom: float | None = None
+    stcl: float | None = None
+    stcl_headroom: float | None = None
+    weight_factor: float = 1.1
+    candidate_order: str = "input"
+    validation: Literal["steady", "transient"] = "steady"
+    include_vertical: bool = False
+    stc_scale: float | None = None
+
+    def __post_init__(self) -> None:
+        if (self.tl_c is None) == (self.tl_headroom is None):
+            raise SchedulingError(
+                f"job {self.job_id!r}: exactly one of tl_c / tl_headroom is "
+                f"required"
+            )
+        if (self.stcl is None) == (self.stcl_headroom is None):
+            raise SchedulingError(
+                f"job {self.job_id!r}: exactly one of stcl / stcl_headroom is "
+                f"required"
+            )
+        if self.tl_headroom is not None and self.tl_headroom <= 1.0:
+            raise SchedulingError(
+                f"job {self.job_id!r}: tl_headroom must be > 1 "
+                f"(TL at or below the singleton peak is infeasible), "
+                f"got {self.tl_headroom!r}"
+            )
+        if self.stcl_headroom is not None and self.stcl_headroom <= 0.0:
+            raise SchedulingError(
+                f"job {self.job_id!r}: stcl_headroom must be positive, "
+                f"got {self.stcl_headroom!r}"
+            )
+
+    def session_model_config(self) -> SessionModelConfig:
+        """The session-model configuration this job requests."""
+        scale = (
+            self.stc_scale
+            if self.stc_scale is not None
+            else self.scenario.default_stc_scale()
+        )
+        return SessionModelConfig(
+            include_vertical=self.include_vertical, stc_scale=scale
+        )
+
+    def scheduler_config(self) -> SchedulerConfig:
+        """The scheduler configuration this job requests."""
+        return SchedulerConfig(
+            weight_factor=self.weight_factor,
+            candidate_order=self.candidate_order,  # type: ignore[arg-type]
+            validation=self.validation,
+        )
+
+    def resolve_limits(
+        self, model: SessionThermalModel, bcmt_c: dict[str, float]
+    ) -> tuple[float, float]:
+        """Turn headroom-style limits into absolute (TL, STCL).
+
+        Parameters
+        ----------
+        model:
+            The session thermal model of the built scenario.
+        bcmt_c:
+            Best-case (singleton) max temperature per core — the
+            scheduler's phase-A quantities, which the runner computes
+            once and reuses here.
+        """
+        if self.tl_c is not None:
+            tl_c = self.tl_c
+        else:
+            assert self.tl_headroom is not None
+            ambient = model.soc.package.ambient_c
+            peak_rise = max(bcmt_c.values()) - ambient
+            tl_c = ambient + self.tl_headroom * peak_rise
+        if self.stcl is not None:
+            stcl = self.stcl
+        else:
+            assert self.stcl_headroom is not None
+            worst = max(
+                model.session_thermal_characteristic([name])
+                for name in model.soc.core_names
+            )
+            if not math.isfinite(worst):
+                raise SchedulingError(
+                    f"job {self.job_id!r}: a core has an infinite singleton "
+                    f"STC under the lateral-only session model (isolated "
+                    f"block on a non-tiling floorplan); set "
+                    f"include_vertical=True"
+                )
+            stcl = self.stcl_headroom * worst
+        return tl_c, stcl
+
+
+#: Terminal states of an executed job.
+JobStatus = Literal["ok", "error"]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The complete record of one executed batch job.
+
+    Attributes
+    ----------
+    spec:
+        The job as submitted.
+    status:
+        ``"ok"`` or ``"error"``.
+    tl_c, stcl:
+        The resolved absolute limits (``nan`` if resolution itself
+        failed).
+    result:
+        The scheduling result (``None`` on error).
+    error:
+        Failure description (``None`` on success).
+    elapsed_s:
+        Wall-clock execution time of this job in its worker.
+    steady_solves:
+        Linear-system solves the job issued (model build + scheduling).
+    cache_hit:
+        Whether the job's thermal network + factorisation came out of
+        the shared model cache.
+    """
+
+    spec: JobSpec
+    status: JobStatus
+    tl_c: float
+    stcl: float
+    result: ScheduleResult | None
+    error: str | None
+    elapsed_s: float
+    steady_solves: int = 0
+    cache_hit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.status == "ok" and self.result is None:
+            raise SchedulingError(
+                f"job {self.spec.job_id!r}: status 'ok' requires a result"
+            )
+        if self.status == "error" and self.error is None:
+            raise SchedulingError(
+                f"job {self.spec.job_id!r}: status 'error' requires an error"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a schedule."""
+        return self.status == "ok"
+
+    @property
+    def length_s(self) -> float:
+        """Test schedule length (nan on error)."""
+        return self.result.length_s if self.result is not None else math.nan
+
+    @property
+    def effort_s(self) -> float:
+        """Simulation effort (nan on error)."""
+        return self.result.effort_s if self.result is not None else math.nan
+
+    def describe(self) -> str:
+        """One-line human-readable job summary."""
+        if self.result is not None:
+            body = (
+                f"length {self.result.length_s:g} s in "
+                f"{self.result.n_sessions} sessions, "
+                f"effort {self.result.effort_s:g} s, "
+                f"{self.steady_solves} solves"
+            )
+        else:
+            body = f"ERROR: {self.error}"
+        cache = "hit" if self.cache_hit else "miss"
+        return (
+            f"{self.spec.job_id}: {body} "
+            f"[{self.elapsed_s * 1e3:.1f} ms, cache {cache}]"
+        )
+
+
+# -- dict / JSONL round-tripping -----------------------------------------------------
+
+
+def job_spec_to_dict(spec: JobSpec) -> dict[str, Any]:
+    """Serialise a job spec to a JSON-ready dict."""
+    data = dataclasses.asdict(spec)  # recursive: scenario becomes a dict too
+    data["schema_version"] = SCHEMA_VERSION
+    return data
+
+
+def job_spec_from_dict(data: dict[str, Any]) -> JobSpec:
+    """Load a job spec back from its dict form."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchedulingError(
+            f"unsupported job spec schema version {version!r} "
+            f"(this library writes {SCHEMA_VERSION})"
+        )
+    payload = {k: v for k, v in data.items() if k != "schema_version"}
+    payload["scenario"] = ScenarioSpec(**payload["scenario"])
+    return JobSpec(**payload)
+
+
+def job_result_to_dict(job_result: JobResult) -> dict[str, Any]:
+    """Serialise a job result (spec + diagnostics + embedded schedule).
+
+    The unresolved limits of error records are NaN in memory but
+    ``null`` on disk: ``json.dumps`` would otherwise emit a bare
+    ``NaN`` token, which strict JSON parsers (jq, non-Python loaders)
+    reject.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "spec": job_spec_to_dict(job_result.spec),
+        "status": job_result.status,
+        "tl_c": None if math.isnan(job_result.tl_c) else job_result.tl_c,
+        "stcl": None if math.isnan(job_result.stcl) else job_result.stcl,
+        "error": job_result.error,
+        "elapsed_s": job_result.elapsed_s,
+        "steady_solves": job_result.steady_solves,
+        "cache_hit": job_result.cache_hit,
+        "result": (
+            None
+            if job_result.result is None
+            else result_to_dict(job_result.result)
+        ),
+    }
+
+
+def job_result_from_dict(
+    data: dict[str, Any], soc: SocUnderTest | None = None
+) -> JobResult:
+    """Load a job result back, rebuilding its SoC to revalidate the schedule.
+
+    Parameters
+    ----------
+    data:
+        Dict form as produced by :func:`job_result_to_dict`.
+    soc:
+        Reused when provided (loading a fleet groups results by
+        scenario); otherwise rebuilt from the embedded scenario spec.
+    """
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchedulingError(
+            f"unsupported job result schema version {version!r} "
+            f"(this library writes {SCHEMA_VERSION})"
+        )
+    spec = job_spec_from_dict(data["spec"])
+    result = None
+    if data.get("result") is not None:
+        if soc is None:
+            soc = spec.scenario.build_soc()
+        result = result_from_dict(data["result"], soc)
+    return JobResult(
+        spec=spec,
+        status=data["status"],
+        tl_c=math.nan if data["tl_c"] is None else float(data["tl_c"]),
+        stcl=math.nan if data["stcl"] is None else float(data["stcl"]),
+        result=result,
+        error=data.get("error"),
+        elapsed_s=float(data["elapsed_s"]),
+        steady_solves=int(data.get("steady_solves", 0)),
+        cache_hit=bool(data.get("cache_hit", False)),
+    )

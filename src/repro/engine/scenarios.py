@@ -1,0 +1,323 @@
+"""Declarative scheduling scenarios and seeded fleet generation.
+
+A :class:`ScenarioSpec` is a *description* of a system under test — not
+the built objects.  It is a frozen dataclass of primitives, so it is
+hashable, picklable (it crosses process boundaries in the
+multiprocessing backend) and trivially JSON-serialisable; the heavy
+artefacts (floorplan, package, SoC) are built on demand in whatever
+worker executes the job, where the batch engine's thermal-model cache
+deduplicates the expensive parts.
+
+:func:`generate_fleet` turns "as many scenarios as you can imagine"
+into one seeded call: it emits a diverse mix of grid and random
+slicing-tree floorplans, heterogeneous packages (different cooling
+regimes), and varied power profiles, while deliberately drawing
+floorplan/package parameters from small pools so that many jobs share a
+thermal network — the sharing the cache exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..floorplan.floorplan import Floorplan
+from ..floorplan.generator import grid_floorplan, slicing_floorplan
+from ..power.generator import PowerGeneratorConfig, generate_power_profile
+from ..soc.library import (
+    ALPHA15_STC_SCALE,
+    alpha15_soc,
+    hypothetical7_soc,
+    worked_example6_soc,
+)
+from ..soc.system import SocUnderTest
+from ..thermal.package import DEFAULT_PACKAGE, PackageConfig
+
+#: Floorplan families a scenario can describe.
+ScenarioKind = Literal["grid", "slicing", "alpha15", "hypothetical7", "worked_example6"]
+
+#: Kinds backed by built-in library SoCs (no generator parameters).
+BUILTIN_KINDS = ("alpha15", "hypothetical7", "worked_example6")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A self-contained, picklable description of one system under test.
+
+    Attributes
+    ----------
+    kind:
+        Floorplan family: ``"grid"``/``"slicing"`` are generated,
+        the rest are the built-in library platforms.
+    rows, cols:
+        Grid dimensions (``kind="grid"`` only).
+    n_blocks:
+        Block count (``kind="slicing"`` only).
+    floorplan_seed:
+        Seed of the slicing-tree generator.
+    split_bias:
+        Cut-position bias of the slicing generator.
+    die_width, die_height:
+        Die size in metres.
+    power_seed:
+        Seed of the synthetic power profile (generated kinds) or the
+        alpha15 multiplier draw.
+    power_scale:
+        Uniform scaling applied to the power profile.
+    test_time_s:
+        Per-core test time in seconds.
+    convection_resistance:
+        Package sink-to-ambient convection resistance (K/W) — the knob
+        that varies the cooling regime across a heterogeneous fleet.
+    ambient_c:
+        Ambient temperature (Celsius).
+    """
+
+    kind: ScenarioKind = "grid"
+    rows: int = 3
+    cols: int = 3
+    n_blocks: int = 9
+    floorplan_seed: int = 0
+    split_bias: float = 0.5
+    die_width: float = 16e-3
+    die_height: float = 16e-3
+    power_seed: int = 0
+    power_scale: float = 1.0
+    test_time_s: float = 1.0
+    convection_resistance: float = DEFAULT_PACKAGE.convection_resistance
+    ambient_c: float = DEFAULT_PACKAGE.ambient_c
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("grid", "slicing") + BUILTIN_KINDS:
+            raise SchedulingError(f"unknown scenario kind {self.kind!r}")
+        if self.power_scale <= 0.0:
+            raise SchedulingError(
+                f"power_scale must be positive, got {self.power_scale!r}"
+            )
+        if self.test_time_s <= 0.0:
+            raise SchedulingError(
+                f"test_time_s must be positive, got {self.test_time_s!r}"
+            )
+
+    # -- derived identity ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable scenario name."""
+        if self.kind == "grid":
+            core = f"grid{self.rows}x{self.cols}"
+        elif self.kind == "slicing":
+            core = f"slicing{self.n_blocks}-f{self.floorplan_seed}"
+        else:
+            core = self.kind
+        return f"{core}-p{self.power_seed}-r{self.convection_resistance:g}"
+
+    def default_stc_scale(self) -> float:
+        """The STC normalisation calibrated for this platform."""
+        return ALPHA15_STC_SCALE if self.kind == "alpha15" else 1.0
+
+    def needs_vertical_path(self) -> bool:
+        """Whether the session model must include the vertical heat path.
+
+        The lateral-only paper model assigns an isolated core (no
+        touching neighbours) an infinite thermal characteristic, which
+        makes every limit unsatisfiable.  That can only happen on
+        floorplans that do not tile the die — of the supported kinds,
+        only ``hypothetical7`` (48% die coverage; its outer cores are
+        islands).  Generated grids and slicing trees always tile fully.
+        """
+        return self.kind == "hypothetical7"
+
+    # -- builders -----------------------------------------------------------------
+
+    def build_package(self) -> PackageConfig:
+        """The package stack this scenario describes."""
+        return replace(
+            DEFAULT_PACKAGE,
+            convection_resistance=self.convection_resistance,
+            ambient_c=self.ambient_c,
+        )
+
+    def build_floorplan(self) -> Floorplan:
+        """Construct the floorplan (geometry only; cheap)."""
+        if self.kind == "grid":
+            return grid_floorplan(
+                self.rows, self.cols, self.die_width, self.die_height
+            )
+        if self.kind == "slicing":
+            return slicing_floorplan(
+                self.n_blocks,
+                self.die_width,
+                self.die_height,
+                seed=self.floorplan_seed,
+                split_bias=self.split_bias,
+            )
+        return self.build_soc().floorplan
+
+    def build_soc(self) -> SocUnderTest:
+        """Construct the full system under test this scenario describes."""
+        package = self.build_package()
+        if self.kind == "alpha15":
+            return alpha15_soc(
+                package=package,
+                power_scale=self.power_scale,
+                seed=self.power_seed,
+                test_time_s=self.test_time_s,
+            )
+        if self.kind == "hypothetical7":
+            return hypothetical7_soc(package=package, test_time_s=self.test_time_s)
+        if self.kind == "worked_example6":
+            return worked_example6_soc(package=package, test_time_s=self.test_time_s)
+        floorplan = self.build_floorplan()
+        profile = generate_power_profile(
+            floorplan, config=PowerGeneratorConfig(seed=self.power_seed)
+        )
+        if self.power_scale != 1.0:
+            profile = profile.scaled(self.power_scale)
+        return SocUnderTest.from_profile(
+            floorplan,
+            profile,
+            package=package,
+            test_time_s=self.test_time_s,
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of a generated scenario fleet.
+
+    Attributes
+    ----------
+    grid_dims:
+        Pool of (rows, cols) grid shapes to draw from.
+    slicing_blocks:
+        Pool of slicing-tree block counts.
+    n_floorplan_seeds:
+        Size of the slicing-seed pool.  Keeping it small guarantees
+        that distinct jobs share floorplans (and hence thermal
+        networks), which is what the model cache exploits; set it to
+        the fleet size for maximally diverse geometry.
+    convection_pool:
+        Cooling regimes (convection resistance, K/W) drawn per job.
+    power_scale_range:
+        Log-uniform range of power-profile scaling.
+    slicing_fraction:
+        Fraction of generated scenarios using slicing floorplans (the
+        rest are grids).
+    include_builtins:
+        Start the fleet with the built-in platforms (alpha15 etc.).
+    tl_headroom_range:
+        Per-job temperature-limit headroom over the hottest singleton
+        (must stay > 1 so phase A always passes).
+    stcl_headroom_range:
+        Per-job STCL headroom over the worst singleton STC (> 1 keeps
+        every core schedulable).
+    """
+
+    grid_dims: Sequence[tuple[int, int]] = ((2, 2), (3, 3), (3, 4), (4, 4))
+    slicing_blocks: Sequence[int] = (6, 9, 12, 15)
+    n_floorplan_seeds: int = 3
+    convection_pool: Sequence[float] = (0.35, 0.45, 0.6)
+    power_scale_range: tuple[float, float] = (0.8, 1.6)
+    slicing_fraction: float = 0.5
+    include_builtins: bool = True
+    tl_headroom_range: tuple[float, float] = (1.08, 1.35)
+    stcl_headroom_range: tuple[float, float] = (1.15, 2.5)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.slicing_fraction <= 1.0:
+            raise SchedulingError(
+                f"slicing_fraction must lie in [0, 1], got {self.slicing_fraction!r}"
+            )
+        if self.n_floorplan_seeds < 1:
+            raise SchedulingError(
+                f"n_floorplan_seeds must be >= 1, got {self.n_floorplan_seeds!r}"
+            )
+        for label, (low, high) in (
+            ("tl_headroom_range", self.tl_headroom_range),
+            ("stcl_headroom_range", self.stcl_headroom_range),
+        ):
+            if not 1.0 < low <= high:
+                raise SchedulingError(
+                    f"{label} must satisfy 1 < low <= high, got {(low, high)!r}"
+                )
+
+
+def generate_scenarios(
+    count: int, seed: int = 0, config: FleetConfig = FleetConfig()
+) -> list[ScenarioSpec]:
+    """Emit a diverse, deterministic fleet of *count* scenarios.
+
+    The same ``(count, seed, config)`` always yields the same fleet.
+    """
+    if count < 1:
+        raise SchedulingError(f"fleet size must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    scenarios: list[ScenarioSpec] = []
+
+    if config.include_builtins:
+        builtins = [
+            ScenarioSpec(kind="alpha15", power_seed=2005),
+            ScenarioSpec(kind="hypothetical7"),
+            ScenarioSpec(kind="worked_example6"),
+        ]
+        scenarios.extend(builtins[:count])
+
+    while len(scenarios) < count:
+        convection = float(rng.choice(np.asarray(config.convection_pool)))
+        scale_low, scale_high = config.power_scale_range
+        power_scale = float(
+            np.exp(rng.uniform(np.log(scale_low), np.log(scale_high)))
+        )
+        common = dict(
+            power_seed=int(rng.integers(0, 2**31 - 1)),
+            power_scale=power_scale,
+            convection_resistance=convection,
+        )
+        if rng.random() < config.slicing_fraction:
+            n_blocks = int(rng.choice(np.asarray(config.slicing_blocks)))
+            spec = ScenarioSpec(
+                kind="slicing",
+                n_blocks=n_blocks,
+                floorplan_seed=int(rng.integers(0, config.n_floorplan_seeds)),
+                **common,
+            )
+        else:
+            rows, cols = config.grid_dims[int(rng.integers(len(config.grid_dims)))]
+            spec = ScenarioSpec(kind="grid", rows=rows, cols=cols, **common)
+        scenarios.append(spec)
+    return scenarios
+
+
+def generate_fleet(
+    count: int, seed: int = 0, config: FleetConfig = FleetConfig()
+) -> list["JobSpec"]:
+    """Generate *count* ready-to-run jobs: scenarios plus per-job limits.
+
+    Limits are expressed as *headrooms* relative to each scenario's own
+    thermal regime (resolved in the worker, see
+    :meth:`repro.engine.jobs.JobSpec.resolve_limits`), so every job in
+    the fleet is feasible by construction regardless of its geometry,
+    cooling or power scale.
+    """
+    from .jobs import JobSpec  # deferred: jobs.py imports this module
+
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    tl_low, tl_high = config.tl_headroom_range
+    stcl_low, stcl_high = config.stcl_headroom_range
+    jobs = []
+    for i, scenario in enumerate(generate_scenarios(count, seed, config)):
+        jobs.append(
+            JobSpec(
+                job_id=f"job-{i:05d}-{scenario.name}",
+                scenario=scenario,
+                tl_headroom=float(rng.uniform(tl_low, tl_high)),
+                stcl_headroom=float(rng.uniform(stcl_low, stcl_high)),
+                include_vertical=scenario.needs_vertical_path(),
+            )
+        )
+    return jobs

@@ -84,19 +84,64 @@ class ThermalSimulator:
         Package stack (defaults to :data:`DEFAULT_PACKAGE`).
     adjacency:
         Optional precomputed adjacency map.
+    model, steady_solver:
+        Prebuilt handles (see :meth:`from_handles`).  When *model* is
+        given the network is not rebuilt and *floorplan* must be
+        omitted; when *steady_solver* is also given the Cholesky
+        factorisation is re-used instead of recomputed.
     """
 
     def __init__(
         self,
-        floorplan: Floorplan,
+        floorplan: Floorplan | None = None,
         package: PackageConfig = DEFAULT_PACKAGE,
         adjacency: AdjacencyMap | None = None,
+        *,
+        model: BuiltModel | None = None,
+        steady_solver: SteadyStateSolver | None = None,
     ) -> None:
-        self._model: BuiltModel = build_thermal_network(floorplan, package, adjacency)
-        self._steady = SteadyStateSolver(self._model.network)
+        if model is not None:
+            if floorplan is not None:
+                raise ThermalModelError(
+                    "pass either a floorplan to build or a prebuilt model, not both"
+                )
+            if package is not DEFAULT_PACKAGE or adjacency is not None:
+                raise ThermalModelError(
+                    "a prebuilt model already fixes the package and adjacency; "
+                    "passing them alongside model would be silently ignored"
+                )
+            self._model = model
+        else:
+            if floorplan is None:
+                raise ThermalModelError(
+                    "a floorplan (or a prebuilt model) is required"
+                )
+            self._model = build_thermal_network(floorplan, package, adjacency)
+        if steady_solver is not None:
+            if steady_solver.network is not self._model.network:
+                raise ThermalModelError(
+                    "steady_solver was factorised for a different network"
+                )
+            self._steady = steady_solver
+        else:
+            self._steady = SteadyStateSolver(self._model.network)
         self._transient_solvers: dict[float, TransientSolver] = {}
         self._simulated_time_s = 0.0
         self._steady_solve_count = 0
+
+    @classmethod
+    def from_handles(
+        cls, model: BuiltModel, steady_solver: SteadyStateSolver | None = None
+    ) -> "ThermalSimulator":
+        """A simulator over a prebuilt network and (optionally) its factorisation.
+
+        This is the sharing hook the batch engine's thermal-model cache
+        uses: the expensive immutable artefacts (the compiled RC network
+        and its Cholesky factor) are built once per distinct
+        floorplan+package and every job gets a lightweight facade with
+        its *own* effort counters around them.
+        """
+        return cls(model=model, steady_solver=steady_solver)
 
     # -- introspection -------------------------------------------------------------
 
@@ -119,6 +164,11 @@ class ThermalSimulator:
     def model(self) -> BuiltModel:
         """The underlying compiled RC model."""
         return self._model
+
+    @property
+    def steady_solver(self) -> SteadyStateSolver:
+        """The cached-factorisation steady-state solver (shareable handle)."""
+        return self._steady
 
     @property
     def ambient_c(self) -> float:

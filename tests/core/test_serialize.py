@@ -9,6 +9,8 @@ import pytest
 from repro.core.scheduler import ThermalAwareScheduler
 from repro.core.serialize import (
     SCHEMA_VERSION,
+    dump_jsonl,
+    load_jsonl,
     load_result,
     result_from_dict,
     result_to_dict,
@@ -120,3 +122,36 @@ class TestResultRoundTrip:
 
     def test_schema_version_constant(self):
         assert SCHEMA_VERSION == 1
+
+    def test_steady_solves_preserved(self, soc, result):
+        assert result.steady_solves > 0
+        restored = result_from_dict(result_to_dict(result), soc)
+        assert restored.steady_solves == result.steady_solves
+
+    def test_steady_solves_defaults_for_old_archives(self, soc, result):
+        data = result_to_dict(result)
+        del data["steady_solves"]
+        assert result_from_dict(data, soc).steady_solves == 0
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "deep" / "records.jsonl"
+        records = [{"i": 0}, {"i": 1, "nested": {"x": [1.5, None]}}]
+        assert dump_jsonl(records, path) == 2
+        assert load_jsonl(path) == records
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        path.write_text('{"i": 0}\n\n{"i": 1}\n')
+        assert load_jsonl(path) == [{"i": 0}, {"i": 1}]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SchedulingError, match="cannot load"):
+            load_jsonl(tmp_path / "nope.jsonl")
+
+    def test_corrupt_line_located(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(SchedulingError, match=":2"):
+            load_jsonl(path)

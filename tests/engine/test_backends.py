@@ -1,0 +1,95 @@
+"""Unit tests for the execution-backend registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    create_backend,
+    default_worker_count,
+    register_backend,
+)
+from repro.errors import SchedulingError
+
+
+def _square(x: int) -> int:
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(available_backends()) >= {"serial", "thread", "process"}
+
+    def test_create_by_name(self):
+        assert isinstance(create_backend("serial"), SerialBackend)
+        assert isinstance(create_backend("thread", max_workers=2), ThreadBackend)
+        assert isinstance(create_backend("process"), ProcessBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown execution backend"):
+            create_backend("quantum")
+
+    def test_registering_custom_backend(self):
+        class ReversedSerial(SerialBackend):
+            name = "test-reversed"
+
+            def map(self, worker, items):
+                return [worker(item) for item in items][::-1]
+
+        try:
+            register_backend(ReversedSerial)
+            backend = create_backend("test-reversed")
+            assert backend.map(_square, [1, 2]) == [4, 1]
+        finally:
+            from repro.engine import backends
+
+            backends._REGISTRY.pop("test-reversed", None)
+
+    def test_abstract_name_rejected(self):
+        class Nameless(SerialBackend):
+            name = "abstract"
+
+        with pytest.raises(SchedulingError, match="concrete name"):
+            register_backend(Nameless)
+
+
+class TestBackendBehaviour:
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    def test_map_preserves_order(self, name):
+        backend = create_backend(name, max_workers=2)
+        assert backend.map(_square, list(range(10))) == [
+            x * x for x in range(10)
+        ]
+
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    def test_empty_input(self, name):
+        assert create_backend(name, max_workers=2).map(_square, []) == []
+
+    def test_serial_is_single_worker(self):
+        assert create_backend("serial", max_workers=8).max_workers == 1
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+        assert create_backend("thread").max_workers == default_worker_count()
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(SchedulingError, match="max_workers"):
+            create_backend("thread", max_workers=0)
+
+    def test_memory_sharing_flags(self):
+        assert create_backend("serial").shares_memory
+        assert create_backend("thread").shares_memory
+        assert not create_backend("process").shares_memory
+
+    def test_repr_mentions_workers(self):
+        assert "max_workers=3" in repr(create_backend("thread", max_workers=3))
+
+    def test_backend_is_abstract(self):
+        with pytest.raises(TypeError):
+            ExecutionBackend()  # type: ignore[abstract]

@@ -1,0 +1,182 @@
+"""Unit tests for job specs/results and their dict round-trips."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.session_model import SessionThermalModel
+from repro.engine.jobs import (
+    JobResult,
+    JobSpec,
+    job_result_from_dict,
+    job_result_to_dict,
+    job_spec_from_dict,
+    job_spec_to_dict,
+)
+from repro.engine.runner import run_job
+from repro.engine.scenarios import ScenarioSpec
+from repro.errors import SchedulingError
+
+GRID = ScenarioSpec(kind="grid", rows=2, cols=2, power_seed=11)
+
+
+class TestJobSpecValidation:
+    def test_requires_exactly_one_tl_form(self):
+        with pytest.raises(SchedulingError, match="tl_c / tl_headroom"):
+            JobSpec(job_id="j", scenario=GRID, stcl=10.0)
+        with pytest.raises(SchedulingError, match="tl_c / tl_headroom"):
+            JobSpec(
+                job_id="j", scenario=GRID, tl_c=100.0, tl_headroom=1.2, stcl=10.0
+            )
+
+    def test_requires_exactly_one_stcl_form(self):
+        with pytest.raises(SchedulingError, match="stcl / stcl_headroom"):
+            JobSpec(job_id="j", scenario=GRID, tl_c=100.0)
+
+    def test_tl_headroom_must_exceed_one(self):
+        with pytest.raises(SchedulingError, match="tl_headroom"):
+            JobSpec(job_id="j", scenario=GRID, tl_headroom=0.9, stcl=10.0)
+
+    def test_scheduler_config_carries_knobs(self):
+        spec = JobSpec(
+            job_id="j",
+            scenario=GRID,
+            tl_c=120.0,
+            stcl=10.0,
+            weight_factor=1.3,
+            candidate_order="power_desc",
+        )
+        config = spec.scheduler_config()
+        assert config.weight_factor == 1.3
+        assert config.candidate_order == "power_desc"
+
+    def test_session_model_config_uses_scenario_scale(self):
+        spec = JobSpec(
+            job_id="j",
+            scenario=ScenarioSpec(kind="alpha15", power_seed=2005),
+            tl_c=160.0,
+            stcl=60.0,
+        )
+        assert spec.session_model_config().stc_scale == 210.0
+        override = JobSpec(
+            job_id="j2", scenario=GRID, tl_c=160.0, stcl=60.0, stc_scale=5.0
+        )
+        assert override.session_model_config().stc_scale == 5.0
+
+
+class TestResolveLimits:
+    @pytest.fixture(scope="class")
+    def model(self):
+        spec = JobSpec(job_id="j", scenario=GRID, tl_c=1.0, stcl=1.0)
+        return SessionThermalModel(GRID.build_soc(), spec.session_model_config())
+
+    def test_absolute_limits_pass_through(self, model):
+        spec = JobSpec(job_id="j", scenario=GRID, tl_c=123.0, stcl=45.0)
+        assert spec.resolve_limits(model, {"C0_0": 90.0}) == (123.0, 45.0)
+
+    def test_headrooms_scale_the_scenario_regime(self, model):
+        spec = JobSpec(
+            job_id="j", scenario=GRID, tl_headroom=1.5, stcl_headroom=2.0
+        )
+        ambient = model.soc.package.ambient_c
+        bcmt = {"C0_0": ambient + 40.0, "C0_1": ambient + 60.0}
+        tl_c, stcl = spec.resolve_limits(model, bcmt)
+        assert tl_c == pytest.approx(ambient + 1.5 * 60.0)
+        worst = max(
+            model.session_thermal_characteristic([n])
+            for n in model.soc.core_names
+        )
+        assert stcl == pytest.approx(2.0 * worst)
+
+    def test_infinite_singleton_stc_reported_clearly(self):
+        hypo = ScenarioSpec(kind="hypothetical7")
+        spec = JobSpec(
+            job_id="j", scenario=hypo, tl_headroom=1.2, stcl_headroom=1.5
+        )
+        model = SessionThermalModel(
+            hypo.build_soc(), spec.session_model_config()
+        )
+        with pytest.raises(SchedulingError, match="include_vertical"):
+            spec.resolve_limits(model, {"C1": 90.0})
+
+
+class TestJobResultValidation:
+    def test_ok_requires_result(self):
+        spec = JobSpec(job_id="j", scenario=GRID, tl_c=120.0, stcl=10.0)
+        with pytest.raises(SchedulingError, match="requires a result"):
+            JobResult(
+                spec=spec,
+                status="ok",
+                tl_c=120.0,
+                stcl=10.0,
+                result=None,
+                error=None,
+                elapsed_s=0.1,
+            )
+
+    def test_error_requires_message(self):
+        spec = JobSpec(job_id="j", scenario=GRID, tl_c=120.0, stcl=10.0)
+        with pytest.raises(SchedulingError, match="requires an error"):
+            JobResult(
+                spec=spec,
+                status="error",
+                tl_c=math.nan,
+                stcl=math.nan,
+                result=None,
+                error=None,
+                elapsed_s=0.1,
+            )
+
+
+class TestDictRoundTrip:
+    def test_spec_round_trip(self):
+        spec = JobSpec(
+            job_id="rt",
+            scenario=ScenarioSpec(kind="slicing", n_blocks=6, floorplan_seed=2),
+            tl_headroom=1.25,
+            stcl_headroom=1.8,
+            candidate_order="area_asc",
+        )
+        assert job_spec_from_dict(job_spec_to_dict(spec)) == spec
+
+    def test_spec_schema_version_checked(self):
+        data = job_spec_to_dict(
+            JobSpec(job_id="j", scenario=GRID, tl_c=1.5, stcl=1.0)
+        )
+        data["schema_version"] = 99
+        with pytest.raises(SchedulingError, match="schema version"):
+            job_spec_from_dict(data)
+
+    def test_result_round_trip_preserves_metrics(self):
+        spec = JobSpec(
+            job_id="rt", scenario=GRID, tl_headroom=1.2, stcl_headroom=1.6
+        )
+        original = run_job(spec)
+        assert original.ok
+        restored = job_result_from_dict(job_result_to_dict(original))
+        assert restored.spec == spec
+        assert restored.status == "ok"
+        assert restored.tl_c == pytest.approx(original.tl_c)
+        assert restored.stcl == pytest.approx(original.stcl)
+        assert restored.steady_solves == original.steady_solves
+        assert restored.result is not None
+        assert restored.result.length_s == original.result.length_s
+        assert restored.result.steady_solves == original.result.steady_solves
+
+    def test_error_result_round_trips_without_soc_build(self):
+        spec = JobSpec(job_id="err", scenario=GRID, tl_c=46.0, stcl=1e9)
+        original = run_job(spec)
+        assert not original.ok
+        restored = job_result_from_dict(job_result_to_dict(original))
+        assert restored.status == "error"
+        assert restored.error is not None
+        assert "CoreThermalViolationError" in restored.error
+        assert math.isnan(restored.length_s)
+
+    def test_describe_mentions_cache_state(self):
+        spec = JobSpec(
+            job_id="d", scenario=GRID, tl_headroom=1.2, stcl_headroom=1.6
+        )
+        assert "cache miss" in run_job(spec).describe()

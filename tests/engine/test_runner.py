@@ -1,0 +1,217 @@
+"""Integration tests for run_job / BatchRunner, including JSONL archives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.safety import audit_schedule
+from repro.core.serialize import load_jsonl
+from repro.engine.backends import SerialBackend
+from repro.engine.cache import ThermalModelCache
+from repro.engine.jobs import JobSpec
+from repro.engine.runner import (
+    BatchRunner,
+    load_batch_jsonl,
+    run_job,
+    save_batch_jsonl,
+)
+from repro.engine.scenarios import FleetConfig, ScenarioSpec, generate_fleet
+from repro.errors import SchedulingError
+
+GRID = ScenarioSpec(kind="grid", rows=2, cols=2, power_seed=11)
+
+#: A tiny pool so even small test fleets share floorplans.
+TINY_POOL = FleetConfig(
+    grid_dims=((2, 2),),
+    slicing_blocks=(6,),
+    n_floorplan_seeds=1,
+    convection_pool=(0.45,),
+    include_builtins=False,
+)
+
+
+def small_fleet(count: int, seed: int = 0) -> list[JobSpec]:
+    return generate_fleet(count, seed=seed, config=TINY_POOL)
+
+
+class TestRunJob:
+    def test_successful_job(self):
+        spec = JobSpec(
+            job_id="ok", scenario=GRID, tl_headroom=1.2, stcl_headroom=1.6
+        )
+        record = run_job(spec)
+        assert record.ok
+        assert record.result is not None
+        assert record.result.max_temperature_c < record.tl_c
+        assert record.steady_solves > 0
+        assert record.elapsed_s > 0.0
+        assert not record.cache_hit
+
+    def test_schedule_is_independently_safe(self):
+        record = run_job(
+            JobSpec(job_id="a", scenario=GRID, tl_headroom=1.2, stcl_headroom=1.6)
+        )
+        audit = audit_schedule(record.result.schedule, limit_c=record.tl_c)
+        assert audit.is_safe
+
+    def test_infeasible_scenario_becomes_error_record(self):
+        spec = JobSpec(job_id="cold", scenario=GRID, tl_c=46.0, stcl=1e9)
+        record = run_job(spec)
+        assert record.status == "error"
+        assert "CoreThermalViolationError" in record.error
+        assert math.isnan(record.tl_c)
+        # The failure happened after phase A: its solves must be charged.
+        assert record.steady_solves > 0
+
+    def test_cache_reuse_across_jobs(self):
+        cache = ThermalModelCache()
+        base = dict(scenario=GRID, tl_headroom=1.2, stcl_headroom=1.6)
+        first = run_job(JobSpec(job_id="one", **base), cache)
+        second = run_job(
+            JobSpec(job_id="two", **dict(base, scenario=GRID)), cache
+        )
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert cache.stats.hits == 1
+
+
+class TestBatchRunner:
+    def test_serial_fleet_all_ok(self):
+        batch = BatchRunner(backend="serial").run(small_fleet(6))
+        assert batch.n_jobs == 6
+        assert len(batch.ok) == 6
+        assert batch.failed == ()
+        assert batch.backend == "serial"
+        assert batch.wall_s > 0.0
+        assert batch.total_length_s > 0.0
+        assert batch.total_steady_solves > 0
+
+    def test_shared_floorplans_hit_the_cache(self):
+        batch = BatchRunner(backend="serial").run(small_fleet(6))
+        # 2 distinct (floorplan, package) pairs in TINY_POOL -> 4+ hits.
+        assert batch.cache_hits >= 4
+        assert batch.cache_hit_rate >= 4 / 6
+        assert batch.cache_stats is not None
+        assert batch.cache_stats.hits == batch.cache_hits
+
+    def test_cache_can_be_disabled(self):
+        batch = BatchRunner(backend="serial", use_cache=False).run(small_fleet(4))
+        assert batch.cache_hits == 0
+        assert batch.cache_stats is None
+
+    def test_cache_can_be_disabled_on_process_backend(self):
+        batch = BatchRunner(
+            backend="process", max_workers=2, use_cache=False
+        ).run(small_fleet(4))
+        assert batch.cache_hits == 0
+
+    def test_batch_result_is_iterable(self):
+        fleet = small_fleet(3)
+        batch = BatchRunner().run(fleet)
+        assert len(batch) == 3
+        assert [r.spec.job_id for r in batch] == [j.job_id for j in fleet]
+        assert batch.results[0] in batch
+
+    def test_thread_backend_matches_serial(self):
+        fleet = small_fleet(6)
+        serial = BatchRunner(backend="serial").run(fleet)
+        threaded = BatchRunner(backend="thread", max_workers=2).run(fleet)
+        for a, b in zip(serial.results, threaded.results):
+            assert a.spec.job_id == b.spec.job_id
+            assert a.result.length_s == b.result.length_s
+            assert [s.cores for s in a.result.schedule] == [
+                s.cores for s in b.result.schedule
+            ]
+
+    def test_process_backend_matches_serial(self):
+        fleet = small_fleet(4)
+        serial = BatchRunner(backend="serial").run(fleet)
+        processed = BatchRunner(backend="process", max_workers=2).run(fleet)
+        for a, b in zip(serial.results, processed.results):
+            assert a.result.length_s == b.result.length_s
+
+    def test_duplicate_job_ids_rejected(self):
+        job = JobSpec(job_id="x", scenario=GRID, tl_headroom=1.2, stcl=10.0)
+        with pytest.raises(SchedulingError, match="duplicate job ids"):
+            BatchRunner().run([job, job])
+
+    def test_lookup_by_job_id(self):
+        fleet = small_fleet(3)
+        batch = BatchRunner().run(fleet)
+        assert batch[fleet[1].job_id].spec == fleet[1]
+        with pytest.raises(SchedulingError, match="no job"):
+            batch["ghost"]
+
+    def test_describe_surfaces_effort_and_cache(self):
+        text = BatchRunner().run(small_fleet(4)).describe(limit=2)
+        assert "simulation effort" in text
+        assert "steady-state solves" in text
+        assert "model cache" in text
+        assert "... 2 more jobs" in text
+
+    def test_errors_do_not_kill_the_batch(self):
+        jobs = small_fleet(2) + [
+            JobSpec(job_id="cold", scenario=GRID, tl_c=46.0, stcl=1e9)
+        ]
+        batch = BatchRunner().run(jobs)
+        assert len(batch.ok) == 2
+        assert len(batch.failed) == 1
+        assert "cold" in batch.describe(limit=1)
+
+
+class TestJsonlArchive:
+    def test_round_trip_preserves_audit_verdict(self, tmp_path):
+        """schedule -> dump -> load -> identical audit verdict."""
+        path = tmp_path / "fleet.jsonl"
+        batch = BatchRunner().run(small_fleet(5), jsonl_path=path)
+        loaded = load_batch_jsonl(path)
+        assert len(loaded) == 5
+        for original, restored in zip(batch.results, loaded):
+            assert restored.spec == original.spec
+            original_audit = audit_schedule(
+                original.result.schedule, limit_c=original.tl_c
+            )
+            restored_audit = audit_schedule(
+                restored.result.schedule, limit_c=restored.tl_c
+            )
+            assert restored_audit.is_safe == original_audit.is_safe
+            assert restored_audit.max_temperature_c == pytest.approx(
+                original_audit.max_temperature_c
+            )
+
+    def test_jsonl_is_one_record_per_line(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        count = save_batch_jsonl(BatchRunner().run(small_fleet(3)).results, path)
+        assert count == 3
+        records = load_jsonl(path)
+        assert len(records) == 3
+        assert all(r["status"] == "ok" for r in records)
+
+    def test_corrupt_record_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\n{broken\n')
+        with pytest.raises(SchedulingError, match="bad.jsonl:2"):
+            load_jsonl(path)
+
+    def test_error_records_survive_the_archive(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        jobs = [JobSpec(job_id="cold", scenario=GRID, tl_c=46.0, stcl=1e9)]
+        BatchRunner().run(jobs, jsonl_path=path)
+        loaded = load_batch_jsonl(path)
+        assert loaded[0].status == "error"
+        assert loaded[0].result is None
+        assert math.isnan(loaded[0].tl_c)
+
+    def test_archive_is_strict_json(self, tmp_path):
+        """Error records must not leak bare NaN tokens into the JSONL."""
+        import json
+
+        path = tmp_path / "fleet.jsonl"
+        jobs = [JobSpec(job_id="cold", scenario=GRID, tl_c=46.0, stcl=1e9)]
+        BatchRunner().run(jobs, jsonl_path=path)
+        for line in path.read_text().splitlines():
+            json.loads(line, parse_constant=lambda token: pytest.fail(
+                f"non-strict JSON token {token!r} in archive"
+            ))

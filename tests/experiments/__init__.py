@@ -1,0 +1,1 @@
+"""Test package marker (unique test-module basenames across subdirectories)."""

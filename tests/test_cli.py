@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.cli import load_power_csv, main
+from repro.cli import batch_main, load_power_csv, main, repro_main
 from repro.errors import ReproError
 from repro.floorplan.generator import grid_floorplan
 from repro.floorplan.hotspot_format import write_flp
@@ -87,6 +87,51 @@ class TestCustomSoc:
         )
         assert exit_code == 1
         assert "tested" in capsys.readouterr().err
+
+
+class TestReproDispatcher:
+    def test_schedule_subcommand_delegates(self, capsys):
+        exit_code = repro_main(
+            ["schedule", "--soc", "alpha15", "--tl", "165", "--stcl", "60"]
+        )
+        assert exit_code == 0
+        assert "Thermal-aware schedule" in capsys.readouterr().out
+
+    def test_no_command_is_usage_error(self, capsys):
+        assert repro_main([]) == 2
+        assert "usage: repro" in capsys.readouterr().out
+
+    def test_help_exits_zero(self, capsys):
+        assert repro_main(["--help"]) == 0
+        assert "batch" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self, capsys):
+        assert repro_main(["bogus"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    def test_small_fleet_runs(self, capsys):
+        exit_code = repro_main(
+            ["batch", "--count", "5", "--seed", "0", "--limit", "2"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Batch of 5 jobs" in out
+        assert "model cache" in out
+
+    def test_jsonl_archive_written(self, tmp_path, capsys):
+        target = tmp_path / "fleet.jsonl"
+        exit_code = batch_main(
+            ["--count", "4", "--no-builtins", "--out", str(target)]
+        )
+        assert exit_code == 0
+        assert "archived" in capsys.readouterr().out
+        assert len(target.read_text().splitlines()) == 4
+
+    def test_bad_count_reported(self, capsys):
+        assert batch_main(["--count", "0"]) == 1
+        assert "count" in capsys.readouterr().err
 
 
 class TestPowerCsv:

@@ -11,6 +11,7 @@ import pytest
 
 import repro
 import repro.core
+import repro.engine
 import repro.experiments
 import repro.floorplan
 import repro.power
@@ -32,8 +33,8 @@ from repro.errors import (
 
 @pytest.mark.parametrize(
     "module",
-    [repro, repro.core, repro.experiments, repro.floorplan, repro.power,
-     repro.soc, repro.thermal],
+    [repro, repro.core, repro.engine, repro.experiments, repro.floorplan,
+     repro.power, repro.soc, repro.thermal],
 )
 def test_all_names_resolve(module):
     for name in module.__all__:

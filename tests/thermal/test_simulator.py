@@ -142,3 +142,49 @@ class TestPowerDensityEffect:
         hot_small = sim.steady_state({"small": 15.0}).temperature_c("small")
         hot_big = sim.steady_state({"big": 15.0}).temperature_c("big")
         assert hot_small > hot_big
+
+
+class TestFromHandles:
+    def test_shared_handles_reproduce_fresh_build(self, grid_sim):
+        shared = ThermalSimulator.from_handles(
+            grid_sim.model, grid_sim.steady_solver
+        )
+        power = {"C1_1": 20.0, "C0_0": 5.0}
+        assert shared.steady_state(power).max_temperature_c() == pytest.approx(
+            grid_sim.steady_state(power).max_temperature_c()
+        )
+        assert shared.model is grid_sim.model
+        assert shared.steady_solver is grid_sim.steady_solver
+
+    def test_effort_counters_are_per_facade(self, grid_sim):
+        shared = ThermalSimulator.from_handles(
+            grid_sim.model, grid_sim.steady_solver
+        )
+        before = grid_sim.steady_solve_count
+        shared.steady_state({"C0_0": 1.0})
+        assert shared.steady_solve_count == 1
+        assert grid_sim.steady_solve_count == before
+
+    def test_model_without_solver_refactorises(self, grid_sim):
+        rebuilt = ThermalSimulator.from_handles(grid_sim.model)
+        assert rebuilt.steady_solver is not grid_sim.steady_solver
+        assert rebuilt.steady_state({"C0_0": 7.0}).temperature_c(
+            "C0_0"
+        ) == pytest.approx(
+            grid_sim.steady_state({"C0_0": 7.0}).temperature_c("C0_0")
+        )
+
+    def test_floorplan_and_model_are_exclusive(self, grid_sim):
+        with pytest.raises(ThermalModelError, match="not both"):
+            ThermalSimulator(grid_floorplan(2, 2), model=grid_sim.model)
+        with pytest.raises(ThermalModelError, match="required"):
+            ThermalSimulator()
+
+    def test_package_alongside_model_rejected(self, grid_sim):
+        with pytest.raises(ThermalModelError, match="already fixes"):
+            ThermalSimulator(package=PackageConfig(ambient_c=20.0), model=grid_sim.model)
+
+    def test_foreign_solver_rejected(self, grid_sim):
+        other = ThermalSimulator(grid_floorplan(2, 2))
+        with pytest.raises(ThermalModelError, match="different network"):
+            ThermalSimulator.from_handles(grid_sim.model, other.steady_solver)
