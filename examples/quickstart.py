@@ -1,56 +1,65 @@
 """Quickstart: generate a thermal-safe test schedule for the alpha15 SoC.
 
-This is the paper's headline flow end to end:
+This is the paper's headline flow end to end, through the unified
+solver API:
 
-1. load the calibrated 15-core Alpha-class SoC (floorplan + test powers
-   + package);
+1. ask for the calibrated 15-core Alpha-class SoC by name in a
+   :class:`~repro.api.ScheduleRequest` (the STC normalisation is the
+   platform's frozen calibration, applied automatically);
 2. run Algorithm 1 at a temperature limit TL and session-thermal-
    characteristic limit STCL;
-3. print the resulting schedule, its metrics, and an independent
-   thermal audit.
+3. print the resulting schedule and metrics, re-audit it
+   independently, and contrast it with the thermally blind
+   power-constrained baseline — one ``solver=`` switch away.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import ThermalAwareScheduler, alpha15_soc, audit_schedule
-from repro.core.session_model import SessionModelConfig, SessionThermalModel
-from repro.soc.library import ALPHA15_STC_SCALE
+from repro import ScheduleRequest, Workbench, audit_schedule
 
 TL_C = 155.0  # maximum allowable temperature (Celsius)
 STCL = 60.0  # session thermal characteristic limit
 
 
 def main() -> None:
-    soc = alpha15_soc()
+    workbench = Workbench()
+    report = workbench.solve(
+        ScheduleRequest(soc="alpha15", tl_c=TL_C, stcl=STCL)
+    )
+    soc = report.schedule.soc
     print(soc.describe())
     print()
 
-    # The session model's STC normalisation is a per-SoC calibration;
-    # use the frozen alpha15 constant.
-    model = SessionThermalModel(
-        soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
-    )
-    scheduler = ThermalAwareScheduler(soc, session_model=model)
-    result = scheduler.schedule(tl_c=TL_C, stcl=STCL)
-
-    print(result.describe())
+    print(report.describe())
     print()
     print(
-        f"schedule length : {result.length_s:g} s "
+        f"schedule length : {report.length_s:g} s "
         f"(vs {len(soc)} s purely sequential)"
     )
-    print(f"simulation effort: {result.effort_s:g} s of simulated session time")
+    print(f"simulation effort: {report.result.effort_s:g} s of simulated session time")
     print(
-        f"peak temperature : {result.max_temperature_c:.2f} degC "
+        f"peak temperature : {report.max_temperature_c:.2f} degC "
         f"(limit {TL_C:g} degC)"
     )
 
     # Trust, but verify: re-simulate every session independently.
-    audit = audit_schedule(result.schedule, limit_c=TL_C)
+    audit = audit_schedule(report.schedule, limit_c=TL_C)
     print()
     print(audit.describe())
+
+    # The classic power-constrained baseline on the same workbench
+    # (and the same cached thermal model): caps watts, not degrees.
+    baseline = workbench.solve(
+        ScheduleRequest(soc="alpha15", tl_c=TL_C, solver="power_constrained")
+    )
+    print()
+    print(
+        f"power-constrained baseline: length {baseline.length_s:g} s, "
+        f"peak {baseline.max_temperature_c:.2f} degC, "
+        f"hot-spot rate {baseline.hot_spot_rate * 100:.0f}%"
+    )
 
 
 if __name__ == "__main__":

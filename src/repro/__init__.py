@@ -19,13 +19,19 @@ including every substrate the paper depends on:
 * the batch engine: scenario fleets, a shared thermal-model cache and
   parallel execution backends (:mod:`repro.engine`).
 
-Quickstart::
+* the unified solver API: :class:`ScheduleRequest` problem specs, a
+  solver registry and the :class:`Workbench` facade (:mod:`repro.api`).
 
-    from repro import alpha15_soc, ThermalAwareScheduler
+Quickstart (the unified solver API — one front door for every
+scheduler)::
 
-    soc = alpha15_soc()
-    result = ThermalAwareScheduler(soc).schedule(tl_c=155.0, stcl=60.0)
-    print(result.describe())
+    from repro import ScheduleRequest, solve
+
+    report = solve(ScheduleRequest(soc="alpha15", tl_c=165.0, stcl=60.0))
+    baseline = solve(
+        ScheduleRequest(soc="alpha15", tl_c=165.0, solver="power_constrained")
+    )
+    print(report.describe(), baseline.hot_spot_rate)
 
 Batch quickstart::
 
@@ -35,18 +41,27 @@ Batch quickstart::
     print(batch.describe())
 """
 
+import importlib as _importlib
+import warnings as _warnings
+
+from .api import (
+    ScheduleRequest,
+    SolveReport,
+    Solver,
+    Workbench,
+    available_solvers,
+    get_solver,
+    register_solver,
+    solve,
+)
 from .core import (
-    PowerConstrainedConfig,
-    PowerConstrainedScheduler,
     ScheduleResult,
     SchedulerConfig,
     SessionModelConfig,
     SessionThermalModel,
     TestSchedule,
     TestSession,
-    ThermalAwareScheduler,
     audit_schedule,
-    sequential_schedule,
 )
 from .errors import (
     CoreThermalViolationError,
@@ -54,6 +69,7 @@ from .errors import (
     GeometryError,
     PowerModelError,
     ReproError,
+    RequestError,
     ScheduleInfeasibleError,
     SchedulingError,
     SolverError,
@@ -85,6 +101,37 @@ from .thermal import PackageConfig, TemperatureField, ThermalSimulator
 
 __version__ = "1.0.0"
 
+#: Scheduler entry points kept importable from the package root for
+#: backwards compatibility, but deprecated in favour of the unified
+#: solver API (build a ScheduleRequest, call solve()).  Served lazily
+#: via module __getattr__ so each access carries a DeprecationWarning;
+#: the implementation classes themselves remain first-class citizens at
+#: their canonical homes under repro.core.  Deliberately absent from
+#: __all__ so `from repro import *` stays warning-free.
+_DEPRECATED_SCHEDULER_EXPORTS = {
+    "ThermalAwareScheduler": ("repro.core.scheduler", "ThermalAwareScheduler"),
+    "PowerConstrainedScheduler": ("repro.core.baselines", "PowerConstrainedScheduler"),
+    "PowerConstrainedConfig": ("repro.core.baselines", "PowerConstrainedConfig"),
+    "sequential_schedule": ("repro.core.baselines", "sequential_schedule"),
+}
+
+
+def __getattr__(name: str):
+    target = _DEPRECATED_SCHEDULER_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attr = target
+    _warnings.warn(
+        f"importing {name} from the repro package root is deprecated; "
+        f"route scheduling through the unified solver API "
+        f"(repro.solve(ScheduleRequest(...))) or import the class from "
+        f"its canonical home, {module_name}.{attr}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(_importlib.import_module(module_name), attr)
+
+
 __all__ = [
     "BatchResult",
     "BatchRunner",
@@ -97,39 +144,44 @@ __all__ = [
     "JobResult",
     "JobSpec",
     "PackageConfig",
-    "PowerConstrainedConfig",
-    "PowerConstrainedScheduler",
     "PowerModelError",
     "PowerProfile",
     "Rect",
     "ReproError",
+    "RequestError",
     "ScenarioSpec",
     "ScheduleInfeasibleError",
+    "ScheduleRequest",
     "ScheduleResult",
     "SchedulerConfig",
     "SchedulingError",
     "SessionModelConfig",
     "SessionThermalModel",
     "SocUnderTest",
+    "SolveReport",
+    "Solver",
     "SolverError",
     "TemperatureField",
     "TestSchedule",
     "TestSession",
-    "ThermalAwareScheduler",
     "ThermalModelCache",
     "ThermalModelError",
     "ThermalSimulator",
+    "Workbench",
     "alpha15",
     "alpha15_soc",
     "audit_schedule",
     "available_backends",
+    "available_solvers",
     "generate_fleet",
     "generate_power_profile",
     "generate_scenarios",
+    "get_solver",
     "grid_soc",
     "hypothetical7",
     "hypothetical7_soc",
-    "sequential_schedule",
+    "register_solver",
+    "solve",
     "worked_example6",
     "worked_example6_soc",
     "__version__",

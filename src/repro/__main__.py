@@ -1,0 +1,16 @@
+"""``python -m repro`` — the umbrella CLI without installed entry points.
+
+Delegates to :func:`repro.cli.repro_main`, so every subcommand
+(``schedule``, ``solve``, ``batch``) works from a source checkout::
+
+    PYTHONPATH=src python -m repro solve --soc alpha15 --tl 165 --stcl 60
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import repro_main
+
+if __name__ == "__main__":
+    sys.exit(repro_main())

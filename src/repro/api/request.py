@@ -1,0 +1,278 @@
+"""Problem and request specifications for the unified solver API.
+
+A :class:`ScheduleRequest` is the one question shape every scheduler in
+this library answers: *which system, which limits, which solver, which
+knobs*.  It is a frozen dataclass of primitives (plus a picklable
+:class:`~repro.engine.scenarios.ScenarioSpec`), so requests cross
+process boundaries unchanged and round-trip through plain dicts — and
+therefore through the JSONL archives the batch engine writes.
+
+A :class:`SolveReport` is the uniform answer: the resolved limits, the
+full :class:`~repro.core.scheduler.ScheduleResult` (every solver
+produces one, baselines included, with their schedules thermally
+annotated post hoc), timing/effort diagnostics, and a per-solver
+``extras`` mapping for anything solver-specific (the power cap a
+power-constrained run derived, the subset count an exact search
+explored, ...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.scheduler import ScheduleResult
+from ..core.serialize import SCHEMA_VERSION, SUPPORTED_SCHEMA_VERSIONS
+from ..core.session import TestSchedule
+from ..errors import RequestError
+from ..engine.scenarios import BUILTIN_KINDS, ScenarioSpec
+from ..spec_utils import FrozenParams, hashable_params, validate_limit_fields
+
+#: Built-in platforms a request may name instead of an inline scenario —
+#: exactly the scenario kinds backed by library SoCs, so the two lists
+#: cannot drift.
+BUILTIN_SOC_NAMES = BUILTIN_KINDS
+
+#: The solver used when a request does not name one.
+DEFAULT_SOLVER = "thermal_aware"
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One scheduling question, solver included.
+
+    Exactly one of (``soc``, ``scenario``) selects the system under
+    test, exactly one of (``tl_c``, ``tl_headroom``) sets the
+    temperature limit, and at most one of (``stcl``, ``stcl_headroom``)
+    sets the session-thermal-characteristic limit (solvers that do not
+    use the STC heuristic ignore it; the thermal-aware solver requires
+    it).
+
+    Attributes
+    ----------
+    soc:
+        Name of a built-in platform (one of
+        :data:`BUILTIN_SOC_NAMES`); hyphens are accepted in place of
+        underscores.
+    scenario:
+        Inline declarative SoC description (generated floorplans,
+        custom cooling, ...).
+    tl_c:
+        Absolute temperature limit ``TL`` (Celsius).
+    tl_headroom:
+        Alternative: ``TL = ambient + headroom * (max BCMT - ambient)``
+        (> 1 guarantees every core passes phase A).
+    stcl:
+        Absolute session-thermal-characteristic limit.
+    stcl_headroom:
+        Alternative: ``STCL = headroom x`` the worst singleton STC.
+    solver:
+        Registered solver name (see
+        :func:`repro.api.solvers.available_solvers`).
+    params:
+        Per-solver parameters; unknown keys are rejected at solve time
+        by the named solver's ``validate_params``.
+    include_vertical:
+        Include the vertical heat path in the STC session model
+        (automatically enabled for floorplans that do not tile the
+        die, e.g. the hypothetical7 platform).
+    stc_scale:
+        STC normalisation; ``None`` uses the platform's calibrated
+        default.
+    """
+
+    soc: str | None = None
+    scenario: ScenarioSpec | None = None
+    tl_c: float | None = None
+    tl_headroom: float | None = None
+    stcl: float | None = None
+    stcl_headroom: float | None = None
+    solver: str = DEFAULT_SOLVER
+    params: Mapping[str, Any] = field(default_factory=dict)
+    include_vertical: bool = False
+    stc_scale: float | None = None
+
+    def __post_init__(self) -> None:
+        if (self.soc is None) == (self.scenario is None):
+            raise RequestError(
+                "a request selects its system with exactly one of "
+                "soc=<builtin name> / scenario=<ScenarioSpec>"
+            )
+        if self.soc is not None:
+            canonical = self.soc.replace("-", "_")
+            if canonical not in BUILTIN_SOC_NAMES:
+                raise RequestError(
+                    f"unknown built-in SoC {self.soc!r}; available: "
+                    f"{', '.join(BUILTIN_SOC_NAMES)}"
+                )
+            object.__setattr__(self, "soc", canonical)
+        validate_limit_fields(
+            tl_c=self.tl_c,
+            tl_headroom=self.tl_headroom,
+            stcl=self.stcl,
+            stcl_headroom=self.stcl_headroom,
+            error_cls=RequestError,
+        )
+        if not self.solver or not isinstance(self.solver, str):
+            raise RequestError(f"solver must be a non-empty name, got {self.solver!r}")
+        object.__setattr__(self, "params", FrozenParams(self.params or {}))
+        for key in self.params:
+            if not isinstance(key, str):
+                raise RequestError(f"params keys must be strings, got {key!r}")
+
+    def __hash__(self) -> int:
+        # The generated hash would raise on the dict-typed params
+        # field; hash a canonical frozen view of it instead.
+        return hash(
+            (
+                self.soc,
+                self.scenario,
+                self.tl_c,
+                self.tl_headroom,
+                self.stcl,
+                self.stcl_headroom,
+                self.solver,
+                hashable_params(self.params),
+                self.include_vertical,
+                self.stc_scale,
+            )
+        )
+
+    @property
+    def has_stcl(self) -> bool:
+        """True when the request carries an STCL (absolute or headroom)."""
+        return self.stcl is not None or self.stcl_headroom is not None
+
+    def describe(self) -> str:
+        """One-line human-readable request summary."""
+        system = self.soc if self.soc is not None else self.scenario.name
+        tl = f"TL={self.tl_c:g}" if self.tl_c is not None else f"TLx{self.tl_headroom:g}"
+        if self.stcl is not None:
+            stcl = f", STCL={self.stcl:g}"
+        elif self.stcl_headroom is not None:
+            stcl = f", STCLx{self.stcl_headroom:g}"
+        else:
+            stcl = ""
+        return f"{self.solver}({system}, {tl}{stcl})"
+
+
+def request_to_dict(request: ScheduleRequest) -> dict[str, Any]:
+    """Serialise a request to a JSON-ready dict."""
+    data = dataclasses.asdict(request)  # recursive: scenario becomes a dict
+    data["schema_version"] = SCHEMA_VERSION
+    return data
+
+
+def request_from_dict(data: dict[str, Any]) -> ScheduleRequest:
+    """Load a request back from its dict form."""
+    version = data.get("schema_version")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise RequestError(
+            f"unsupported request schema version {version!r} "
+            f"(this library writes {SCHEMA_VERSION})"
+        )
+    payload = {k: v for k, v in data.items() if k != "schema_version"}
+    if payload.get("scenario") is not None:
+        payload["scenario"] = ScenarioSpec(**payload["scenario"])
+    return ScheduleRequest(**payload)
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """The uniform answer every registered solver returns.
+
+    Attributes
+    ----------
+    solver:
+        Registered name of the solver that ran.
+    request:
+        The request as submitted (``None`` when the solve was issued
+        against a prebuilt SoC via :meth:`Workbench.solve_soc`).
+    tl_c:
+        The resolved absolute temperature limit (Celsius).
+    stcl:
+        The resolved STC limit (``nan`` when the request carried none
+        and the solver does not use it).
+    result:
+        Full scheduling result; baselines get a synthesised one with an
+        annotated schedule, zero construction effort and empty
+        weight/BCMT maps.
+    elapsed_s:
+        Wall-clock time of the solve (context build excluded).
+    steady_solves:
+        Steady-state linear-system solves the whole request issued
+        (limit resolution included).
+    cache_hit:
+        Whether the thermal model came out of a shared cache.
+    extras:
+        Solver-specific diagnostics.
+    """
+
+    solver: str
+    request: ScheduleRequest | None
+    tl_c: float
+    stcl: float
+    result: ScheduleResult
+    elapsed_s: float
+    steady_solves: int = 0
+    cache_hit: bool = False
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "extras", dict(self.extras or {}))
+
+    @property
+    def schedule(self) -> TestSchedule:
+        """The produced test schedule."""
+        return self.result.schedule
+
+    @property
+    def length_s(self) -> float:
+        """Test schedule length (s)."""
+        return self.result.length_s
+
+    @property
+    def n_sessions(self) -> int:
+        """Number of sessions in the schedule."""
+        return self.result.n_sessions
+
+    @property
+    def max_temperature_c(self) -> float:
+        """Peak simulated temperature over the schedule (Celsius)."""
+        return self.result.max_temperature_c
+
+    @property
+    def hot_spot_rate(self) -> float:
+        """Fraction of sessions whose peak reaches ``tl_c`` (0..1).
+
+        0 by construction for the thermal-aware solver; the comparison
+        metric for the thermally blind baselines.
+        """
+        sessions = self.schedule.sessions
+        hot = sum(1 for s in sessions if s.max_temperature_c >= self.tl_c)
+        return hot / len(sessions)
+
+    @property
+    def margin_c(self) -> float:
+        """Temperature headroom ``TL - peak`` (negative when unsafe)."""
+        return self.tl_c - self.max_temperature_c
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        stcl = "" if math.isnan(self.stcl) else f", STCL={self.stcl:g}"
+        lines = [
+            f"{self.solver} solve (TL={self.tl_c:g} degC{stcl}): "
+            f"length {self.length_s:g} s in {self.n_sessions} sessions, "
+            f"peak {self.max_temperature_c:.2f} degC "
+            f"(hot-spot rate {self.hot_spot_rate * 100:.0f}%)",
+            f"  {self.steady_solves} steady-state solves in "
+            f"{self.elapsed_s * 1e3:.1f} ms, model cache "
+            f"{'hit' if self.cache_hit else 'miss'}",
+        ]
+        if self.extras:
+            pairs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.extras.items()))
+            lines.append(f"  {pairs}")
+        lines.append(self.schedule.describe())
+        return "\n".join(lines)

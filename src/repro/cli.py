@@ -1,11 +1,13 @@
 """``repro`` — thermal-safe scheduling from the command line.
 
-Two subcommands::
+Three subcommands::
 
-    repro schedule ...   # one SoC, one (TL, STCL) question
+    repro schedule ...   # one SoC, one (TL, STCL) question (paper flow)
+    repro solve ...      # one request through any registered solver
     repro batch ...      # a generated fleet of scenarios over a backend
 
-(``repro-schedule`` remains as an alias for ``repro schedule``.)
+(``repro-schedule`` remains as an alias for ``repro schedule``, and
+``python -m repro ...`` works without installed entry points.)
 
 The single-run flow without writing Python:
 
@@ -25,7 +27,9 @@ Examples::
 
     repro schedule --soc alpha15 --tl 165 --stcl 60 --gantt --save run.json
     repro schedule --flp my.flp --powers my.csv --tl 150 --auto-stcl 2.0
-    repro batch --count 100 --seed 0 --backend process --out fleet.jsonl
+    repro solve --soc alpha15 --tl 165 --solver power_constrained
+    repro solve --kind grid --rows 3 --cols 4 --tl-headroom 1.2 --stcl-headroom 2
+    repro batch --count 100 --backend process --solver sequential --out fleet.jsonl
 """
 
 from __future__ import annotations
@@ -222,8 +226,161 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def parse_solver_params(pairs: list[str]) -> dict:
+    """Parse repeated ``KEY=VALUE`` options into a typed params dict.
+
+    Values are coerced to int, float or bool when they look like one;
+    everything else stays a string (solver parameter validation happens
+    in the registry, not here).
+    """
+    params: dict = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ReproError(
+                f"--param expects KEY=VALUE, got {pair!r}"
+            )
+        value: object = raw
+        lowered = raw.lower()
+        if lowered in ("true", "false"):
+            value = lowered == "true"
+        else:
+            for cast in (int, float):
+                try:
+                    value = cast(raw)
+                    break
+                except ValueError:
+                    continue
+        params[key] = value
+    return params
+
+
+def solve_main(argv: list[str] | None = None) -> int:
+    """``repro solve`` — one request through any registered solver."""
+    from .api import ScheduleRequest, Workbench, available_solvers
+    from .engine import ScenarioSpec
+
+    parser = argparse.ArgumentParser(
+        prog="repro solve",
+        description=(
+            "Answer one scheduling request through the unified solver API."
+        ),
+    )
+    source = parser.add_argument_group("system selection")
+    source.add_argument(
+        "--soc",
+        choices=sorted(BUILTIN_SOCS),
+        help="built-in platform (alternative: describe a scenario with --kind)",
+    )
+    source.add_argument(
+        "--kind",
+        choices=["grid", "slicing"],
+        help="generated-floorplan scenario family",
+    )
+    source.add_argument("--rows", type=int, default=3, help="grid rows (default 3)")
+    source.add_argument("--cols", type=int, default=3, help="grid cols (default 3)")
+    source.add_argument(
+        "--blocks", type=int, default=9, help="slicing block count (default 9)"
+    )
+    source.add_argument(
+        "--floorplan-seed", type=int, default=0, help="slicing-tree seed"
+    )
+    source.add_argument("--power-seed", type=int, default=0, help="power profile seed")
+    source.add_argument(
+        "--power-scale", type=float, default=1.0, help="power scaling factor"
+    )
+    source.add_argument(
+        "--test-time", type=float, default=1.0, help="per-core test time (s)"
+    )
+
+    limits = parser.add_argument_group("limits")
+    limits.add_argument("--tl", type=float, help="absolute temperature limit (degC)")
+    limits.add_argument(
+        "--tl-headroom",
+        type=float,
+        help="TL as HEADROOM x the hottest singleton rise above ambient (> 1)",
+    )
+    limits.add_argument("--stcl", type=float, help="absolute STC limit")
+    limits.add_argument(
+        "--stcl-headroom",
+        type=float,
+        help="STCL as HEADROOM x the worst singleton STC",
+    )
+    limits.add_argument(
+        "--include-vertical",
+        action="store_true",
+        help="include the vertical heat path in the session model",
+    )
+
+    solver = parser.add_argument_group("solver")
+    solver.add_argument(
+        "--solver",
+        choices=available_solvers(),
+        default="thermal_aware",
+        help="registered solver (default thermal_aware)",
+    )
+    solver.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="per-solver parameter (repeatable), e.g. --param power_limit_w=45",
+    )
+
+    output = parser.add_argument_group("output")
+    output.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    output.add_argument(
+        "--save", type=Path, metavar="JSON", help="archive the result as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if (args.soc is None) == (args.kind is None):
+            raise ReproError("exactly one of --soc or --kind is required")
+        if args.soc is not None:
+            soc_name: str | None = args.soc.replace("-", "_")
+            scenario = None
+        else:
+            soc_name = None
+            scenario = ScenarioSpec(
+                kind=args.kind,
+                rows=args.rows,
+                cols=args.cols,
+                n_blocks=args.blocks,
+                floorplan_seed=args.floorplan_seed,
+                power_seed=args.power_seed,
+                power_scale=args.power_scale,
+                test_time_s=args.test_time,
+            )
+        request = ScheduleRequest(
+            soc=soc_name,
+            scenario=scenario,
+            tl_c=args.tl,
+            tl_headroom=args.tl_headroom,
+            stcl=args.stcl,
+            stcl_headroom=args.stcl_headroom,
+            solver=args.solver,
+            params=parse_solver_params(args.param),
+            include_vertical=args.include_vertical,
+        )
+        report = Workbench().solve(request)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(report.describe())
+    if args.gantt:
+        print()
+        print(render_gantt(report.schedule, limit_c=report.tl_c))
+    if args.save is not None:
+        save_result(report.result, args.save)
+        print(f"result archived to {args.save}")
+    return 0
+
+
 def batch_main(argv: list[str] | None = None) -> int:
     """``repro batch`` — schedule a generated scenario fleet."""
+    from .api import available_solvers
     from .engine import (
         BatchRunner,
         FleetConfig,
@@ -244,6 +401,20 @@ def batch_main(argv: list[str] | None = None) -> int:
         "--no-builtins",
         action="store_true",
         help="generated scenarios only (skip alpha15 etc.)",
+    )
+    solver_group = parser.add_argument_group("solver")
+    solver_group.add_argument(
+        "--solver",
+        choices=available_solvers(),
+        default="thermal_aware",
+        help="registered solver every job dispatches to (default thermal_aware)",
+    )
+    solver_group.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="per-solver parameter applied to every job (repeatable)",
     )
     execution = parser.add_argument_group("execution")
     execution.add_argument(
@@ -276,7 +447,13 @@ def batch_main(argv: list[str] | None = None) -> int:
         if args.count < 1:
             raise ReproError(f"--count must be >= 1, got {args.count}")
         config = FleetConfig(include_builtins=not args.no_builtins)
-        jobs = generate_fleet(args.count, seed=args.seed, config=config)
+        jobs = generate_fleet(
+            args.count,
+            seed=args.seed,
+            config=config,
+            solver=args.solver,
+            solver_params=parse_solver_params(args.param),
+        )
         runner = BatchRunner(
             backend=args.backend,
             max_workers=args.workers,
@@ -296,6 +473,7 @@ def batch_main(argv: list[str] | None = None) -> int:
 #: ``repro`` subcommands.
 COMMANDS = {
     "schedule": main,
+    "solve": solve_main,
     "batch": batch_main,
 }
 
@@ -319,6 +497,7 @@ def repro_main(argv: list[str] | None = None) -> int:
     usage = (
         f"usage: repro {{{','.join(COMMANDS)}}} ...\n"
         f"  repro schedule --help   one SoC, one (TL, STCL) question\n"
+        f"  repro solve --help      one request through any registered solver\n"
         f"  repro batch --help      schedule a generated scenario fleet"
     )
     if not argv or argv[0] in ("-h", "--help"):

@@ -22,8 +22,14 @@ from ..soc.system import SocUnderTest
 from .scheduler import DiscardedSession, ScheduleResult
 from .session import TestSchedule, TestSession
 
-#: Current schema version.
-SCHEMA_VERSION = 1
+#: Current schema version.  Version 2 added the solver fields to job
+#: specs and nullable ``stcl`` on results (solvers that skip the STC
+#: heuristic); everything a version-1 record contains is still read the
+#: same way, so loaders accept both.
+SCHEMA_VERSION = 2
+
+#: Versions loaders accept.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 def _session_to_dict(session: TestSession) -> dict[str, Any]:
@@ -70,7 +76,7 @@ def schedule_from_dict(data: dict[str, Any], soc: SocUnderTest) -> TestSchedule:
         SoC (wrong cores, double-tested cores, ...).
     """
     version = data.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise SchedulingError(
             f"unsupported schedule schema version {version!r} "
             f"(this library writes {SCHEMA_VERSION})"
@@ -80,11 +86,16 @@ def schedule_from_dict(data: dict[str, Any], soc: SocUnderTest) -> TestSchedule:
 
 
 def result_to_dict(result: ScheduleResult) -> dict[str, Any]:
-    """Serialise a full scheduling result (schedule + diagnostics)."""
+    """Serialise a full scheduling result (schedule + diagnostics).
+
+    ``stcl`` is ``nan`` for solvers that do not use the STC heuristic
+    (the unified API's baselines); it is written as ``null`` so the
+    output stays strict JSON.
+    """
     return {
         "schema_version": SCHEMA_VERSION,
         "tl_c": result.tl_c,
-        "stcl": result.stcl,
+        "stcl": None if math.isnan(result.stcl) else result.stcl,
         "length_s": result.length_s,
         "effort_s": result.effort_s,
         "max_temperature_c": result.max_temperature_c,
@@ -109,7 +120,7 @@ def result_to_dict(result: ScheduleResult) -> dict[str, Any]:
 def result_from_dict(data: dict[str, Any], soc: SocUnderTest) -> ScheduleResult:
     """Load a scheduling result back (schedule revalidated against *soc*)."""
     version = data.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise SchedulingError(
             f"unsupported result schema version {version!r} "
             f"(this library writes {SCHEMA_VERSION})"
@@ -128,7 +139,7 @@ def result_from_dict(data: dict[str, Any], soc: SocUnderTest) -> ScheduleResult:
     return ScheduleResult(
         schedule=schedule,
         tl_c=float(data["tl_c"]),
-        stcl=float(data["stcl"]),
+        stcl=math.nan if data["stcl"] is None else float(data["stcl"]),
         length_s=float(data["length_s"]),
         effort_s=float(data["effort_s"]),
         max_temperature_c=float(data["max_temperature_c"]),

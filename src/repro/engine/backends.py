@@ -135,9 +135,13 @@ def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
     return cls
 
 
-def available_backends() -> tuple[str, ...]:
-    """Registered backend names, sorted."""
-    return tuple(sorted(_REGISTRY))
+def available_backends() -> list[str]:
+    """Registered backend names as a deterministically sorted list.
+
+    Sorted so CLIs, docs and error messages render identically run to
+    run regardless of registration order.
+    """
+    return sorted(_REGISTRY)
 
 
 def create_backend(

@@ -78,9 +78,58 @@ def package_fingerprint(package: PackageConfig) -> str:
     return digest.hexdigest()
 
 
-def model_key(floorplan: Floorplan, package: PackageConfig) -> str:
-    """Cache key of the (floorplan, package) pair."""
-    return floorplan_fingerprint(floorplan) + ":" + package_fingerprint(package)
+def adjacency_fingerprint(adjacency: AdjacencyMap) -> str:
+    """Content hash of an adjacency map's thermally relevant structure.
+
+    A custom adjacency (different tolerance, hence different interface
+    topology and shared-edge lengths) changes the lateral conductances
+    of the built network, so it must key the cache — a false hit here
+    returns wrong temperatures.
+    """
+    digest = hashlib.sha256()
+    for interface in adjacency.interfaces:
+        digest.update(
+            f"{interface.block_a}|{interface.block_b}|{interface.side_of_a}|"
+            f"{interface.length!r};".encode()
+        )
+    for name in adjacency.iter_block_names():
+        for segment in adjacency.boundary_segments(name):
+            digest.update(
+                f"@{segment.block}|{segment.side}|{segment.length!r};".encode()
+            )
+    return digest.hexdigest()
+
+
+def model_key(
+    floorplan: Floorplan,
+    package: PackageConfig,
+    adjacency: AdjacencyMap | None = None,
+) -> str:
+    """Cache key of the (floorplan, package, adjacency) triple.
+
+    ``adjacency=None`` (build the default map from the floorplan) and
+    an explicitly passed default map hash differently — a false miss,
+    which is acceptable; every caller that reuses a SoC's precomputed
+    map passes it consistently, so they share keys.
+    """
+    key = floorplan_fingerprint(floorplan) + ":" + package_fingerprint(package)
+    if adjacency is not None:
+        key += ":" + adjacency_fingerprint(adjacency)
+    return key
+
+
+def resolve_cache(
+    cache: "ThermalModelCache | None", use_cache: bool
+) -> "ThermalModelCache | None":
+    """The cache an engine component should use.
+
+    ``cache or ThermalModelCache()`` would be wrong here: the cache
+    defines ``__len__``, so a passed-in *empty* cache is falsy and
+    would be silently replaced, losing the sharing the caller set up.
+    """
+    if not use_cache:
+        return None
+    return cache if cache is not None else ThermalModelCache()
 
 
 @dataclass(frozen=True)
@@ -193,7 +242,7 @@ class ThermalModelCache:
             simulator handed out for the same content hash; *hit* says
             whether the model came from the cache.
         """
-        key = model_key(floorplan, package)
+        key = model_key(floorplan, package, adjacency)
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:

@@ -23,22 +23,46 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Any, Literal
+from typing import Any, Literal, Mapping
 
-from ..core.scheduler import SchedulerConfig, ScheduleResult
-from ..core.serialize import SCHEMA_VERSION, result_from_dict, result_to_dict
-from ..core.session_model import SessionModelConfig, SessionThermalModel
-from ..errors import SchedulingError
+from ..core.scheduler import ScheduleResult
+from ..core.serialize import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    result_from_dict,
+    result_to_dict,
+)
+from ..errors import ReproError, SchedulingError
 from ..soc.system import SocUnderTest
+from ..spec_utils import FrozenParams, hashable_params, validate_limit_fields
 from .scenarios import ScenarioSpec
+
+
+def _solver_needs_stcl(name: str) -> bool:
+    """Whether the named solver's capability flag demands an STCL.
+
+    Unknown names are let through here — a solver may be registered
+    later or only in the worker process; the solve path re-checks and
+    turns a genuinely missing solver into a per-job error record.
+    """
+    from ..api.solvers import get_solver  # deferred: api imports engine
+
+    try:
+        return get_solver(name).needs_stcl
+    except ReproError:
+        return False
 
 
 @dataclass(frozen=True)
 class JobSpec:
     """One scheduling question: a scenario plus limits and knobs.
 
-    Exactly one of (``tl_c``, ``tl_headroom``) and one of
-    (``stcl``, ``stcl_headroom``) must be set.
+    Exactly one of (``tl_c``, ``tl_headroom``) must be set.  An STCL
+    (one of ``stcl``, ``stcl_headroom``) is required when the job's
+    solver uses the STC heuristic (the default thermal-aware solver
+    does) and optional otherwise — matching
+    :class:`~repro.api.ScheduleRequest`, so the same job expressed
+    through either front door behaves identically.
 
     Attributes
     ----------
@@ -58,9 +82,19 @@ class JobSpec:
     stcl_headroom:
         Alternative: ``STCL = headroom x`` the worst singleton STC
         (> 1 keeps every core individually schedulable).
+    solver:
+        Registered solver name the job dispatches to (see
+        :func:`repro.api.available_solvers`); defaults to the paper's
+        thermal-aware algorithm, so archives written before the solver
+        field existed load unchanged.
+    solver_params:
+        Extra per-solver parameters (merged over the scheduler-variant
+        knobs below for the thermal-aware solver; passed verbatim to
+        every other solver).
     weight_factor, candidate_order, validation:
         Scheduler-variant knobs (see
-        :class:`~repro.core.scheduler.SchedulerConfig`).
+        :class:`~repro.core.scheduler.SchedulerConfig`); only
+        meaningful for ``solver="thermal_aware"``.
     include_vertical:
         Session-model ablation switch.
     stc_scale:
@@ -74,6 +108,8 @@ class JobSpec:
     tl_headroom: float | None = None
     stcl: float | None = None
     stcl_headroom: float | None = None
+    solver: str = "thermal_aware"
+    solver_params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
     weight_factor: float = 1.1
     candidate_order: str = "input"
     validation: Literal["steady", "transient"] = "steady"
@@ -81,85 +117,83 @@ class JobSpec:
     stc_scale: float | None = None
 
     def __post_init__(self) -> None:
-        if (self.tl_c is None) == (self.tl_headroom is None):
+        if not self.solver or not isinstance(self.solver, str):
             raise SchedulingError(
-                f"job {self.job_id!r}: exactly one of tl_c / tl_headroom is "
-                f"required"
+                f"job {self.job_id!r}: solver must be a non-empty name, "
+                f"got {self.solver!r}"
             )
-        if (self.stcl is None) == (self.stcl_headroom is None):
+        object.__setattr__(
+            self, "solver_params", FrozenParams(self.solver_params or {})
+        )
+        validate_limit_fields(
+            tl_c=self.tl_c,
+            tl_headroom=self.tl_headroom,
+            stcl=self.stcl,
+            stcl_headroom=self.stcl_headroom,
+            error_cls=SchedulingError,
+            prefix=f"job {self.job_id!r}: ",
+        )
+        if (
+            self.stcl is None
+            and self.stcl_headroom is None
+            and _solver_needs_stcl(self.solver)
+        ):
             raise SchedulingError(
                 f"job {self.job_id!r}: exactly one of stcl / stcl_headroom is "
-                f"required"
-            )
-        if self.tl_headroom is not None and self.tl_headroom <= 1.0:
-            raise SchedulingError(
-                f"job {self.job_id!r}: tl_headroom must be > 1 "
-                f"(TL at or below the singleton peak is infeasible), "
-                f"got {self.tl_headroom!r}"
-            )
-        if self.stcl_headroom is not None and self.stcl_headroom <= 0.0:
-            raise SchedulingError(
-                f"job {self.job_id!r}: stcl_headroom must be positive, "
-                f"got {self.stcl_headroom!r}"
+                f"required for solver {self.solver!r}"
             )
 
-    def session_model_config(self) -> SessionModelConfig:
-        """The session-model configuration this job requests."""
-        scale = (
-            self.stc_scale
-            if self.stc_scale is not None
-            else self.scenario.default_stc_scale()
-        )
-        return SessionModelConfig(
-            include_vertical=self.include_vertical, stc_scale=scale
+    def __hash__(self) -> int:
+        # The generated hash would raise on the dict-typed
+        # solver_params field; hash a canonical frozen view instead.
+        return hash(
+            (
+                self.job_id,
+                self.scenario,
+                self.tl_c,
+                self.tl_headroom,
+                self.stcl,
+                self.stcl_headroom,
+                self.solver,
+                hashable_params(self.solver_params),
+                self.weight_factor,
+                self.candidate_order,
+                self.validation,
+                self.include_vertical,
+                self.stc_scale,
+            )
         )
 
-    def scheduler_config(self) -> SchedulerConfig:
-        """The scheduler configuration this job requests."""
-        return SchedulerConfig(
-            weight_factor=self.weight_factor,
-            candidate_order=self.candidate_order,  # type: ignore[arg-type]
-            validation=self.validation,
-        )
+    def to_request(self) -> "ScheduleRequest":
+        """The :class:`~repro.api.ScheduleRequest` this job asks.
 
-    def resolve_limits(
-        self, model: SessionThermalModel, bcmt_c: dict[str, float]
-    ) -> tuple[float, float]:
-        """Turn headroom-style limits into absolute (TL, STCL).
-
-        Parameters
-        ----------
-        model:
-            The session thermal model of the built scenario.
-        bcmt_c:
-            Best-case (singleton) max temperature per core — the
-            scheduler's phase-A quantities, which the runner computes
-            once and reuses here.
+        The scheduler-variant knobs (``weight_factor`` etc.) only apply
+        to the thermal-aware solver; other solvers receive
+        ``solver_params`` alone, so a fleet can flip between solvers
+        without tripping parameter validation.
         """
-        if self.tl_c is not None:
-            tl_c = self.tl_c
+        from ..api.request import ScheduleRequest  # deferred: api imports engine
+
+        if self.solver == "thermal_aware":
+            params = {
+                "weight_factor": self.weight_factor,
+                "candidate_order": self.candidate_order,
+                "validation": self.validation,
+                **self.solver_params,
+            }
         else:
-            assert self.tl_headroom is not None
-            ambient = model.soc.package.ambient_c
-            peak_rise = max(bcmt_c.values()) - ambient
-            tl_c = ambient + self.tl_headroom * peak_rise
-        if self.stcl is not None:
-            stcl = self.stcl
-        else:
-            assert self.stcl_headroom is not None
-            worst = max(
-                model.session_thermal_characteristic([name])
-                for name in model.soc.core_names
-            )
-            if not math.isfinite(worst):
-                raise SchedulingError(
-                    f"job {self.job_id!r}: a core has an infinite singleton "
-                    f"STC under the lateral-only session model (isolated "
-                    f"block on a non-tiling floorplan); set "
-                    f"include_vertical=True"
-                )
-            stcl = self.stcl_headroom * worst
-        return tl_c, stcl
+            params = dict(self.solver_params)
+        return ScheduleRequest(
+            scenario=self.scenario,
+            tl_c=self.tl_c,
+            tl_headroom=self.tl_headroom,
+            stcl=self.stcl,
+            stcl_headroom=self.stcl_headroom,
+            solver=self.solver,
+            params=params,
+            include_vertical=self.include_vertical,
+            stc_scale=self.stc_scale,
+        )
 
 
 #: Terminal states of an executed job.
@@ -258,7 +292,7 @@ def job_spec_to_dict(spec: JobSpec) -> dict[str, Any]:
 def job_spec_from_dict(data: dict[str, Any]) -> JobSpec:
     """Load a job spec back from its dict form."""
     version = data.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise SchedulingError(
             f"unsupported job spec schema version {version!r} "
             f"(this library writes {SCHEMA_VERSION})"
@@ -308,7 +342,7 @@ def job_result_from_dict(
         scenario); otherwise rebuilt from the embedded scenario spec.
     """
     version = data.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise SchedulingError(
             f"unsupported job result schema version {version!r} "
             f"(this library writes {SCHEMA_VERSION})"

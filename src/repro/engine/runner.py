@@ -1,9 +1,11 @@
 """The batch runner: fan jobs out over a backend, aggregate, persist.
 
-:func:`run_job` is the single-job execution path (build the scenario,
-borrow a thermal model from the cache, resolve limits, schedule, never
-raise — infeasible scenarios become ``status="error"`` records instead
-of killing the fleet).  :class:`BatchRunner` maps it over an execution
+:func:`run_job` is the single-job execution path: convert the job to a
+:class:`~repro.api.ScheduleRequest`, dispatch it through the solver
+registry via :func:`repro.api.execute_request` (which builds the
+scenario, borrows a thermal model from the cache and resolves limits),
+and never raise — infeasible scenarios become ``status="error"``
+records instead of killing the fleet.  :class:`BatchRunner` maps it over an execution
 backend and returns a :class:`BatchResult` with per-job records plus
 the aggregate timing, simulation-effort and cache statistics, and can
 stream the records to a JSONL archive via :mod:`repro.core.serialize`.
@@ -18,19 +20,21 @@ from functools import partial
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from ..core.scheduler import ThermalAwareScheduler
 from ..core.serialize import dump_jsonl, load_jsonl
-from ..core.session_model import SessionThermalModel
-from ..errors import ReproError, SchedulingError
-from ..thermal.simulator import ThermalSimulator
+from ..errors import SchedulingError
 from .backends import ExecutionBackend, create_backend
-from .cache import CacheStats, ThermalModelCache
+from .cache import CacheStats, ThermalModelCache, resolve_cache
 from .jobs import JobResult, JobSpec, job_result_from_dict, job_result_to_dict
 from .scenarios import ScenarioSpec
 
 
 def run_job(spec: JobSpec, cache: ThermalModelCache | None = None) -> JobResult:
     """Execute one batch job; failures become error records, not raises.
+
+    The job is converted to a :class:`~repro.api.ScheduleRequest` and
+    dispatched through the solver registry, so a fleet can mix
+    thermal-aware, power-constrained and sequential jobs (or any
+    registered extension) in one batch.
 
     Parameters
     ----------
@@ -40,28 +44,15 @@ def run_job(spec: JobSpec, cache: ThermalModelCache | None = None) -> JobResult:
         Shared thermal-model cache; when omitted the job builds (and
         factorises) its own network.
     """
+    from ..api.workbench import execute_request  # deferred: api imports engine
+
     start = time.perf_counter()
-    cache_hit = False
-    simulator = None
     try:
-        soc = spec.scenario.build_soc()
-        if cache is not None:
-            simulator, cache_hit = cache.simulator_for(
-                soc.floorplan, soc.package, soc.adjacency
-            )
-        else:
-            simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
-        model = SessionThermalModel(soc, spec.session_model_config())
-        scheduler = ThermalAwareScheduler(
-            soc,
-            simulator=simulator,
-            session_model=model,
-            config=spec.scheduler_config(),
-        )
-        bcmt, _ = scheduler.best_case_max_temperatures()
-        tl_c, stcl = spec.resolve_limits(model, bcmt)
-        result = scheduler.schedule(tl_c, stcl)
-    except ReproError as exc:
+        report = execute_request(spec.to_request(), cache=cache)
+    # Catch everything, not just ReproError: a buggy third-party solver
+    # registered via register_solver must not kill a 1000-job fleet and
+    # discard the results already computed.
+    except Exception as exc:
         return JobResult(
             spec=spec,
             status="error",
@@ -70,19 +61,19 @@ def run_job(spec: JobSpec, cache: ThermalModelCache | None = None) -> JobResult:
             result=None,
             error=f"{type(exc).__name__}: {exc}",
             elapsed_s=time.perf_counter() - start,
-            steady_solves=simulator.steady_solve_count if simulator else 0,
-            cache_hit=cache_hit,
+            steady_solves=getattr(exc, "solve_steady_solves", 0),
+            cache_hit=getattr(exc, "solve_cache_hit", False),
         )
     return JobResult(
         spec=spec,
         status="ok",
-        tl_c=tl_c,
-        stcl=stcl,
-        result=result,
+        tl_c=report.tl_c,
+        stcl=report.stcl,
+        result=report.result,
         error=None,
         elapsed_s=time.perf_counter() - start,
-        steady_solves=simulator.steady_solve_count,
-        cache_hit=cache_hit,
+        steady_solves=report.steady_solves,
+        cache_hit=report.cache_hit,
     )
 
 
@@ -269,7 +260,7 @@ class BatchRunner:
             self._backend = backend
         else:
             self._backend = create_backend(backend, max_workers=max_workers)
-        self._cache = (cache or ThermalModelCache()) if use_cache else None
+        self._cache = resolve_cache(cache, use_cache)
 
     @property
     def backend(self) -> ExecutionBackend:
@@ -291,11 +282,23 @@ class BatchRunner:
         Parameters
         ----------
         jobs:
-            The fleet; job ids must be unique.
+            The fleet; must be non-empty, and job ids must be unique.
         jsonl_path:
             When given, every job record is archived to this JSON-Lines
             file (one self-contained record per line).
+
+        Raises
+        ------
+        SchedulingError
+            On an empty fleet or duplicate job ids — both almost always
+            mean a fleet-construction bug upstream, and an empty batch
+            would otherwise silently produce an empty archive.
         """
+        if not jobs:
+            raise SchedulingError(
+                "batch contains no jobs; generate a fleet first "
+                "(e.g. generate_fleet(count, seed))"
+            )
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
             dupes = sorted({i for i in ids if ids.count(i) > 1})

@@ -23,7 +23,7 @@ from typing import Iterable, Literal, Sequence
 
 import numpy as np
 
-from ..errors import SchedulingError
+from ..errors import ReproError, SchedulingError
 from ..floorplan.floorplan import Floorplan
 from ..floorplan.generator import grid_floorplan, slicing_floorplan
 from ..power.generator import PowerGeneratorConfig, generate_power_profile
@@ -293,30 +293,77 @@ def generate_scenarios(
     return scenarios
 
 
+def _fleet_wants_stcl(solver: str) -> bool:
+    """Whether fleet jobs for this solver should carry an STCL headroom.
+
+    Solvers that skip the STC heuristic get none, sparing every job the
+    per-core singleton-STC resolution.  Unknown names keep it: they may
+    be registered only in the worker process and might need it there.
+    """
+    from ..api.solvers import get_solver  # deferred: api imports engine
+
+    try:
+        return get_solver(solver).needs_stcl
+    except ReproError:
+        return True
+
+
 def generate_fleet(
-    count: int, seed: int = 0, config: FleetConfig = FleetConfig()
+    count: int,
+    seed: int = 0,
+    config: FleetConfig = FleetConfig(),
+    solver: str = "thermal_aware",
+    solver_params: dict | None = None,
 ) -> list["JobSpec"]:
     """Generate *count* ready-to-run jobs: scenarios plus per-job limits.
 
     Limits are expressed as *headrooms* relative to each scenario's own
-    thermal regime (resolved in the worker, see
-    :meth:`repro.engine.jobs.JobSpec.resolve_limits`), so every job in
-    the fleet is feasible by construction regardless of its geometry,
-    cooling or power scale.
+    thermal regime (resolved in the worker by the unified solver API,
+    see :class:`repro.api.Workbench`), so every job in the fleet is
+    feasible by construction regardless of its geometry, cooling or
+    power scale.
+
+    Parameters
+    ----------
+    count, seed, config:
+        Fleet shape; the same triple always yields the same fleet.
+    solver:
+        Registered solver every job dispatches to — the one-switch
+        head-to-head: the same fleet can be scheduled thermal-aware,
+        power-constrained or sequentially and the archives compared.
+    solver_params:
+        Per-solver parameters applied to every job.
+
+    Raises
+    ------
+    SchedulingError
+        When ``count`` is not a positive integer.
     """
     from .jobs import JobSpec  # deferred: jobs.py imports this module
 
+    if count < 1:
+        raise SchedulingError(
+            f"fleet size must be >= 1, got {count}; an empty fleet would "
+            f"silently schedule nothing"
+        )
+    needs_stcl = _fleet_wants_stcl(solver)
     rng = np.random.default_rng(seed ^ 0x5EED)
     tl_low, tl_high = config.tl_headroom_range
     stcl_low, stcl_high = config.stcl_headroom_range
     jobs = []
     for i, scenario in enumerate(generate_scenarios(count, seed, config)):
+        tl_draw = float(rng.uniform(tl_low, tl_high))
+        # Always drawn so the RNG stream (hence tl per job) is identical
+        # across solver choices — fleets stay comparable head-to-head.
+        stcl_draw = float(rng.uniform(stcl_low, stcl_high))
         jobs.append(
             JobSpec(
                 job_id=f"job-{i:05d}-{scenario.name}",
                 scenario=scenario,
-                tl_headroom=float(rng.uniform(tl_low, tl_high)),
-                stcl_headroom=float(rng.uniform(stcl_low, stcl_high)),
+                tl_headroom=tl_draw,
+                stcl_headroom=stcl_draw if needs_stcl else None,
+                solver=solver,
+                solver_params=dict(solver_params or {}),
                 include_vertical=scenario.needs_vertical_path(),
             )
         )

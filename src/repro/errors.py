@@ -49,6 +49,15 @@ class PowerModelError(ReproError):
     """A power profile is inconsistent with the SoC it is attached to."""
 
 
+class RequestError(ReproError):
+    """A unified-API scheduling request is invalid.
+
+    Examples: neither (or both) of a built-in SoC name and an inline
+    scenario, a missing temperature limit, an unknown solver name, or
+    parameters the named solver does not accept.
+    """
+
+
 class SchedulingError(ReproError):
     """Test-schedule generation failed.
 

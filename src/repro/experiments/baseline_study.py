@@ -19,13 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.baselines import PowerConstrainedConfig, PowerConstrainedScheduler
-from ..core.safety import audit_schedule
-from ..core.scheduler import ThermalAwareScheduler
-from ..core.session_model import SessionModelConfig, SessionThermalModel
+from ..api.workbench import Workbench
 from ..soc.library import ALPHA15_STC_SCALE, alpha15_soc
 from ..soc.system import SocUnderTest
-from ..thermal.simulator import ThermalSimulator
 from .reporting import format_table
 
 #: The audit limit: the mid-grid TL used throughout the ablations.
@@ -94,17 +90,24 @@ def run_baseline_study(
     stcl: float = STCL,
     caps_w: tuple[float, ...] | None = None,
 ) -> BaselineStudy:
-    """Run the power-cap sweep and the thermal-aware reference."""
+    """Run the power-cap sweep and the thermal-aware reference.
+
+    Every run goes through the unified solver API: the same
+    :class:`~repro.api.Workbench` (hence the same cached thermal model)
+    answers the thermal-aware reference and every power-cap point, with
+    only the ``solver=`` switch changing.
+    """
     if soc is None:
         soc = alpha15_soc()
-    simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+    workbench = Workbench()
 
-    model = SessionThermalModel(
-        soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
+    thermal = workbench.solve_soc(
+        soc,
+        solver="thermal_aware",
+        tl_c=tl_c,
+        stcl=stcl,
+        stc_scale=ALPHA15_STC_SCALE,
     )
-    thermal = ThermalAwareScheduler(
-        soc, simulator=simulator, session_model=model
-    ).schedule(tl_c, stcl)
 
     if caps_w is None:
         total = soc.total_test_power_w()
@@ -118,16 +121,18 @@ def run_baseline_study(
 
     points = []
     for cap in caps_w:
-        schedule = PowerConstrainedScheduler(
-            soc, PowerConstrainedConfig(power_limit_w=cap)
-        ).schedule()
-        audit = audit_schedule(schedule, tl_c, simulator)
+        report = workbench.solve_soc(
+            soc,
+            solver="power_constrained",
+            tl_c=tl_c,
+            params={"power_limit_w": cap},
+        )
         points.append(
             BaselinePoint(
                 power_cap_w=cap,
-                length_s=schedule.length_s,
-                peak_c=audit.max_temperature_c,
-                hot_spot_rate=audit.hot_spot_rate,
+                length_s=report.length_s,
+                peak_c=report.max_temperature_c,
+                hot_spot_rate=report.hot_spot_rate,
             )
         )
     return BaselineStudy(

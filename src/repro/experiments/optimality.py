@@ -19,14 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.baselines import OptimalMinSessionsScheduler
-from ..core.scheduler import SchedulerConfig, ThermalAwareScheduler
-from ..core.session_model import SessionModelConfig, SessionThermalModel
+from ..api.workbench import Workbench
 from ..errors import ScheduleInfeasibleError, SchedulingError
 from ..floorplan.generator import slicing_floorplan
 from ..power.generator import PowerGeneratorConfig, generate_power_profile
 from ..soc.system import SocUnderTest
-from ..thermal.simulator import ThermalSimulator
 from .reporting import format_table
 
 #: Default problem set: (core count, seed) pairs.
@@ -79,12 +76,21 @@ def _build_case(n_cores: int, seed: int) -> SocUnderTest:
 def run_optimality_study(
     cases: tuple[tuple[int, int], ...] = DEFAULT_CASES,
 ) -> tuple[OptimalityCase, ...]:
-    """Run heuristic and exact scheduling on every case."""
+    """Run heuristic and exact scheduling on every case.
+
+    Both sides go through the unified solver API — the same workbench
+    answers ``solver="thermal_aware"`` and ``solver="optimal"`` per
+    case, sharing one cached thermal model.
+    """
+    workbench = Workbench()
     results = []
     for n_cores, seed in cases:
         soc = _build_case(n_cores, seed)
-        simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
-        model = SessionThermalModel(soc, SessionModelConfig())
+        # Borrow the simulator from the workbench cache so the tl_c
+        # derivation warms the same model the two solves then hit.
+        simulator, _ = workbench.cache.simulator_for(
+            soc.floorplan, soc.package, soc.adjacency
+        )
 
         singleton_peak = max(
             simulator.steady_state({n: soc[n].test_power_w}).temperature_c(n)
@@ -94,35 +100,34 @@ def run_optimality_study(
             soc.test_power_map()
         ).max_temperature_c()
         tl_c = (singleton_peak + all_active_peak) / 2.0
-        stcl = 3.0 * max(
-            model.session_thermal_characteristic([n]) for n in soc.core_names
-        )
 
-        simulator.reset_effort()
-        heuristic = ThermalAwareScheduler(
-            soc,
-            simulator=simulator,
-            session_model=model,
-            config=SchedulerConfig(max_discards=5_000),
-        )
         try:
-            heuristic_result = heuristic.schedule(tl_c, stcl)
+            heuristic = workbench.solve_soc(
+                soc,
+                solver="thermal_aware",
+                tl_c=tl_c,
+                stcl_headroom=3.0,
+                params={"max_discards": 5_000},
+            )
         except (ScheduleInfeasibleError, SchedulingError):
             continue  # skip pathological cases rather than bias the stats
-        heuristic_solves = simulator.steady_solve_count
 
-        optimal = OptimalMinSessionsScheduler(soc, max_cores=9)
-        optimal_schedule = optimal.schedule(tl_c)
+        optimal = workbench.solve_soc(
+            soc,
+            solver="optimal",
+            tl_c=tl_c,
+            params={"max_cores": 9},
+        )
 
         results.append(
             OptimalityCase(
                 n_cores=n_cores,
                 seed=seed,
                 tl_c=tl_c,
-                heuristic_sessions=heuristic_result.n_sessions,
-                optimal_sessions=len(optimal_schedule),
-                heuristic_solves=heuristic_solves,
-                optimal_solves=optimal.thermal_solve_count,
+                heuristic_sessions=heuristic.n_sessions,
+                optimal_sessions=optimal.n_sessions,
+                heuristic_solves=heuristic.steady_solves,
+                optimal_solves=optimal.extras["thermal_solve_count"],
             )
         )
     return tuple(results)

@@ -1,0 +1,99 @@
+"""Shared helpers for the frozen problem-spec dataclasses.
+
+:class:`~repro.api.ScheduleRequest` and
+:class:`~repro.engine.jobs.JobSpec` both carry a params mapping and the
+same (TL, STCL) limit fields.  The hashing and validation rules live
+here once so the two front doors (and
+:meth:`repro.api.Workbench.solve_soc`) cannot drift; this module sits
+below both ``repro.api`` and ``repro.engine`` in the import graph, so
+either may import it at module level.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+class FrozenParams(dict):
+    """An immutable params mapping for the frozen spec dataclasses.
+
+    ``frozen=True`` only blocks attribute assignment; a plain-dict
+    params field could still be mutated in place, silently changing the
+    spec's hash and equality.  This dict subclass blocks every mutator
+    (nested values are not deep-frozen — treat them as read-only).  It
+    pickles and deep-copies via reconstruction, and ``json.dumps`` /
+    ``dataclasses.asdict`` treat it as the dict it is.
+    """
+
+    def _immutable(self, *args, **kwargs):
+        raise TypeError(
+            "spec params are immutable; build a new request/job with "
+            "dataclasses.replace(spec, params={...}) instead"
+        )
+
+    __setitem__ = _immutable
+    __delitem__ = _immutable
+    clear = _immutable
+    pop = _immutable
+    popitem = _immutable
+    setdefault = _immutable
+    update = _immutable
+
+    def __reduce__(self):
+        # Default dict-subclass pickling restores items via the (now
+        # blocked) __setitem__; rebuild through the constructor instead.
+        return (type(self), (dict(self),))
+
+
+def freeze_value(value: Any) -> Any:
+    """A hashable stand-in for a JSON-ish value (dicts/lists frozen)."""
+    if isinstance(value, dict):
+        return tuple(
+            sorted((key, freeze_value(item)) for key, item in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_value(item) for item in value)
+    return value
+
+
+def hashable_params(params: Mapping[str, Any]) -> tuple:
+    """A canonical hashable view of a params mapping.
+
+    The spec dataclasses are frozen but hold a plain-dict params field,
+    which would make the generated ``__hash__`` raise; their explicit
+    ``__hash__`` implementations substitute this view.
+    """
+    return tuple(sorted((key, freeze_value(value)) for key, value in params.items()))
+
+
+def validate_limit_fields(
+    *,
+    tl_c: float | None,
+    tl_headroom: float | None,
+    stcl: float | None,
+    stcl_headroom: float | None,
+    error_cls: type[Exception],
+    prefix: str = "",
+) -> None:
+    """Enforce the shared (TL, STCL) field rules of every spec shape.
+
+    Exactly one of the TL pair; ``tl_headroom`` strictly above 1; at
+    most one of the STCL pair, each strictly positive.  Whether an STCL
+    is *required* depends on the solver's capability flag and is
+    checked by the caller.
+    """
+    if (tl_c is None) == (tl_headroom is None):
+        raise error_cls(f"{prefix}exactly one of tl_c / tl_headroom is required")
+    if tl_headroom is not None and tl_headroom <= 1.0:
+        raise error_cls(
+            f"{prefix}tl_headroom must be > 1 (TL at or below the singleton "
+            f"peak is infeasible), got {tl_headroom!r}"
+        )
+    if stcl is not None and stcl_headroom is not None:
+        raise error_cls(f"{prefix}at most one of stcl / stcl_headroom may be set")
+    if stcl is not None and stcl <= 0.0:
+        raise error_cls(f"{prefix}stcl must be positive, got {stcl!r}")
+    if stcl_headroom is not None and stcl_headroom <= 0.0:
+        raise error_cls(
+            f"{prefix}stcl_headroom must be positive, got {stcl_headroom!r}"
+        )

@@ -1,0 +1,50 @@
+"""The old constructors keep working — via warning shims at the root.
+
+Direct construction predates the unified solver API; the package root
+still serves those names so existing scripts run, but each access
+carries a DeprecationWarning pointing at ``solve(request)`` and at the
+canonical (non-deprecated) home under ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.core
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "ThermalAwareScheduler",
+        "PowerConstrainedScheduler",
+        "PowerConstrainedConfig",
+        "sequential_schedule",
+    ],
+)
+def test_root_access_warns_and_resolves(name):
+    with pytest.warns(DeprecationWarning, match="unified solver API"):
+        shimmed = getattr(repro, name)
+    assert shimmed is getattr(repro.core, name)
+
+
+def test_old_scheduler_call_shape_still_works():
+    from repro.soc.library import alpha15_soc
+
+    with pytest.warns(DeprecationWarning):
+        scheduler_cls = repro.ThermalAwareScheduler
+    result = scheduler_cls(alpha15_soc()).schedule(tl_c=175.0, stcl=40.0)
+    assert result.max_temperature_c < 175.0
+
+
+def test_canonical_homes_do_not_warn(recwarn):
+    from repro.core.baselines import PowerConstrainedScheduler  # noqa: F401
+    from repro.core.scheduler import ThermalAwareScheduler  # noqa: F401
+
+    assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+def test_unknown_root_attribute_still_raises():
+    with pytest.raises(AttributeError):
+        repro.definitely_not_an_export

@@ -1,0 +1,163 @@
+"""The shared solver contract: every registered solver honours it.
+
+One parametrised suite runs each registered solver over the same small
+SoC and asserts the uniform promises of the API: a valid partitioned
+schedule comes back, report fields are populated, the request
+round-trips through JSONL, and parameter validation rejects junk
+before any thermal work happens.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.api import (
+    ScheduleRequest,
+    Workbench,
+    available_solvers,
+    get_solver,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.engine import ScenarioSpec
+from repro.errors import RequestError
+
+#: Small enough for the exact solver, rich enough to need >1 session
+#: under a tight limit.
+SCENARIO = ScenarioSpec(kind="grid", rows=2, cols=2, power_seed=7)
+
+
+def contract_request(solver: str) -> ScheduleRequest:
+    """The shared question every solver is asked."""
+    return ScheduleRequest(
+        scenario=SCENARIO,
+        tl_headroom=1.25,
+        stcl_headroom=2.0,
+        solver=solver,
+    )
+
+
+@pytest.fixture(scope="module")
+def workbench():
+    return Workbench()
+
+
+@pytest.mark.parametrize("solver", available_solvers())
+class TestSolverContract:
+    def test_solves_small_soc(self, workbench, solver):
+        report = workbench.solve(contract_request(solver))
+        soc = report.schedule.soc
+
+        assert report.solver == solver
+        # The schedule is a partition of the core set (TestSchedule
+        # validates this on construction; assert the coverage anyway).
+        scheduled = {c for s in report.schedule for c in s.cores}
+        assert scheduled == set(soc.core_names)
+
+        # Uniform report fields are populated.
+        assert report.length_s > 0.0
+        assert report.n_sessions >= 1
+        assert math.isfinite(report.max_temperature_c)
+        assert math.isfinite(report.tl_c) and report.tl_c > 0.0
+        assert 0.0 <= report.hot_spot_rate <= 1.0
+        assert report.steady_solves > 0
+        assert report.elapsed_s >= 0.0
+        assert report.result.schedule is report.schedule
+        assert isinstance(report.extras, dict)
+
+        # Every session carries simulated temperatures, whichever
+        # solver produced it (baselines are annotated post hoc).
+        for session in report.schedule:
+            assert not math.isnan(session.max_temperature_c)
+
+    def test_request_jsonl_round_trips(self, workbench, solver):
+        request = contract_request(solver)
+        line = json.dumps(request_to_dict(request))
+        assert request_from_dict(json.loads(line)) == request
+
+    def test_unknown_params_rejected(self, workbench, solver):
+        request = contract_request(solver)
+        bad = ScheduleRequest(
+            scenario=request.scenario,
+            tl_headroom=request.tl_headroom,
+            stcl_headroom=request.stcl_headroom,
+            solver=solver,
+            params={"definitely_not_a_param": 1},
+        )
+        with pytest.raises(RequestError, match="does not accept"):
+            workbench.solve(bad)
+
+    def test_registry_lookup(self, workbench, solver):
+        assert get_solver(solver).name == solver
+
+
+class TestRegistry:
+    def test_available_solvers_sorted_and_complete(self):
+        names = available_solvers()
+        assert names == sorted(names)
+        assert {
+            "thermal_aware",
+            "power_constrained",
+            "sequential",
+            "random",
+            "optimal",
+        } <= set(names)
+
+    def test_unknown_solver_lists_alternatives(self):
+        with pytest.raises(RequestError, match="available:"):
+            get_solver("does_not_exist")
+
+
+class TestSolverSemantics:
+    """Spot checks that the wrappers preserve each algorithm's meaning."""
+
+    def test_thermal_aware_stays_under_limit(self, workbench):
+        report = workbench.solve(contract_request("thermal_aware"))
+        assert report.max_temperature_c < report.tl_c
+        assert report.hot_spot_rate == 0.0
+
+    def test_sequential_is_one_core_per_session(self, workbench):
+        report = workbench.solve(contract_request("sequential"))
+        assert all(len(s) == 1 for s in report.schedule)
+
+    def test_power_constrained_reports_derived_cap(self, workbench):
+        report = workbench.solve(contract_request("power_constrained"))
+        assert report.extras["power_limit_w"] > 0.0
+
+    def test_power_constrained_honours_explicit_cap(self, workbench):
+        request = ScheduleRequest(
+            scenario=SCENARIO,
+            tl_headroom=1.25,
+            solver="power_constrained",
+            params={"power_limit_w": 1e9},
+        )
+        report = workbench.solve(request)
+        assert report.n_sessions == 1  # everything fits one session
+
+    def test_optimal_never_needs_more_sessions_than_heuristic(self, workbench):
+        heuristic = workbench.solve(contract_request("thermal_aware"))
+        optimal = workbench.solve(contract_request("optimal"))
+        assert optimal.n_sessions <= heuristic.n_sessions
+        assert optimal.extras["thermal_solve_count"] >= 1
+
+    def test_random_is_deterministic_per_seed(self, workbench):
+        request = ScheduleRequest(
+            scenario=SCENARIO,
+            tl_headroom=1.25,
+            solver="random",
+            params={"seed": 3},
+        )
+        first = workbench.solve(request)
+        second = workbench.solve(request)
+        sessions = lambda r: [tuple(s.cores) for s in r.schedule]  # noqa: E731
+        assert sessions(first) == sessions(second)
+
+    def test_thermal_aware_requires_stcl(self, workbench):
+        request = ScheduleRequest(
+            scenario=SCENARIO, tl_headroom=1.25, solver="thermal_aware"
+        )
+        with pytest.raises(RequestError, match="needs an STCL"):
+            workbench.solve(request)

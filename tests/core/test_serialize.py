@@ -121,7 +121,18 @@ class TestResultRoundTrip:
             result_from_dict(data, soc)
 
     def test_schema_version_constant(self):
-        assert SCHEMA_VERSION == 1
+        from repro.core.serialize import SUPPORTED_SCHEMA_VERSIONS
+
+        assert SCHEMA_VERSION == 2  # v2: solver fields + nullable stcl
+        assert SCHEMA_VERSION in SUPPORTED_SCHEMA_VERSIONS
+        assert 1 in SUPPORTED_SCHEMA_VERSIONS  # old archives stay readable
+
+    def test_version_one_records_still_load(self, soc, result):
+        data = result_to_dict(result)
+        data["schema_version"] = 1
+        data["schedule"]["schema_version"] = 1
+        restored = result_from_dict(data, soc)
+        assert restored.length_s == result.length_s
 
     def test_steady_solves_preserved(self, soc, result):
         assert result.steady_solves > 0

@@ -93,3 +93,13 @@ class TestBackendBehaviour:
     def test_backend_is_abstract(self):
         with pytest.raises(TypeError):
             ExecutionBackend()  # type: ignore[abstract]
+
+
+class TestAvailableBackendsOrdering:
+    def test_returns_sorted_list(self):
+        names = available_backends()
+        assert isinstance(names, list)
+        assert names == sorted(names)
+
+    def test_stable_across_calls(self):
+        assert available_backends() == available_backends()

@@ -116,3 +116,52 @@ class TestThermalModelCache:
         cache.simulator_for(plan, DEFAULT_PACKAGE)
         text = cache.stats.describe()
         assert "1 hits" in text and "2 lookups" in text
+
+
+class TestAdjacencyKeying:
+    @staticmethod
+    def _gapped_plan():
+        """Two blocks separated by a 0.5 mm gap.
+
+        The default geometric tolerance sees no shared edge; a coarse
+        1 mm tolerance bridges the gap and reports one — two different
+        interface topologies, hence two different thermal networks.
+        """
+        from repro.floorplan.floorplan import Block, Floorplan, Rect
+
+        return Floorplan(
+            [
+                Block("left", Rect(0.0, 0.0, 4e-3, 8e-3)),
+                Block("right", Rect(4.5e-3, 0.0, 4e-3, 8e-3)),
+            ],
+            name="gapped",
+        )
+
+    def test_custom_adjacency_does_not_false_hit(self):
+        from repro.floorplan.adjacency import AdjacencyMap
+        from repro.thermal.package import DEFAULT_PACKAGE
+
+        plan = self._gapped_plan()
+        default_map = AdjacencyMap(plan)
+        coarse_map = AdjacencyMap(plan, tol=1e-3)
+        assert len(default_map.interfaces) != len(coarse_map.interfaces)
+        assert model_key(plan, DEFAULT_PACKAGE, default_map) != model_key(
+            plan, DEFAULT_PACKAGE, coarse_map
+        )
+        cache = ThermalModelCache()
+        cache.simulator_for(plan, DEFAULT_PACKAGE, default_map)
+        _, hit = cache.simulator_for(plan, DEFAULT_PACKAGE, coarse_map)
+        assert not hit
+
+    def test_same_adjacency_still_hits(self):
+        from repro.floorplan.adjacency import AdjacencyMap
+        from repro.floorplan.generator import grid_floorplan
+        from repro.thermal.package import DEFAULT_PACKAGE
+
+        plan = grid_floorplan(2, 2)
+        adjacency = AdjacencyMap(plan)
+        cache = ThermalModelCache()
+        _, first = cache.simulator_for(plan, DEFAULT_PACKAGE, adjacency)
+        _, second = cache.simulator_for(plan, DEFAULT_PACKAGE, AdjacencyMap(plan))
+        assert not first
+        assert second

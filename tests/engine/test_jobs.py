@@ -39,67 +39,58 @@ class TestJobSpecValidation:
         with pytest.raises(SchedulingError, match="tl_headroom"):
             JobSpec(job_id="j", scenario=GRID, tl_headroom=0.9, stcl=10.0)
 
-    def test_scheduler_config_carries_knobs(self):
-        spec = JobSpec(
-            job_id="j",
-            scenario=GRID,
-            tl_c=120.0,
-            stcl=10.0,
-            weight_factor=1.3,
-            candidate_order="power_desc",
-        )
-        config = spec.scheduler_config()
-        assert config.weight_factor == 1.3
-        assert config.candidate_order == "power_desc"
-
-    def test_session_model_config_uses_scenario_scale(self):
-        spec = JobSpec(
-            job_id="j",
-            scenario=ScenarioSpec(kind="alpha15", power_seed=2005),
-            tl_c=160.0,
-            stcl=60.0,
-        )
-        assert spec.session_model_config().stc_scale == 210.0
+    def test_to_request_passes_stc_scale_override(self):
         override = JobSpec(
             job_id="j2", scenario=GRID, tl_c=160.0, stcl=60.0, stc_scale=5.0
         )
-        assert override.session_model_config().stc_scale == 5.0
+        assert override.to_request().stc_scale == 5.0
+        default = JobSpec(job_id="j", scenario=GRID, tl_c=160.0, stcl=60.0)
+        assert default.to_request().stc_scale is None  # scenario default applies
 
 
 class TestResolveLimits:
-    @pytest.fixture(scope="class")
-    def model(self):
-        spec = JobSpec(job_id="j", scenario=GRID, tl_c=1.0, stcl=1.0)
-        return SessionThermalModel(GRID.build_soc(), spec.session_model_config())
+    """Headroom resolution happens in the workbench the job dispatches to."""
 
-    def test_absolute_limits_pass_through(self, model):
-        spec = JobSpec(job_id="j", scenario=GRID, tl_c=123.0, stcl=45.0)
-        assert spec.resolve_limits(model, {"C0_0": 90.0}) == (123.0, 45.0)
-
-    def test_headrooms_scale_the_scenario_regime(self, model):
-        spec = JobSpec(
-            job_id="j", scenario=GRID, tl_headroom=1.5, stcl_headroom=2.0
+    def test_absolute_limits_pass_through(self):
+        record = run_job(
+            JobSpec(job_id="j", scenario=GRID, tl_c=123.0, stcl=45.0)
         )
-        ambient = model.soc.package.ambient_c
-        bcmt = {"C0_0": ambient + 40.0, "C0_1": ambient + 60.0}
-        tl_c, stcl = spec.resolve_limits(model, bcmt)
-        assert tl_c == pytest.approx(ambient + 1.5 * 60.0)
+        assert (record.tl_c, record.stcl) == (123.0, 45.0)
+
+    def test_headrooms_scale_the_scenario_regime(self):
+        from repro.core.session_model import SessionModelConfig
+        from repro.thermal.simulator import ThermalSimulator
+
+        record = run_job(
+            JobSpec(
+                job_id="j", scenario=GRID, tl_headroom=1.5, stcl_headroom=2.0
+            )
+        )
+        soc = GRID.build_soc()
+        simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+        ambient = soc.package.ambient_c
+        peak = max(
+            simulator.steady_state({n: soc[n].test_power_w}).temperature_c(n)
+            for n in soc.core_names
+        )
+        assert record.tl_c == pytest.approx(ambient + 1.5 * (peak - ambient))
+        model = SessionThermalModel(soc, SessionModelConfig())
         worst = max(
-            model.session_thermal_characteristic([n])
-            for n in model.soc.core_names
+            model.session_thermal_characteristic([n]) for n in soc.core_names
         )
-        assert stcl == pytest.approx(2.0 * worst)
+        assert record.stcl == pytest.approx(2.0 * worst)
 
     def test_infinite_singleton_stc_reported_clearly(self):
-        hypo = ScenarioSpec(kind="hypothetical7")
-        spec = JobSpec(
-            job_id="j", scenario=hypo, tl_headroom=1.2, stcl_headroom=1.5
-        )
-        model = SessionThermalModel(
-            hypo.build_soc(), spec.session_model_config()
-        )
-        with pytest.raises(SchedulingError, match="include_vertical"):
-            spec.resolve_limits(model, {"C1": 90.0})
+        from repro.api import Workbench
+        from repro.errors import RequestError
+        from repro.soc.library import hypothetical7_soc
+
+        # Scenario-described hypothetical7 jobs auto-enable the vertical
+        # path; only a prebuilt non-tiling SoC can still hit this.
+        with pytest.raises(RequestError, match="include_vertical"):
+            Workbench().solve_soc(
+                hypothetical7_soc(), tl_c=150.0, stcl_headroom=1.5
+            )
 
 
 class TestJobResultValidation:
@@ -180,3 +171,103 @@ class TestDictRoundTrip:
             job_id="d", scenario=GRID, tl_headroom=1.2, stcl_headroom=1.6
         )
         assert "cache miss" in run_job(spec).describe()
+
+
+class TestSolverField:
+    def test_defaults_to_thermal_aware(self):
+        spec = JobSpec(job_id="j", scenario=GRID, tl_c=100.0, stcl=10.0)
+        assert spec.solver == "thermal_aware"
+        assert spec.solver_params == {}
+
+    def test_solver_name_validated(self):
+        with pytest.raises(SchedulingError, match="solver"):
+            JobSpec(job_id="j", scenario=GRID, tl_c=100.0, stcl=10.0, solver="")
+
+    def test_round_trips_through_dict(self):
+        spec = JobSpec(
+            job_id="j",
+            scenario=GRID,
+            tl_c=100.0,
+            stcl=10.0,
+            solver="power_constrained",
+            solver_params={"power_limit_w": 45.0},
+        )
+        assert job_spec_from_dict(job_spec_to_dict(spec)) == spec
+
+    def test_records_without_solver_key_load_with_default(self):
+        """Archives written before the solver field existed still load."""
+        data = job_spec_to_dict(
+            JobSpec(job_id="old", scenario=GRID, tl_c=100.0, stcl=10.0)
+        )
+        del data["solver"]
+        del data["solver_params"]
+        data["schema_version"] = 1  # written by the previous release
+        spec = job_spec_from_dict(data)
+        assert spec.solver == "thermal_aware"
+        assert spec.solver_params == {}
+
+    def test_stcl_optional_for_non_stc_solvers(self):
+        spec = JobSpec(
+            job_id="seq", scenario=GRID, tl_c=150.0, solver="sequential"
+        )
+        record = run_job(spec)
+        assert record.ok
+        assert math.isnan(record.stcl)
+        # The same job through the thermal-aware default still requires it.
+        with pytest.raises(SchedulingError, match="stcl / stcl_headroom"):
+            JobSpec(job_id="ta", scenario=GRID, tl_c=150.0)
+
+    def test_bad_param_value_becomes_error_record(self):
+        record = run_job(
+            JobSpec(
+                job_id="bad-value",
+                scenario=GRID,
+                tl_c=150.0,
+                solver="power_constrained",
+                solver_params={"power_limit_w": "not-a-number"},
+            )
+        )
+        assert record.status == "error"
+        assert "rejected params" in record.error
+
+    def test_to_request_maps_knobs_for_thermal_aware(self):
+        spec = JobSpec(
+            job_id="j",
+            scenario=GRID,
+            tl_headroom=1.2,
+            stcl_headroom=1.6,
+            weight_factor=1.3,
+            candidate_order="power_desc",
+        )
+        request = spec.to_request()
+        assert request.solver == "thermal_aware"
+        assert request.params["weight_factor"] == 1.3
+        assert request.params["candidate_order"] == "power_desc"
+        assert request.scenario == GRID
+
+    def test_to_request_passes_only_solver_params_for_baselines(self):
+        spec = JobSpec(
+            job_id="j",
+            scenario=GRID,
+            tl_headroom=1.2,
+            stcl_headroom=1.6,
+            solver="power_constrained",
+            solver_params={"power_limit_w": 45.0},
+        )
+        request = spec.to_request()
+        assert request.params == {"power_limit_w": 45.0}
+
+
+class TestJobSpecHashability:
+    def test_specs_key_sets_and_dicts(self):
+        a = JobSpec(job_id="j", scenario=GRID, tl_c=100.0, stcl=10.0)
+        b = JobSpec(job_id="j", scenario=GRID, tl_c=100.0, stcl=10.0)
+        assert len({a, b}) == 1
+        c = JobSpec(
+            job_id="j",
+            scenario=GRID,
+            tl_c=100.0,
+            solver="power_constrained",
+            solver_params={"power_limit_w": 45.0},
+        )
+        assert {c: "memo"}[c] == "memo"

@@ -215,3 +215,112 @@ class TestJsonlArchive:
             json.loads(line, parse_constant=lambda token: pytest.fail(
                 f"non-strict JSON token {token!r} in archive"
             ))
+
+
+class TestEmptyBatchValidation:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(SchedulingError, match="no jobs"):
+            BatchRunner().run([])
+
+    def test_generate_fleet_rejects_nonpositive_count(self):
+        with pytest.raises(SchedulingError, match="fleet size"):
+            generate_fleet(0)
+        with pytest.raises(SchedulingError, match="fleet size"):
+            generate_fleet(-3)
+
+
+class TestSolverDispatch:
+    """Fleets dispatch per-job through the solver registry."""
+
+    def test_power_constrained_fleet_end_to_end(self, tmp_path):
+        fleet = generate_fleet(4, seed=0, config=TINY_POOL, solver="power_constrained")
+        path = tmp_path / "pc.jsonl"
+        batch = BatchRunner(backend="serial").run(fleet, jsonl_path=path)
+        assert len(batch.ok) == 4
+        for record in load_jsonl(path):
+            assert record["spec"]["solver"] == "power_constrained"
+        loaded = load_batch_jsonl(path)
+        assert all(r.spec.solver == "power_constrained" for r in loaded)
+
+    def test_sequential_fleet_end_to_end(self, tmp_path):
+        fleet = generate_fleet(3, seed=1, config=TINY_POOL, solver="sequential")
+        path = tmp_path / "seq.jsonl"
+        batch = BatchRunner(backend="serial").run(fleet, jsonl_path=path)
+        assert len(batch.ok) == 3
+        for record in batch:
+            assert all(len(s) == 1 for s in record.result.schedule)
+        assert {r["spec"]["solver"] for r in load_jsonl(path)} == {"sequential"}
+
+    def test_mixed_solver_batch(self):
+        import dataclasses
+
+        fleet = small_fleet(2)
+        mixed = [
+            fleet[0],
+            dataclasses.replace(fleet[1], job_id="pc", solver="power_constrained"),
+        ]
+        batch = BatchRunner(backend="serial").run(mixed)
+        assert len(batch.ok) == 2
+        assert batch["pc"].spec.solver == "power_constrained"
+        assert batch["pc"].result.effort_s == 0.0
+
+    def test_unknown_solver_becomes_error_record(self):
+        spec = JobSpec(
+            job_id="bad",
+            scenario=GRID,
+            tl_headroom=1.2,
+            stcl_headroom=1.6,
+            solver="imaginary",
+        )
+        record = run_job(spec)
+        assert record.status == "error"
+        assert "unknown solver" in record.error
+
+    def test_solver_comparison_same_fleet(self):
+        """The ROADMAP's head-to-head: one fleet, two solvers, comparable."""
+        thermal = BatchRunner().run(small_fleet(3))
+        blind = BatchRunner().run(
+            generate_fleet(3, seed=0, config=TINY_POOL, solver="sequential")
+        )
+        assert [r.spec.scenario for r in thermal] == [
+            r.spec.scenario for r in blind
+        ]
+        # Sequential schedules are never shorter than packed ones.
+        assert blind.total_length_s >= thermal.total_length_s
+
+
+class TestFleetSurvivesBuggySolvers:
+    def test_non_repro_exception_becomes_error_record(self):
+        from repro.api import Solver, register_solver
+        from repro.api.solvers import _REGISTRY
+
+        @register_solver
+        class ExplodingSolver(Solver):
+            name = "test-exploding"
+
+            def solve(self, context, params):
+                # Spend effort on the shared-cache simulator first, so
+                # the error record's accounting can be asserted.
+                context.simulator.steady_state(
+                    {next(iter(context.soc.core_names)): 1.0}
+                )
+                raise RuntimeError("third-party bug")
+
+        try:
+            fleet = small_fleet(2)
+            import dataclasses
+
+            jobs = [
+                fleet[0],
+                dataclasses.replace(
+                    fleet[1], job_id="boom", solver="test-exploding"
+                ),
+            ]
+            batch = BatchRunner(backend="serial").run(jobs)
+            assert len(batch.ok) == 1
+            assert batch["boom"].status == "error"
+            assert "RuntimeError" in batch["boom"].error
+            # Effort spent before the crash is still charged to the record.
+            assert batch["boom"].steady_solves > 0
+        finally:
+            _REGISTRY.pop("test-exploding", None)

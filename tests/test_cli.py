@@ -6,7 +6,14 @@ import json
 
 import pytest
 
-from repro.cli import batch_main, load_power_csv, main, repro_main
+from repro.cli import (
+    batch_main,
+    load_power_csv,
+    main,
+    parse_solver_params,
+    repro_main,
+    solve_main,
+)
 from repro.errors import ReproError
 from repro.floorplan.generator import grid_floorplan
 from repro.floorplan.hotspot_format import write_flp
@@ -156,3 +163,156 @@ class TestPowerCsv:
     def test_missing_file(self, tmp_path):
         with pytest.raises(ReproError, match="cannot read"):
             load_power_csv(tmp_path / "nope.csv")
+
+
+class TestSolveCommand:
+    def test_builtin_thermal_aware(self, capsys):
+        exit_code = solve_main(["--soc", "alpha15", "--tl", "165", "--stcl", "60"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "thermal_aware solve" in out
+        assert "hot-spot rate 0%" in out
+
+    def test_solver_switch_power_constrained(self, capsys):
+        exit_code = solve_main(
+            ["--soc", "alpha15", "--tl", "165",
+             "--solver", "power_constrained", "--param", "power_limit_w=60"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "power_constrained solve" in out
+        assert "power_limit_w=60.0" in out
+
+    def test_scenario_flags(self, capsys):
+        exit_code = solve_main(
+            ["--kind", "grid", "--rows", "2", "--cols", "2",
+             "--tl-headroom", "1.3", "--stcl-headroom", "2.0", "--gantt"]
+        )
+        assert exit_code == 0
+        assert "Gantt" in capsys.readouterr().out
+
+    def test_save_json(self, tmp_path, capsys):
+        target = tmp_path / "solve.json"
+        exit_code = solve_main(
+            ["--soc", "alpha15", "--tl", "165", "--solver", "sequential",
+             "--save", str(target)]
+        )
+        assert exit_code == 0
+        data = json.loads(target.read_text())
+        assert data["tl_c"] == 165.0
+        assert data["stcl"] is None  # baselines run without an STCL
+
+    def test_requires_one_system_source(self, capsys):
+        exit_code = solve_main(["--tl", "165"])
+        assert exit_code == 1
+        assert "--soc or --kind" in capsys.readouterr().err
+
+    def test_bad_param_syntax_reported(self, capsys):
+        exit_code = solve_main(
+            ["--soc", "alpha15", "--tl", "165", "--param", "oops"]
+        )
+        assert exit_code == 1
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_unknown_param_reported(self, capsys):
+        exit_code = solve_main(
+            ["--soc", "alpha15", "--tl", "165", "--stcl", "60",
+             "--param", "bogus=1"]
+        )
+        assert exit_code == 1
+        assert "does not accept" in capsys.readouterr().err
+
+    def test_umbrella_delegates(self, capsys):
+        exit_code = repro_main(
+            ["solve", "--soc", "alpha15", "--tl", "165", "--stcl", "60"]
+        )
+        assert exit_code == 0
+        assert "thermal_aware solve" in capsys.readouterr().out
+
+
+class TestBatchSolverSwitch:
+    @pytest.mark.parametrize("solver", ["power_constrained", "sequential"])
+    def test_fleet_with_alternate_solver(self, solver, tmp_path, capsys):
+        target = tmp_path / "fleet.jsonl"
+        exit_code = batch_main(
+            ["--count", "4", "--seed", "0", "--solver", solver,
+             "--out", str(target)]
+        )
+        assert exit_code == 0
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        assert len(records) == 4
+        assert {r["spec"]["solver"] for r in records} == {solver}
+        assert all(r["status"] == "ok" for r in records)
+
+    def test_solver_param_forwarded(self, tmp_path):
+        target = tmp_path / "fleet.jsonl"
+        exit_code = batch_main(
+            ["--count", "3", "--no-builtins", "--solver", "power_constrained",
+             "--param", "sort_descending=false", "--out", str(target)]
+        )
+        assert exit_code == 0
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        assert all(
+            r["spec"]["solver_params"] == {"sort_descending": False}
+            for r in records
+        )
+
+
+class TestParseSolverParams:
+    def test_type_coercion(self):
+        params = parse_solver_params(
+            ["cap=45.5", "count=3", "flag=true", "off=False", "name=ffd"]
+        )
+        assert params == {
+            "cap": 45.5, "count": 3, "flag": True, "off": False, "name": "ffd"
+        }
+
+    def test_rejects_missing_equals(self):
+        with pytest.raises(ReproError, match="KEY=VALUE"):
+            parse_solver_params(["nope"])
+
+
+class TestPythonDashM:
+    @staticmethod
+    def _run(*args: str):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+
+    def test_module_entry_point_runs(self):
+        proc = self._run("--help")
+        assert proc.returncode == 0
+        assert "repro solve" in proc.stdout
+
+    def test_module_entry_point_solves(self):
+        proc = self._run(
+            "solve", "--soc", "alpha15", "--tl", "165", "--solver", "sequential"
+        )
+        assert proc.returncode == 0
+        assert "sequential solve" in proc.stdout
+
+
+class TestBadParamValues:
+    def test_bad_value_reported_not_traceback(self, capsys):
+        exit_code = solve_main(
+            ["--soc", "alpha15", "--tl", "165", "--stcl", "60",
+             "--param", "weight_factor=abc"]
+        )
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "rejected params" in err

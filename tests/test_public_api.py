@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 
 import repro
+import repro.api
 import repro.core
 import repro.engine
 import repro.experiments
@@ -24,6 +25,7 @@ from repro.errors import (
     GeometryError,
     PowerModelError,
     ReproError,
+    RequestError,
     ScheduleInfeasibleError,
     SchedulingError,
     SolverError,
@@ -33,8 +35,8 @@ from repro.errors import (
 
 @pytest.mark.parametrize(
     "module",
-    [repro, repro.core, repro.engine, repro.experiments, repro.floorplan,
-     repro.power, repro.soc, repro.thermal],
+    [repro, repro.api, repro.core, repro.engine, repro.experiments,
+     repro.floorplan, repro.power, repro.soc, repro.thermal],
 )
 def test_all_names_resolve(module):
     for name in module.__all__:
@@ -55,6 +57,7 @@ class TestErrorHierarchy:
             ThermalModelError,
             SolverError,
             PowerModelError,
+            RequestError,
             SchedulingError,
             CoreThermalViolationError,
             ScheduleInfeasibleError,
@@ -89,21 +92,30 @@ class TestErrorHierarchy:
 
 class TestQuickstartDocExample:
     def test_readme_quickstart_runs(self):
-        """The README's quickstart snippet, executed verbatim."""
-        from repro import ThermalAwareScheduler, alpha15_soc, audit_schedule
-        from repro.core.session_model import (
-            SessionModelConfig,
-            SessionThermalModel,
-        )
-        from repro.soc.library import ALPHA15_STC_SCALE
+        """The README's unified-API quickstart snippet, executed verbatim."""
+        from repro import ScheduleRequest, solve
 
-        soc = alpha15_soc()
-        model = SessionThermalModel(
-            soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
+        report = solve(ScheduleRequest(soc="alpha15", tl_c=165.0, stcl=60.0))
+        baseline = solve(
+            ScheduleRequest(
+                soc="alpha15", tl_c=165.0, solver="power_constrained"
+            )
         )
-        result = ThermalAwareScheduler(soc, session_model=model).schedule(
-            tl_c=155.0, stcl=60.0
+        assert report.max_temperature_c < 165.0
+        assert report.hot_spot_rate == 0.0
+        assert baseline.n_sessions <= report.n_sessions
+
+    def test_readme_migration_target_runs(self):
+        """The migration table's 'new call' column, executed verbatim."""
+        from repro import ScheduleRequest, Workbench
+
+        workbench = Workbench()
+        thermal = workbench.solve(
+            ScheduleRequest(soc="alpha15", tl_c=165.0, stcl=60.0)
         )
-        assert result.max_temperature_c < 155.0
-        audit = audit_schedule(result.schedule, limit_c=155.0)
-        assert audit.is_safe
+        sequential = workbench.solve(
+            ScheduleRequest(soc="alpha15", tl_c=165.0, solver="sequential")
+        )
+        assert sequential.length_s >= thermal.length_s
+        audit_ok = thermal.hot_spot_rate == 0.0
+        assert audit_ok
