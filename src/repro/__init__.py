@@ -97,7 +97,13 @@ from .soc import (
     hypothetical7_soc,
     worked_example6_soc,
 )
-from .thermal import PackageConfig, TemperatureField, ThermalSimulator
+from .thermal import (
+    BlockTemperatureField,
+    PackageConfig,
+    ReducedSteadyOperator,
+    TemperatureField,
+    ThermalSimulator,
+)
 
 __version__ = "1.0.0"
 
@@ -135,6 +141,7 @@ def __getattr__(name: str):
 __all__ = [
     "BatchResult",
     "BatchRunner",
+    "BlockTemperatureField",
     "CoreThermalViolationError",
     "CoreUnderTest",
     "FleetConfig",
@@ -147,6 +154,7 @@ __all__ = [
     "PowerModelError",
     "PowerProfile",
     "Rect",
+    "ReducedSteadyOperator",
     "ReproError",
     "RequestError",
     "ScenarioSpec",

@@ -251,12 +251,13 @@ class Workbench:
         if tl_c is None:
             assert tl_headroom is not None
             ambient = soc.package.ambient_c
-            peak = max(
-                simulator.steady_state(
-                    {name: soc[name].test_power_w}
-                ).temperature_c(name)
-                for name in soc.core_names
+            # All singleton sessions in one batched reduced-operator
+            # application (the same trick as the scheduler's phase A).
+            names = list(soc.core_names)
+            batch = simulator.block_steady_state_batch(
+                [{name: soc[name].test_power_w} for name in names]
             )
+            peak = float(batch.own_temperatures_c(names).max())
             tl_c = ambient + tl_headroom * (peak - ambient)
         if stcl is None and stcl_headroom is not None:
             worst = max(

@@ -39,6 +39,7 @@ from .scheduler import (
 from .session import TestSchedule, TestSession
 from .session_model import (
     PAPER_SESSION_MODEL,
+    SessionGrowth,
     SessionModelConfig,
     SessionThermalModel,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "ScheduleResult",
     "SchedulerConfig",
     "SessionAudit",
+    "SessionGrowth",
     "SessionModelConfig",
     "SessionThermalModel",
     "TestSchedule",

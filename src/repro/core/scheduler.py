@@ -49,6 +49,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Literal, Mapping
 
+import numpy as np
+
 from ..errors import (
     CoreThermalViolationError,
     ScheduleInfeasibleError,
@@ -98,6 +100,14 @@ class SchedulerConfig:
         the gap between the two.
     transient_dt_s:
         Integration step for ``"transient"`` validation.
+    steady_path:
+        How ``"steady"`` validations are computed.  ``"reduced"``
+        (default) applies the precomputed block-level influence
+        operator — one small matvec per candidate session, with phase A
+        batched into a single GEMM.  ``"dense"`` issues a full-network
+        back-substitution per candidate (the pre-reduced behaviour);
+        it exists for equivalence testing and benchmarking, and the two
+        agree to solver precision (same factorisation, superposed).
     """
 
     weight_factor: float = PAPER_WEIGHT_FACTOR
@@ -107,6 +117,7 @@ class SchedulerConfig:
     count_phase_a_effort: bool = False
     validation: Literal["steady", "transient"] = "steady"
     transient_dt_s: float = 1e-2
+    steady_path: Literal["reduced", "dense"] = "reduced"
 
     def __post_init__(self) -> None:
         if self.weight_factor < 1.0:
@@ -286,25 +297,40 @@ class ThermalAwareScheduler:
 
     # -- phase A ------------------------------------------------------------------
 
+    def _use_reduced(self) -> bool:
+        return (
+            self._config.validation == "steady"
+            and self._config.steady_path == "reduced"
+        )
+
     def _session_temperatures(
         self, power_map: dict[str, float], duration_s: float, cores: list[str]
-    ) -> dict[str, float]:
+    ) -> np.ndarray:
         """Per-core validation temperatures for one candidate session.
 
-        ``"steady"`` uses the cached steady-state solve (the paper's
+        Returns an array aligned with *cores* (Celsius).  ``"steady"``
+        uses the reduced block-level operator (one matvec) or, on the
+        ``"dense"`` path, the cached full-network solve (the paper's
         M1); ``"transient"`` uses the true transient peak over the
         session duration starting from ambient.
         """
         if self._config.validation == "steady":
+            if self._use_reduced():
+                field_ = self._simulator.block_steady_state(power_map)
+                return field_.temperatures_for(cores)
             field_ = self._simulator.steady_state(power_map)
-            return {c: field_.temperature_c(c) for c in cores}
+            return np.array([field_.temperature_c(c) for c in cores])
         peaks = self._simulator.block_peak_transient_c(
             power_map, duration_s, dt=self._config.transient_dt_s
         )
-        return {c: peaks[c] for c in cores}
+        return np.array([peaks[c] for c in cores])
 
     def best_case_max_temperatures(self) -> tuple[dict[str, float], float]:
         """Simulate the purely sequential schedule (lines 1-3).
+
+        On the reduced steady path, every singleton session is one
+        column of a single batched operator application (one GEMM for
+        the whole of phase A).
 
         Returns
         -------
@@ -313,15 +339,22 @@ class ThermalAwareScheduler:
             simulated time spent (only charged to the effort metric
             when :attr:`SchedulerConfig.count_phase_a_effort` is set).
         """
+        names = self._ordered(list(self._soc.core_names))
+        effort = sum(self._soc[name].test_time_s for name in names)
+        if self._use_reduced():
+            batch = self._simulator.block_steady_state_batch(
+                [{name: self._soc[name].test_power_w} for name in names]
+            )
+            own = batch.own_temperatures_c(names)
+            return dict(zip(names, own.tolist())), effort
+
         bcmt: dict[str, float] = {}
-        effort = 0.0
-        for name in self._ordered(list(self._soc.core_names)):
+        for name in names:
             core = self._soc[name]
             temps = self._session_temperatures(
                 {name: core.test_power_w}, core.test_time_s, [name]
             )
-            bcmt[name] = temps[name]
-            effort += core.test_time_s
+            bcmt[name] = float(temps[0])
         return bcmt, effort
 
     # -- phase B helpers -------------------------------------------------------------
@@ -344,14 +377,21 @@ class ThermalAwareScheduler:
     def _grow_session(
         self, pending: list[str], stcl: float, weights: WeightStore
     ) -> list[str]:
-        """Lines 9-15: greedily admit cores while STC stays within STCL."""
+        """Lines 9-15: greedily admit cores while STC stays within STCL.
+
+        The STC of each tentative candidate is maintained incrementally
+        (:class:`~repro.core.session_model.SessionGrowth`): admitting a
+        core only rewires its direct neighbours' escape paths, so only
+        those contributions are recomputed — bit-identical to the
+        from-scratch evaluation, without the O(session * degree) rescan
+        per candidate.
+        """
+        growth = self._model.start_session(weights.as_mapping())
         session: list[str] = []
-        weight_map = weights.as_mapping()
         for candidate in self._ordered(pending):
-            tentative = session + [candidate]
-            stc = self._model.session_thermal_characteristic(tentative, weight_map)
-            if stc <= stcl:
-                session = tentative
+            if growth.stc_if_added(candidate) <= stcl:
+                growth.add(candidate)
+                session.append(candidate)
         return session
 
     # -- the full flow ----------------------------------------------------------------
@@ -424,16 +464,21 @@ class ThermalAwareScheduler:
             temps = self._session_temperatures(power_map, duration, session_cores)
             effort_s += duration
 
-            violators = tuple(c for c in session_cores if temps[c] >= tl_c)
-            if violators:
+            # Vectorised violator detection: one comparison against TL
+            # over the whole session instead of a per-core Python loop.
+            violator_mask = temps >= tl_c
+            if violator_mask.any():
                 # Lines 19-22: discard, escalate, retry.
+                violators = tuple(
+                    c for c, bad in zip(session_cores, violator_mask) if bad
+                )
                 weights.penalise_all(violators, iteration)
                 discarded.append(
                     DiscardedSession(
                         cores=tuple(session_cores),
                         duration_s=duration,
                         violators=violators,
-                        max_temperature_c=max(temps.values()),
+                        max_temperature_c=float(temps.max()),
                         iteration=iteration,
                     )
                 )
@@ -449,7 +494,7 @@ class ThermalAwareScheduler:
             # Lines 24-27: commit the session.
             session = TestSession(
                 cores=tuple(session_cores), duration_s=duration
-            ).with_temperatures(temps)
+            ).with_temperatures(dict(zip(session_cores, temps.tolist())))
             committed.append(session)
             retained = set(session_cores)
             pending = [c for c in pending if c not in retained]

@@ -288,6 +288,23 @@ class SessionThermalModel:
             worst = max(worst, contribution)
         return worst / self._config.stc_scale
 
+    def start_session(
+        self, weights: Mapping[str, float] | None = None
+    ) -> "SessionGrowth":
+        """An incremental accumulator for greedy session growth.
+
+        The scheduler's growth loop evaluates ``STC(S + [c])`` for every
+        tentative candidate ``c``; recomputing every member's
+        contribution from scratch each time is O(|S| * degree) per
+        candidate.  A :class:`SessionGrowth` keeps the members' current
+        contributions and, per candidate, recomputes only the cores
+        whose escape paths the candidate actually changes (its
+        neighbours) — producing **bit-identical** STC values, because
+        an unaffected core's contribution depends only on which of its
+        own neighbours are active.
+        """
+        return SessionGrowth(self, weights)
+
     def core_contributions(
         self,
         active: Iterable[str],
@@ -306,3 +323,95 @@ class SessionThermalModel:
                     tc * self._soc[core].test_power_w * weight / self._config.stc_scale
                 )
         return contributions
+
+
+class SessionGrowth:
+    """Incrementally maintained STC of one growing test session.
+
+    Created by :meth:`SessionThermalModel.start_session`.  Maintains
+    the admitted cores and their **unscaled** STC contributions
+    (``TC * P * W``); :meth:`stc_if_added` prices a tentative candidate
+    by recomputing only the contributions the candidate perturbs — the
+    candidate itself and its already-admitted neighbours (adding an
+    active core only rewires its direct neighbours' escape paths) —
+    and taking the max against the untouched remainder.
+
+    Equivalence: for any admission sequence, :meth:`stc_if_added`
+    returns exactly
+    ``model.session_thermal_characteristic(session + [candidate], weights)``
+    (same float operations on the same operands, so bit-identical);
+    the test suite asserts this property over random floorplans.
+    """
+
+    def __init__(
+        self,
+        model: SessionThermalModel,
+        weights: Mapping[str, float] | None = None,
+    ) -> None:
+        self._model = model
+        self._weights = weights
+        self._active: list[str] = []
+        #: Unscaled contribution (TC * P * W) per admitted core.
+        self._contrib: dict[str, float] = {}
+
+    @property
+    def cores(self) -> tuple[str, ...]:
+        """The admitted cores, in admission order."""
+        return tuple(self._active)
+
+    def _contribution(self, core: str, active: list[str]) -> float:
+        tc = self._model.thermal_characteristic(core, active)
+        if math.isinf(tc):
+            return math.inf
+        weight = 1.0 if self._weights is None else self._weights.get(core, 1.0)
+        return tc * self._model.soc[core].test_power_w * weight
+
+    def _affected_members(self, candidate: str) -> list[str]:
+        """Admitted cores whose escape paths *candidate* rewires."""
+        try:
+            neighbours = self._model._neighbour_r[candidate]
+        except KeyError:
+            raise SchedulingError(f"unknown core {candidate!r}") from None
+        return [core for core in self._active if core in neighbours]
+
+    def stc_if_added(self, candidate: str) -> float:
+        """``STC(session + [candidate])`` without committing the candidate."""
+        if candidate in self._contrib:
+            raise SchedulingError(
+                f"core {candidate!r} is already part of the session"
+            )
+        affected = self._affected_members(candidate)
+        tentative = self._active + [candidate]
+        worst = 0.0
+        if self._contrib:
+            unchanged = self._contrib.keys() - set(affected)
+            if unchanged:
+                worst = max(self._contrib[core] for core in unchanged)
+        if math.isinf(worst):
+            return math.inf
+        for core in affected + [candidate]:
+            contribution = self._contribution(core, tentative)
+            if math.isinf(contribution):
+                return math.inf
+            worst = max(worst, contribution)
+        return worst / self._model.config.stc_scale
+
+    def add(self, candidate: str) -> None:
+        """Admit *candidate*, updating the perturbed contributions."""
+        if candidate in self._contrib:
+            raise SchedulingError(
+                f"core {candidate!r} is already part of the session"
+            )
+        affected = self._affected_members(candidate)
+        self._active.append(candidate)
+        for core in affected + [candidate]:
+            self._contrib[core] = self._contribution(core, self._active)
+
+    def stc(self) -> float:
+        """STC of the session as admitted so far (0.0 when empty)."""
+        if not self._contrib:
+            return 0.0
+        worst = max(self._contrib.values())
+        if math.isinf(worst):
+            return math.inf
+        return worst / self._model.config.stc_scale

@@ -5,7 +5,8 @@ scheduling job: compiling the RC network from floorplan + package and
 Cholesky-factorising its conductance matrix.  Scenarios in a fleet
 frequently share that pair (same grid shape, same cooling regime) while
 differing in powers, limits or scheduler knobs — so the batch engine
-caches ``(compiled network, factorisation)`` under a **content hash**
+caches ``(compiled network, factorisation, reduced operator)`` under a
+**content hash**
 of the floorplan geometry and package parameters, and hands every job a
 lightweight :class:`~repro.thermal.simulator.ThermalSimulator` facade
 (with its own effort counters) around the shared immutable artefacts.
@@ -25,6 +26,7 @@ from ..floorplan.adjacency import AdjacencyMap
 from ..floorplan.floorplan import Floorplan
 from ..thermal.builder import BuiltModel, build_thermal_network
 from ..thermal.package import PackageConfig
+from ..thermal.reduced import ReducedSteadyOperator
 from ..thermal.simulator import ThermalSimulator
 from ..thermal.steady_state import SteadyStateSolver
 
@@ -132,6 +134,33 @@ def resolve_cache(
     return cache if cache is not None else ThermalModelCache()
 
 
+class SharedReducedSlot:
+    """Lazily-extracted, shared reduced operator for one cache entry.
+
+    The influence-matrix extraction is only worth paying when some job
+    actually takes the reduced steady path (a dense- or transient-mode
+    fleet never does), so the cache stores this one-slot thunk instead
+    of an eager operator: the first facade that needs the operator
+    builds it, every later facade for the same model shares it.
+    Callable so it plugs straight into
+    :meth:`~repro.thermal.simulator.ThermalSimulator.from_handles`.
+    """
+
+    def __init__(self, model: BuiltModel, solver: SteadyStateSolver) -> None:
+        self._model = model
+        self._solver = solver
+        self._operator: ReducedSteadyOperator | None = None
+        self._lock = threading.Lock()
+
+    def __call__(self) -> ReducedSteadyOperator:
+        with self._lock:
+            if self._operator is None:
+                self._operator = ReducedSteadyOperator.from_model(
+                    self._model, self._solver
+                )
+            return self._operator
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Hit/miss counters of a :class:`ThermalModelCache`.
@@ -188,9 +217,9 @@ class ThermalModelCache:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
         self._max_entries = max_entries
-        self._entries: OrderedDict[str, tuple[BuiltModel, SteadyStateSolver]] = (
-            OrderedDict()
-        )
+        self._entries: OrderedDict[
+            str, tuple[BuiltModel, SteadyStateSolver, SharedReducedSlot]
+        ] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -249,26 +278,30 @@ class ThermalModelCache:
                 self._entries.move_to_end(key)
                 self._hits += 1
         if cached is not None:
-            model, solver = cached
-            return ThermalSimulator.from_handles(model, solver), True
+            model, solver, reduced = cached
+            return ThermalSimulator.from_handles(model, solver, reduced), True
 
         # Build outside the lock: factorisation is the expensive part and
         # the thread backend must not serialise on it.  Two threads may
         # race to build the same key; the loser's build is discarded.
+        # The reduced operator's slot rides along so cold fleet workers
+        # skip the influence-matrix extraction too (it is filled by the
+        # first facade that takes the reduced path, then shared).
         model = build_thermal_network(floorplan, package, adjacency)
         solver = SteadyStateSolver(model.network)
+        reduced = SharedReducedSlot(model, solver)
         with self._lock:
             self._misses += 1
             existing = self._entries.get(key)
             if existing is not None:
-                model, solver = existing
+                model, solver, reduced = existing
                 self._entries.move_to_end(key)
             else:
-                self._entries[key] = (model, solver)
+                self._entries[key] = (model, solver, reduced)
                 if (
                     self._max_entries is not None
                     and len(self._entries) > self._max_entries
                 ):
                     self._entries.popitem(last=False)
                     self._evictions += 1
-        return ThermalSimulator.from_handles(model, solver), False
+        return ThermalSimulator.from_handles(model, solver, reduced), False

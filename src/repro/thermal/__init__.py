@@ -12,6 +12,11 @@ from .heatmap import render_heatmap, render_power_density_map
 from .materials import COPPER, INTERFACE, SILICON, Material
 from .package import DEFAULT_PACKAGE, PackageConfig
 from .rc_network import CompiledNetwork, ThermalNetwork
+from .reduced import (
+    BlockTemperatureBatch,
+    BlockTemperatureField,
+    ReducedSteadyOperator,
+)
 from .simulator import TemperatureField, ThermalSimulator
 from .steady_state import SteadyStateSolver
 from .transient import TransientResult, TransientSolver
@@ -23,6 +28,8 @@ from .validation import (
 )
 
 __all__ = [
+    "BlockTemperatureBatch",
+    "BlockTemperatureField",
     "BuiltModel",
     "COPPER",
     "CompiledNetwork",
@@ -32,6 +39,7 @@ __all__ = [
     "INTERFACE",
     "Material",
     "PackageConfig",
+    "ReducedSteadyOperator",
     "SILICON",
     "SteadyStateSolver",
     "TemperatureField",

@@ -18,7 +18,8 @@ The facade also keeps the bookkeeping the scheduler needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from functools import cached_property
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -27,6 +28,11 @@ from ..floorplan.adjacency import AdjacencyMap
 from ..floorplan.floorplan import Floorplan
 from .builder import BuiltModel, build_thermal_network, die_node
 from .package import DEFAULT_PACKAGE, PackageConfig
+from .reduced import (
+    BlockTemperatureBatch,
+    BlockTemperatureField,
+    ReducedSteadyOperator,
+)
 from .steady_state import SteadyStateSolver
 from .transient import TransientResult, TransientSolver
 
@@ -60,17 +66,33 @@ class TemperatureField:
         """Absolute block temperature (Celsius)."""
         return self.ambient_c + self.rise_of(block_name)
 
+    @cached_property
+    def _block_rises(self) -> np.ndarray:
+        """Block rises in ``block_names`` order, extracted once.
+
+        ``max_temperature_c`` / ``hottest_block`` used to re-do a dict
+        lookup plus ``die_node`` string formatting per block per call;
+        the array is built on first access and reused.  (A
+        ``cached_property`` writes straight to ``__dict__``, which a
+        frozen dataclass permits.)
+        """
+        try:
+            return np.array([self.rises[die_node(n)] for n in self.block_names])
+        except KeyError as exc:
+            raise ThermalModelError(f"unknown block node {exc.args[0]!r}") from None
+
     def block_temperatures_c(self) -> dict[str, float]:
         """All block temperatures (Celsius), by block name."""
-        return {name: self.temperature_c(name) for name in self.block_names}
+        temps = (self.ambient_c + self._block_rises).tolist()
+        return dict(zip(self.block_names, temps))
 
     def max_temperature_c(self) -> float:
         """Hottest block temperature (Celsius)."""
-        return max(self.temperature_c(name) for name in self.block_names)
+        return self.ambient_c + float(self._block_rises.max())
 
     def hottest_block(self) -> str:
-        """Name of the hottest block."""
-        return max(self.block_names, key=self.temperature_c)
+        """Name of the hottest block (first of any exact ties)."""
+        return self.block_names[int(np.argmax(self._block_rises))]
 
 
 class ThermalSimulator:
@@ -84,11 +106,16 @@ class ThermalSimulator:
         Package stack (defaults to :data:`DEFAULT_PACKAGE`).
     adjacency:
         Optional precomputed adjacency map.
-    model, steady_solver:
+    model, steady_solver, reduced:
         Prebuilt handles (see :meth:`from_handles`).  When *model* is
         given the network is not rebuilt and *floorplan* must be
         omitted; when *steady_solver* is also given the Cholesky
-        factorisation is re-used instead of recomputed.
+        factorisation is re-used instead of recomputed; when *reduced*
+        is also given the block-level influence matrix is re-used.
+        *reduced* may also be a zero-argument callable returning the
+        operator — the engine cache passes a shared lazy slot so the
+        extraction happens at most once per cached model, and only if
+        some job actually takes the reduced path.
     """
 
     def __init__(
@@ -99,6 +126,9 @@ class ThermalSimulator:
         *,
         model: BuiltModel | None = None,
         steady_solver: SteadyStateSolver | None = None,
+        reduced: (
+            ReducedSteadyOperator | Callable[[], ReducedSteadyOperator] | None
+        ) = None,
     ) -> None:
         if model is not None:
             if floorplan is not None:
@@ -125,23 +155,36 @@ class ThermalSimulator:
             self._steady = steady_solver
         else:
             self._steady = SteadyStateSolver(self._model.network)
+        self._reduced: ReducedSteadyOperator | None = None
+        self._reduced_supplier: Callable[[], ReducedSteadyOperator] | None = None
+        if isinstance(reduced, ReducedSteadyOperator):
+            self._require_same_network(reduced)
+            self._reduced = reduced
+        elif reduced is not None:
+            self._reduced_supplier = reduced
         self._transient_solvers: dict[float, TransientSolver] = {}
         self._simulated_time_s = 0.0
         self._steady_solve_count = 0
 
     @classmethod
     def from_handles(
-        cls, model: BuiltModel, steady_solver: SteadyStateSolver | None = None
+        cls,
+        model: BuiltModel,
+        steady_solver: SteadyStateSolver | None = None,
+        reduced: (
+            ReducedSteadyOperator | Callable[[], ReducedSteadyOperator] | None
+        ) = None,
     ) -> "ThermalSimulator":
         """A simulator over a prebuilt network and (optionally) its factorisation.
 
         This is the sharing hook the batch engine's thermal-model cache
-        uses: the expensive immutable artefacts (the compiled RC network
-        and its Cholesky factor) are built once per distinct
-        floorplan+package and every job gets a lightweight facade with
-        its *own* effort counters around them.
+        uses: the expensive immutable artefacts (the compiled RC
+        network, its Cholesky factor and the reduced-order influence
+        matrix) are built once per distinct floorplan+package and every
+        job gets a lightweight facade with its *own* effort counters
+        around them.
         """
-        return cls(model=model, steady_solver=steady_solver)
+        return cls(model=model, steady_solver=steady_solver, reduced=reduced)
 
     # -- introspection -------------------------------------------------------------
 
@@ -169,6 +212,33 @@ class ThermalSimulator:
     def steady_solver(self) -> SteadyStateSolver:
         """The cached-factorisation steady-state solver (shareable handle)."""
         return self._steady
+
+    def _require_same_network(self, operator: ReducedSteadyOperator) -> None:
+        if operator.network is not self._model.network:
+            raise ThermalModelError(
+                "reduced operator was extracted from a different network"
+            )
+
+    @property
+    def reduced_operator(self) -> ReducedSteadyOperator:
+        """The block-level influence operator (built lazily, shareable).
+
+        Extracting it costs one multi-RHS solve against the cached
+        factorisation; afterwards every :meth:`block_steady_state` call
+        is a ``(n_blocks, n_blocks)`` matvec.  Like the Cholesky
+        factorisation itself, the extraction is setup cost and is not
+        charged to :attr:`steady_solve_count`.
+        """
+        if self._reduced is None:
+            if self._reduced_supplier is not None:
+                operator = self._reduced_supplier()
+                self._require_same_network(operator)
+                self._reduced = operator
+            else:
+                self._reduced = ReducedSteadyOperator.from_model(
+                    self._model, self._steady
+                )
+        return self._reduced
 
     @property
     def ambient_c(self) -> float:
@@ -200,15 +270,19 @@ class ThermalSimulator:
 
     # -- simulation ---------------------------------------------------------------------
 
-    def _power_vector(self, power_by_block: Mapping[str, float]) -> np.ndarray:
-        prefixed: dict[str, float] = {}
-        for name, watts in power_by_block.items():
+    def _check_block_names(self, power_by_block: Mapping[str, float]) -> None:
+        for name in power_by_block:
             if name not in self.floorplan:
                 raise ThermalModelError(
                     f"power map names unknown block {name!r}; floorplan has "
                     f"{', '.join(self.floorplan.block_names)}"
                 )
-            prefixed[die_node(name)] = watts
+
+    def _power_vector(self, power_by_block: Mapping[str, float]) -> np.ndarray:
+        self._check_block_names(power_by_block)
+        prefixed = {
+            die_node(name): watts for name, watts in power_by_block.items()
+        }
         return self._model.network.power_vector(prefixed)
 
     def steady_state(self, power_by_block: Mapping[str, float]) -> TemperatureField:
@@ -224,6 +298,49 @@ class ThermalSimulator:
             ambient_c=self.ambient_c,
             rises=dict(zip(self._model.network.node_names, rises.tolist())),
             block_names=self.floorplan.block_names,
+        )
+
+    def block_steady_state(
+        self, power_by_block: Mapping[str, float]
+    ) -> BlockTemperatureField:
+        """Block-level steady state via the reduced operator (fast path).
+
+        Numerically equivalent to :meth:`steady_state` restricted to
+        the die blocks (same factorisation, superposed), but a single
+        ``(n_blocks, n_blocks)`` matvec instead of a full-network
+        back-substitution plus a per-node dict.  Use :meth:`steady_state`
+        when package-node temperatures are needed (full-field heatmaps).
+        """
+        self._check_block_names(power_by_block)
+        operator = self.reduced_operator
+        rises = operator.rises(operator.power_vector(power_by_block))
+        self._steady_solve_count += 1
+        return BlockTemperatureField(
+            ambient_c=self.ambient_c,
+            block_names=operator.block_names,
+            block_rises=rises,
+            index=operator.block_index,
+        )
+
+    def block_steady_state_batch(
+        self, power_maps: Sequence[Mapping[str, float]]
+    ) -> BlockTemperatureBatch:
+        """Block-level steady state for *k* power maps in one GEMM.
+
+        Each map is one operator application, so the batch charges
+        ``k`` to :attr:`steady_solve_count` — the counter tracks real
+        work requested, not Python call counts.
+        """
+        for power_map in power_maps:
+            self._check_block_names(power_map)
+        operator = self.reduced_operator
+        rises = operator.rises(operator.power_matrix(power_maps))
+        self._steady_solve_count += len(power_maps)
+        return BlockTemperatureBatch(
+            ambient_c=self.ambient_c,
+            block_names=operator.block_names,
+            rises=rises,
+            index=operator.block_index,
         )
 
     def simulate_session(

@@ -31,6 +31,10 @@ class SteadyStateSolver:
                 f"conductance matrix is not positive definite: {exc}; "
                 f"the network validator should have rejected this topology"
             ) from exc
+        # Columns of G^-1 (one per probed node), computed on demand and
+        # kept: the resistance accessors read entries out of them
+        # instead of issuing a fresh solve per query.
+        self._unit_columns: dict[int, np.ndarray] = {}
 
     @property
     def network(self) -> CompiledNetwork:
@@ -66,29 +70,69 @@ class SteadyStateSolver:
             raise SolverError("steady-state solve produced non-finite temperatures")
         return rises
 
+    def solve_many(self, powers: np.ndarray) -> np.ndarray:
+        """Temperature rises for many power vectors at once.
+
+        One multi-RHS Cholesky back-substitution: LAPACK handles all
+        ``k`` right-hand sides in a single call, which is how the
+        reduced-order operator (:mod:`repro.thermal.reduced`) extracts
+        every block column of ``G^-1`` in one go.
+
+        Parameters
+        ----------
+        powers:
+            ``(n, k)`` matrix whose columns are power vectors (W).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n, k)`` matrix whose columns are the rise vectors (K).
+        """
+        n = len(self._network)
+        if powers.ndim != 2 or powers.shape[0] != n:
+            raise SolverError(
+                f"power matrix has shape {powers.shape}, expected ({n}, k)"
+            )
+        rises = cho_solve(self._factor, powers)
+        if not np.all(np.isfinite(rises)):
+            raise SolverError(
+                "multi-RHS steady-state solve produced non-finite temperatures"
+            )
+        return rises
+
     def solve_by_name(self, power_by_node: dict[str, float]) -> dict[str, float]:
         """Solve from a name->watts mapping to a name->rise mapping."""
         rises = self.solve(self._network.power_vector(power_by_node))
         return dict(zip(self._network.node_names, rises.tolist()))
 
+    def _unit_column(self, index: int) -> np.ndarray:
+        """Column *index* of ``G^-1`` (solved once, then cached)."""
+        column = self._unit_columns.get(index)
+        if column is None:
+            unit = np.zeros(len(self._network))
+            unit[index] = 1.0
+            column = self.solve(unit)
+            self._unit_columns[index] = column
+        return column
+
     def input_output_resistance(self, node: str) -> float:
         """Self thermal resistance of a node (K/W).
 
         The temperature rise of *node* per watt injected at *node*:
-        the diagonal entry of ``G^-1``.  Used by tests (reciprocity,
-        positivity) and useful for floorplan analysis.
+        the diagonal entry of ``G^-1``, read from a cached column of
+        the inverse rather than a fresh solve per call.  Used by tests
+        (reciprocity, positivity) and useful for floorplan analysis.
         """
-        unit = np.zeros(len(self._network))
-        unit[self._network.index_of(node)] = 1.0
-        return float(self.solve(unit)[self._network.index_of(node)])
+        index = self._network.index_of(node)
+        return float(self._unit_column(index)[index])
 
     def transfer_resistance(self, source: str, observation: str) -> float:
         """Mutual thermal resistance between two nodes (K/W).
 
         Temperature rise at *observation* per watt injected at
-        *source*.  Symmetric (``G`` is symmetric), which the test suite
-        verifies as a physical sanity check (reciprocity).
+        *source*, read from a cached column of ``G^-1``.  Symmetric
+        (``G`` is symmetric), which the test suite verifies as a
+        physical sanity check (reciprocity).
         """
-        unit = np.zeros(len(self._network))
-        unit[self._network.index_of(source)] = 1.0
-        return float(self.solve(unit)[self._network.index_of(observation)])
+        column = self._unit_column(self._network.index_of(source))
+        return float(column[self._network.index_of(observation)])

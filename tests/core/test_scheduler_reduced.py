@@ -1,0 +1,219 @@
+"""Scheduler equivalence: reduced steady path vs dense, incremental STC.
+
+Two independent guarantees:
+
+* switching ``SchedulerConfig.steady_path`` between ``"reduced"`` and
+  ``"dense"`` changes *how* candidate sessions are validated but not
+  *what* is decided — same sessions, same discards, same effort, same
+  solve counts; temperatures agree to solver precision;
+* :class:`~repro.core.session_model.SessionGrowth` returns
+  **bit-identical** STC values to the from-scratch
+  ``session_thermal_characteristic`` for every admission sequence and
+  every ablation configuration.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import SchedulerConfig, ThermalAwareScheduler
+from repro.core.session_model import SessionModelConfig, SessionThermalModel
+from repro.errors import SchedulingError
+from repro.floorplan.generator import slicing_floorplan
+from repro.power.generator import PowerGeneratorConfig, generate_power_profile
+from repro.soc.library import (
+    ALPHA15_STC_SCALE,
+    alpha15_soc,
+    hypothetical7_soc,
+)
+from repro.soc.system import SocUnderTest
+from repro.thermal.simulator import ThermalSimulator
+
+
+def build_random_soc(n_cores: int, seed: int) -> SocUnderTest:
+    plan = slicing_floorplan(n_cores, seed=seed)
+    profile = generate_power_profile(plan, PowerGeneratorConfig(seed=seed))
+    return SocUnderTest.from_profile(plan, profile)
+
+
+def run_schedule(soc, model, path, tl_c, stcl):
+    simulator = ThermalSimulator(soc.floorplan, soc.package, soc.adjacency)
+    scheduler = ThermalAwareScheduler(
+        soc,
+        simulator=simulator,
+        session_model=model,
+        config=SchedulerConfig(steady_path=path),
+    )
+    return scheduler.schedule(tl_c=tl_c, stcl=stcl)
+
+
+def assert_same_decisions(reduced, dense):
+    """Same partition, same discards, same metrics; temps to precision."""
+    assert [s.cores for s in reduced.schedule] == [s.cores for s in dense.schedule]
+    assert [s.duration_s for s in reduced.schedule] == [
+        s.duration_s for s in dense.schedule
+    ]
+    assert reduced.length_s == dense.length_s
+    assert reduced.effort_s == dense.effort_s
+    assert reduced.steady_solves == dense.steady_solves
+    assert reduced.forced_singletons == dense.forced_singletons
+    assert dict(reduced.weights) == dict(dense.weights)
+    assert [(d.cores, d.violators, d.iteration) for d in reduced.discarded] == [
+        (d.cores, d.violators, d.iteration) for d in dense.discarded
+    ]
+    assert reduced.max_temperature_c == pytest.approx(
+        dense.max_temperature_c, abs=1e-9
+    )
+    for name in reduced.bcmt_c:
+        assert reduced.bcmt_c[name] == pytest.approx(
+            dense.bcmt_c[name], abs=1e-9
+        )
+
+
+class TestReducedVsDenseScheduling:
+    @pytest.mark.parametrize(
+        "tl_c, stcl", [(165.0, 60.0), (175.0, 40.0), (180.0, 90.0)]
+    )
+    def test_alpha15_decisions_identical(self, tl_c, stcl):
+        soc = alpha15_soc()
+        model = SessionThermalModel(
+            soc, SessionModelConfig(stc_scale=ALPHA15_STC_SCALE)
+        )
+        reduced = run_schedule(soc, model, "reduced", tl_c, stcl)
+        dense = run_schedule(soc, model, "dense", tl_c, stcl)
+        assert_same_decisions(reduced, dense)
+
+    def test_hypothetical7_decisions_identical(self):
+        soc = hypothetical7_soc()
+        model = SessionThermalModel(soc, SessionModelConfig(include_vertical=True))
+        reduced = run_schedule(soc, model, "reduced", 200.0, 4000.0)
+        dense = run_schedule(soc, model, "dense", 200.0, 4000.0)
+        assert_same_decisions(reduced, dense)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        n_cores=st.integers(min_value=2, max_value=9),
+        seed=st.integers(min_value=0, max_value=5_000),
+        tl_c=st.floats(min_value=100.0, max_value=220.0),
+        stcl=st.floats(min_value=10.0, max_value=3_000.0),
+    )
+    def test_random_soc_decisions_identical(self, n_cores, seed, tl_c, stcl):
+        soc = build_random_soc(n_cores, seed)
+        model = SessionThermalModel(soc)
+        try:
+            reduced = run_schedule(soc, model, "reduced", tl_c, stcl)
+        except Exception as reduced_exc:
+            with pytest.raises(type(reduced_exc)):
+                run_schedule(soc, model, "dense", tl_c, stcl)
+            return
+        dense = run_schedule(soc, model, "dense", tl_c, stcl)
+        assert_same_decisions(reduced, dense)
+
+
+class TestSessionGrowth:
+    @pytest.fixture(scope="class")
+    def soc(self):
+        return alpha15_soc()
+
+    def _grow_and_compare(self, model, names, weights, admit_threshold):
+        """Greedy growth double-checked against from-scratch STC."""
+        growth = model.start_session(weights)
+        session: list[str] = []
+        for candidate in names:
+            incremental = growth.stc_if_added(candidate)
+            scratch = model.session_thermal_characteristic(
+                session + [candidate], weights
+            )
+            # Bit-identical, not approximately equal: the accumulator
+            # must run the same float operations on the same operands.
+            if math.isinf(scratch):
+                assert math.isinf(incremental)
+            else:
+                assert incremental == scratch
+            if incremental <= admit_threshold:
+                growth.add(candidate)
+                session.append(candidate)
+                assert growth.stc() == model.session_thermal_characteristic(
+                    session, weights
+                )
+        assert list(growth.cores) == session
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            SessionModelConfig(),
+            SessionModelConfig(drop_active_active=False),
+            SessionModelConfig(ground_passive=False),
+            SessionModelConfig(drop_active_active=False, ground_passive=False),
+            SessionModelConfig(include_vertical=True),
+            SessionModelConfig(stc_scale=ALPHA15_STC_SCALE),
+        ],
+        ids=[
+            "paper",
+            "no-M2",
+            "no-M3",
+            "no-M2-no-M3",
+            "vertical",
+            "scaled",
+        ],
+    )
+    def test_bit_identical_across_configs(self, soc, config):
+        model = SessionThermalModel(soc, config)
+        rng = random.Random(7)
+        names = list(soc.core_names)
+        weights = {n: 1.0 + rng.random() for n in names}
+        for trial in range(5):
+            rng.shuffle(names)
+            threshold = rng.uniform(1e-3, 1e6)
+            self._grow_and_compare(model, list(names), weights, threshold)
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        n_cores=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+        order_seed=st.integers(min_value=0, max_value=10_000),
+        threshold=st.floats(min_value=1e-3, max_value=1e9),
+    )
+    def test_bit_identical_on_random_floorplans(
+        self, n_cores, seed, order_seed, threshold
+    ):
+        soc = build_random_soc(n_cores, seed)
+        model = SessionThermalModel(soc)
+        rng = random.Random(order_seed)
+        names = list(soc.core_names)
+        rng.shuffle(names)
+        weights = {n: 1.0 + rng.random() * 3.0 for n in names}
+        self._grow_and_compare(model, names, weights, threshold)
+
+    def test_duplicate_admission_rejected(self, soc):
+        model = SessionThermalModel(soc)
+        growth = model.start_session()
+        first = soc.core_names[0]
+        growth.add(first)
+        with pytest.raises(SchedulingError, match="already part"):
+            growth.add(first)
+        with pytest.raises(SchedulingError, match="already part"):
+            growth.stc_if_added(first)
+
+    def test_unknown_core_rejected(self, soc):
+        model = SessionThermalModel(soc)
+        growth = model.start_session()
+        with pytest.raises(SchedulingError, match="unknown core"):
+            growth.stc_if_added("nope")
+
+    def test_empty_session_stc_is_zero(self, soc):
+        model = SessionThermalModel(soc)
+        assert model.start_session().stc() == 0.0

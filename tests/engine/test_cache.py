@@ -68,6 +68,43 @@ class TestThermalModelCache:
         assert first.steady_solve_count == 1
         assert second.steady_solve_count == 0
 
+    def test_shared_reduced_operator(self, plan):
+        # The reduced-order influence matrix rides in the cache entry:
+        # cold workers must not pay the multi-RHS extraction again.
+        cache = ThermalModelCache()
+        first, _ = cache.simulator_for(plan, DEFAULT_PACKAGE)
+        second, _ = cache.simulator_for(plan, DEFAULT_PACKAGE)
+        assert first.reduced_operator is second.reduced_operator
+        fast = first.block_steady_state({"C0_0": 10.0})
+        dense = second.steady_state({"C0_0": 10.0})
+        assert fast.max_temperature_c() == pytest.approx(
+            dense.max_temperature_c(), abs=1e-9
+        )
+
+    def test_reduced_operator_extraction_is_lazy(self, plan, monkeypatch):
+        # Dense- or transient-only consumers must not pay the
+        # extraction: it happens on first reduced-path use, once.
+        from repro.thermal.reduced import ReducedSteadyOperator
+
+        calls = []
+        original = ReducedSteadyOperator.from_model.__func__
+
+        def counting(cls, model, solver):
+            calls.append(1)
+            return original(cls, model, solver)
+
+        monkeypatch.setattr(
+            ReducedSteadyOperator, "from_model", classmethod(counting)
+        )
+        cache = ThermalModelCache()
+        first, _ = cache.simulator_for(plan, DEFAULT_PACKAGE)
+        second, _ = cache.simulator_for(plan, DEFAULT_PACKAGE)
+        first.steady_state({"C0_0": 10.0})
+        assert not calls
+        first.block_steady_state({"C0_0": 10.0})
+        second.block_steady_state({"C0_0": 10.0})
+        assert len(calls) == 1
+
     def test_cached_simulator_matches_fresh_build(self, plan):
         cache = ThermalModelCache()
         cached, _ = cache.simulator_for(plan, DEFAULT_PACKAGE)
