@@ -1,0 +1,125 @@
+"""Scheduling-service benchmarks: sustained throughput and dedup value.
+
+Two questions about ``repro.service``:
+
+* what request rate does a service sustain for a fleet-like burst over
+  the real TCP protocol, and how does it compare against handing the
+  equivalent work to a :class:`~repro.engine.runner.BatchRunner` in one
+  shot (the protocol + queueing overhead must stay a modest tax)?
+* how much does in-flight deduplication save on a bursty, repetitive
+  workload (many clients asking the same questions at once)?
+
+Run with the rest of the opt-in suite::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_service.py -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import ScheduleRequest
+from repro.engine import BatchRunner, generate_fleet
+from repro.service import AsyncServiceClient, ScheduleServer, ScheduleService
+
+#: Burst size: fleet-like traffic, not a toy ping.
+BURST = 96
+
+#: Distinct questions inside the burst; the rest is repetition — the
+#: shape of dashboard/CI traffic, where many clients ask alike.
+DISTINCT = 12
+
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def fleet_jobs():
+    """A deterministic fleet whose questions the burst mirrors."""
+    return generate_fleet(DISTINCT, seed=7)
+
+
+@pytest.fixture(scope="module")
+def burst_requests(fleet_jobs):
+    """BURST requests cycling over the fleet's DISTINCT questions."""
+    distinct = [job.to_request() for job in fleet_jobs]
+    return [distinct[i % len(distinct)] for i in range(BURST)]
+
+
+def _run_burst(requests):
+    """One full service lifecycle: boot, TCP burst, drain; returns stats."""
+
+    async def main():
+        async with ScheduleService(backend="thread", max_workers=WORKERS) as svc:
+            server = ScheduleServer(svc, port=0)
+            await server.start()
+            try:
+                async with await AsyncServiceClient.connect(
+                    port=server.port
+                ) as client:
+                    frames = await client.submit_many(requests, decode=False)
+                    stats = await client.stats()
+            finally:
+                await server.stop()
+        return frames, stats
+
+    return asyncio.run(main())
+
+
+def test_bench_service_sustained_throughput(benchmark, burst_requests):
+    """Requests/s for a mixed burst over the real TCP protocol."""
+    frames, stats = benchmark(lambda: _run_burst(burst_requests))
+    assert len(frames) == BURST
+    assert all(f["type"] == "report" for f in frames)
+    assert stats["errors"] == 0
+    benchmark.extra_info["requests"] = BURST
+    benchmark.extra_info["distinct"] = DISTINCT
+    benchmark.extra_info["requests_per_second"] = round(
+        BURST / benchmark.stats["mean"], 1
+    )
+    benchmark.extra_info["dedup_hits"] = stats["deduped"]
+    benchmark.extra_info["solves_started"] = stats["solves_started"]
+
+
+def test_bench_service_vs_batch_runner(burst_requests, fleet_jobs):
+    """The service answers a repetitive burst competitively vs BatchRunner.
+
+    The batch runner executes the burst as BURST independent jobs (its
+    dedup is only the model cache); the service collapses identical
+    in-flight requests to DISTINCT solves.  On this workload the
+    service's protocol overhead must be more than paid for: it must not
+    be slower than the batch path by more than 2x, and its dedup must
+    eliminate >= half the solves.
+    """
+    import dataclasses
+    import time
+
+    # The same 96 questions as a batch fleet (unique ids, repeated work).
+    jobs = []
+    for i in range(BURST):
+        jobs.append(
+            dataclasses.replace(fleet_jobs[i % DISTINCT], job_id=f"burst-{i}")
+        )
+
+    start = time.perf_counter()
+    batch = BatchRunner(backend="thread", max_workers=WORKERS).run(jobs)
+    batch_s = time.perf_counter() - start
+    assert not batch.failed
+
+    start = time.perf_counter()
+    frames, stats = _run_burst(burst_requests)
+    service_s = time.perf_counter() - start
+    assert len(frames) == BURST
+
+    dedup_rate = stats["deduped"] / stats["submitted"]
+    print(
+        f"\nbatch[thread x{WORKERS}] {batch_s:.2f} s "
+        f"({BURST / batch_s:.1f} jobs/s) vs service {service_s:.2f} s "
+        f"({BURST / service_s:.1f} req/s), dedup rate {dedup_rate:.2f} "
+        f"({stats['solves_started']} solves for {BURST} requests)"
+    )
+    assert service_s < 2.0 * batch_s, (
+        f"service burst took {service_s:.2f} s vs batch {batch_s:.2f} s"
+    )
+    assert dedup_rate >= 0.5, f"dedup rate only {dedup_rate:.2f}"

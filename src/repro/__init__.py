@@ -22,6 +22,10 @@ including every substrate the paper depends on:
 * the unified solver API: :class:`ScheduleRequest` problem specs, a
   solver registry and the :class:`Workbench` facade (:mod:`repro.api`).
 
+* the async scheduling service: a bounded job queue, a worker pool with
+  in-flight request deduplication and a JSONL-over-TCP wire protocol
+  (:mod:`repro.service`, ``repro serve`` / ``repro submit``).
+
 Quickstart (the unified solver API — one front door for every
 scheduler)::
 
@@ -68,10 +72,14 @@ from .errors import (
     FloorplanError,
     GeometryError,
     PowerModelError,
+    ProtocolError,
     ReproError,
     RequestError,
     ScheduleInfeasibleError,
     SchedulingError,
+    ServiceBusyError,
+    ServiceClosedError,
+    ServiceError,
     SolverError,
     ThermalModelError,
 )
@@ -89,6 +97,12 @@ from .engine import (
 )
 from .floorplan import Floorplan, Rect, alpha15, hypothetical7, worked_example6
 from .power import PowerProfile, generate_power_profile
+from .service import (
+    ReportArchive,
+    ScheduleServer,
+    ScheduleService,
+    ServiceClient,
+)
 from .soc import (
     CoreUnderTest,
     SocUnderTest,
@@ -153,16 +167,24 @@ __all__ = [
     "PackageConfig",
     "PowerModelError",
     "PowerProfile",
+    "ProtocolError",
     "Rect",
     "ReducedSteadyOperator",
+    "ReportArchive",
     "ReproError",
     "RequestError",
     "ScenarioSpec",
     "ScheduleInfeasibleError",
     "ScheduleRequest",
     "ScheduleResult",
+    "ScheduleServer",
+    "ScheduleService",
     "SchedulerConfig",
     "SchedulingError",
+    "ServiceBusyError",
+    "ServiceClient",
+    "ServiceClosedError",
+    "ServiceError",
     "SessionModelConfig",
     "SessionThermalModel",
     "SocUnderTest",

@@ -29,6 +29,8 @@ from .request import (
     DEFAULT_SOLVER,
     ScheduleRequest,
     SolveReport,
+    report_from_dict,
+    report_to_dict,
     request_from_dict,
     request_to_dict,
 )
@@ -69,6 +71,8 @@ __all__ = [
     "execute_request",
     "get_solver",
     "register_solver",
+    "report_from_dict",
+    "report_to_dict",
     "request_from_dict",
     "request_to_dict",
     "solve",

@@ -19,12 +19,19 @@ explored, ...).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..core.scheduler import ScheduleResult
-from ..core.serialize import SCHEMA_VERSION, SUPPORTED_SCHEMA_VERSIONS
+from ..core.serialize import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    result_from_dict,
+    result_to_dict,
+)
 from ..core.session import TestSchedule
 from ..errors import RequestError
 from ..engine.scenarios import BUILTIN_KINDS, ScenarioSpec
@@ -145,6 +152,21 @@ class ScheduleRequest:
         """True when the request carries an STCL (absolute or headroom)."""
         return self.stcl is not None or self.stcl_headroom is not None
 
+    def content_hash(self) -> str:
+        """Stable cross-process content hash of this request.
+
+        Hashes the canonical (key-sorted, compact) JSON of the request's
+        dict form, so two requests hash equal exactly when their JSONL
+        wire frames are byte-identical — the property the scheduling
+        service's in-flight deduplication relies on.  Unlike ``hash()``,
+        the digest survives process boundaries and interpreter hash
+        randomisation.
+        """
+        payload = request_to_dict(self)
+        del payload["schema_version"]  # identity, not format vintage
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
     def describe(self) -> str:
         """One-line human-readable request summary."""
         system = self.soc if self.soc is not None else self.scenario.name
@@ -224,6 +246,17 @@ class SolveReport:
         object.__setattr__(self, "extras", dict(self.extras or {}))
 
     @property
+    def request_hash(self) -> str | None:
+        """Provenance: the content hash of the request this report answers.
+
+        ``None`` for reports produced without a request object
+        (:meth:`Workbench.solve_soc`).  Wire frames and archives carry
+        it so clients can pair reports with submissions without trusting
+        transport-level correlation ids alone.
+        """
+        return None if self.request is None else self.request.content_hash()
+
+    @property
     def schedule(self) -> TestSchedule:
         """The produced test schedule."""
         return self.result.schedule
@@ -276,3 +309,73 @@ class SolveReport:
             lines.append(f"  {pairs}")
         lines.append(self.schedule.describe())
         return "\n".join(lines)
+
+
+def report_to_dict(report: SolveReport) -> dict[str, Any]:
+    """Serialise a solve report to a JSON-ready dict.
+
+    Only reports that carry their request can be serialised: the
+    embedded request is what lets a loader rebuild the SoC and
+    revalidate the schedule, and what gives archives their provenance
+    (``request_hash``).  ``solve_soc`` reports have no request and are
+    rejected.  NaN limits become ``null`` so the output stays strict
+    JSON.
+    """
+    if report.request is None:
+        raise RequestError(
+            "reports without a request (solve_soc) cannot be serialised; "
+            "express the system as a ScheduleRequest to archive its reports"
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "solver": report.solver,
+        "request": request_to_dict(report.request),
+        "request_hash": report.request_hash,
+        "tl_c": report.tl_c,
+        "stcl": None if math.isnan(report.stcl) else report.stcl,
+        "result": result_to_dict(report.result),
+        "elapsed_s": report.elapsed_s,
+        "steady_solves": report.steady_solves,
+        "cache_hit": report.cache_hit,
+        "extras": dict(report.extras),
+    }
+
+
+def report_from_dict(data: dict[str, Any]) -> SolveReport:
+    """Load a solve report back, rebuilding its SoC from the request.
+
+    The schedule is revalidated against a freshly built SoC (the same
+    guarantee the batch archive loader gives), so a corrupted or
+    hand-edited record cannot smuggle in an impossible schedule.
+    """
+    version = data.get("schema_version")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise RequestError(
+            f"unsupported report schema version {version!r} "
+            f"(this library writes {SCHEMA_VERSION})"
+        )
+    request = request_from_dict(data["request"])
+    stored_hash = data.get("request_hash")
+    if stored_hash is not None and stored_hash != request.content_hash():
+        raise RequestError(
+            "report provenance mismatch: stored request_hash "
+            f"{stored_hash[:12]}... does not match the embedded request"
+        )
+    if request.scenario is not None:
+        scenario = request.scenario
+    else:
+        from .workbench import _builtin_scenario  # deferred: workbench imports us
+
+        scenario = _builtin_scenario(request.soc)
+    soc = scenario.build_soc()
+    return SolveReport(
+        solver=data["solver"],
+        request=request,
+        tl_c=float(data["tl_c"]),
+        stcl=math.nan if data["stcl"] is None else float(data["stcl"]),
+        result=result_from_dict(data["result"], soc),
+        elapsed_s=float(data["elapsed_s"]),
+        steady_solves=int(data.get("steady_solves", 0)),
+        cache_hit=bool(data.get("cache_hit", False)),
+        extras=data.get("extras") or {},
+    )

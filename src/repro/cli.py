@@ -1,10 +1,13 @@
 """``repro`` — thermal-safe scheduling from the command line.
 
-Three subcommands::
+Six subcommands::
 
     repro schedule ...   # one SoC, one (TL, STCL) question (paper flow)
     repro solve ...      # one request through any registered solver
     repro batch ...      # a generated fleet of scenarios over a backend
+    repro serve ...      # long-lived scheduling service (JSONL over TCP)
+    repro submit ...     # send requests to a running service
+    repro report ...     # per-solver summary of JSONL archives
 
 (``repro-schedule`` remains as an alias for ``repro schedule``, and
 ``python -m repro ...`` works without installed entry points.)
@@ -30,6 +33,9 @@ Examples::
     repro solve --soc alpha15 --tl 165 --solver power_constrained
     repro solve --kind grid --rows 3 --cols 4 --tl-headroom 1.2 --stcl-headroom 2
     repro batch --count 100 --backend process --solver sequential --out fleet.jsonl
+    repro serve --backend process --archive served.jsonl
+    repro submit --soc alpha15 --tl 165 --stcl 60 --repeat 8 --stats
+    repro report fleet.jsonl served.jsonl
 """
 
 from __future__ import annotations
@@ -255,17 +261,15 @@ def parse_solver_params(pairs: list[str]) -> dict:
     return params
 
 
-def solve_main(argv: list[str] | None = None) -> int:
-    """``repro solve`` — one request through any registered solver."""
-    from .api import ScheduleRequest, Workbench, available_solvers
-    from .engine import ScenarioSpec
+def add_request_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared system/limits/solver options of a request.
 
-    parser = argparse.ArgumentParser(
-        prog="repro solve",
-        description=(
-            "Answer one scheduling request through the unified solver API."
-        ),
-    )
+    ``repro solve`` (local solve) and ``repro submit`` (solve over the
+    service protocol) describe the *same* question; keeping the flags in
+    one place keeps the two front doors from drifting.
+    """
+    from .api import available_solvers
+
     source = parser.add_argument_group("system selection")
     source.add_argument(
         "--soc",
@@ -327,6 +331,53 @@ def solve_main(argv: list[str] | None = None) -> int:
         help="per-solver parameter (repeatable), e.g. --param power_limit_w=45",
     )
 
+
+def request_from_args(args: argparse.Namespace) -> "ScheduleRequest":
+    """Build the :class:`~repro.api.ScheduleRequest` the options describe."""
+    from .api import ScheduleRequest
+    from .engine import ScenarioSpec
+
+    if (args.soc is None) == (args.kind is None):
+        raise ReproError("exactly one of --soc or --kind is required")
+    if args.soc is not None:
+        soc_name: str | None = args.soc.replace("-", "_")
+        scenario = None
+    else:
+        soc_name = None
+        scenario = ScenarioSpec(
+            kind=args.kind,
+            rows=args.rows,
+            cols=args.cols,
+            n_blocks=args.blocks,
+            floorplan_seed=args.floorplan_seed,
+            power_seed=args.power_seed,
+            power_scale=args.power_scale,
+            test_time_s=args.test_time,
+        )
+    return ScheduleRequest(
+        soc=soc_name,
+        scenario=scenario,
+        tl_c=args.tl,
+        tl_headroom=args.tl_headroom,
+        stcl=args.stcl,
+        stcl_headroom=args.stcl_headroom,
+        solver=args.solver,
+        params=parse_solver_params(args.param),
+        include_vertical=args.include_vertical,
+    )
+
+
+def solve_main(argv: list[str] | None = None) -> int:
+    """``repro solve`` — one request through any registered solver."""
+    from .api import Workbench
+
+    parser = argparse.ArgumentParser(
+        prog="repro solve",
+        description=(
+            "Answer one scheduling request through the unified solver API."
+        ),
+    )
+    add_request_arguments(parser)
     output = parser.add_argument_group("output")
     output.add_argument("--gantt", action="store_true", help="print a Gantt chart")
     output.add_argument(
@@ -335,34 +386,7 @@ def solve_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        if (args.soc is None) == (args.kind is None):
-            raise ReproError("exactly one of --soc or --kind is required")
-        if args.soc is not None:
-            soc_name: str | None = args.soc.replace("-", "_")
-            scenario = None
-        else:
-            soc_name = None
-            scenario = ScenarioSpec(
-                kind=args.kind,
-                rows=args.rows,
-                cols=args.cols,
-                n_blocks=args.blocks,
-                floorplan_seed=args.floorplan_seed,
-                power_seed=args.power_seed,
-                power_scale=args.power_scale,
-                test_time_s=args.test_time,
-            )
-        request = ScheduleRequest(
-            soc=soc_name,
-            scenario=scenario,
-            tl_c=args.tl,
-            tl_headroom=args.tl_headroom,
-            stcl=args.stcl,
-            stcl_headroom=args.stcl_headroom,
-            solver=args.solver,
-            params=parse_solver_params(args.param),
-            include_vertical=args.include_vertical,
-        )
+        request = request_from_args(args)
         report = Workbench().solve(request)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -470,11 +494,267 @@ def batch_main(argv: list[str] | None = None) -> int:
     return 0 if not batch.failed else 1
 
 
+def serve_main(argv: list[str] | None = None) -> int:
+    """``repro serve`` — run the long-lived scheduling service."""
+    import asyncio
+    import signal
+
+    from .service import DEFAULT_PORT, ScheduleServer, ScheduleService
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve scheduling requests over the JSONL-over-TCP protocol "
+            "until interrupted (SIGINT/SIGTERM drain gracefully)."
+        ),
+    )
+    network = parser.add_argument_group("network")
+    network.add_argument("--host", default="127.0.0.1", help="bind address")
+    network.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port (default {DEFAULT_PORT}; 0 picks a free port)",
+    )
+    execution = parser.add_argument_group("execution")
+    execution.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="thread",
+        help="worker-pool backend (default thread)",
+    )
+    execution.add_argument(
+        "--workers", type=int, help="worker count (default: CPU count)"
+    )
+    execution.add_argument(
+        "--queue-size",
+        type=int,
+        default=128,
+        help="job-queue bound before backpressure (default 128)",
+    )
+    execution.add_argument(
+        "--solve-timeout",
+        type=float,
+        metavar="S",
+        help="per-solve timeout in seconds (default: unbounded)",
+    )
+    execution.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared thermal-model cache",
+    )
+    output = parser.add_argument_group("output")
+    output.add_argument(
+        "--archive",
+        type=Path,
+        metavar="JSONL",
+        help="append every served outcome to this JSONL archive",
+    )
+    args = parser.parse_args(argv)
+
+    async def _serve() -> None:
+        service = ScheduleService(
+            backend=args.backend,
+            max_workers=args.workers,
+            use_cache=not args.no_cache,
+            queue_size=args.queue_size,
+            default_timeout_s=args.solve_timeout,
+            archive=args.archive,
+        )
+        await service.start()
+        server = ScheduleServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"repro service listening on {args.host}:{server.port} "
+            f"(backend {service.backend.name!r}, "
+            f"{service.backend.max_workers} workers, "
+            f"queue {args.queue_size})",
+            flush=True,
+        )
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_event.set)
+            except NotImplementedError:  # non-unix event loops
+                pass
+        try:
+            await stop_event.wait()
+        finally:
+            print("draining...", flush=True)
+            await server.stop()
+            await service.stop(drain=True)
+            print(service.metrics().describe(), flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass  # loops without signal handlers (drain already attempted)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:  # port in use, bad bind address
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def submit_main(argv: list[str] | None = None) -> int:
+    """``repro submit`` — send requests to a running ``repro serve``."""
+    from .api import request_from_dict
+    from .core.serialize import load_jsonl
+    from .errors import ServiceError
+    from .service import DEFAULT_PORT, ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description=(
+            "Submit scheduling requests to a running service over TCP "
+            "and print the reports."
+        ),
+    )
+    connection = parser.add_argument_group("connection")
+    connection.add_argument("--host", default="127.0.0.1", help="service host")
+    connection.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="service port"
+    )
+    connection.add_argument(
+        "--timeout",
+        type=float,
+        metavar="S",
+        help="per-solve timeout enforced by the service",
+    )
+    add_request_arguments(parser)
+    batch = parser.add_argument_group("batch submission")
+    batch.add_argument(
+        "--requests",
+        type=Path,
+        metavar="JSONL",
+        help="submit every request record in this JSONL file instead of "
+        "the one described by the flags",
+    )
+    batch.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="submit each request N times (identical in-flight requests "
+        "are deduplicated server-side; default 1)",
+    )
+    output = parser.add_argument_group("output")
+    output.add_argument(
+        "--quiet",
+        action="store_true",
+        help="one summary line per report instead of the full describe()",
+    )
+    output.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the service metrics snapshot after the burst",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.repeat < 1:
+            raise ReproError(f"--repeat must be >= 1, got {args.repeat}")
+        if args.requests is not None:
+            if args.soc is not None or args.kind is not None:
+                raise ReproError(
+                    "--requests replaces the request-describing flags; "
+                    "drop --soc/--kind (the file's records are submitted "
+                    "as-is)"
+                )
+            records = load_jsonl(args.requests)
+            if not records:
+                raise ReproError(f"no request records in {args.requests}")
+            requests = [request_from_dict(record) for record in records]
+        else:
+            requests = [request_from_args(args)]
+        requests = requests * args.repeat
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            results = client.submit_many(
+                requests, timeout_s=args.timeout, return_errors=True
+            )
+            for index, result in enumerate(results):
+                if isinstance(result, Exception):
+                    failures += 1
+                    print(f"[{index}] error: {result}", file=sys.stderr)
+                elif args.quiet or len(results) > 1:
+                    print(
+                        f"[{index}] {result.request.describe()}: "
+                        f"length {result.length_s:g} s in "
+                        f"{result.n_sessions} sessions, peak "
+                        f"{result.max_temperature_c:.2f} degC"
+                    )
+                else:
+                    print(result.describe())
+            if args.stats:
+                stats = client.stats()
+                pairs = ", ".join(
+                    f"{key}={value}"
+                    for key, value in stats.items()
+                    if not isinstance(value, dict)
+                )
+                print(f"service stats: {pairs}")
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{len(requests) - failures}/{len(requests)} requests answered ok",
+        flush=True,
+    )
+    return 0 if failures == 0 else 1
+
+
+def report_main(argv: list[str] | None = None) -> int:
+    """``repro report`` — per-solver summary of JSONL archives."""
+    from .service import render_summary_table, summarize_archives
+
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description=(
+            "Aggregate batch (`repro batch --out`) and service "
+            "(`repro serve --archive`) JSONL archives into a per-solver "
+            "summary table."
+        ),
+    )
+    parser.add_argument(
+        "archives",
+        nargs="+",
+        type=Path,
+        metavar="JSONL",
+        help="one or more archive files (dialects may be mixed)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        summaries = summarize_archives(args.archives)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_summary_table(summaries))
+    total = sum(s.jobs for s in summaries)
+    errors = sum(s.errors for s in summaries)
+    print(
+        f"{total} records over {len(summaries)} solvers, "
+        f"{errors} errors ({errors / total * 100:.0f}%)"
+    )
+    return 0
+
+
 #: ``repro`` subcommands.
 COMMANDS = {
     "schedule": main,
     "solve": solve_main,
     "batch": batch_main,
+    "serve": serve_main,
+    "submit": submit_main,
+    "report": report_main,
 }
 
 
@@ -498,7 +778,10 @@ def repro_main(argv: list[str] | None = None) -> int:
         f"usage: repro {{{','.join(COMMANDS)}}} ...\n"
         f"  repro schedule --help   one SoC, one (TL, STCL) question\n"
         f"  repro solve --help      one request through any registered solver\n"
-        f"  repro batch --help      schedule a generated scenario fleet"
+        f"  repro batch --help      schedule a generated scenario fleet\n"
+        f"  repro serve --help      run the async scheduling service (TCP)\n"
+        f"  repro submit --help     send requests to a running service\n"
+        f"  repro report --help     per-solver summary of JSONL archives"
     )
     if not argv or argv[0] in ("-h", "--help"):
         print(usage)

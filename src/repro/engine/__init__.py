@@ -39,6 +39,7 @@ from .cache import (
     floorplan_fingerprint,
     model_key,
     package_fingerprint,
+    process_local_cache,
 )
 from .jobs import (
     JobResult,
@@ -88,6 +89,7 @@ __all__ = [
     "load_batch_jsonl",
     "model_key",
     "package_fingerprint",
+    "process_local_cache",
     "register_backend",
     "run_job",
     "save_batch_jsonl",

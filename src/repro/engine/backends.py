@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 from ..errors import SchedulingError
@@ -71,6 +71,18 @@ class ExecutionBackend(ABC):
     ) -> list[_ResultT]:
         """Apply *worker* to every item; results in input order."""
 
+    def create_executor(self) -> Executor:
+        """A long-lived ``concurrent.futures`` pool for this backend.
+
+        ``map`` serves one-shot batches; a long-lived service instead
+        submits jobs one at a time as they arrive, so it needs the pool
+        itself (and owns its shutdown).  Backends with no pool semantics
+        (a hypothetical cluster dispatcher) may refuse.
+        """
+        raise SchedulingError(
+            f"backend {self.name!r} does not provide a job-at-a-time executor"
+        )
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(max_workers={self.max_workers})"
 
@@ -88,6 +100,11 @@ class SerialBackend(ExecutionBackend):
     def map(self, worker, items):
         return [worker(item) for item in items]
 
+    def create_executor(self) -> Executor:
+        # One worker thread preserves the backend's one-at-a-time
+        # semantics while staying awaitable from an event loop.
+        return ThreadPoolExecutor(max_workers=1)
+
 
 class ThreadBackend(ExecutionBackend):
     """Run jobs on a thread pool sharing the caller's memory."""
@@ -100,6 +117,9 @@ class ThreadBackend(ExecutionBackend):
             return []
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(worker, items))
+
+    def create_executor(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self.max_workers)
 
 
 class ProcessBackend(ExecutionBackend):
@@ -120,6 +140,9 @@ class ProcessBackend(ExecutionBackend):
         chunksize = max(1, len(items) // (4 * self.max_workers))
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(worker, items, chunksize=chunksize))
+
+    def create_executor(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
 
 
 #: Backend registry: name -> backend class.

@@ -120,6 +120,31 @@ def model_key(
     return key
 
 
+#: Per-process model cache shared by every process-pool worker function
+#: (batch runner and scheduling service alike).  Lazily created in each
+#: worker; with the default fork start method children inherit a
+#: reference to the parent's (possibly empty) cache object, so each
+#: process re-binds its own instance on first use, keyed by pid.
+_PROCESS_LOCAL_CACHE: "ThermalModelCache | None" = None
+_PROCESS_LOCAL_OWNER: int | None = None
+
+
+def process_local_cache() -> "ThermalModelCache":
+    """The calling process's own lazily created model cache.
+
+    Workers of a long-lived service and of one-shot batches both route
+    through this accessor, so a worker process that served a batch job
+    enters its next service job with the model already warm.
+    """
+    import os
+
+    global _PROCESS_LOCAL_CACHE, _PROCESS_LOCAL_OWNER
+    if _PROCESS_LOCAL_CACHE is None or _PROCESS_LOCAL_OWNER != os.getpid():
+        _PROCESS_LOCAL_CACHE = ThermalModelCache()
+        _PROCESS_LOCAL_OWNER = os.getpid()
+    return _PROCESS_LOCAL_CACHE
+
+
 def resolve_cache(
     cache: "ThermalModelCache | None", use_cache: bool
 ) -> "ThermalModelCache | None":

@@ -23,7 +23,12 @@ from typing import Iterable, Sequence
 from ..core.serialize import dump_jsonl, load_jsonl
 from ..errors import SchedulingError
 from .backends import ExecutionBackend, create_backend
-from .cache import CacheStats, ThermalModelCache, resolve_cache
+from .cache import (
+    CacheStats,
+    ThermalModelCache,
+    process_local_cache,
+    resolve_cache,
+)
 from .jobs import JobResult, JobSpec, job_result_from_dict, job_result_to_dict
 from .scenarios import ScenarioSpec
 
@@ -77,23 +82,14 @@ def run_job(spec: JobSpec, cache: ThermalModelCache | None = None) -> JobResult:
     )
 
 
-#: Per-process model cache of the multiprocessing backend.  Lazily
-#: created in each worker; with the default fork start method children
-#: inherit a reference to the parent's (possibly empty) cache object,
-#: so each process re-binds its own instance on first use.
-_PROCESS_CACHE: ThermalModelCache | None = None
-_PROCESS_CACHE_OWNER: int | None = None
-
-
 def _process_run_job(spec: JobSpec) -> JobResult:
-    """Module-level (hence picklable) worker for the process backend."""
-    import os
+    """Module-level (hence picklable) worker for the process backend.
 
-    global _PROCESS_CACHE, _PROCESS_CACHE_OWNER
-    if _PROCESS_CACHE is None or _PROCESS_CACHE_OWNER != os.getpid():
-        _PROCESS_CACHE = ThermalModelCache()
-        _PROCESS_CACHE_OWNER = os.getpid()
-    return run_job(spec, _PROCESS_CACHE)
+    The per-process cache lives in :func:`~repro.engine.cache.process_local_cache`
+    so batch workers and scheduling-service workers sharing a process
+    also share warm models.
+    """
+    return run_job(spec, process_local_cache())
 
 
 def _process_run_job_uncached(spec: JobSpec) -> JobResult:

@@ -107,3 +107,24 @@ class ScheduleInfeasibleError(SchedulingError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """The async scheduling service failed to accept or answer a request."""
+
+
+class ServiceBusyError(ServiceError):
+    """The service's bounded job queue is full (backpressure signal).
+
+    Clients that cannot wait should retry later; clients that can wait
+    should use the awaiting submit path, which blocks until queue space
+    frees up instead of raising.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shutting down (or stopped) and accepts no new jobs."""
+
+
+class ProtocolError(ServiceError):
+    """A JSONL wire frame was malformed or of an unknown type."""

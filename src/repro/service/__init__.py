@@ -1,0 +1,97 @@
+"""Async scheduling service: job queue, worker pool, JSONL wire protocol.
+
+The batch engine answers fleets it is handed; this subsystem turns the
+library into a *traffic-serving* system — a long-lived asyncio service
+that many clients feed :class:`~repro.api.ScheduleRequest`\\ s over TCP
+and that answers with :class:`~repro.api.SolveReport`\\ s:
+
+* :mod:`service` — :class:`ScheduleService`: bounded job queue,
+  worker pool on the engine's execution backends, in-flight request
+  deduplication by content hash, per-request timeouts, backpressure,
+  graceful drain and operational metrics;
+* :mod:`protocol` — the newline-delimited JSON frame format
+  (submit/report/error/stats/ping);
+* :mod:`server` — :class:`ScheduleServer`, the asyncio TCP front end;
+* :mod:`client` — :class:`AsyncServiceClient` (pipelined asyncio) and
+  :class:`ServiceClient` (blocking wrapper);
+* :mod:`archive` — the append-only JSONL archive of served outcomes;
+* :mod:`report` — per-solver aggregation of batch and service archives.
+
+Quickstart (in one process; over TCP it is ``repro serve`` +
+``repro submit``)::
+
+    import asyncio
+    from repro.api import ScheduleRequest
+    from repro.service import ScheduleService
+
+    async def main():
+        async with ScheduleService(backend="thread") as service:
+            report = await service.solve(
+                ScheduleRequest(soc="alpha15", tl_c=165.0, stcl=60.0)
+            )
+            print(report.describe())
+
+    asyncio.run(main())
+"""
+
+from .archive import (
+    SERVICE_RECORD_KIND,
+    ReportArchive,
+    load_service_archive,
+    outcome_record,
+)
+from .client import AsyncServiceClient, ServiceClient
+from .execution import SolveOutcome, solve_request_outcome
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    parse_submit_frame,
+    ping_frame,
+    report_frame,
+    stats_frame,
+    submit_frame,
+)
+from .report import (
+    RecordStats,
+    SolverSummary,
+    record_stats,
+    render_summary_table,
+    summarize_archives,
+    summarize_records,
+)
+from .server import ScheduleServer
+from .service import ScheduleService, ServiceJob, ServiceMetrics
+
+__all__ = [
+    "AsyncServiceClient",
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "RecordStats",
+    "ReportArchive",
+    "SERVICE_RECORD_KIND",
+    "ScheduleServer",
+    "ScheduleService",
+    "ServiceClient",
+    "ServiceJob",
+    "ServiceMetrics",
+    "SolveOutcome",
+    "SolverSummary",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "load_service_archive",
+    "outcome_record",
+    "parse_submit_frame",
+    "ping_frame",
+    "record_stats",
+    "render_summary_table",
+    "report_frame",
+    "solve_request_outcome",
+    "stats_frame",
+    "submit_frame",
+    "summarize_archives",
+    "summarize_records",
+]

@@ -1,0 +1,105 @@
+"""Append-only JSONL archive of served requests and their outcomes.
+
+The batch engine writes its archive in one shot at the end of a run; a
+service never ends, so its archive is an *append* stream: one
+self-contained record per resolved job, written as the job resolves.
+Records embed the request (and its content hash) plus either the full
+report dict or the error, so ``repro report`` can aggregate service
+archives and batch archives side by side.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, TYPE_CHECKING
+
+from ..api.request import report_to_dict, request_to_dict
+from ..core.serialize import SCHEMA_VERSION, load_jsonl
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with service.py
+    from ..api.request import ScheduleRequest
+    from .execution import SolveOutcome
+
+#: Marker distinguishing service records from batch JobResult records.
+SERVICE_RECORD_KIND = "service"
+
+
+def outcome_record(
+    request: "ScheduleRequest",
+    outcome: "SolveOutcome",
+    request_hash: str | None = None,
+) -> dict[str, Any]:
+    """The JSON-ready archive record of one resolved service job.
+
+    Pass *request_hash* when the caller already holds it (the service's
+    dedup key) to skip recomputing the digest.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": SERVICE_RECORD_KIND,
+        "status": outcome.status,
+        "solver": request.solver,
+        "request": request_to_dict(request),
+        "request_hash": request_hash or request.content_hash(),
+        "error": outcome.error,
+        "error_type": outcome.error_type,
+        "elapsed_s": outcome.elapsed_s,
+        "steady_solves": outcome.steady_solves,
+        "cache_hit": outcome.cache_hit,
+        "report": None if outcome.report is None else report_to_dict(outcome.report),
+    }
+
+
+class ReportArchive:
+    """Append-mode JSONL writer for a running service.
+
+    Parameters
+    ----------
+    path:
+        Archive file; missing parent directories are created (a fresh
+        results dir must not kill the first request that tries to log
+        to it).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._count = 0
+        # The service appends from worker threads (it keeps file I/O
+        # off its event loop); serialise writers so lines never shear.
+        self._lock = threading.Lock()
+
+    @property
+    def path(self) -> Path:
+        """The archive file."""
+        return self._path
+
+    @property
+    def count(self) -> int:
+        """Records appended by this writer (pre-existing lines excluded)."""
+        return self._count
+
+    def append_outcome(
+        self,
+        request: "ScheduleRequest",
+        outcome: "SolveOutcome",
+        request_hash: str | None = None,
+    ) -> None:
+        """Append one resolved job's record."""
+        self.append_record(outcome_record(request, outcome, request_hash))
+
+    def append_record(self, record: dict[str, Any]) -> None:
+        """Append one raw record (one line; opened per append, so a
+        tail-following consumer always sees complete lines)."""
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            with self._path.open("a") as handle:
+                handle.write(line)
+            self._count += 1
+
+
+def load_service_archive(path: str | Path) -> list[dict[str, Any]]:
+    """Read every record of a service archive (blank lines skipped)."""
+    return load_jsonl(path)

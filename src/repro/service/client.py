@@ -1,0 +1,360 @@
+"""Clients for the scheduling service's JSONL-over-TCP protocol.
+
+:class:`AsyncServiceClient` is the native asyncio client: it pipelines
+any number of concurrent submits over one connection, correlates the
+responses by frame id, and hands back decoded
+:class:`~repro.api.SolveReport` objects (or raw frames, for callers that
+only need the wire payload).
+
+:class:`ServiceClient` is the synchronous wrapper for scripts and the
+CLI: it runs an event loop on a background thread and exposes blocking
+``submit`` / ``submit_many`` / ``stats`` / ``ping`` calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from typing import Any, AsyncIterator, Sequence
+
+from ..api.request import ScheduleRequest, SolveReport, report_from_dict
+from ..errors import (
+    ProtocolError,
+    ReproError,
+    ServiceBusyError,
+    ServiceClosedError,
+    ServiceError,
+)
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    ping_frame,
+    stats_frame,
+    submit_frame,
+)
+
+#: Error-frame types raised back as their specific client-side class.
+_ERROR_CLASSES = {
+    "ServiceBusyError": ServiceBusyError,
+    "ServiceClosedError": ServiceClosedError,
+    "ProtocolError": ProtocolError,
+}
+
+
+def _raise_error_frame(frame: dict[str, Any]) -> None:
+    error_type = frame.get("error_type") or "ServiceError"
+    message = frame.get("error") or "unknown service error"
+    cls = _ERROR_CLASSES.get(error_type, ServiceError)
+    if (
+        cls is ServiceError
+        and error_type != "ServiceError"
+        and not message.startswith(f"{error_type}:")
+    ):
+        # Solver-side failures keep their origin visible (worker
+        # outcomes already embed it; don't prefix twice).
+        message = f"{error_type}: {message}"
+    raise cls(message)
+
+
+class AsyncServiceClient:
+    """Pipelined asyncio client over one service connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._write_lock = asyncio.Lock()
+        self._pending: dict[str, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._connection_lost = False
+        self._read_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+    ) -> "AsyncServiceClient":
+        """Open a connection to a running ``repro serve``."""
+        try:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_FRAME_BYTES
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to scheduling service at {host}:{port}: {exc}"
+            ) from exc
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    frame = decode_frame(line)
+                except ProtocolError:
+                    continue  # tolerate garbage; pending ids still time out
+                future = self._pending.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        # ValueError: an oversized line (StreamReader converts
+        # LimitOverrunError); the stream cannot be resynchronised.
+        except (ConnectionResetError, asyncio.CancelledError, OSError, ValueError):
+            pass
+        finally:
+            # Flag first, then fail: _roundtrip re-checks the flag
+            # after registering its future, so no future can slip in
+            # behind this sweep and hang forever.
+            self._connection_lost = True
+            self._fail_pending(ServiceError("connection to the service closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _roundtrip(self, frame: dict[str, Any]) -> dict[str, Any]:
+        if self._closed:
+            raise ServiceError("client is closed")
+        if self._connection_lost:
+            raise ServiceError("connection to the service closed")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[frame["id"]] = future
+        if self._connection_lost:
+            # Lost between the check and the registration: the read
+            # loop's sweep may have missed this future — a write to a
+            # dead transport can buffer silently, which would leave
+            # the caller awaiting forever.
+            self._pending.pop(frame["id"], None)
+            raise ServiceError("connection to the service closed")
+        async with self._write_lock:
+            self._writer.write(encode_frame(frame))
+            await self._writer.drain()
+        return await future
+
+    # -- calls -------------------------------------------------------------------------
+
+    async def submit(
+        self,
+        request: ScheduleRequest,
+        *,
+        timeout_s: float | None = None,
+        decode: bool = True,
+    ) -> SolveReport | dict[str, Any]:
+        """Submit one request and await its answer.
+
+        Returns the decoded report (schedule revalidated against a
+        rebuilt SoC) or, with ``decode=False``, the raw report frame.
+        Error frames raise: :class:`~repro.errors.ServiceBusyError` /
+        :class:`~repro.errors.ServiceClosedError` /
+        :class:`~repro.errors.ProtocolError` for their own kinds,
+        :class:`~repro.errors.ServiceError` for solve failures.
+        """
+        frame_id = f"r{next(self._ids)}"
+        response = await self._roundtrip(
+            submit_frame(frame_id, request, timeout_s=timeout_s)
+        )
+        if response["type"] == "error":
+            _raise_error_frame(response)
+        if response["type"] != "report":
+            raise ProtocolError(
+                f"expected a report frame, got {response['type']!r}"
+            )
+        return report_from_dict(response["report"]) if decode else response
+
+    async def submit_many(
+        self,
+        requests: Sequence[ScheduleRequest],
+        *,
+        timeout_s: float | None = None,
+        decode: bool = True,
+        return_errors: bool = False,
+    ) -> list[Any]:
+        """Pipeline a whole burst; results in submission order.
+
+        With ``return_errors=True`` failed submissions yield their
+        exception object in place of a report instead of raising (so
+        one infeasible request does not hide the other answers).
+        """
+        tasks = [
+            asyncio.ensure_future(
+                self.submit(request, timeout_s=timeout_s, decode=decode)
+            )
+            for request in requests
+        ]
+        results = await asyncio.gather(*tasks, return_exceptions=return_errors)
+        return list(results)
+
+    async def stream(
+        self,
+        requests: Sequence[ScheduleRequest],
+        *,
+        timeout_s: float | None = None,
+        decode: bool = True,
+    ) -> AsyncIterator[tuple[int, Any]]:
+        """Pipeline a burst and yield ``(index, result)`` as answers land.
+
+        Failures yield the exception object (stream order is completion
+        order, so raising would abandon later answers).
+        """
+
+        async def _indexed(index: int, request: ScheduleRequest):
+            try:
+                return index, await self.submit(
+                    request, timeout_s=timeout_s, decode=decode
+                )
+            # ReproError, not just ServiceError: decode=True can raise
+            # RequestError (schema drift, provenance mismatch) from
+            # report_from_dict, and that too must not abandon the
+            # other in-flight answers.
+            except ReproError as exc:
+                return index, exc
+
+        tasks = [
+            asyncio.ensure_future(_indexed(i, request))
+            for i, request in enumerate(requests)
+        ]
+        for completed in asyncio.as_completed(tasks):
+            yield await completed
+
+    async def stats(self) -> dict[str, Any]:
+        """The service's current metrics snapshot."""
+        frame_id = f"r{next(self._ids)}"
+        response = await self._roundtrip(stats_frame(frame_id))
+        if response["type"] == "error":
+            _raise_error_frame(response)
+        return response["stats"]
+
+    async def ping(self) -> float:
+        """Round-trip a ping; returns the latency in seconds."""
+        frame_id = f"r{next(self._ids)}"
+        start = time.perf_counter()
+        response = await self._roundtrip(ping_frame(frame_id))
+        if response["type"] != "pong":
+            raise ProtocolError(f"expected pong, got {response['type']!r}")
+        return time.perf_counter() - start
+
+    async def close(self) -> None:
+        """Close the connection; pending calls fail."""
+        if self._closed:
+            return
+        self._closed = True
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+class ServiceClient:
+    """Blocking client: an event loop on a background thread.
+
+    Usage::
+
+        with ServiceClient(port=7788) as client:
+            report = client.submit(ScheduleRequest(soc="alpha15", ...))
+
+    Every call is thread-safe; concurrent submits from several threads
+    pipeline over the single connection.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        connect_timeout_s: float = 30.0,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-service-client",
+            daemon=True,
+        )
+        self._thread.start()
+        try:
+            self._client: AsyncServiceClient = self._call(
+                AsyncServiceClient.connect(host, port), timeout=connect_timeout_s
+            )
+        except BaseException:
+            self._shutdown_loop()
+            raise
+
+    def _call(self, coro, timeout: float | None = None):
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout)
+
+    def _shutdown_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+
+    def submit(
+        self,
+        request: ScheduleRequest,
+        *,
+        timeout_s: float | None = None,
+        decode: bool = True,
+    ) -> SolveReport | dict[str, Any]:
+        """Blocking :meth:`AsyncServiceClient.submit`."""
+        return self._call(
+            self._client.submit(request, timeout_s=timeout_s, decode=decode)
+        )
+
+    def submit_many(
+        self,
+        requests: Sequence[ScheduleRequest],
+        *,
+        timeout_s: float | None = None,
+        decode: bool = True,
+        return_errors: bool = False,
+    ) -> list[Any]:
+        """Blocking :meth:`AsyncServiceClient.submit_many`."""
+        return self._call(
+            self._client.submit_many(
+                requests,
+                timeout_s=timeout_s,
+                decode=decode,
+                return_errors=return_errors,
+            )
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Blocking :meth:`AsyncServiceClient.stats`."""
+        return self._call(self._client.stats())
+
+    def ping(self) -> float:
+        """Blocking :meth:`AsyncServiceClient.ping`."""
+        return self._call(self._client.ping())
+
+    def close(self) -> None:
+        """Close the connection and stop the background loop."""
+        try:
+            self._call(self._client.close(), timeout=10.0)
+        finally:
+            self._shutdown_loop()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,189 @@
+"""JSONL wire protocol of the scheduling service.
+
+One frame per line: a single JSON object, UTF-8 encoded, terminated by
+``\\n`` — the same newline-delimited shape as the batch engine's JSONL
+archives, so the codecs (and greppability) carry over to the wire.
+
+Client to server::
+
+    {"type": "submit", "id": "c1", "request": {...}, "timeout_s": 30}
+    {"type": "stats",  "id": "c2"}
+    {"type": "ping",   "id": "c3"}
+
+Server to client (correlated by the client-chosen ``id``; responses to
+concurrent submits arrive in *completion* order, not submission order)::
+
+    {"type": "report", "id": "c1", "request_hash": "...", "report": {...}}
+    {"type": "error",  "id": "c1", "error_type": "...", "error": "..."}
+    {"type": "stats",  "id": "c2", "stats": {...}}
+    {"type": "pong",   "id": "c3"}
+
+Frames embed requests and reports in exactly the dict forms of
+:func:`repro.api.request_to_dict` / :func:`repro.api.report_to_dict`,
+so anything that can read a batch archive can read the wire.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from ..api.request import (
+    ScheduleRequest,
+    SolveReport,
+    report_to_dict,
+    request_from_dict,
+    request_to_dict,
+)
+from ..errors import ProtocolError, ReproError
+
+#: Default TCP port of ``repro serve`` (unassigned range, no IANA clash).
+DEFAULT_PORT = 7788
+
+#: Per-frame size cap, applied as the asyncio stream ``limit``.  A report
+#: embeds a full annotated schedule; even hundred-core systems stay far
+#: below this, so anything larger is a protocol violation, not data.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Every frame type either side may send.
+FRAME_TYPES = frozenset(
+    {"submit", "report", "error", "stats", "ping", "pong"}
+)
+
+
+def encode_frame(frame: Mapping[str, Any]) -> bytes:
+    """Serialise one frame to its newline-terminated wire bytes."""
+    return json.dumps(dict(frame), separators=(",", ":")).encode() + b"\n"
+
+
+def decode_frame(line: bytes | str) -> dict[str, Any]:
+    """Parse one wire line into a frame dict.
+
+    Raises
+    ------
+    ProtocolError
+        On malformed JSON, a non-object payload, or an unknown
+        ``type`` — the server answers these with an error frame instead
+        of dropping the connection, so one bad client line cannot kill
+        a pipelined session.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode()
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not valid UTF-8: {exc}") from exc
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    frame_type = frame.get("type")
+    if frame_type not in FRAME_TYPES:
+        raise ProtocolError(
+            f"unknown frame type {frame_type!r}; expected one of "
+            f"{', '.join(sorted(FRAME_TYPES))}"
+        )
+    return frame
+
+
+# -- client-side builders -------------------------------------------------------------
+
+
+def submit_frame(
+    frame_id: str,
+    request: ScheduleRequest,
+    timeout_s: float | None = None,
+) -> dict[str, Any]:
+    """A submit frame carrying *request* under correlation id *frame_id*."""
+    frame: dict[str, Any] = {
+        "type": "submit",
+        "id": frame_id,
+        "request": request_to_dict(request),
+    }
+    if timeout_s is not None:
+        frame["timeout_s"] = timeout_s
+    return frame
+
+
+def stats_frame(frame_id: str) -> dict[str, Any]:
+    """A stats-query frame."""
+    return {"type": "stats", "id": frame_id}
+
+
+def ping_frame(frame_id: str) -> dict[str, Any]:
+    """A liveness-probe frame."""
+    return {"type": "ping", "id": frame_id}
+
+
+# -- server-side builders -------------------------------------------------------------
+
+
+def report_frame(frame_id: str | None, report: SolveReport) -> dict[str, Any]:
+    """A successful-answer frame embedding the report's dict form."""
+    return {
+        "type": "report",
+        "id": frame_id,
+        "request_hash": report.request_hash,
+        "report": report_to_dict(report),
+    }
+
+
+def error_frame(
+    frame_id: str | None,
+    error: str,
+    error_type: str = "ServiceError",
+    request_hash: str | None = None,
+) -> dict[str, Any]:
+    """A failure frame (solve error, protocol error, or rejection)."""
+    frame: dict[str, Any] = {
+        "type": "error",
+        "id": frame_id,
+        "error_type": error_type,
+        "error": error,
+    }
+    if request_hash is not None:
+        frame["request_hash"] = request_hash
+    return frame
+
+
+def parse_submit_frame(
+    frame: Mapping[str, Any],
+) -> tuple[ScheduleRequest, float | None]:
+    """Extract the request (and optional timeout) from a submit frame.
+
+    Raises
+    ------
+    ProtocolError
+        On a missing/invalid request payload or a bad timeout — the
+        embedded request errors (unknown SoC, conflicting limits, ...)
+        surface as the library's own :class:`~repro.errors.RequestError`
+        wrapped in a ProtocolError message so the server can answer with
+        a precise error frame.
+    """
+    payload = frame.get("request")
+    if not isinstance(payload, dict):
+        raise ProtocolError("submit frame carries no request object")
+    try:
+        request = request_from_dict(payload)
+    except ReproError as exc:
+        raise ProtocolError(f"bad request in submit frame: {exc}") from exc
+    except (TypeError, KeyError) as exc:
+        raise ProtocolError(
+            f"malformed request in submit frame: {exc!r}"
+        ) from exc
+    timeout_s = frame.get("timeout_s")
+    if timeout_s is not None:
+        try:
+            timeout_s = float(timeout_s)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"timeout_s must be a number, got {timeout_s!r}"
+            ) from exc
+        if timeout_s <= 0.0:
+            raise ProtocolError(
+                f"timeout_s must be positive, got {timeout_s!r}"
+            )
+    return request, timeout_s

@@ -1,0 +1,260 @@
+"""JSONL-over-TCP front end of the scheduling service.
+
+:class:`ScheduleServer` binds an asyncio stream server and speaks the
+:mod:`~repro.service.protocol` frame format: clients pipeline any number
+of ``submit`` (plus ``stats``/``ping``) frames over one connection and
+receive one response frame per submission, correlated by id, in
+completion order.
+
+Backpressure is end-to-end: a submit frame is only acknowledged into the
+queue via the service's awaiting submit path, so when the queue is full
+the handler stops reading the socket and the client's TCP window fills —
+no unbounded buffering anywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..errors import ProtocolError, ReproError, ServiceClosedError
+from .protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    parse_submit_frame,
+    report_frame,
+)
+from .service import ScheduleService, ServiceJob
+
+
+class ScheduleServer:
+    """TCP front end over a :class:`~repro.service.service.ScheduleService`.
+
+    Parameters
+    ----------
+    service:
+        The (already constructed) service; the server starts and stops
+        only itself — the service's lifecycle belongs to the caller, so
+        one service can sit behind several transports.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    """
+
+    def __init__(
+        self,
+        service: ScheduleService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._connections = 0
+
+    @property
+    def service(self) -> ScheduleService:
+        """The service answering this server's submits."""
+        return self._service
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (meaningful after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        """The bind host."""
+        return self._host
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise ProtocolError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._requested_port,
+            limit=MAX_FRAME_BYTES,
+        )
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the CLI's main coroutine)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections (does not stop the service)."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "ScheduleServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- per-connection handling -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                # ValueError is how StreamReader surfaces an oversized
+                # line (it converts LimitOverrunError): the frame
+                # boundary is lost, so the connection cannot be
+                # resynchronised — drop it cleanly.
+                except (ConnectionResetError, ValueError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    await self._handle_frame(line, writer, write_lock, pending)
+                except (ConnectionResetError, BrokenPipeError):
+                    # The client went away mid-reply (pong/stats/error
+                    # frames send synchronously); drop the connection
+                    # quietly — submits already admitted keep running.
+                    break
+        finally:
+            # Let in-flight answers finish before closing: a draining
+            # client that half-closed its side still wants its reports.
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_frame(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        pending: set[asyncio.Task],
+    ) -> None:
+        try:
+            frame = decode_frame(line)
+        except ProtocolError as exc:
+            await self._send(
+                writer, write_lock, error_frame(None, str(exc), "ProtocolError")
+            )
+            return
+        frame_id = frame.get("id")
+        frame_type = frame["type"]
+        if frame_type == "ping":
+            await self._send(writer, write_lock, {"type": "pong", "id": frame_id})
+        elif frame_type == "stats":
+            await self._send(
+                writer,
+                write_lock,
+                {
+                    "type": "stats",
+                    "id": frame_id,
+                    "stats": self._service.metrics().to_dict(),
+                },
+            )
+        elif frame_type == "submit":
+            await self._handle_submit(frame, frame_id, writer, write_lock, pending)
+        else:
+            # A client sent a server-side frame type (report/error/...).
+            await self._send(
+                writer,
+                write_lock,
+                error_frame(
+                    frame_id,
+                    f"clients may not send {frame_type!r} frames",
+                    "ProtocolError",
+                ),
+            )
+
+    async def _handle_submit(
+        self,
+        frame: dict,
+        frame_id,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        pending: set[asyncio.Task],
+    ) -> None:
+        try:
+            request, timeout_s = parse_submit_frame(frame)
+        except ProtocolError as exc:
+            await self._send(
+                writer, write_lock, error_frame(frame_id, str(exc), "ProtocolError")
+            )
+            return
+        try:
+            # Awaiting submit is the backpressure point: a full queue
+            # pauses this connection's read loop.
+            job = await self._service.submit(request, timeout_s=timeout_s)
+        except ReproError as exc:
+            await self._send(
+                writer,
+                write_lock,
+                error_frame(
+                    frame_id,
+                    str(exc),
+                    type(exc).__name__,
+                    request_hash=request.content_hash(),
+                ),
+            )
+            return
+        task = asyncio.create_task(
+            self._answer_when_done(job, frame_id, writer, write_lock)
+        )
+        pending.add(task)
+        task.add_done_callback(pending.discard)
+
+    async def _answer_when_done(
+        self,
+        job: ServiceJob,
+        frame_id,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            outcome = await job.outcome()
+        except ServiceClosedError as exc:
+            frame = error_frame(
+                frame_id, str(exc), "ServiceClosedError", request_hash=job.key
+            )
+        else:
+            if outcome.ok:
+                assert outcome.report is not None
+                frame = report_frame(frame_id, outcome.report)
+            else:
+                frame = error_frame(
+                    frame_id,
+                    outcome.error or "unknown error",
+                    outcome.error_type or "ServiceError",
+                    request_hash=job.key,
+                )
+        try:
+            await self._send(writer, write_lock, frame)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; the solve (and archive) still count
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, write_lock: asyncio.Lock, frame: dict
+    ) -> None:
+        async with write_lock:
+            writer.write(encode_frame(frame))
+            await writer.drain()

@@ -1,0 +1,636 @@
+"""The long-lived asyncio scheduling service.
+
+:class:`ScheduleService` is the queueing heart of ``repro serve``: it
+accepts :class:`~repro.api.ScheduleRequest`\\ s on a bounded job queue,
+dispatches them to a worker pool built from the batch engine's execution
+backends, and resolves each submission's awaitable with a
+:class:`~repro.service.execution.SolveOutcome`.
+
+Design points:
+
+* **Bounded queue, explicit backpressure** — :meth:`ScheduleService.submit`
+  awaits queue space (a TCP handler that awaits it stops reading its
+  socket, pushing the backpressure all the way to the client), while
+  :meth:`ScheduleService.submit_nowait` raises
+  :class:`~repro.errors.ServiceBusyError` for callers that would rather
+  shed load than wait.
+* **In-flight deduplication** — submissions are keyed by the request's
+  stable :meth:`~repro.api.ScheduleRequest.content_hash`; while a solve
+  for a given hash is queued or running, every identical submission
+  attaches to the same :class:`ServiceJob` and one worker answers them
+  all.  (Waiters share the job's outcome — including its timeout, which
+  is fixed by the first submitter.)
+* **Shared thermal models** — thread workers solve against the
+  service's :class:`~repro.engine.cache.ThermalModelCache`; process
+  workers use the same per-process cache as the batch runner, so a
+  service interleaved with batches keeps its factorisations warm.
+* **Graceful drain** — :meth:`ScheduleService.stop` (default
+  ``drain=True``) stops accepting, lets the queue and every in-flight
+  solve finish, resolves all futures, then joins the executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import Any
+
+from ..api.request import ScheduleRequest, SolveReport
+from ..engine.backends import ExecutionBackend, create_backend
+from ..engine.cache import CacheStats, ThermalModelCache, resolve_cache
+from ..errors import ServiceBusyError, ServiceClosedError, ServiceError
+from .archive import ReportArchive
+from .execution import (
+    SolveOutcome,
+    error_outcome,
+    process_solve,
+    process_solve_uncached,
+    solve_request_outcome,
+)
+
+
+class ServiceJob:
+    """One queued or running solve, shared by all of its submitters.
+
+    Attributes
+    ----------
+    request:
+        The deduplicated request being solved.
+    key:
+        Its content hash (the dedup key).
+    timeout_s:
+        Effective solve timeout (``None`` = unbounded), fixed by the
+        first submitter.
+    """
+
+    __slots__ = ("request", "key", "timeout_s", "future", "submitted_at")
+
+    def __init__(
+        self,
+        request: ScheduleRequest,
+        key: str,
+        timeout_s: float | None,
+        future: "asyncio.Future[SolveOutcome]",
+    ) -> None:
+        self.request = request
+        self.key = key
+        self.timeout_s = timeout_s
+        self.future = future
+        self.submitted_at = time.perf_counter()
+
+    @property
+    def done(self) -> bool:
+        """True once the job's outcome is resolved."""
+        return self.future.done()
+
+    async def outcome(self) -> SolveOutcome:
+        """Await the job's terminal record (never raises on solve errors).
+
+        The future is shielded: cancelling one waiter does not cancel
+        the shared solve the other submitters are still waiting on.
+        """
+        return await asyncio.shield(self.future)
+
+    async def report(self) -> SolveReport:
+        """Await the report; solve failures raise :class:`ServiceError`."""
+        outcome = await self.outcome()
+        if not outcome.ok:
+            raise ServiceError(outcome.error)
+        assert outcome.report is not None
+        return outcome.report
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Point-in-time operational snapshot of a :class:`ScheduleService`.
+
+    Attributes
+    ----------
+    backend, workers, queue_capacity:
+        Static configuration.
+    queue_depth:
+        Jobs waiting for a worker slot right now.
+    in_flight:
+        Jobs currently occupying a worker.
+    submitted:
+        Total submissions accepted (dedup-attached ones included).
+    deduped:
+        Submissions that attached to an already in-flight identical
+        request instead of triggering a solve.
+    completed, errors, timeouts:
+        Jobs resolved ok / with an error outcome / of which timeouts.
+    rejected:
+        ``submit_nowait`` calls refused by a full queue.
+    solves_started, solves_completed:
+        Worker-pool executions — ``submitted - deduped`` submissions
+        each start exactly one solve, which is how dedup is asserted.
+    cache_hits:
+        Solves whose thermal model came out of a cache.
+    uptime_s, requests_per_s:
+        Service age and resolved-jobs throughput over it.
+    cache:
+        Shared-cache statistics (``None`` for process workers, whose
+        per-process caches are visible only via ``cache_hits``).
+    """
+
+    backend: str
+    workers: int
+    queue_capacity: int
+    queue_depth: int
+    in_flight: int
+    submitted: int
+    deduped: int
+    completed: int
+    errors: int
+    timeouts: int
+    rejected: int
+    solves_started: int
+    solves_completed: int
+    cache_hits: int
+    uptime_s: float
+    requests_per_s: float
+    cache: CacheStats | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the stats wire frame's payload)."""
+        data = {
+            "backend": self.backend,
+            "workers": self.workers,
+            "queue_capacity": self.queue_capacity,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
+            "submitted": self.submitted,
+            "deduped": self.deduped,
+            "completed": self.completed,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "rejected": self.rejected,
+            "solves_started": self.solves_started,
+            "solves_completed": self.solves_completed,
+            "cache_hits": self.cache_hits,
+            "uptime_s": self.uptime_s,
+            "requests_per_s": self.requests_per_s,
+        }
+        if self.cache is not None:
+            data["cache"] = {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "entries": self.cache.entries,
+                "evictions": self.cache.evictions,
+            }
+        return data
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of submissions answered by an in-flight solve."""
+        return self.deduped / self.submitted if self.submitted else 0.0
+
+    def describe(self) -> str:
+        """Multi-line human-readable snapshot."""
+        lines = [
+            f"schedule service on backend {self.backend!r} "
+            f"({self.workers} workers, queue {self.queue_depth}/"
+            f"{self.queue_capacity}, {self.in_flight} in flight)",
+            f"  {self.submitted} submitted ({self.deduped} deduped, "
+            f"{self.rejected} rejected), {self.completed} ok, "
+            f"{self.errors} errors ({self.timeouts} timeouts)",
+            f"  {self.solves_started} solves started / "
+            f"{self.solves_completed} completed, {self.cache_hits} model "
+            f"cache hits, {self.requests_per_s:.1f} req/s over "
+            f"{self.uptime_s:.1f} s",
+        ]
+        if self.cache is not None:
+            lines.append(f"  {self.cache.describe()}")
+        return "\n".join(lines)
+
+
+class ScheduleService:
+    """Async scheduling service: bounded queue in, worker pool out.
+
+    Parameters
+    ----------
+    backend:
+        Engine backend name (``"thread"``, ``"process"``, ``"serial"``)
+        or instance; its :meth:`~repro.engine.backends.ExecutionBackend.create_executor`
+        provides the worker pool.
+    max_workers:
+        Worker count (ignored when *backend* is an instance).
+    cache:
+        Thermal-model cache shared by thread/serial workers; pass an
+        existing one to share warm models with a
+        :class:`~repro.api.Workbench` in the same process.
+    use_cache:
+        Disable model caching entirely (process workers then skip their
+        per-process caches too).
+    queue_size:
+        Bound of the job queue — the backpressure threshold.
+    default_timeout_s:
+        Per-solve timeout applied when a submission names none
+        (``None`` = unbounded).
+    archive:
+        A :class:`~repro.service.archive.ReportArchive` (or path) every
+        resolved outcome is appended to.
+    """
+
+    def __init__(
+        self,
+        backend: str | ExecutionBackend = "thread",
+        max_workers: int | None = None,
+        cache: ThermalModelCache | None = None,
+        use_cache: bool = True,
+        queue_size: int = 128,
+        default_timeout_s: float | None = None,
+        archive: "ReportArchive | str | Path | None" = None,
+    ) -> None:
+        if isinstance(backend, ExecutionBackend):
+            self._backend = backend
+        else:
+            self._backend = create_backend(backend, max_workers=max_workers)
+        if queue_size < 1:
+            raise ServiceError(f"queue_size must be >= 1, got {queue_size!r}")
+        if default_timeout_s is not None and default_timeout_s <= 0.0:
+            raise ServiceError(
+                f"default_timeout_s must be positive, got {default_timeout_s!r}"
+            )
+        self._use_cache = use_cache
+        self._cache = (
+            resolve_cache(cache, use_cache)
+            if self._backend.shares_memory
+            else None
+        )
+        self._queue_size = queue_size
+        self._default_timeout_s = default_timeout_s
+        if archive is not None and not isinstance(archive, ReportArchive):
+            archive = ReportArchive(archive)
+        self._archive = archive
+
+        self._started = False
+        self._accepting = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: "asyncio.Queue[ServiceJob]" | None = None
+        self._sem: asyncio.Semaphore | None = None
+        self._executor = None
+        self._dispatcher: asyncio.Task | None = None
+        #: Everything a drain must wait for: job tasks + archive appends.
+        self._tasks: set[asyncio.Task] = set()
+        #: Job tasks only — the `in_flight` metric must count jobs
+        #: occupying workers, not background archive writes.
+        self._job_tasks: set[asyncio.Task] = set()
+        self._inflight: dict[str, ServiceJob] = {}
+        self._started_at = 0.0
+
+        self._submitted = 0
+        self._deduped = 0
+        self._completed = 0
+        self._errors = 0
+        self._timeouts = 0
+        self._rejected = 0
+        self._solves_started = 0
+        self._solves_completed = 0
+        self._cache_hits = 0
+        self._archive_errors = 0
+
+    # -- properties --------------------------------------------------------------------
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The engine backend providing the worker pool."""
+        return self._backend
+
+    @property
+    def cache(self) -> ThermalModelCache | None:
+        """The shared model cache (``None`` for process workers)."""
+        return self._cache
+
+    @property
+    def archive(self) -> ReportArchive | None:
+        """The JSONL archive resolved outcomes are appended to."""
+        return self._archive
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._started
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bring up the queue, the dispatcher and the worker pool."""
+        if self._started:
+            raise ServiceError("service is already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self._queue_size)
+        self._sem = asyncio.Semaphore(self._backend.max_workers)
+        self._executor = self._backend.create_executor()
+        if self._backend.shares_memory:
+            self._worker = partial(solve_request_outcome, cache=self._cache)
+        elif self._use_cache:
+            self._worker = process_solve
+        else:
+            self._worker = process_solve_uncached
+        self._started_at = time.perf_counter()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._accepting = True
+        self._started = True
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down; idempotent.
+
+        Parameters
+        ----------
+        drain:
+            ``True`` (default) finishes every queued and in-flight job
+            before returning; ``False`` fails queued jobs with
+            :class:`~repro.errors.ServiceClosedError` and only waits for
+            the solves already on workers (a pool cannot abandon them
+            mid-solve without leaking the worker).
+
+        Either way, on return no pending futures remain and the
+        executor is joined.
+        """
+        if not self._started:
+            return
+        self._accepting = False
+        assert self._queue is not None and self._loop is not None
+        if drain:
+            while self._inflight or not self._queue.empty() or self._tasks:
+                await asyncio.sleep(0.01)
+        else:
+            while not self._queue.empty():
+                job = self._queue.get_nowait()
+                self._inflight.pop(job.key, None)
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceClosedError("service stopped before this job ran")
+                    )
+            # Finishing jobs may spawn archive-append tasks; loop until
+            # genuinely quiet.
+            while self._tasks:
+                await asyncio.gather(*tuple(self._tasks), return_exceptions=True)
+            # A submitter may have been awaiting queue space when we
+            # flushed; fail whatever is left unresolved.
+            for job in list(self._inflight.values()):
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceClosedError("service stopped before this job ran")
+                    )
+            self._inflight.clear()
+        assert self._dispatcher is not None
+        self._dispatcher.cancel()
+        try:
+            await self._dispatcher
+        except asyncio.CancelledError:
+            pass
+        # shutdown(wait=True) blocks until zombie (timed-out) solves
+        # finish; hop to a helper thread so the loop stays responsive.
+        executor = self._executor
+        await self._loop.run_in_executor(
+            None, partial(executor.shutdown, wait=True)
+        )
+        self._started = False
+
+    async def __aenter__(self) -> "ScheduleService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop(drain=True)
+
+    # -- submission --------------------------------------------------------------------
+
+    def _prepare(
+        self, request: ScheduleRequest, timeout_s: float | None
+    ) -> tuple[ServiceJob, bool]:
+        if not isinstance(request, ScheduleRequest):
+            raise ServiceError(
+                f"submit() takes a ScheduleRequest, got {type(request).__name__}"
+            )
+        if not self._started or not self._accepting:
+            raise ServiceClosedError("service is not accepting requests")
+        if timeout_s is not None and timeout_s <= 0.0:
+            raise ServiceError(f"timeout_s must be positive, got {timeout_s!r}")
+        key = request.content_hash()
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self._submitted += 1
+            self._deduped += 1
+            return existing, False
+        assert self._loop is not None
+        job = ServiceJob(
+            request,
+            key,
+            self._default_timeout_s if timeout_s is None else timeout_s,
+            self._loop.create_future(),
+        )
+        self._inflight[key] = job
+        self._submitted += 1
+        return job, True
+
+    async def submit(
+        self, request: ScheduleRequest, *, timeout_s: float | None = None
+    ) -> ServiceJob:
+        """Enqueue a request, awaiting queue space if the service is full.
+
+        Identical in-flight requests (same content hash) share one
+        :class:`ServiceJob`; the returned job may therefore already be
+        running — or even already done.
+        """
+        job, fresh = self._prepare(request, timeout_s)
+        if fresh:
+            assert self._queue is not None
+            try:
+                await self._queue.put(job)
+            except asyncio.CancelledError:
+                # The caller was cancelled while waiting for queue
+                # space; the job never reached the queue, so it must
+                # not linger in the dedup map (later identical requests
+                # would attach to a solve that will never run, and
+                # drain would wait on it forever).
+                if self._inflight.get(job.key) is job:
+                    del self._inflight[job.key]
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceClosedError(
+                            "submission cancelled before it was queued"
+                        )
+                    )
+                    job.future.exception()  # retrieved: no GC warning
+                raise
+        return job
+
+    def submit_nowait(
+        self, request: ScheduleRequest, *, timeout_s: float | None = None
+    ) -> ServiceJob:
+        """Enqueue a request or raise :class:`ServiceBusyError` if full.
+
+        Dedup-attached submissions never count against the queue bound
+        (they occupy no new slot).
+        """
+        job, fresh = self._prepare(request, timeout_s)
+        if fresh:
+            assert self._queue is not None
+            try:
+                self._queue.put_nowait(job)
+            except asyncio.QueueFull:
+                self._inflight.pop(job.key, None)
+                self._submitted -= 1
+                self._rejected += 1
+                raise ServiceBusyError(
+                    f"job queue is full ({self._queue_size} waiting); "
+                    f"retry later or use the awaiting submit path"
+                ) from None
+        return job
+
+    async def solve(
+        self, request: ScheduleRequest, *, timeout_s: float | None = None
+    ) -> SolveReport:
+        """Submit and await in one call; solve failures raise."""
+        job = await self.submit(request, timeout_s=timeout_s)
+        return await job.report()
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None and self._sem is not None
+        while True:
+            # Acquire the worker slot *before* popping, so jobs stay in
+            # the queue (and count against its bound) until a worker is
+            # genuinely free — total admitted work is exactly
+            # ``workers + queue_size``.
+            await self._sem.acquire()
+            job = await self._queue.get()
+            task = asyncio.create_task(self._run_job(job))
+            self._tasks.add(task)
+            self._job_tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+            task.add_done_callback(self._job_tasks.discard)
+
+    async def _run_job(self, job: ServiceJob) -> None:
+        assert self._loop is not None and self._sem is not None
+        self._solves_started += 1
+        try:
+            worker_future = self._loop.run_in_executor(
+                self._executor, self._worker, job.request
+            )
+        except Exception as exc:  # executor refused (shutting down, ...)
+            self._sem.release()
+            self._finish(job, error_outcome(exc, 0.0))
+            return
+        slot_released = False
+        try:
+            if job.timeout_s is not None:
+                try:
+                    outcome = await asyncio.wait_for(
+                        asyncio.shield(worker_future), job.timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    # The pool cannot interrupt a running solve; the
+                    # zombie keeps its worker slot until it finishes,
+                    # then the callback frees it and counts it.
+                    self._timeouts += 1
+                    slot_released = True
+                    worker_future.add_done_callback(self._zombie_done)
+                    self._finish(
+                        job,
+                        SolveOutcome(
+                            status="error",
+                            report=None,
+                            error=(
+                                f"TimeoutError: solve exceeded its "
+                                f"{job.timeout_s:g} s budget"
+                            ),
+                            error_type="TimeoutError",
+                            elapsed_s=job.timeout_s,
+                        ),
+                    )
+                    return
+            else:
+                outcome = await worker_future
+        except Exception as exc:  # pool failure: broken pool, pickling, ...
+            outcome = error_outcome(exc, 0.0)
+        finally:
+            if not slot_released:
+                self._sem.release()
+        self._solves_completed += 1
+        self._finish(job, outcome)
+
+    def _zombie_done(self, future: "asyncio.Future") -> None:
+        assert self._sem is not None
+        self._sem.release()
+        self._solves_completed += 1
+        if not future.cancelled():
+            future.exception()  # retrieve, silencing the loop's warning
+
+    def _finish(self, job: ServiceJob, outcome: SolveOutcome) -> None:
+        self._inflight.pop(job.key, None)
+        if outcome.ok:
+            self._completed += 1
+            if outcome.cache_hit:
+                self._cache_hits += 1
+        else:
+            self._errors += 1
+        if self._archive is not None:
+            self._schedule_archive_append(job, outcome)
+        if not job.future.done():
+            job.future.set_result(outcome)
+
+    def _schedule_archive_append(
+        self, job: ServiceJob, outcome: SolveOutcome
+    ) -> None:
+        """Append to the archive off the event loop.
+
+        Per-record file I/O on the loop thread would stall every
+        connection on disk latency; the write runs on the loop's
+        default thread pool instead.  The task joins ``self._tasks``
+        so a drain flushes the archive before :meth:`stop` returns,
+        and a failing disk only bumps a counter — it must not take
+        the service down.
+        """
+        assert self._loop is not None and self._archive is not None
+
+        async def _append() -> None:
+            try:
+                await self._loop.run_in_executor(
+                    None,
+                    partial(
+                        self._archive.append_outcome,
+                        job.request,
+                        outcome,
+                        request_hash=job.key,
+                    ),
+                )
+            except Exception:
+                self._archive_errors += 1
+
+        task = asyncio.create_task(_append())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def metrics(self) -> ServiceMetrics:
+        """A point-in-time operational snapshot."""
+        uptime = time.perf_counter() - self._started_at if self._started_at else 0.0
+        resolved = self._completed + self._errors
+        return ServiceMetrics(
+            backend=self._backend.name,
+            workers=self._backend.max_workers,
+            queue_capacity=self._queue_size,
+            queue_depth=self._queue.qsize() if self._queue is not None else 0,
+            in_flight=len(self._job_tasks),
+            submitted=self._submitted,
+            deduped=self._deduped,
+            completed=self._completed,
+            errors=self._errors,
+            timeouts=self._timeouts,
+            rejected=self._rejected,
+            solves_started=self._solves_started,
+            solves_completed=self._solves_completed,
+            cache_hits=self._cache_hits,
+            uptime_s=uptime,
+            requests_per_s=resolved / uptime if uptime > 0.0 else 0.0,
+            cache=self._cache.stats if self._cache is not None else None,
+        )

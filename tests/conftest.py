@@ -7,6 +7,10 @@ steady-state systems against the same factorised networks.
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro.core.scheduler import ThermalAwareScheduler
@@ -19,6 +23,47 @@ from repro.soc.library import (
     worked_example6_soc,
 )
 from repro.thermal.simulator import ThermalSimulator
+
+#: Global per-test timeout (seconds).  The service suite runs real
+#: asyncio servers; a deadlocked queue or an unawaited future must fail
+#: fast instead of hanging the whole run (and the CI workflow with it).
+#: Override with REPRO_TEST_TIMEOUT_S; 0 disables (e.g. when stepping
+#: through a test under a debugger).
+TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _global_test_timeout(request):
+    """Fail any test that exceeds TEST_TIMEOUT_S (SIGALRM, unix only).
+
+    The same mechanism as pytest-timeout's signal method, inlined so
+    the suite needs no extra plugin: the alarm fires in the main
+    thread and surfaces as an ordinary test failure with a traceback
+    pointing at the hung line.
+    """
+    use_alarm = (
+        TEST_TIMEOUT_S > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        pytest.fail(
+            f"test exceeded the global {TEST_TIMEOUT_S:g}s timeout "
+            f"(override with REPRO_TEST_TIMEOUT_S)",
+            pytrace=True,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -324,3 +324,28 @@ class TestFleetSurvivesBuggySolvers:
             assert batch["boom"].steady_solves > 0
         finally:
             _REGISTRY.pop("test-exploding", None)
+
+
+class TestArchiveParentDirectories:
+    """Archiving to a fresh results directory must create it, not die."""
+
+    def test_save_batch_jsonl_creates_missing_parents(self, tmp_path):
+        batch = BatchRunner().run(small_fleet(2))
+        target = tmp_path / "results" / "deep" / "fleet.jsonl"
+        assert not target.parent.exists()
+        count = save_batch_jsonl(batch.results, target)
+        assert count == 2
+        assert len(load_batch_jsonl(target)) == 2
+
+    def test_save_batch_jsonl_into_existing_dir_still_works(self, tmp_path):
+        batch = BatchRunner().run(small_fleet(1))
+        target = tmp_path / "fleet.jsonl"
+        assert save_batch_jsonl(batch.results, target) == 1
+        # Overwriting in place is the idempotent re-run path.
+        assert save_batch_jsonl(batch.results, target) == 1
+        assert len(load_jsonl(target)) == 1
+
+    def test_runner_jsonl_path_creates_missing_parents(self, tmp_path):
+        target = tmp_path / "fresh" / "fleet.jsonl"
+        BatchRunner().run(small_fleet(1), jsonl_path=target)
+        assert target.exists()

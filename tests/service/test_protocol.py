@@ -1,0 +1,114 @@
+"""Wire-frame codec tests for the JSONL protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ScheduleRequest
+from repro.engine import ScenarioSpec
+from repro.errors import ProtocolError
+from repro.service import (
+    decode_frame,
+    encode_frame,
+    error_frame,
+    parse_submit_frame,
+    ping_frame,
+    stats_frame,
+    submit_frame,
+)
+
+REQUEST = ScheduleRequest(soc="worked_example6", tl_c=80.0, stcl=60.0)
+SCENARIO_REQUEST = ScheduleRequest(
+    scenario=ScenarioSpec(kind="grid", rows=2, cols=2),
+    tl_headroom=1.3,
+    stcl_headroom=2.0,
+    solver="thermal_aware",
+    params={"weight_factor": 1.2},
+)
+
+
+class TestFrameCodec:
+    def test_encode_is_one_newline_terminated_line(self):
+        wire = encode_frame(ping_frame("p1"))
+        assert wire.endswith(b"\n")
+        assert wire.count(b"\n") == 1
+
+    def test_round_trip(self):
+        frame = submit_frame("c1", REQUEST, timeout_s=5.0)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_decode_accepts_str_and_bytes(self):
+        frame = stats_frame("s1")
+        assert decode_frame(encode_frame(frame)) == frame
+        assert decode_frame(json.dumps(frame)) == frame
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame(b"{not json}\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(b"[1, 2]\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            decode_frame(b'{"type": "teleport"}\n')
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            decode_frame(b'{"id": "x"}\n')
+
+    def test_non_utf8_rejected(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            decode_frame(b'\xff\xfe{"type": "ping"}\n')
+
+
+class TestSubmitFrames:
+    @pytest.mark.parametrize("request_", [REQUEST, SCENARIO_REQUEST])
+    def test_request_round_trips_through_submit_frame(self, request_):
+        frame = decode_frame(encode_frame(submit_frame("c7", request_)))
+        parsed, timeout_s = parse_submit_frame(frame)
+        assert parsed == request_
+        assert parsed.content_hash() == request_.content_hash()
+        assert timeout_s is None
+
+    def test_timeout_parsed(self):
+        parsed, timeout_s = parse_submit_frame(submit_frame("c1", REQUEST, 2.5))
+        assert parsed == REQUEST
+        assert timeout_s == 2.5
+
+    def test_missing_request_rejected(self):
+        with pytest.raises(ProtocolError, match="no request"):
+            parse_submit_frame({"type": "submit", "id": "c1"})
+
+    def test_invalid_request_rejected(self):
+        frame = submit_frame("c1", REQUEST)
+        frame["request"]["soc"] = "not-a-platform"
+        with pytest.raises(ProtocolError, match="bad request"):
+            parse_submit_frame(frame)
+
+    def test_malformed_request_payload_rejected(self):
+        frame = submit_frame("c1", REQUEST)
+        frame["request"]["no_such_field"] = 1
+        with pytest.raises(ProtocolError, match="malformed request"):
+            parse_submit_frame(frame)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, "soon"])
+    def test_bad_timeout_rejected(self, bad):
+        frame = submit_frame("c1", REQUEST)
+        frame["timeout_s"] = bad
+        with pytest.raises(ProtocolError, match="timeout_s"):
+            parse_submit_frame(frame)
+
+
+class TestErrorFrames:
+    def test_error_frame_carries_type_and_hash(self):
+        frame = error_frame(
+            "c9", "boom", "SchedulingError", request_hash="abc123"
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded["error_type"] == "SchedulingError"
+        assert decoded["request_hash"] == "abc123"
+        assert decoded["id"] == "c9"

@@ -11,8 +11,10 @@ from repro.cli import (
     load_power_csv,
     main,
     parse_solver_params,
+    report_main,
     repro_main,
     solve_main,
+    submit_main,
 )
 from repro.errors import ReproError
 from repro.floorplan.generator import grid_floorplan
@@ -316,3 +318,213 @@ class TestBadParamValues:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "rejected params" in err
+
+
+@pytest.fixture()
+def live_server():
+    """A real ScheduleService + TCP server on a background event loop."""
+    import asyncio
+    import threading
+
+    from repro.service import ScheduleServer, ScheduleService
+
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+
+    async def boot():
+        service = ScheduleService(backend="thread", max_workers=2)
+        await service.start()
+        server = ScheduleServer(service, host="127.0.0.1", port=0)
+        await server.start()
+        return service, server
+
+    service, server = asyncio.run_coroutine_threadsafe(boot(), loop).result(30)
+    try:
+        yield server.port
+    finally:
+        async def teardown():
+            await server.stop()
+            await service.stop(drain=True)
+
+        asyncio.run_coroutine_threadsafe(teardown(), loop).result(60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join()
+        loop.close()
+
+
+class TestSubmitCommand:
+    def test_single_request_prints_full_report(self, live_server, capsys):
+        exit_code = submit_main(
+            ["--port", str(live_server), "--soc", "worked-example6",
+             "--tl", "80", "--stcl", "60"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "thermal_aware solve" in out
+        assert "1/1 requests answered ok" in out
+
+    def test_repeat_burst_is_deduplicated_serverside(self, live_server, capsys):
+        exit_code = submit_main(
+            ["--port", str(live_server), "--soc", "worked-example6",
+             "--tl", "81", "--stcl", "60", "--repeat", "4", "--stats"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert out.count("length") == 4
+        assert "service stats:" in out
+        assert "4/4 requests answered ok" in out
+
+    def test_infeasible_request_reports_error_and_fails(
+        self, live_server, capsys
+    ):
+        exit_code = submit_main(
+            ["--port", str(live_server), "--soc", "worked-example6",
+             "--tl", "30", "--stcl", "60"]
+        )
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert "CoreThermalViolation" in captured.err
+        assert "0/1 requests answered ok" in captured.out
+
+    def test_requests_file_submits_every_record(
+        self, live_server, tmp_path, capsys
+    ):
+        from repro.api import ScheduleRequest, request_to_dict
+
+        path = tmp_path / "requests.jsonl"
+        records = [
+            request_to_dict(
+                ScheduleRequest(soc="worked_example6", tl_c=80.0, stcl=60.0)
+            ),
+            request_to_dict(
+                ScheduleRequest(
+                    soc="worked_example6", tl_c=80.0, solver="sequential"
+                )
+            ),
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        exit_code = submit_main(
+            ["--port", str(live_server), "--requests", str(path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "2/2 requests answered ok" in out
+        assert "sequential" in out
+        # --repeat multiplies the file's records too.
+        assert submit_main(
+            ["--port", str(live_server), "--requests", str(path),
+             "--repeat", "2"]
+        ) == 0
+        assert "4/4 requests answered ok" in capsys.readouterr().out
+
+    def test_requests_file_conflicts_with_request_flags(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("{}\n")
+        exit_code = submit_main(
+            ["--requests", str(path), "--soc", "alpha15"]
+        )
+        assert exit_code == 1
+        assert "--requests replaces" in capsys.readouterr().err
+
+    def test_unreachable_service_is_a_clean_error(self, capsys):
+        exit_code = submit_main(
+            ["--port", "1", "--soc", "worked-example6",
+             "--tl", "80", "--stcl", "60"]
+        )
+        assert exit_code == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_bad_repeat_rejected(self, capsys):
+        exit_code = submit_main(
+            ["--repeat", "0", "--soc", "worked-example6",
+             "--tl", "80", "--stcl", "60"]
+        )
+        assert exit_code == 1
+        assert "--repeat" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_batch_archive_summary(self, tmp_path, capsys):
+        archive = tmp_path / "fleet.jsonl"
+        assert batch_main(
+            ["--count", "3", "--no-builtins", "--out", str(archive)]
+        ) == 0
+        capsys.readouterr()  # drop the batch output
+        assert report_main([str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("solver")
+        assert "thermal_aware" in out
+        assert "3 records over 1 solvers" in out
+
+    def test_missing_archive_is_a_clean_error(self, tmp_path, capsys):
+        exit_code = report_main([str(tmp_path / "nope.jsonl")])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeCommandSubprocess:
+    def test_serve_drains_on_sigint(self, tmp_path):
+        """`repro serve` end to end: boot, answer over TCP, drain."""
+        import os
+        import pathlib
+        import re
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+        archive = tmp_path / "out" / "served.jsonl"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", "--archive", str(archive)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+            assert match, f"no listening banner in {line!r}"
+            port = int(match.group(1))
+            exit_code = submit_main(
+                ["--port", str(port), "--soc", "worked-example6",
+                 "--tl", "80", "--stcl", "60", "--repeat", "3", "--quiet"]
+            )
+            assert exit_code == 0
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise
+        rest = proc.stdout.read()
+        proc.stdout.close()
+        assert proc.returncode == 0
+        assert "draining..." in rest
+        assert "schedule service on backend" in rest
+        # The archive (in a fresh directory) holds one record per
+        # solve: between 1 (all three submits overlapped in flight and
+        # deduped) and 3 (none overlapped — dedup is in-flight only,
+        # so timing decides), never one per waiter beyond that.
+        assert archive.exists()
+        records = archive.read_text().strip().splitlines()
+        assert 1 <= len(records) <= 3
+        assert all('"status":"ok"' in line for line in records)
+
+
+class TestUmbrellaUsage:
+    def test_usage_lists_service_commands(self, capsys):
+        assert repro_main([]) == 2
+        out = capsys.readouterr().out
+        for command in ("serve", "submit", "report"):
+            assert f"repro {command}" in out

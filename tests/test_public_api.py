@@ -16,6 +16,7 @@ import repro.engine
 import repro.experiments
 import repro.floorplan
 import repro.power
+import repro.service
 import repro.soc
 import repro.thermal
 from repro.errors import (
@@ -24,10 +25,14 @@ from repro.errors import (
     FloorplanFormatError,
     GeometryError,
     PowerModelError,
+    ProtocolError,
     ReproError,
     RequestError,
     ScheduleInfeasibleError,
     SchedulingError,
+    ServiceBusyError,
+    ServiceClosedError,
+    ServiceError,
     SolverError,
     ThermalModelError,
 )
@@ -36,7 +41,7 @@ from repro.errors import (
 @pytest.mark.parametrize(
     "module",
     [repro, repro.api, repro.core, repro.engine, repro.experiments,
-     repro.floorplan, repro.power, repro.soc, repro.thermal],
+     repro.floorplan, repro.power, repro.service, repro.soc, repro.thermal],
 )
 def test_all_names_resolve(module):
     for name in module.__all__:
@@ -61,6 +66,10 @@ class TestErrorHierarchy:
             SchedulingError,
             CoreThermalViolationError,
             ScheduleInfeasibleError,
+            ServiceError,
+            ServiceBusyError,
+            ServiceClosedError,
+            ProtocolError,
         ],
     )
     def test_all_derive_from_base(self, exc):
@@ -68,6 +77,11 @@ class TestErrorHierarchy:
 
     def test_format_error_is_floorplan_error(self):
         assert issubclass(FloorplanFormatError, FloorplanError)
+
+    def test_specialised_service_errors(self):
+        assert issubclass(ServiceBusyError, ServiceError)
+        assert issubclass(ServiceClosedError, ServiceError)
+        assert issubclass(ProtocolError, ServiceError)
 
     def test_specialised_scheduling_errors(self):
         assert issubclass(CoreThermalViolationError, SchedulingError)
