@@ -1,13 +1,16 @@
-"""Scheduling-service benchmarks: sustained throughput and dedup value.
+"""Scheduling-service benchmarks: throughput, dedup and cache value.
 
-Two questions about ``repro.service``:
+Three questions about ``repro.service``:
 
 * what request rate does a service sustain for a fleet-like burst over
   the real TCP protocol, and how does it compare against handing the
   equivalent work to a :class:`~repro.engine.runner.BatchRunner` in one
   shot (the protocol + queueing overhead must stay a modest tax)?
-* how much does in-flight deduplication save on a bursty, repetitive
-  workload (many clients asking the same questions at once)?
+* how much do in-flight deduplication and the answer cache save on a
+  bursty, repetitive workload (many clients asking the same questions)?
+* how much faster is an answer-cache **hit** than the miss (full solve)
+  path — the repeat-traffic latency the cache exists to eliminate?
+  The acceptance floor is a 10x reduction; in practice it is far more.
 
 Run with the rest of the opt-in suite::
 
@@ -17,12 +20,20 @@ Run with the rest of the opt-in suite::
 from __future__ import annotations
 
 import asyncio
+import threading
+import time
+from contextlib import contextmanager
 
 import pytest
 
 from repro.api import ScheduleRequest
 from repro.engine import BatchRunner, generate_fleet
-from repro.service import AsyncServiceClient, ScheduleServer, ScheduleService
+from repro.service import (
+    AsyncServiceClient,
+    ScheduleServer,
+    ScheduleService,
+    ServiceClient,
+)
 
 #: Burst size: fleet-like traffic, not a toy ping.
 BURST = 96
@@ -79,6 +90,7 @@ def test_bench_service_sustained_throughput(benchmark, burst_requests):
         BURST / benchmark.stats["mean"], 1
     )
     benchmark.extra_info["dedup_hits"] = stats["deduped"]
+    benchmark.extra_info["answer_hits"] = stats["answer_hits"]
     benchmark.extra_info["solves_started"] = stats["solves_started"]
 
 
@@ -87,13 +99,13 @@ def test_bench_service_vs_batch_runner(burst_requests, fleet_jobs):
 
     The batch runner executes the burst as BURST independent jobs (its
     dedup is only the model cache); the service collapses identical
-    in-flight requests to DISTINCT solves.  On this workload the
+    requests to DISTINCT solves — concurrent repeats via in-flight
+    dedup, later repeats via the answer cache.  On this workload the
     service's protocol overhead must be more than paid for: it must not
-    be slower than the batch path by more than 2x, and its dedup must
-    eliminate >= half the solves.
+    be slower than the batch path by more than 2x, and dedup + cache
+    together must eliminate >= half the solves.
     """
     import dataclasses
-    import time
 
     # The same 96 questions as a batch fleet (unique ids, repeated work).
     jobs = []
@@ -112,14 +124,87 @@ def test_bench_service_vs_batch_runner(burst_requests, fleet_jobs):
     service_s = time.perf_counter() - start
     assert len(frames) == BURST
 
-    dedup_rate = stats["deduped"] / stats["submitted"]
+    absorbed = stats["deduped"] + stats["answer_hits"]
+    absorbed_rate = absorbed / stats["submitted"]
     print(
         f"\nbatch[thread x{WORKERS}] {batch_s:.2f} s "
         f"({BURST / batch_s:.1f} jobs/s) vs service {service_s:.2f} s "
-        f"({BURST / service_s:.1f} req/s), dedup rate {dedup_rate:.2f} "
-        f"({stats['solves_started']} solves for {BURST} requests)"
+        f"({BURST / service_s:.1f} req/s), absorbed rate "
+        f"{absorbed_rate:.2f} ({stats['deduped']} deduped + "
+        f"{stats['answer_hits']} cache hits; {stats['solves_started']} "
+        f"solves for {BURST} requests)"
     )
     assert service_s < 2.0 * batch_s, (
         f"service burst took {service_s:.2f} s vs batch {batch_s:.2f} s"
     )
-    assert dedup_rate >= 0.5, f"dedup rate only {dedup_rate:.2f}"
+    assert absorbed_rate >= 0.5, f"absorbed rate only {absorbed_rate:.2f}"
+
+
+@contextmanager
+def _live_server(**service_kwargs):
+    """A real TCP server on a background thread; yields its port."""
+    started = threading.Event()
+    state: dict = {}
+
+    def run() -> None:
+        async def main() -> None:
+            async with ScheduleService(**service_kwargs) as service:
+                server = ScheduleServer(service, port=0)
+                await server.start()
+                state["port"] = server.port
+                state["loop"] = asyncio.get_running_loop()
+                state["stop"] = asyncio.Event()
+                started.set()
+                try:
+                    await state["stop"].wait()
+                finally:
+                    await server.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, name="bench-serve", daemon=True)
+    thread.start()
+    assert started.wait(30.0), "service did not boot"
+    try:
+        yield state["port"]
+    finally:
+        state["loop"].call_soon_threadsafe(state["stop"].set)
+        thread.join(timeout=60.0)
+
+
+def test_bench_service_cache_hit_latency(benchmark):
+    """Answer-cache hit latency vs the miss (full solve) path.
+
+    The ISSUE's acceptance floor: a repeated request must be answered
+    >= 10x faster from the cache than by solving.  Measured end to end
+    over the real TCP protocol (connect, frame, queue, respond) with
+    ``decode=False`` on both sides so the comparison is pure serving
+    latency, not client-side schedule revalidation.
+    """
+    request = ScheduleRequest(soc="alpha15", tl_c=165.0, stcl=60.0)
+    with _live_server(backend="thread", max_workers=2) as port:
+        with ServiceClient(port=port) as client:
+            start = time.perf_counter()
+            miss_frame = client.submit(request, decode=False)
+            miss_s = time.perf_counter() - start
+            assert not miss_frame["report"]["cached"]
+
+            hit_frame = benchmark(lambda: client.submit(request, decode=False))
+            assert hit_frame["report"]["cached"]
+            stats = client.stats()
+
+    hit_s = benchmark.stats["median"]
+    speedup = miss_s / hit_s
+    print(
+        f"\nmiss (full solve) {miss_s * 1e3:.2f} ms vs cache hit "
+        f"{hit_s * 1e3:.3f} ms over TCP: {speedup:.0f}x"
+    )
+    benchmark.extra_info["miss_latency_ms"] = round(miss_s * 1e3, 3)
+    benchmark.extra_info["hit_latency_ms"] = round(hit_s * 1e3, 4)
+    benchmark.extra_info["hit_vs_miss_speedup"] = round(speedup, 1)
+    benchmark.extra_info["answer_hits"] = stats["answer_hits"]
+    assert stats["solves_started"] == 1  # every benchmark round was a hit
+    assert speedup >= 10.0, (
+        f"cache hit only {speedup:.1f}x faster than the miss path "
+        f"({hit_s * 1e3:.3f} ms vs {miss_s * 1e3:.2f} ms)"
+    )

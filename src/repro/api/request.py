@@ -228,6 +228,10 @@ class SolveReport:
         (limit resolution included).
     cache_hit:
         Whether the thermal model came out of a shared cache.
+    cached:
+        Answer provenance: ``True`` when this report was served from
+        the scheduling service's answer cache instead of a fresh solve
+        (``elapsed_s`` etc. then describe the *original* solve).
     extras:
         Solver-specific diagnostics.
     """
@@ -240,6 +244,7 @@ class SolveReport:
     elapsed_s: float
     steady_solves: int = 0
     cache_hit: bool = False
+    cached: bool = False
     extras: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -302,7 +307,8 @@ class SolveReport:
             f"(hot-spot rate {self.hot_spot_rate * 100:.0f}%)",
             f"  {self.steady_solves} steady-state solves in "
             f"{self.elapsed_s * 1e3:.1f} ms, model cache "
-            f"{'hit' if self.cache_hit else 'miss'}",
+            f"{'hit' if self.cache_hit else 'miss'}"
+            f"{' (served from the answer cache)' if self.cached else ''}",
         ]
         if self.extras:
             pairs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.extras.items()))
@@ -337,6 +343,7 @@ def report_to_dict(report: SolveReport) -> dict[str, Any]:
         "elapsed_s": report.elapsed_s,
         "steady_solves": report.steady_solves,
         "cache_hit": report.cache_hit,
+        "cached": report.cached,
         "extras": dict(report.extras),
     }
 
@@ -377,5 +384,6 @@ def report_from_dict(data: dict[str, Any]) -> SolveReport:
         elapsed_s=float(data["elapsed_s"]),
         steady_solves=int(data.get("steady_solves", 0)),
         cache_hit=bool(data.get("cache_hit", False)),
+        cached=bool(data.get("cached", False)),
         extras=data.get("extras") or {},
     )

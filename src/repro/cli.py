@@ -524,13 +524,34 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="worker-pool backend (default thread)",
     )
     execution.add_argument(
-        "--workers", type=int, help="worker count (default: CPU count)"
+        "--workers", type=int, help="worker-pool maximum (default: CPU count)"
+    )
+    execution.add_argument(
+        "--min-workers",
+        type=int,
+        help="adaptive-pool floor; below --workers the pool scales with "
+        "queue depth (default: fixed at --workers)",
+    )
+    execution.add_argument(
+        "--scale-down-idle",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="quiet seconds before the pool gives back one worker "
+        "(default 2.0)",
     )
     execution.add_argument(
         "--queue-size",
         type=int,
         default=128,
         help="job-queue bound before backpressure (default 128)",
+    )
+    execution.add_argument(
+        "--shed-watermark",
+        type=int,
+        metavar="N",
+        help="queue depth past which submits are shed with "
+        "ServiceBusyError instead of queued (default: never shed)",
     )
     execution.add_argument(
         "--solve-timeout",
@@ -542,6 +563,34 @@ def serve_main(argv: list[str] | None = None) -> int:
         "--no-cache",
         action="store_true",
         help="disable the shared thermal-model cache",
+    )
+    caching = parser.add_argument_group("answer cache")
+    caching.add_argument(
+        "--answer-cache",
+        type=int,
+        default=256,
+        metavar="N",
+        help="answer-cache LRU bound (default 256)",
+    )
+    caching.add_argument(
+        "--answer-ttl",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="answer-cache TTL in seconds; 0 = never expires "
+        "(default 300)",
+    )
+    caching.add_argument(
+        "--no-answer-cache",
+        action="store_true",
+        help="disable the answer cache (every submit solves or dedups)",
+    )
+    caching.add_argument(
+        "--warm-from",
+        type=Path,
+        metavar="JSONL",
+        help="pre-populate the answer cache from a service archive's "
+        "ok records at boot",
     )
     output = parser.add_argument_group("output")
     output.add_argument(
@@ -556,19 +605,40 @@ def serve_main(argv: list[str] | None = None) -> int:
         service = ScheduleService(
             backend=args.backend,
             max_workers=args.workers,
+            min_workers=args.min_workers,
+            scale_down_idle_s=args.scale_down_idle,
+            shed_watermark=args.shed_watermark,
             use_cache=not args.no_cache,
             queue_size=args.queue_size,
             default_timeout_s=args.solve_timeout,
             archive=args.archive,
+            answer_cache_size=0 if args.no_answer_cache else args.answer_cache,
+            # Exactly 0 is the documented no-expiry sentinel; negatives
+            # fall through to AnswerCache's validation (a typoed sign
+            # must not silently mean "serve stale forever").
+            answer_ttl_s=None if args.answer_ttl == 0 else args.answer_ttl,
+            warm_from=args.warm_from,
         )
         await service.start()
         server = ScheduleServer(service, host=args.host, port=args.port)
         await server.start()
+        pool = service.worker_pool
+        if pool.min_workers != pool.max_workers:
+            workers = f"{pool.min_workers}..{pool.max_workers} workers"
+        else:
+            workers = f"{pool.max_workers} workers"
+        cache = service.answer_cache
+        if cache is None:
+            answers = "answer cache off"
+        else:
+            ttl = "no TTL" if cache.ttl_s is None else f"TTL {cache.ttl_s:g} s"
+            answers = (
+                f"answer cache {len(cache)}/{cache.max_entries} ({ttl})"
+            )
         print(
             f"repro service listening on {args.host}:{server.port} "
-            f"(backend {service.backend.name!r}, "
-            f"{service.backend.max_workers} workers, "
-            f"queue {args.queue_size})",
+            f"(backend {service.backend.name!r}, {workers}, "
+            f"queue {args.queue_size}, {answers})",
             flush=True,
         )
         stop_event = asyncio.Event()
@@ -733,10 +803,21 @@ def report_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        summaries = summarize_archives(args.archives)
+        summaries = summarize_archives(args.archives, empty_ok=True)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if not summaries:
+        # No records yet is a state, not a mistake: a freshly booted
+        # `repro serve --archive` creates the file before its first
+        # request resolves.  Say so and exit cleanly instead of
+        # erroring (or printing a headers-only table).
+        print(
+            "no records in "
+            + ", ".join(str(p) for p in args.archives)
+            + " (nothing has been archived yet)"
+        )
+        return 0
     print(render_summary_table(summaries))
     total = sum(s.jobs for s in summaries)
     errors = sum(s.errors for s in summaries)

@@ -114,11 +114,14 @@ class ServiceError(ReproError):
 
 
 class ServiceBusyError(ServiceError):
-    """The service's bounded job queue is full (backpressure signal).
+    """The service is shedding load (backpressure signal).
 
-    Clients that cannot wait should retry later; clients that can wait
-    should use the awaiting submit path, which blocks until queue space
-    frees up instead of raising.
+    Raised by ``submit_nowait`` when the bounded job queue is full, and
+    by *both* submit paths when the queue depth passes a configured
+    shed watermark.  Clients that cannot wait should retry later with
+    backoff; clients that can wait (and no watermark is set) should use
+    the awaiting submit path, which blocks until queue space frees up
+    instead of raising.
     """
 
 

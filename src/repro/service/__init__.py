@@ -9,6 +9,11 @@ and that answers with :class:`~repro.api.SolveReport`\\ s:
   worker pool on the engine's execution backends, in-flight request
   deduplication by content hash, per-request timeouts, backpressure,
   graceful drain and operational metrics;
+* :mod:`answer_cache` — :class:`AnswerCache`, the bounded TTL cache of
+  resolved answers (same content-hash key), warm-startable from an
+  archive (``repro serve --warm-from``);
+* :mod:`pool` — :class:`AdaptiveWorkerPool`, the admission gate that
+  scales worker concurrency between min/max with queue depth;
 * :mod:`protocol` — the newline-delimited JSON frame format
   (submit/report/error/stats/ping);
 * :mod:`server` — :class:`ScheduleServer`, the asyncio TCP front end;
@@ -34,6 +39,11 @@ Quickstart (in one process; over TCP it is ``repro serve`` +
     asyncio.run(main())
 """
 
+from .answer_cache import (
+    AnswerCache,
+    AnswerCacheStats,
+    warm_cache_from_archive,
+)
 from .archive import (
     SERVICE_RECORD_KIND,
     ReportArchive,
@@ -42,6 +52,7 @@ from .archive import (
 )
 from .client import AsyncServiceClient, ServiceClient
 from .execution import SolveOutcome, solve_request_outcome
+from .pool import AdaptiveWorkerPool
 from .protocol import (
     DEFAULT_PORT,
     MAX_FRAME_BYTES,
@@ -66,6 +77,9 @@ from .server import ScheduleServer
 from .service import ScheduleService, ServiceJob, ServiceMetrics
 
 __all__ = [
+    "AdaptiveWorkerPool",
+    "AnswerCache",
+    "AnswerCacheStats",
     "AsyncServiceClient",
     "DEFAULT_PORT",
     "MAX_FRAME_BYTES",
@@ -94,4 +108,5 @@ __all__ = [
     "submit_frame",
     "summarize_archives",
     "summarize_records",
+    "warm_cache_from_archive",
 ]

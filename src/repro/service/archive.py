@@ -5,7 +5,11 @@ service never ends, so its archive is an *append* stream: one
 self-contained record per resolved job, written as the job resolves.
 Records embed the request (and its content hash) plus either the full
 report dict or the error, so ``repro report`` can aggregate service
-archives and batch archives side by side.
+archives and batch archives side by side — and so a rebooted service
+can replay its ``ok`` records into the answer cache
+(:func:`~repro.service.answer_cache.warm_cache_from_archive`,
+``repro serve --warm-from``): the archive is simultaneously the audit
+log and the cache's persistence layer.
 """
 
 from __future__ import annotations
@@ -60,12 +64,15 @@ class ReportArchive:
     path:
         Archive file; missing parent directories are created (a fresh
         results dir must not kill the first request that tries to log
-        to it).
+        to it), and the file itself is created empty up front so
+        tail-followers and ``repro report`` see "no records yet"
+        rather than "no such file" while the service is still idle.
     """
 
     def __init__(self, path: str | Path) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._path.touch(exist_ok=True)
         self._count = 0
         # The service appends from worker threads (it keeps file I/O
         # off its event loop); serialise writers so lines never shear.

@@ -9,6 +9,13 @@ only need the wire payload).
 :class:`ServiceClient` is the synchronous wrapper for scripts and the
 CLI: it runs an event loop on a background thread and exposes blocking
 ``submit`` / ``submit_many`` / ``stats`` / ``ping`` calls.
+
+Answer provenance survives decoding: a report served from the service's
+answer cache arrives with ``report.cached`` set (and ``"cached": true``
+in the raw frame), so a client can distinguish a memory answer from a
+fresh solve.  A service shedding load (queue past its watermark)
+answers with a :class:`~repro.errors.ServiceBusyError` error frame,
+raised here as that class — callers can catch it and back off.
 """
 
 from __future__ import annotations

@@ -1,0 +1,199 @@
+"""Adaptive concurrency gate for the scheduling service's worker pool.
+
+The executor behind a :class:`~repro.service.service.ScheduleService`
+is created at its *maximum* size, but both pool flavours spawn their
+workers lazily — a thread/process only materialises when a job is
+actually submitted.  Concurrency is therefore governed here, in front
+of the executor: :class:`AdaptiveWorkerPool` admits at most ``target``
+jobs at a time and moves ``target`` between a configured ``[min, max]``
+band with queue pressure.
+
+Scaling policy (deliberately boring — hysteresis, one step per event):
+
+* **Up** — when an observation sees a backlog larger than the spare
+  admission capacity (``target - busy``), ``target`` grows by one
+  (until ``max``).  Observations fire on every submission and every
+  completion, so a burst ramps one worker per event — fast, but never
+  past the backlog.
+* **Down** — when observations have seen an empty queue with a spare
+  worker for ``scale_down_idle_s`` continuously, ``target`` shrinks by
+  one (until ``min``) and the idle timer restarts, so a pool bleeds
+  down gradually instead of collapsing on the first quiet moment.
+* **Never preemptive** — shrinking below the number of running jobs
+  just pauses new admissions until solves finish; a worker is never
+  interrupted.
+
+The pool has a single consumer (the service's dispatch loop), which
+keeps :meth:`acquire` a one-waiter future instead of a lock dance, and
+an injectable clock so the scale-down hysteresis is unit-testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable
+
+from ..errors import ServiceError
+
+
+class AdaptiveWorkerPool:
+    """Semaphore-like gate whose permit count tracks queue pressure.
+
+    Parameters
+    ----------
+    min_workers, max_workers:
+        The band ``target`` moves in; ``min == max`` is a fixed-size
+        pool (the pre-adaptive behaviour).
+    scale_down_idle_s:
+        Continuous quiet time (empty queue, spare worker) before one
+        scale-down step.
+    clock:
+        Monotonic time source; injectable for no-sleep tests.
+    """
+
+    def __init__(
+        self,
+        min_workers: int,
+        max_workers: int,
+        scale_down_idle_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if min_workers < 1:
+            raise ServiceError(
+                f"min_workers must be >= 1, got {min_workers!r}"
+            )
+        if max_workers < min_workers:
+            raise ServiceError(
+                f"max_workers ({max_workers!r}) must be >= min_workers "
+                f"({min_workers!r})"
+            )
+        if scale_down_idle_s <= 0.0:
+            raise ServiceError(
+                f"scale_down_idle_s must be positive, got {scale_down_idle_s!r}"
+            )
+        self._min = min_workers
+        self._max = max_workers
+        self._idle_s = scale_down_idle_s
+        self._clock = clock
+        self._target = min_workers
+        self._in_use = 0
+        #: True while the consumer holds an acquired slot but is still
+        #: waiting for a job to run on it (parked on the queue).  That
+        #: slot is *spare* capacity for scaling purposes: a submission
+        #: it will pick up immediately must not look like backlog.
+        self._idle_claim = False
+        self._idle_since: float | None = None
+        self._waiter: "asyncio.Future[None] | None" = None
+        self._scale_ups = 0
+        self._scale_downs = 0
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def min_workers(self) -> int:
+        """Lower bound of the worker band."""
+        return self._min
+
+    @property
+    def max_workers(self) -> int:
+        """Upper bound of the worker band."""
+        return self._max
+
+    @property
+    def scale_down_idle_s(self) -> float:
+        """Quiet time required before one shrink step."""
+        return self._idle_s
+
+    @property
+    def current_workers(self) -> int:
+        """The current admission target (``min <= target <= max``)."""
+        return self._target
+
+    @property
+    def busy_workers(self) -> int:
+        """Jobs currently admitted (may transiently exceed a shrunk target)."""
+        return self._in_use
+
+    @property
+    def scale_ups(self) -> int:
+        """Total one-step grow decisions taken."""
+        return self._scale_ups
+
+    @property
+    def scale_downs(self) -> int:
+        """Total one-step shrink decisions taken."""
+        return self._scale_downs
+
+    # -- admission ---------------------------------------------------------------------
+
+    async def acquire(self) -> None:
+        """Wait until a worker slot is free, then claim it.
+
+        Single-consumer by design: only the service's dispatch loop
+        calls this, so one parked future suffices.
+        """
+        while self._in_use >= self._target:
+            if self._waiter is not None:
+                raise ServiceError(
+                    "AdaptiveWorkerPool.acquire has a single consumer; "
+                    "a second concurrent acquire is a bug"
+                )
+            self._waiter = asyncio.get_running_loop().create_future()
+            try:
+                await self._waiter
+            finally:
+                self._waiter = None
+        self._in_use += 1
+
+    def release(self) -> None:
+        """Return a claimed slot (job finished, or its zombie did)."""
+        self._in_use -= 1
+        self._wake()
+
+    def mark_idle_claim(self) -> None:
+        """The consumer acquired a slot but has no job for it yet."""
+        self._idle_claim = True
+
+    def clear_idle_claim(self) -> None:
+        """The consumer's claimed slot now carries a job."""
+        self._idle_claim = False
+
+    def _wake(self) -> None:
+        waiter = self._waiter
+        if waiter is not None and not waiter.done():
+            waiter.set_result(None)
+
+    # -- scaling -----------------------------------------------------------------------
+
+    def observe(self, queue_depth: int) -> None:
+        """Feed one load observation; may take one scaling step.
+
+        The pool itself runs no timer — scaling is a pure function of
+        the observed event sequence and the injected clock.  The
+        service feeds it observations on every submission, every job
+        completion, every metrics snapshot, and (for adaptive bands)
+        from a periodic idle heartbeat, so a service that goes quiet
+        still bleeds back down to its floor.
+        """
+        now = self._clock()
+        running = self._in_use - (1 if self._idle_claim else 0)
+        if queue_depth > 0:
+            self._idle_since = None
+            spare = self._target - running
+            if queue_depth > spare and self._target < self._max:
+                self._target += 1
+                self._scale_ups += 1
+                self._wake()
+            return
+        if self._target <= self._min or running >= self._target:
+            # Nothing to give back (at the floor, or every slot busy).
+            self._idle_since = None
+            return
+        if self._idle_since is None:
+            self._idle_since = now
+        elif now - self._idle_since >= self._idle_s:
+            self._target -= 1
+            self._scale_downs += 1
+            self._idle_since = now

@@ -20,7 +20,17 @@ concurrent submits arrive in *completion* order, not submission order)::
 
 Frames embed requests and reports in exactly the dict forms of
 :func:`repro.api.request_to_dict` / :func:`repro.api.report_to_dict`,
-so anything that can read a batch archive can read the wire.
+so anything that can read a batch archive can read the wire.  A report
+answered from the service's answer cache carries ``"cached": true``
+inside its report dict — same frame shape, explicit provenance.
+
+The stats frame's payload is
+:meth:`repro.service.service.ServiceMetrics.to_dict`: queue/worker
+gauges (``queue_depth``, ``in_flight``, ``current_workers`` inside the
+``min_workers``/``workers`` band), submission counters (``submitted``,
+``answer_hits``, ``deduped``, ``rejected``, ``shed``), solve counters,
+and the nested ``cache`` (thermal models) and ``answer_cache``
+(hits/misses/evictions/expirations) statistics.
 """
 
 from __future__ import annotations

@@ -168,12 +168,22 @@ def summarize_records(
 
 def summarize_archives(
     paths: Sequence[str | Path],
+    empty_ok: bool = False,
 ) -> list[SolverSummary]:
-    """Summaries over the concatenation of one or more JSONL archives."""
+    """Summaries over the concatenation of one or more JSONL archives.
+
+    With ``empty_ok`` an archive set holding no records yields ``[]``
+    (a freshly booted ``repro serve --archive`` creates the file before
+    anything resolves — empty is a state, not a mistake); the default
+    raises :class:`~repro.errors.SchedulingError` so library callers
+    cannot mistake an empty summary for a summarised fleet.
+    """
     records: list[dict[str, Any]] = []
     for path in paths:
         records.extend(load_jsonl(path))
     if not records:
+        if empty_ok:
+            return []
         raise SchedulingError(
             f"no records found in {', '.join(str(p) for p in paths)}"
         )

@@ -9,14 +9,18 @@ completion order.
 Backpressure is end-to-end: a submit frame is only acknowledged into the
 queue via the service's awaiting submit path, so when the queue is full
 the handler stops reading the socket and the client's TCP window fills —
-no unbounded buffering anywhere.
+no unbounded buffering anywhere.  Two fast paths never touch the queue:
+an answer-cache hit resolves immediately (its report frame carries
+``"cached": true``), and a service configured with a shed watermark
+answers over-watermark submits with a ``ServiceBusyError`` error frame
+instead of queueing them.
 """
 
 from __future__ import annotations
 
 import asyncio
 
-from ..errors import ProtocolError, ReproError, ServiceClosedError
+from ..errors import ProtocolError, ReproError, ServiceError
 from .protocol import (
     MAX_FRAME_BYTES,
     decode_frame,
@@ -231,9 +235,13 @@ class ScheduleServer:
     ) -> None:
         try:
             outcome = await job.outcome()
-        except ServiceClosedError as exc:
+        # Any ServiceError, not just closed: a dedup-attached job whose
+        # originating submission was cancelled resolves its waiters
+        # with ServiceBusyError — the client must get an error frame
+        # either way, or its submit would wait forever.
+        except ServiceError as exc:
             frame = error_frame(
-                frame_id, str(exc), "ServiceClosedError", request_hash=job.key
+                frame_id, str(exc), type(exc).__name__, request_hash=job.key
             )
         else:
             if outcome.ok:

@@ -13,13 +13,24 @@ Design points:
   socket, pushing the backpressure all the way to the client), while
   :meth:`ScheduleService.submit_nowait` raises
   :class:`~repro.errors.ServiceBusyError` for callers that would rather
-  shed load than wait.
+  shed load than wait.  An optional ``shed_watermark`` turns *both*
+  paths into load-shedders past a queue-depth high-water mark.
+* **Answer cache** — resolved answers are kept in a bounded,
+  TTL-expiring :class:`~repro.service.answer_cache.AnswerCache` keyed
+  by the same content hash as everything else; a hit resolves the
+  submission immediately (report flagged ``cached``) without touching
+  the queue or a worker, and the cache can warm-start from a
+  :class:`~repro.service.archive.ReportArchive` at boot.
 * **In-flight deduplication** — submissions are keyed by the request's
   stable :meth:`~repro.api.ScheduleRequest.content_hash`; while a solve
   for a given hash is queued or running, every identical submission
   attaches to the same :class:`ServiceJob` and one worker answers them
   all.  (Waiters share the job's outcome — including its timeout, which
   is fixed by the first submitter.)
+* **Adaptive worker pool** — admissions to the executor are gated by an
+  :class:`~repro.service.pool.AdaptiveWorkerPool` that scales its
+  target between ``min_workers`` and ``max_workers`` with queue
+  pressure (one step per observation, idle hysteresis on the way down).
 * **Shared thermal models** — thread workers solve against the
   service's :class:`~repro.engine.cache.ThermalModelCache`; process
   workers use the same per-process cache as the batch runner, so a
@@ -32,6 +43,7 @@ Design points:
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import time
 from dataclasses import dataclass
 from functools import partial
@@ -42,6 +54,7 @@ from ..api.request import ScheduleRequest, SolveReport
 from ..engine.backends import ExecutionBackend, create_backend
 from ..engine.cache import CacheStats, ThermalModelCache, resolve_cache
 from ..errors import ServiceBusyError, ServiceClosedError, ServiceError
+from .answer_cache import AnswerCache, AnswerCacheStats, warm_cache_from_archive
 from .archive import ReportArchive
 from .execution import (
     SolveOutcome,
@@ -50,6 +63,7 @@ from .execution import (
     process_solve_uncached,
     solve_request_outcome,
 )
+from .pool import AdaptiveWorkerPool
 
 
 class ServiceJob:
@@ -64,9 +78,12 @@ class ServiceJob:
     timeout_s:
         Effective solve timeout (``None`` = unbounded), fixed by the
         first submitter.
+    waiters:
+        Submissions that dedup-attached to this job after the first —
+        the count of *other* clients whose answers die with it.
     """
 
-    __slots__ = ("request", "key", "timeout_s", "future", "submitted_at")
+    __slots__ = ("request", "key", "timeout_s", "future", "submitted_at", "waiters")
 
     def __init__(
         self,
@@ -80,6 +97,7 @@ class ServiceJob:
         self.timeout_s = timeout_s
         self.future = future
         self.submitted_at = time.perf_counter()
+        self.waiters = 0
 
     @property
     def done(self) -> bool:
@@ -110,30 +128,51 @@ class ServiceMetrics:
     Attributes
     ----------
     backend, workers, queue_capacity:
-        Static configuration.
+        Static configuration (``workers`` is the pool *maximum*).
+    min_workers, current_workers:
+        Adaptive-pool band floor and current admission target
+        (``current_workers == workers`` for a fixed-size pool).
+    scale_ups, scale_downs:
+        One-step pool scaling decisions taken so far.
     queue_depth:
         Jobs waiting for a worker slot right now.
     in_flight:
         Jobs currently occupying a worker.
     submitted:
-        Total submissions accepted (dedup-attached ones included).
+        Total submissions accepted (dedup-attached and answer-cache
+        hits included).
+    answer_hits:
+        Submissions answered directly from the answer cache (no queue,
+        no worker, report flagged ``cached``).
     deduped:
         Submissions that attached to an already in-flight identical
         request instead of triggering a solve.
     completed, errors, timeouts:
         Jobs resolved ok / with an error outcome / of which timeouts.
     rejected:
-        ``submit_nowait`` calls refused by a full queue.
+        Submissions refused with :class:`~repro.errors.ServiceBusyError`
+        (``submit_nowait`` on a full queue, either path past the shed
+        watermark, or dedup waiters whose originating submission was
+        cancelled while the queue was full).
+    shed:
+        The subset of ``rejected`` caused by the shed watermark.
     solves_started, solves_completed:
-        Worker-pool executions — ``submitted - deduped`` submissions
-        each start exactly one solve, which is how dedup is asserted.
+        Worker-pool executions — ``submitted - deduped - answer_hits``
+        submissions each start exactly one solve, which is how dedup
+        and the answer cache are asserted.
     cache_hits:
         Solves whose thermal model came out of a cache.
     uptime_s, requests_per_s:
-        Service age and resolved-jobs throughput over it.
+        Service age and answered-submissions throughput over it.
+        Cache hits and dedup-attached submissions count — every one is
+        an answered request (an attached waiter's answer is its shared
+        job's, so the gauge runs at most ``in_flight`` ahead of the
+        futures actually resolving).
     cache:
-        Shared-cache statistics (``None`` for process workers, whose
-        per-process caches are visible only via ``cache_hits``).
+        Shared model-cache statistics (``None`` for process workers,
+        whose per-process caches are visible only via ``cache_hits``).
+    answer_cache:
+        Answer-cache statistics (``None`` when the cache is disabled).
     """
 
     backend: str
@@ -153,21 +192,34 @@ class ServiceMetrics:
     uptime_s: float
     requests_per_s: float
     cache: CacheStats | None = None
+    min_workers: int = 0
+    current_workers: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    shed: int = 0
+    answer_hits: int = 0
+    answer_cache: AnswerCacheStats | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (the stats wire frame's payload)."""
         data = {
             "backend": self.backend,
             "workers": self.workers,
+            "min_workers": self.min_workers,
+            "current_workers": self.current_workers,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
             "queue_capacity": self.queue_capacity,
             "queue_depth": self.queue_depth,
             "in_flight": self.in_flight,
             "submitted": self.submitted,
+            "answer_hits": self.answer_hits,
             "deduped": self.deduped,
             "completed": self.completed,
             "errors": self.errors,
             "timeouts": self.timeouts,
             "rejected": self.rejected,
+            "shed": self.shed,
             "solves_started": self.solves_started,
             "solves_completed": self.solves_completed,
             "cache_hits": self.cache_hits,
@@ -181,6 +233,8 @@ class ServiceMetrics:
                 "entries": self.cache.entries,
                 "evictions": self.cache.evictions,
             }
+        if self.answer_cache is not None:
+            data["answer_cache"] = self.answer_cache.to_dict()
         return data
 
     @property
@@ -188,20 +242,35 @@ class ServiceMetrics:
         """Fraction of submissions answered by an in-flight solve."""
         return self.deduped / self.submitted if self.submitted else 0.0
 
+    @property
+    def answer_hit_rate(self) -> float:
+        """Fraction of submissions answered from the answer cache."""
+        return self.answer_hits / self.submitted if self.submitted else 0.0
+
     def describe(self) -> str:
         """Multi-line human-readable snapshot."""
+        if self.min_workers and self.min_workers != self.workers:
+            workers = (
+                f"{self.current_workers} workers "
+                f"[{self.min_workers}..{self.workers}]"
+            )
+        else:
+            workers = f"{self.workers} workers"
         lines = [
             f"schedule service on backend {self.backend!r} "
-            f"({self.workers} workers, queue {self.queue_depth}/"
+            f"({workers}, queue {self.queue_depth}/"
             f"{self.queue_capacity}, {self.in_flight} in flight)",
-            f"  {self.submitted} submitted ({self.deduped} deduped, "
-            f"{self.rejected} rejected), {self.completed} ok, "
-            f"{self.errors} errors ({self.timeouts} timeouts)",
+            f"  {self.submitted} submitted ({self.answer_hits} answer-cache "
+            f"hits, {self.deduped} deduped, {self.rejected} rejected), "
+            f"{self.completed} ok, {self.errors} errors "
+            f"({self.timeouts} timeouts)",
             f"  {self.solves_started} solves started / "
             f"{self.solves_completed} completed, {self.cache_hits} model "
             f"cache hits, {self.requests_per_s:.1f} req/s over "
             f"{self.uptime_s:.1f} s",
         ]
+        if self.answer_cache is not None:
+            lines.append(f"  {self.answer_cache.describe()}")
         if self.cache is not None:
             lines.append(f"  {self.cache.describe()}")
         return "\n".join(lines)
@@ -217,7 +286,21 @@ class ScheduleService:
         or instance; its :meth:`~repro.engine.backends.ExecutionBackend.create_executor`
         provides the worker pool.
     max_workers:
-        Worker count (ignored when *backend* is an instance).
+        Worker-pool maximum (ignored when *backend* is an instance).
+    min_workers:
+        Adaptive-pool floor; defaults to the maximum (fixed-size pool,
+        the pre-adaptive behaviour).  With ``min_workers < max``, the
+        admission target scales with queue pressure.
+    scale_down_idle_s:
+        Continuous quiet time before the pool gives back one worker.
+    worker_pool:
+        Explicit :class:`~repro.service.pool.AdaptiveWorkerPool`
+        (overrides the two knobs above; for tests with injected
+        clocks).
+    shed_watermark:
+        Queue-depth high-water mark past which *both* submit paths
+        shed load with :class:`~repro.errors.ServiceBusyError` instead
+        of queueing (``None`` = never shed; await-backpressure only).
     cache:
         Thermal-model cache shared by thread/serial workers; pass an
         existing one to share warm models with a
@@ -233,6 +316,18 @@ class ScheduleService:
     archive:
         A :class:`~repro.service.archive.ReportArchive` (or path) every
         resolved outcome is appended to.
+    answer_cache:
+        Explicit :class:`~repro.service.answer_cache.AnswerCache`
+        (overrides the two knobs below; for tests with injected
+        clocks, or to share one cache across services).
+    answer_cache_size:
+        LRU bound of the default answer cache; ``0`` disables answer
+        caching entirely.
+    answer_ttl_s:
+        TTL of the default answer cache (``None`` = never expires).
+    warm_from:
+        Service-archive JSONL path whose ``ok`` records pre-populate
+        the answer cache at :meth:`start`.
     """
 
     def __init__(
@@ -244,6 +339,14 @@ class ScheduleService:
         queue_size: int = 128,
         default_timeout_s: float | None = None,
         archive: "ReportArchive | str | Path | None" = None,
+        min_workers: int | None = None,
+        scale_down_idle_s: float = 2.0,
+        worker_pool: AdaptiveWorkerPool | None = None,
+        shed_watermark: int | None = None,
+        answer_cache: AnswerCache | None = None,
+        answer_cache_size: int = 256,
+        answer_ttl_s: float | None = 300.0,
+        warm_from: "str | Path | None" = None,
     ) -> None:
         if isinstance(backend, ExecutionBackend):
             self._backend = backend
@@ -255,6 +358,13 @@ class ScheduleService:
             raise ServiceError(
                 f"default_timeout_s must be positive, got {default_timeout_s!r}"
             )
+        if shed_watermark is not None and not (
+            1 <= shed_watermark <= queue_size
+        ):
+            raise ServiceError(
+                f"shed_watermark must be within [1, queue_size={queue_size}], "
+                f"got {shed_watermark!r}"
+            )
         self._use_cache = use_cache
         self._cache = (
             resolve_cache(cache, use_cache)
@@ -263,17 +373,58 @@ class ScheduleService:
         )
         self._queue_size = queue_size
         self._default_timeout_s = default_timeout_s
+        self._shed_watermark = shed_watermark
         if archive is not None and not isinstance(archive, ReportArchive):
             archive = ReportArchive(archive)
         self._archive = archive
+        if worker_pool is not None:
+            self._pool = worker_pool
+        else:
+            self._pool = AdaptiveWorkerPool(
+                min_workers=(
+                    self._backend.max_workers
+                    if min_workers is None
+                    else min_workers
+                ),
+                max_workers=self._backend.max_workers,
+                scale_down_idle_s=scale_down_idle_s,
+            )
+        if self._pool.max_workers > self._backend.max_workers:
+            raise ServiceError(
+                f"worker pool max ({self._pool.max_workers}) exceeds the "
+                f"backend's {self._backend.max_workers} workers"
+            )
+        if answer_cache_size < 0:
+            raise ServiceError(
+                f"answer_cache_size must be >= 0 (0 disables), "
+                f"got {answer_cache_size!r}"
+            )
+        if answer_cache is not None:
+            self._answer_cache: AnswerCache | None = answer_cache
+        elif answer_cache_size > 0:
+            self._answer_cache = AnswerCache(
+                max_entries=answer_cache_size, ttl_s=answer_ttl_s
+            )
+        else:
+            self._answer_cache = None
+        if warm_from is not None and self._answer_cache is None:
+            raise ServiceError(
+                "warm_from needs the answer cache; do not combine it with "
+                "answer_cache_size=0"
+            )
+        self._warm_from = warm_from
+        #: The cache outlives stop(); warm only the first start, or a
+        #: restart would re-decode the whole archive, refresh TTLs and
+        #: double-count the warmed stat.
+        self._warmed_once = False
 
         self._started = False
         self._accepting = False
         self._loop: asyncio.AbstractEventLoop | None = None
         self._queue: "asyncio.Queue[ServiceJob]" | None = None
-        self._sem: asyncio.Semaphore | None = None
         self._executor = None
         self._dispatcher: asyncio.Task | None = None
+        self._heartbeat: asyncio.Task | None = None
         #: Everything a drain must wait for: job tasks + archive appends.
         self._tasks: set[asyncio.Task] = set()
         #: Job tasks only — the `in_flight` metric must count jobs
@@ -288,6 +439,8 @@ class ScheduleService:
         self._errors = 0
         self._timeouts = 0
         self._rejected = 0
+        self._shed = 0
+        self._answer_hits = 0
         self._solves_started = 0
         self._solves_completed = 0
         self._cache_hits = 0
@@ -306,6 +459,16 @@ class ScheduleService:
         return self._cache
 
     @property
+    def answer_cache(self) -> AnswerCache | None:
+        """The TTL answer cache (``None`` when disabled)."""
+        return self._answer_cache
+
+    @property
+    def worker_pool(self) -> AdaptiveWorkerPool:
+        """The adaptive admission gate in front of the executor."""
+        return self._pool
+
+    @property
     def archive(self) -> ReportArchive | None:
         """The JSONL archive resolved outcomes are appended to."""
         return self._archive
@@ -318,13 +481,31 @@ class ScheduleService:
     # -- lifecycle ---------------------------------------------------------------------
 
     async def start(self) -> None:
-        """Bring up the queue, the dispatcher and the worker pool."""
+        """Bring up the queue, the dispatcher and the worker pool.
+
+        With ``warm_from`` set, the answer cache is populated from the
+        archive first (on an executor thread — decoding revalidates
+        every schedule), so the very first request can already hit.
+        """
         if self._started:
             raise ServiceError("service is already started")
         self._loop = asyncio.get_running_loop()
+        if self._warm_from is not None and not self._warmed_once:
+            assert self._answer_cache is not None
+            await self._loop.run_in_executor(
+                None,
+                partial(
+                    warm_cache_from_archive, self._answer_cache, self._warm_from
+                ),
+            )
+            self._warmed_once = True
         self._queue = asyncio.Queue(maxsize=self._queue_size)
-        self._sem = asyncio.Semaphore(self._backend.max_workers)
         self._executor = self._backend.create_executor()
+        if self._pool.min_workers < self._pool.max_workers:
+            # Submissions/completions stop observing when traffic stops;
+            # the heartbeat keeps feeding the pool so the documented
+            # idle scale-down happens even on a silent service.
+            self._heartbeat = asyncio.create_task(self._scale_heartbeat())
         if self._backend.shares_memory:
             self._worker = partial(solve_request_outcome, cache=self._cache)
         elif self._use_cache:
@@ -384,6 +565,13 @@ class ScheduleService:
             await self._dispatcher
         except asyncio.CancelledError:
             pass
+        if self._heartbeat is not None:
+            self._heartbeat.cancel()
+            try:
+                await self._heartbeat
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat = None
         # shutdown(wait=True) blocks until zombie (timed-out) solves
         # finish; hop to a helper thread so the loop stays responsive.
         executor = self._executor
@@ -401,6 +589,26 @@ class ScheduleService:
 
     # -- submission --------------------------------------------------------------------
 
+    def _cached_job(
+        self, request: ScheduleRequest, key: str, outcome: SolveOutcome
+    ) -> ServiceJob:
+        """A pre-resolved job carrying the answer cache's outcome.
+
+        The stored outcome is re-stamped with ``cached=True`` on every
+        hit, so provenance survives the wire and the client can tell a
+        memory answer from a fresh solve.
+        """
+        assert self._loop is not None
+        assert outcome.report is not None
+        served = dataclasses.replace(
+            outcome, report=dataclasses.replace(outcome.report, cached=True)
+        )
+        job = ServiceJob(request, key, None, self._loop.create_future())
+        job.future.set_result(served)
+        self._submitted += 1
+        self._answer_hits += 1
+        return job
+
     def _prepare(
         self, request: ScheduleRequest, timeout_s: float | None
     ) -> tuple[ServiceJob, bool]:
@@ -413,11 +621,30 @@ class ScheduleService:
         if timeout_s is not None and timeout_s <= 0.0:
             raise ServiceError(f"timeout_s must be positive, got {timeout_s!r}")
         key = request.content_hash()
+        # Answer cache first: a stored answer needs no queue slot, no
+        # worker and no dedup bookkeeping.  (An expired entry reports a
+        # miss and falls through to a fresh solve — never served stale.)
+        if self._answer_cache is not None:
+            stored = self._answer_cache.get(key)
+            if stored is not None:
+                return self._cached_job(request, key, stored), False
         existing = self._inflight.get(key)
         if existing is not None:
             self._submitted += 1
             self._deduped += 1
+            existing.waiters += 1
             return existing, False
+        if (
+            self._shed_watermark is not None
+            and self._queue is not None
+            and self._queue.qsize() >= self._shed_watermark
+        ):
+            self._rejected += 1
+            self._shed += 1
+            raise ServiceBusyError(
+                f"job queue depth reached the shed watermark "
+                f"({self._shed_watermark}); retry later"
+            )
         assert self._loop is not None
         job = ServiceJob(
             request,
@@ -443,17 +670,57 @@ class ScheduleService:
             assert self._queue is not None
             try:
                 await self._queue.put(job)
+                self._pool.observe(self._queue.qsize())
             except asyncio.CancelledError:
                 # The caller was cancelled while waiting for queue
-                # space; the job never reached the queue, so it must
-                # not linger in the dedup map (later identical requests
-                # would attach to a solve that will never run, and
-                # drain would wait on it forever).
+                # space.  Other clients may have dedup-attached to this
+                # job in the meantime; their answers must not die with
+                # the canceller, so if space has freed up the job is
+                # queued on their behalf (the cancelled submission
+                # stays counted — the solve it owns will happen).
+                if (
+                    job.waiters
+                    and self._accepting
+                    and self._inflight.get(job.key) is job
+                ):
+                    try:
+                        self._queue.put_nowait(job)
+                    except asyncio.QueueFull:
+                        pass
+                    else:
+                        self._pool.observe(self._queue.qsize())
+                        raise
+                # Abandoned for real: the job never reached the queue,
+                # so it must not linger in the dedup map (later
+                # identical requests would attach to a solve that will
+                # never run, and drain would wait on it forever), and
+                # it must not count as submitted —
+                # ``submitted == solves_started + deduped + answer_hits``
+                # is the invariant the stats frame advertises.
+                self._submitted -= 1
+                if job.waiters and self._accepting:
+                    # Waiters on a *running* service receive busy
+                    # errors ("retry" is honest advice): they move
+                    # from the dedup tally to the rejected one, like
+                    # any other ServiceBusyError refusal.  On a
+                    # stopping service they get ServiceClosedError
+                    # below instead — telling them to retry against a
+                    # draining service would be a lie, and shutdown
+                    # fallout must not pollute the load-shedding gauge.
+                    self._submitted -= job.waiters
+                    self._deduped -= job.waiters
+                    self._rejected += job.waiters
                 if self._inflight.get(job.key) is job:
                     del self._inflight[job.key]
                 if not job.future.done():
                     job.future.set_exception(
-                        ServiceClosedError(
+                        ServiceBusyError(
+                            "the queue was full and the originating "
+                            "submission was cancelled before this request "
+                            "could be queued; retry"
+                        )
+                        if job.waiters and self._accepting
+                        else ServiceClosedError(
                             "submission cancelled before it was queued"
                         )
                     )
@@ -474,6 +741,7 @@ class ScheduleService:
             assert self._queue is not None
             try:
                 self._queue.put_nowait(job)
+                self._pool.observe(self._queue.qsize())
             except asyncio.QueueFull:
                 self._inflight.pop(job.key, None)
                 self._submitted -= 1
@@ -494,29 +762,62 @@ class ScheduleService:
     # -- dispatch ----------------------------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
-        assert self._queue is not None and self._sem is not None
+        assert self._queue is not None
         while True:
             # Acquire the worker slot *before* popping, so jobs stay in
             # the queue (and count against its bound) until a worker is
-            # genuinely free — total admitted work is exactly
-            # ``workers + queue_size``.
-            await self._sem.acquire()
-            job = await self._queue.get()
+            # genuinely free — total admitted work is at most
+            # ``max_workers + queue_size``.  While this loop is parked
+            # on an empty queue the claimed slot is flagged as idle, so
+            # the pool's scaling policy counts it as spare capacity
+            # rather than as a busy worker.
+            await self._pool.acquire()
+            self._pool.mark_idle_claim()
+            try:
+                job = await self._queue.get()
+            except asyncio.CancelledError:
+                # stop() cancels this loop while it holds an idle slot;
+                # the pool outlives the stop (unlike the per-start
+                # queue), so the slot must go back or a later start()
+                # would find it permanently leaked.
+                self._pool.clear_idle_claim()
+                self._pool.release()
+                raise
+            self._pool.clear_idle_claim()
             task = asyncio.create_task(self._run_job(job))
             self._tasks.add(task)
             self._job_tasks.add(task)
             task.add_done_callback(self._tasks.discard)
             task.add_done_callback(self._job_tasks.discard)
 
+    async def _scale_heartbeat(self) -> None:
+        """Periodic pool observation for adaptive bands.
+
+        Half the idle hysteresis per tick: frequent enough that the
+        scale-down window is honoured within ~1.5x its nominal value,
+        rare enough to be free.
+        """
+        interval = max(0.05, self._pool.scale_down_idle_s / 2.0)
+        while True:
+            await asyncio.sleep(interval)
+            if self._queue is not None:
+                self._pool.observe(self._queue.qsize())
+
+    def _release_slot(self) -> None:
+        """Give a worker slot back and feed the pool an observation."""
+        self._pool.release()
+        if self._queue is not None:
+            self._pool.observe(self._queue.qsize())
+
     async def _run_job(self, job: ServiceJob) -> None:
-        assert self._loop is not None and self._sem is not None
+        assert self._loop is not None
         self._solves_started += 1
         try:
             worker_future = self._loop.run_in_executor(
                 self._executor, self._worker, job.request
             )
         except Exception as exc:  # executor refused (shutting down, ...)
-            self._sem.release()
+            self._release_slot()
             self._finish(job, error_outcome(exc, 0.0))
             return
         slot_released = False
@@ -553,13 +854,12 @@ class ScheduleService:
             outcome = error_outcome(exc, 0.0)
         finally:
             if not slot_released:
-                self._sem.release()
+                self._release_slot()
         self._solves_completed += 1
         self._finish(job, outcome)
 
     def _zombie_done(self, future: "asyncio.Future") -> None:
-        assert self._sem is not None
-        self._sem.release()
+        self._release_slot()
         self._solves_completed += 1
         if not future.cancelled():
             future.exception()  # retrieve, silencing the loop's warning
@@ -570,6 +870,8 @@ class ScheduleService:
             self._completed += 1
             if outcome.cache_hit:
                 self._cache_hits += 1
+            if self._answer_cache is not None:
+                self._answer_cache.put(job.key, outcome)
         else:
             self._errors += 1
         if self._archive is not None:
@@ -612,25 +914,53 @@ class ScheduleService:
     # -- metrics -----------------------------------------------------------------------
 
     def metrics(self) -> ServiceMetrics:
-        """A point-in-time operational snapshot."""
+        """A point-in-time operational snapshot.
+
+        When called on the service's event loop it also feeds the
+        adaptive pool one load observation, sharpening the idle
+        scale-down the background heartbeat already guarantees.  Called
+        from any other thread it is a pure read — the pool's waiter
+        future is loop-private state a foreign thread must not touch.
+        """
         uptime = time.perf_counter() - self._started_at if self._started_at else 0.0
-        resolved = self._completed + self._errors
+        answered = (
+            self._completed + self._errors + self._answer_hits + self._deduped
+        )
+        queue_depth = self._queue.qsize() if self._queue is not None else 0
+        if self._started:
+            try:
+                on_loop = asyncio.get_running_loop() is self._loop
+            except RuntimeError:
+                on_loop = False
+            if on_loop:
+                self._pool.observe(queue_depth)
         return ServiceMetrics(
             backend=self._backend.name,
-            workers=self._backend.max_workers,
+            workers=self._pool.max_workers,
+            min_workers=self._pool.min_workers,
+            current_workers=self._pool.current_workers,
+            scale_ups=self._pool.scale_ups,
+            scale_downs=self._pool.scale_downs,
             queue_capacity=self._queue_size,
-            queue_depth=self._queue.qsize() if self._queue is not None else 0,
+            queue_depth=queue_depth,
             in_flight=len(self._job_tasks),
             submitted=self._submitted,
+            answer_hits=self._answer_hits,
             deduped=self._deduped,
             completed=self._completed,
             errors=self._errors,
             timeouts=self._timeouts,
             rejected=self._rejected,
+            shed=self._shed,
             solves_started=self._solves_started,
             solves_completed=self._solves_completed,
             cache_hits=self._cache_hits,
             uptime_s=uptime,
-            requests_per_s=resolved / uptime if uptime > 0.0 else 0.0,
+            requests_per_s=answered / uptime if uptime > 0.0 else 0.0,
             cache=self._cache.stats if self._cache is not None else None,
+            answer_cache=(
+                self._answer_cache.stats
+                if self._answer_cache is not None
+                else None
+            ),
         )

@@ -1,0 +1,341 @@
+"""AdaptiveWorkerPool tests: scaling policy units + a live service.
+
+The policy is a pure function of the observed (queue depth, busy
+workers, clock) sequence — no background timers — so the unit tests
+drive it step by step with a fake clock; the service tests then verify
+the wiring: a burst grows ``current_workers`` toward the max, idle
+observations shrink it back to the floor, and the shed watermark turns
+over-pressure submits into :class:`~repro.errors.ServiceBusyError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.api import ScheduleRequest
+from repro.errors import ServiceBusyError, ServiceError
+from repro.service import AdaptiveWorkerPool, ScheduleService
+
+from .test_service import sleepy
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestPolicyUnits:
+    def test_validation(self):
+        with pytest.raises(ServiceError, match="min_workers"):
+            AdaptiveWorkerPool(0, 4)
+        with pytest.raises(ServiceError, match="max_workers"):
+            AdaptiveWorkerPool(4, 2)
+        with pytest.raises(ServiceError, match="scale_down_idle_s"):
+            AdaptiveWorkerPool(1, 2, scale_down_idle_s=0.0)
+
+    def test_starts_at_the_floor(self):
+        pool = AdaptiveWorkerPool(2, 8)
+        assert pool.current_workers == 2
+        assert (pool.min_workers, pool.max_workers) == (2, 8)
+
+    def test_scales_up_one_step_per_pressured_observation(self):
+        async def main():
+            pool = AdaptiveWorkerPool(1, 3, clock=FakeClock())
+            await pool.acquire()  # the single slot is busy
+            pool.observe(queue_depth=5)
+            assert pool.current_workers == 2
+            await pool.acquire()  # both busy
+            pool.observe(queue_depth=4)
+            assert pool.current_workers == 3
+            pool.observe(queue_depth=3)  # at max: no further growth
+            assert pool.current_workers == 3
+            assert pool.scale_ups == 2
+
+        asyncio.run(main())
+
+    def test_no_scale_up_while_spare_capacity_covers_the_backlog(self):
+        async def main():
+            pool = AdaptiveWorkerPool(2, 4, clock=FakeClock())
+            await pool.acquire()  # 1 busy of target 2: one spare slot
+            pool.observe(queue_depth=1)  # backlog fits the spare slot
+            assert pool.current_workers == 2
+            pool.observe(queue_depth=3)  # backlog exceeds it: grow
+            assert pool.current_workers == 3
+
+        asyncio.run(main())
+
+    def test_scales_down_after_continuous_idle(self):
+        clock = FakeClock()
+        pool = AdaptiveWorkerPool(1, 4, scale_down_idle_s=2.0, clock=clock)
+        pool._target = 3  # as if a burst had grown it
+        pool.observe(0)  # idle timer starts
+        clock.advance(1.9)
+        pool.observe(0)
+        assert pool.current_workers == 3  # hysteresis not elapsed
+        clock.advance(0.1)
+        pool.observe(0)
+        assert pool.current_workers == 2
+        # One step per idle period, not a collapse:
+        pool.observe(0)
+        assert pool.current_workers == 2
+        clock.advance(2.0)
+        pool.observe(0)
+        assert pool.current_workers == 1
+        clock.advance(100.0)
+        pool.observe(0)
+        assert pool.current_workers == 1  # floor holds
+        assert pool.scale_downs == 2
+
+    def test_pressure_resets_the_idle_timer(self):
+        clock = FakeClock()
+        pool = AdaptiveWorkerPool(1, 4, scale_down_idle_s=2.0, clock=clock)
+        pool._target = 2
+        pool.observe(0)
+        clock.advance(1.5)
+        pool.observe(2)  # work arrived (within spare): not idle any more
+        clock.advance(1.5)
+        pool.observe(0)  # timer restarted here
+        assert pool.current_workers == 2
+        clock.advance(2.0)
+        pool.observe(0)
+        assert pool.current_workers == 1
+
+    def test_shrink_below_busy_pauses_admission_without_preemption(self):
+        async def main():
+            clock = FakeClock()
+            pool = AdaptiveWorkerPool(1, 2, scale_down_idle_s=1.0, clock=clock)
+            pool._target = 2
+            await pool.acquire()
+            # One running, queue quiet long enough: give one back.
+            pool.observe(0)
+            clock.advance(1.0)
+            pool.observe(0)
+            assert pool.current_workers == 1
+            assert pool.busy_workers == 1
+            # The next acquire must wait until the running job releases.
+            acquired = asyncio.ensure_future(pool.acquire())
+            await asyncio.sleep(0.01)
+            assert not acquired.done()
+            pool.release()
+            await asyncio.wait_for(acquired, 1.0)
+
+        asyncio.run(main())
+
+    def test_acquire_release_cycle_is_semaphore_like(self):
+        async def main():
+            pool = AdaptiveWorkerPool(2, 2)
+            await pool.acquire()
+            await pool.acquire()
+            assert pool.busy_workers == 2
+            third = asyncio.ensure_future(pool.acquire())
+            await asyncio.sleep(0.01)
+            assert not third.done()
+            pool.release()
+            await asyncio.wait_for(third, 1.0)
+            assert pool.busy_workers == 2
+
+        asyncio.run(main())
+
+
+class TestServiceIntegration:
+    def test_burst_grows_the_pool_toward_max(self):
+        async def main():
+            async with ScheduleService(
+                backend="thread",
+                max_workers=3,
+                min_workers=1,
+            ) as svc:
+                assert svc.metrics().current_workers == 1
+                jobs = [
+                    await svc.submit(sleepy(0.3, marker=i)) for i in range(6)
+                ]
+                await asyncio.sleep(0.1)  # submissions observed, burst running
+                grown = svc.metrics().current_workers
+                assert grown == 3
+                assert svc.metrics().scale_ups == 2
+                await asyncio.gather(*(j.outcome() for j in jobs))
+
+        asyncio.run(main())
+
+    def test_sequential_traffic_does_not_grow_the_pool(self):
+        """One-at-a-time requests to an idle pool fit the free worker
+        the parked dispatcher already holds: no spurious scale-up."""
+
+        async def main():
+            async with ScheduleService(
+                backend="thread", max_workers=4, min_workers=1
+            ) as svc:
+                await asyncio.sleep(0.01)  # let the dispatcher park
+                for i in range(3):
+                    outcome = await (
+                        await svc.submit(sleepy(0.05, marker=i))
+                    ).outcome()
+                    assert outcome.ok
+                metrics = svc.metrics()
+                assert metrics.current_workers == 1
+                assert metrics.scale_ups == 0
+
+        asyncio.run(main())
+
+    def test_idle_service_scales_back_to_the_floor(self):
+        clock = FakeClock()
+        pool = AdaptiveWorkerPool(1, 3, scale_down_idle_s=5.0, clock=clock)
+
+        async def main():
+            async with ScheduleService(
+                backend="thread",
+                max_workers=3,
+                worker_pool=pool,
+            ) as svc:
+                jobs = [
+                    await svc.submit(sleepy(0.1, marker=i)) for i in range(6)
+                ]
+                await asyncio.gather(*(j.outcome() for j in jobs))
+                assert svc.metrics().current_workers > 1
+                # Metrics polls are the idle heartbeat: one shrink step
+                # per elapsed hysteresis window.
+                svc.metrics()  # idle timer starts
+                while svc.metrics().current_workers > 1:
+                    clock.advance(5.0)
+                metrics = svc.metrics()
+                assert metrics.current_workers == 1
+                assert metrics.scale_downs == metrics.scale_ups
+                # The shrunken pool still answers correctly.
+                outcome = await (await svc.submit(sleepy(0.05, marker=99))).outcome()
+                assert outcome.ok
+
+        asyncio.run(main())
+
+    def test_fixed_pool_when_min_equals_max(self):
+        async def main():
+            async with ScheduleService(backend="thread", max_workers=2) as svc:
+                jobs = [
+                    await svc.submit(sleepy(0.1, marker=i)) for i in range(4)
+                ]
+                await asyncio.gather(*(j.outcome() for j in jobs))
+                metrics = svc.metrics()
+                assert metrics.current_workers == 2
+                assert metrics.scale_ups == 0
+                assert metrics.scale_downs == 0
+
+        asyncio.run(main())
+
+    def test_shed_watermark_rejects_both_submit_paths(self):
+        async def main():
+            async with ScheduleService(
+                backend="thread",
+                max_workers=1,
+                min_workers=1,
+                queue_size=8,
+                shed_watermark=2,
+            ) as svc:
+                running = await svc.submit(sleepy(0.4, marker=0))
+                await asyncio.sleep(0.05)  # on a worker
+                queued = [await svc.submit(sleepy(0.4, marker=i)) for i in (1, 2)]
+                # Depth reached the watermark: the awaiting path sheds
+                # instead of queueing...
+                with pytest.raises(ServiceBusyError, match="shed watermark"):
+                    await svc.submit(sleepy(0.4, marker=3))
+                # ...and so does submit_nowait, well before QueueFull.
+                with pytest.raises(ServiceBusyError, match="shed watermark"):
+                    svc.submit_nowait(sleepy(0.4, marker=4))
+                metrics = svc.metrics()
+                assert metrics.shed == 2
+                assert metrics.rejected == 2
+                # Dedup-attach and cache hits stay exempt (no new slot).
+                attached = svc.submit_nowait(sleepy(0.4, marker=2))
+                assert attached.future is queued[1].future
+                await asyncio.gather(
+                    running.outcome(), *(j.outcome() for j in queued)
+                )
+
+        asyncio.run(main())
+
+    def test_bad_shed_watermark_rejected(self):
+        with pytest.raises(ServiceError, match="shed_watermark"):
+            ScheduleService(queue_size=4, shed_watermark=5)
+        with pytest.raises(ServiceError, match="shed_watermark"):
+            ScheduleService(shed_watermark=0)
+
+    def test_min_workers_validated_against_backend(self):
+        with pytest.raises(ServiceError, match="min_workers"):
+            ScheduleService(backend="thread", max_workers=2, min_workers=0)
+        with pytest.raises(ServiceError, match="max_workers"):
+            ScheduleService(backend="thread", max_workers=2, min_workers=4)
+
+    def test_timeout_zombie_returns_its_adaptive_slot(self):
+        """A timed-out solve's slot comes back through the pool path."""
+
+        async def main():
+            async with ScheduleService(
+                backend="thread", max_workers=2, min_workers=1
+            ) as svc:
+                job = await svc.submit(sleepy(0.5), timeout_s=0.1)
+                outcome = await job.outcome()
+                assert outcome.error_type == "TimeoutError"
+            # Drained: the zombie finished inside executor shutdown and
+            # released its slot; busy count is balanced.
+            assert svc.worker_pool.busy_workers == 0
+
+        asyncio.run(main())
+
+    def test_heartbeat_scales_down_without_any_polling(self):
+        """A silent service (no submits, no stats polls) still bleeds
+        back to the floor: the background heartbeat observes for it."""
+
+        async def main():
+            async with ScheduleService(
+                backend="thread",
+                max_workers=3,
+                min_workers=1,
+                scale_down_idle_s=0.05,
+            ) as svc:
+                jobs = [
+                    await svc.submit(sleepy(0.1, marker=i)) for i in range(6)
+                ]
+                await asyncio.gather(*(j.outcome() for j in jobs))
+                assert svc.worker_pool.current_workers > 1
+                deadline = time.monotonic() + 10.0
+                # Read the pool directly — deliberately no metrics()
+                # calls, which would feed observations themselves.
+                while (
+                    svc.worker_pool.current_workers > 1
+                    and time.monotonic() < deadline
+                ):
+                    await asyncio.sleep(0.02)
+                assert svc.worker_pool.current_workers == 1
+
+        asyncio.run(main())
+
+    def test_adaptive_pool_with_real_clock_scales_down(self):
+        """End-to-end with the default monotonic clock (short idle)."""
+
+        async def main():
+            async with ScheduleService(
+                backend="thread",
+                max_workers=2,
+                min_workers=1,
+                scale_down_idle_s=0.05,
+            ) as svc:
+                jobs = [
+                    await svc.submit(sleepy(0.1, marker=i)) for i in range(4)
+                ]
+                await asyncio.gather(*(j.outcome() for j in jobs))
+                deadline = time.monotonic() + 10.0
+                while (
+                    svc.metrics().current_workers > 1
+                    and time.monotonic() < deadline
+                ):
+                    await asyncio.sleep(0.02)
+                assert svc.metrics().current_workers == 1
+
+        asyncio.run(main())

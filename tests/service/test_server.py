@@ -114,6 +114,35 @@ class TestAsyncClient:
 
         run_with_server(scenario)
 
+    def test_busy_resolved_job_yields_an_error_frame_not_a_hang(self):
+        """A job future resolved with ServiceBusyError (a dedup waiter
+        whose originating submission was cancelled) must come back as
+        an error frame — the answer task dying silently would leave
+        the client waiting forever."""
+
+        async def scenario(server, service):
+            from repro.errors import ServiceBusyError
+            from repro.service import ServiceJob
+
+            loop = asyncio.get_running_loop()
+
+            async def pre_failed_submit(request, *, timeout_s=None):
+                job = ServiceJob(
+                    request, request.content_hash(), None, loop.create_future()
+                )
+                job.future.set_exception(
+                    ServiceBusyError("the queue was full; retry")
+                )
+                job.future.exception()
+                return job
+
+            service.submit = pre_failed_submit  # type: ignore[method-assign]
+            async with await AsyncServiceClient.connect(port=server.port) as client:
+                with pytest.raises(ServiceBusyError, match="retry"):
+                    await asyncio.wait_for(client.submit(REQUEST), 10)
+
+        run_with_server(scenario)
+
     def test_connect_refused_is_a_service_error(self):
         async def main():
             with pytest.raises(ServiceError, match="cannot connect"):
@@ -271,11 +300,15 @@ class TestAcceptanceBurst:
             expected[key] = expected.get(key, 0) + 1
         assert by_hash == expected
 
-        # Dedup asserted via the solve counters: identical concurrent
-        # requests collapsed to (at most) one solve each while in
-        # flight; every distinct request solved at least once.
+        # Dedup + answer cache asserted via the solve counters:
+        # identical concurrent requests collapsed to one in-flight
+        # solve, identical *later* requests were answered from the
+        # cache; every distinct request solved at least once.
         assert stats["submitted"] == 100
-        assert stats["solves_started"] + stats["deduped"] == 100
+        assert (
+            stats["solves_started"] + stats["deduped"] + stats["answer_hits"]
+            == 100
+        )
         assert len(distinct) <= stats["solves_started"] < 100
         # `completed` counts resolved *jobs* (unique solves): every
         # solve that ran succeeded, none errored.

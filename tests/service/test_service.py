@@ -137,14 +137,51 @@ class TestDeduplication:
 
     def test_dedup_window_is_in_flight_only(self):
         async def main():
-            async with ScheduleService(backend="thread") as svc:
+            # Answer cache off: dedup alone governs repeats.
+            async with ScheduleService(
+                backend="thread", answer_cache_size=0
+            ) as svc:
                 first = await svc.solve(REQUEST)
                 second = await svc.solve(REQUEST)
                 assert first.length_s == second.length_s
                 # The first job resolved before the second arrived, so
-                # both ran (a completed answer is not a cache).
+                # both ran (a completed answer is not in-flight dedup's
+                # business — absorbing it is the answer cache's).
                 assert svc.metrics().solves_started == 2
                 assert svc.metrics().deduped == 0
+                assert svc.answer_cache is None
+
+        asyncio.run(main())
+
+    def test_completed_answers_are_served_from_the_answer_cache(self):
+        async def main():
+            async with ScheduleService(backend="thread") as svc:
+                first = await svc.solve(REQUEST)
+                second = await svc.solve(REQUEST)
+                assert first.length_s == second.length_s
+                # The repeat never reached a worker: one solve, one
+                # answer-cache hit, provenance flagged on the report.
+                assert not first.cached
+                assert second.cached
+                metrics = svc.metrics()
+                assert metrics.solves_started == 1
+                assert metrics.answer_hits == 1
+                assert metrics.deduped == 0
+                assert metrics.answer_cache is not None
+                assert metrics.answer_cache.hits == 1
+                assert metrics.answer_hit_rate == pytest.approx(0.5)
+
+        asyncio.run(main())
+
+    def test_failed_solves_are_not_cached(self):
+        async def main():
+            async with ScheduleService(backend="thread") as svc:
+                for _ in range(2):
+                    outcome = await (await svc.submit(INFEASIBLE)).outcome()
+                    assert not outcome.ok
+                # Both attempts ran: an error answer is never pinned.
+                assert svc.metrics().solves_started == 2
+                assert svc.metrics().answer_hits == 0
 
         asyncio.run(main())
 
@@ -187,8 +224,89 @@ class TestBackpressure:
             outcome = await retried.outcome()
             assert outcome.ok
             await asyncio.gather(running.outcome(), queued.outcome())
+            # ...the accounting identity survives the cancellation
+            # (the never-admitted submission does not stay counted)...
+            metrics = svc.metrics()
+            assert (
+                metrics.solves_started + metrics.deduped + metrics.answer_hits
+                == metrics.submitted
+            )
             # ...and drain terminates instead of waiting forever.
             await asyncio.wait_for(svc.stop(drain=True), 30)
+
+        asyncio.run(main())
+
+    def test_cancelled_submit_does_not_kill_attached_waiters_silently(self):
+        """B dedup-attaches to A's not-yet-queued job; A's cancellation
+        must leave B with a clean, typed outcome — never a bare
+        'service closed' lie from a healthy service, never a hang."""
+
+        async def main():
+            async with ScheduleService(
+                backend="thread", max_workers=1, queue_size=1
+            ) as svc:
+                running = await svc.submit(sleepy(0.4, marker=0))
+                await asyncio.sleep(0.05)
+                queued = await svc.submit(sleepy(0.4, marker=1))
+                # A parks on the full queue with marker=2 in the dedup
+                # map; B attaches to it.
+                submit_a = asyncio.ensure_future(
+                    svc.submit(sleepy(0.4, marker=2))
+                )
+                await asyncio.sleep(0.05)
+                job_b = await svc.submit(sleepy(0.4, marker=2))
+                assert svc.metrics().deduped == 1
+                submit_a.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await submit_a
+                # The queue was still full, so the job could not be
+                # rescued: B gets a retryable busy error, not "closed".
+                with pytest.raises(ServiceBusyError, match="retry"):
+                    await job_b.report()
+                await asyncio.gather(running.outcome(), queued.outcome())
+                # The accounting identity survives the whole episode,
+                # and B's busy refusal shows up where operators look
+                # for load-shedding — rejected, not deduped.
+                metrics = svc.metrics()
+                assert metrics.rejected == 1
+                assert metrics.deduped == 0
+                assert (
+                    metrics.solves_started
+                    + metrics.deduped
+                    + metrics.answer_hits
+                    == metrics.submitted
+                )
+
+        asyncio.run(main())
+
+    def test_waiters_on_a_stopping_service_get_closed_not_busy(self):
+        """Same episode during shutdown: 'retry' would be a lie, and
+        shutdown fallout must not pollute the load-shedding gauge."""
+
+        async def main():
+            svc = ScheduleService(backend="thread", max_workers=1, queue_size=1)
+            await svc.start()
+            running = await svc.submit(sleepy(0.4, marker=0))
+            await asyncio.sleep(0.05)
+            queued = await svc.submit(sleepy(0.4, marker=1))
+            submit_a = asyncio.ensure_future(svc.submit(sleepy(0.4, marker=2)))
+            await asyncio.sleep(0.05)
+            job_b = await svc.submit(sleepy(0.4, marker=2))
+            stop_task = asyncio.ensure_future(svc.stop(drain=True))
+            await asyncio.sleep(0.05)  # intake is now closed
+            submit_a.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await submit_a
+            with pytest.raises(ServiceClosedError):
+                await job_b.report()
+            await asyncio.gather(running.outcome(), queued.outcome())
+            await asyncio.wait_for(stop_task, 30)
+            metrics = svc.metrics()
+            assert metrics.rejected == 0  # not a load-shedding event
+            assert (
+                metrics.solves_started + metrics.deduped + metrics.answer_hits
+                == metrics.submitted
+            )
 
         asyncio.run(main())
 
@@ -313,6 +431,29 @@ class TestLifecycle:
                 assert svc.metrics().in_flight == 1  # the solve, nothing else
                 await job.outcome()
             assert svc.metrics().in_flight == 0
+
+        asyncio.run(main())
+
+    def test_stop_start_cycle_leaks_no_worker_slots(self):
+        """The pool outlives a stop (unlike the per-start queue): the
+        dispatcher's parked slot must come back, or a restarted
+        1-worker service would hang forever."""
+
+        async def main():
+            # Cache off so every cycle's solve must reach a worker —
+            # a leaked slot hangs immediately instead of being masked
+            # by a cache hit.
+            svc = ScheduleService(
+                backend="thread", max_workers=1, answer_cache_size=0
+            )
+            for cycle in range(3):
+                await svc.start()
+                report = await asyncio.wait_for(
+                    svc.solve(sleepy(0.01, marker=cycle)), 30
+                )
+                assert report.n_sessions >= 1
+                await svc.stop()
+                assert svc.worker_pool.busy_workers == 0
 
         asyncio.run(main())
 

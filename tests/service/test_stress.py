@@ -1,0 +1,200 @@
+"""Service stress/soak tests: many clients, repetitive traffic, real TCP.
+
+The shape the answer cache exists for: a fleet of dashboards asking a
+handful of questions over and over.  A burst of concurrent connections
+with ~80% repeated requests must resolve with
+
+* exactly one report per submission (nothing lost, nothing duplicated),
+* exactly one worker execution per *distinct* content hash (in-flight
+  dedup catches concurrent repeats, the answer cache catches later
+  ones),
+* a 100% cache-hit rate once every answer is warm, and
+* a clean drain while submissions (and their cache writes) are still
+  in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.api import ScheduleRequest
+from repro.service import (
+    AsyncServiceClient,
+    ScheduleServer,
+    ScheduleService,
+)
+
+#: Concurrent client connections in the burst.
+N_CLIENTS = 6
+
+#: Submissions per client.
+PER_CLIENT = 20
+
+#: The distinct questions; everything else is repetition (~80%).
+DISTINCT = [
+    ScheduleRequest(soc="worked_example6", tl_c=80.0, stcl=60.0),
+    ScheduleRequest(soc="worked_example6", tl_c=84.0, stcl=60.0),
+    ScheduleRequest(soc="worked_example6", tl_c=80.0, solver="sequential"),
+    ScheduleRequest(soc="worked_example6", tl_c=80.0, solver="random"),
+]
+
+
+def burst_for(seed: int) -> list[ScheduleRequest]:
+    """PER_CLIENT requests, every distinct one present, rest repeats."""
+    rng = random.Random(seed)
+    requests = list(DISTINCT)
+    requests += [rng.choice(DISTINCT) for _ in range(PER_CLIENT - len(DISTINCT))]
+    rng.shuffle(requests)
+    return requests
+
+
+class TestRepeatTrafficBurst:
+    def test_multi_client_burst_solves_each_hash_once(self):
+        """N clients x ~80% repeats: one solve per distinct hash, total."""
+
+        async def main():
+            async with ScheduleService(backend="thread", max_workers=4) as svc:
+                server = ScheduleServer(svc, port=0)
+                await server.start()
+                try:
+
+                    async def one_client(seed: int):
+                        requests = burst_for(seed)
+                        async with await AsyncServiceClient.connect(
+                            port=server.port
+                        ) as client:
+                            frames = await client.submit_many(
+                                requests, decode=False
+                            )
+                        return requests, frames
+
+                    results = await asyncio.gather(
+                        *(one_client(seed) for seed in range(N_CLIENTS))
+                    )
+                    stats = svc.metrics()
+                finally:
+                    await server.stop()
+            return results, stats
+
+        results, stats = asyncio.run(main())
+
+        # One report per submission, correlated per client by hash.
+        total = N_CLIENTS * PER_CLIENT
+        expected: dict[str, int] = {}
+        answered: dict[str, int] = {}
+        for requests, frames in results:
+            assert len(frames) == len(requests)
+            assert all(f["type"] == "report" for f in frames)
+            for request in requests:
+                key = request.content_hash()
+                expected[key] = expected.get(key, 0) + 1
+            for frame in frames:
+                key = frame["request_hash"]
+                answered[key] = answered.get(key, 0) + 1
+        assert answered == expected
+        assert len(expected) == len(DISTINCT)
+
+        # No duplicate solves for identical hashes: every repeat was
+        # absorbed by in-flight dedup or the answer cache.
+        assert stats.submitted == total
+        assert stats.solves_started == len(DISTINCT)
+        assert stats.deduped + stats.answer_hits == total - len(DISTINCT)
+        assert stats.errors == 0
+
+    def test_warm_second_wave_hits_the_cache_entirely(self):
+        """Wave 1 populates; wave 2 (all repeats) must be 100% hits."""
+
+        async def main():
+            async with ScheduleService(backend="thread", max_workers=4) as svc:
+                server = ScheduleServer(svc, port=0)
+                await server.start()
+                try:
+                    async with await AsyncServiceClient.connect(
+                        port=server.port
+                    ) as client:
+                        await client.submit_many(DISTINCT)  # warm
+                        before = await client.stats()
+                        wave = [
+                            DISTINCT[i % len(DISTINCT)] for i in range(40)
+                        ]
+                        frames = await client.submit_many(wave, decode=False)
+                        after = await client.stats()
+                finally:
+                    await server.stop()
+            return before, frames, after
+
+        before, frames, after = asyncio.run(main())
+        # Every wave-2 answer came from memory, flagged as such.
+        assert all(f["report"]["cached"] for f in frames)
+        assert after["answer_hits"] - before["answer_hits"] == 40
+        assert after["solves_started"] == before["solves_started"]
+        hit_rate = after["answer_cache"]["hits"] / (
+            after["answer_cache"]["hits"] + after["answer_cache"]["misses"]
+        )
+        assert hit_rate >= 0.8  # 40 hits over 44 lookups
+
+    def test_drain_with_inflight_submissions_and_cache_writes(self):
+        """Stop(drain=True) while a burst is mid-queue: everything lands."""
+
+        async def main():
+            svc = ScheduleService(backend="thread", max_workers=2)
+            await svc.start()
+            requests = [
+                ScheduleRequest(
+                    soc="worked_example6", tl_c=80.0 + i % 3, stcl=60.0
+                )
+                for i in range(12)
+            ]
+            jobs = [await svc.submit(request) for request in requests]
+            # Drain immediately: queued jobs, running jobs and their
+            # pending answer-cache writes must all complete.
+            await svc.stop(drain=True)
+            assert all(job.done for job in jobs)
+            outcomes = [job.future.result() for job in jobs]
+            assert all(o.ok for o in outcomes)
+            metrics = svc.metrics()
+            assert metrics.queue_depth == 0
+            assert metrics.in_flight == 0
+            # The cache saw every resolved distinct answer even though
+            # the service stopped right after the burst.
+            assert metrics.answer_cache.entries == 3
+            assert svc.answer_cache.get(requests[0].content_hash()) is not None
+
+        asyncio.run(main())
+
+    def test_soak_rounds_keep_counters_consistent(self):
+        """Several sequential bursts: invariants hold round after round."""
+
+        async def main():
+            async with ScheduleService(backend="thread", max_workers=4) as svc:
+                server = ScheduleServer(svc, port=0)
+                await server.start()
+                try:
+                    for round_no in range(3):
+                        async with await AsyncServiceClient.connect(
+                            port=server.port
+                        ) as client:
+                            wave = burst_for(seed=100 + round_no)
+                            frames = await client.submit_many(
+                                wave, decode=False
+                            )
+                            assert len(frames) == len(wave)
+                            stats = await client.stats()
+                            assert (
+                                stats["solves_started"]
+                                + stats["deduped"]
+                                + stats["answer_hits"]
+                                == stats["submitted"]
+                            )
+                            assert stats["errors"] == 0
+                    final = svc.metrics()
+                finally:
+                    await server.stop()
+            return final
+
+        final = asyncio.run(main())
+        # Across all rounds each distinct hash solved exactly once: the
+        # cache carried answers across waves and connections.
+        assert final.solves_started == len(DISTINCT)
+        assert final.submitted == 3 * PER_CLIENT

@@ -462,54 +462,101 @@ class TestReportCommand:
     def test_missing_archive_is_a_clean_error(self, tmp_path, capsys):
         exit_code = report_main([str(tmp_path / "nope.jsonl")])
         assert exit_code == 1
-        assert "error:" in capsys.readouterr().err
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "cannot load" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_empty_archive_reports_no_records_cleanly(self, tmp_path, capsys):
+        """A freshly created (or blank-lines-only) archive is a state,
+        not an error: say "no records", exit 0, print no empty table."""
+        empty = tmp_path / "served.jsonl"
+        empty.write_text("")
+        assert report_main([str(empty)]) == 0
+        captured = capsys.readouterr()
+        assert "no records" in captured.out
+        assert str(empty) in captured.out
+        assert "solver" not in captured.out  # no headers-only table
+        assert captured.err == ""
+
+        blank = tmp_path / "blank.jsonl"
+        blank.write_text("\n\n")
+        assert report_main([str(empty), str(blank)]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_idle_service_archive_reports_no_records(self, tmp_path, capsys):
+        """The exact boot-window state: `repro serve --archive` has
+        constructed its archive but nothing has resolved yet."""
+        from repro.service import ReportArchive
+
+        archive = tmp_path / "served.jsonl"
+        ReportArchive(archive)  # what service construction does
+        assert archive.exists()
+        assert report_main([str(archive)]) == 0
+        assert "no records" in capsys.readouterr().out
+
+
+def boot_serve_subprocess(extra_args):
+    """Spawn ``repro serve --port 0 ...``; return (proc, port) once the
+    listening banner appears.  One launcher for every subprocess serve
+    test, so the banner format and env plumbing live in one place."""
+    import os
+    import pathlib
+    import re
+    import subprocess
+    import sys
+
+    import repro
+
+    src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+    assert match, f"no listening banner in {line!r}"
+    return proc, int(match.group(1))
+
+
+def drain_serve_subprocess(proc):
+    """SIGINT the serve subprocess, wait for a clean exit, and return
+    the rest of its stdout (the drain banner + final metrics)."""
+    import signal
+    import subprocess
+
+    proc.send_signal(signal.SIGINT)
+    try:
+        proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise
+    rest = proc.stdout.read()
+    proc.stdout.close()
+    assert proc.returncode == 0
+    return rest
 
 
 class TestServeCommandSubprocess:
     def test_serve_drains_on_sigint(self, tmp_path):
         """`repro serve` end to end: boot, answer over TCP, drain."""
-        import os
-        import pathlib
-        import re
-        import signal
-        import subprocess
-        import sys
-        import time
-
-        import repro
-
-        src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
-        env = dict(os.environ)
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
         archive = tmp_path / "out" / "served.jsonl"
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--port", "0",
-             "--workers", "2", "--archive", str(archive)],
-            stdout=subprocess.PIPE,
-            text=True,
-            env=env,
+        proc, port = boot_serve_subprocess(
+            ["--workers", "2", "--archive", str(archive)]
         )
         try:
-            line = proc.stdout.readline()
-            match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
-            assert match, f"no listening banner in {line!r}"
-            port = int(match.group(1))
             exit_code = submit_main(
                 ["--port", str(port), "--soc", "worked-example6",
                  "--tl", "80", "--stcl", "60", "--repeat", "3", "--quiet"]
             )
             assert exit_code == 0
         finally:
-            proc.send_signal(signal.SIGINT)
-            try:
-                proc.wait(timeout=60)
-            except subprocess.TimeoutExpired:
-                proc.kill()
-                raise
-        rest = proc.stdout.read()
-        proc.stdout.close()
-        assert proc.returncode == 0
+            rest = drain_serve_subprocess(proc)
         assert "draining..." in rest
         assert "schedule service on backend" in rest
         # The archive (in a fresh directory) holds one record per
@@ -520,6 +567,87 @@ class TestServeCommandSubprocess:
         records = archive.read_text().strip().splitlines()
         assert 1 <= len(records) <= 3
         assert all('"status":"ok"' in line for line in records)
+
+
+class TestServeFlags:
+    def test_warm_from_conflicts_with_no_answer_cache(self, tmp_path, capsys):
+        from repro.cli import serve_main
+
+        exit_code = serve_main(
+            ["--port", "0", "--no-answer-cache",
+             "--warm-from", str(tmp_path / "x.jsonl")]
+        )
+        assert exit_code == 1
+        assert "warm_from" in capsys.readouterr().err
+
+    def test_warm_from_missing_archive_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import serve_main
+
+        exit_code = serve_main(
+            ["--port", "0", "--warm-from", str(tmp_path / "missing.jsonl")]
+        )
+        assert exit_code == 1
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_bad_min_workers_is_a_clean_error(self, capsys):
+        from repro.cli import serve_main
+
+        exit_code = serve_main(
+            ["--port", "0", "--workers", "2", "--min-workers", "5"]
+        )
+        assert exit_code == 1
+        assert "min_workers" in capsys.readouterr().err
+
+    def test_negative_answer_ttl_is_a_clean_error(self, capsys):
+        """Only exactly 0 means never-expires; a typoed sign must not
+        silently pin stale answers forever."""
+        from repro.cli import serve_main
+
+        exit_code = serve_main(["--port", "0", "--answer-ttl", "-300"])
+        assert exit_code == 1
+        assert "ttl_s" in capsys.readouterr().err
+
+
+class TestWarmStartSubprocess:
+    def test_serve_warm_from_hits_cache_over_tcp(self, tmp_path):
+        """Archive a solve, reboot warm, assert the first TCP answer is
+        a cache hit (no solve) — the `--warm-from` aha moment."""
+        archive = tmp_path / "served.jsonl"
+        request_flags = ["--soc", "worked-example6", "--tl", "80", "--stcl", "60"]
+
+        # First life: answer once, archive the outcome.
+        proc, port = boot_serve_subprocess(
+            ["--workers", "2", "--archive", str(archive)]
+        )
+        try:
+            assert submit_main(
+                ["--port", str(port), *request_flags, "--quiet"]
+            ) == 0
+        finally:
+            drain_serve_subprocess(proc)
+        assert archive.exists()
+
+        # Second life: warm-started — the very same question must be
+        # answered from the cache without a single solve.
+        proc, port = boot_serve_subprocess(
+            ["--workers", "2", "--warm-from", str(archive)]
+        )
+        try:
+            import io
+            from contextlib import redirect_stdout
+
+            buffer = io.StringIO()
+            with redirect_stdout(buffer):
+                exit_code = submit_main(
+                    ["--port", str(port), *request_flags, "--quiet", "--stats"]
+                )
+            assert exit_code == 0
+            stats_line = buffer.getvalue()
+            assert "answer_hits=1" in stats_line
+            assert "solves_started=0" in stats_line
+        finally:
+            rest = drain_serve_subprocess(proc)
+        assert "1 answer-cache hits" in rest
 
 
 class TestUmbrellaUsage:
