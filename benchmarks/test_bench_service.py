@@ -92,6 +92,17 @@ def test_bench_service_sustained_throughput(benchmark, burst_requests):
     benchmark.extra_info["dedup_hits"] = stats["deduped"]
     benchmark.extra_info["answer_hits"] = stats["answer_hits"]
     benchmark.extra_info["solves_started"] = stats["solves_started"]
+    # Latency percentiles from the service's own streaming histograms
+    # (the last benchmark round's stats frame) — tracked in
+    # BENCH_service.json alongside the throughput number.
+    for family in ("e2e", "solve", "queue_wait"):
+        snap = stats["latency"].get(family)
+        if not snap or not snap["count"]:
+            continue
+        for quantile in ("p50", "p95"):
+            benchmark.extra_info[f"{family}_{quantile}_ms"] = round(
+                snap[quantile] * 1e3, 3
+            )
 
 
 def test_bench_service_vs_batch_runner(burst_requests, fleet_jobs):
@@ -203,8 +214,59 @@ def test_bench_service_cache_hit_latency(benchmark):
     benchmark.extra_info["hit_latency_ms"] = round(hit_s * 1e3, 4)
     benchmark.extra_info["hit_vs_miss_speedup"] = round(speedup, 1)
     benchmark.extra_info["answer_hits"] = stats["answer_hits"]
+    hit_snap = stats["latency"]["answer_hit"]
+    benchmark.extra_info["hit_p50_ms"] = round(hit_snap["p50"] * 1e3, 4)
+    benchmark.extra_info["hit_p95_ms"] = round(hit_snap["p95"] * 1e3, 4)
     assert stats["solves_started"] == 1  # every benchmark round was a hit
     assert speedup >= 10.0, (
         f"cache hit only {speedup:.1f}x faster than the miss path "
         f"({hit_s * 1e3:.3f} ms vs {miss_s * 1e3:.2f} ms)"
+    )
+
+
+def _median_hit_latency(port: int, request: ScheduleRequest, rounds: int) -> float:
+    """Median TCP round-trip of an answer-cache hit, over one connection."""
+    import statistics
+
+    with ServiceClient(port=port) as client:
+        miss = client.submit(request, decode=False)  # populate the cache
+        assert not miss["report"]["cached"]
+        samples = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            frame = client.submit(request, decode=False)
+            samples.append(time.perf_counter() - start)
+            assert frame["report"]["cached"]
+    return statistics.median(samples)
+
+
+def test_bench_service_tracing_overhead():
+    """Tracing + histograms must not tax the hit path beyond 10%.
+
+    The cached-hit round-trip is the service's fastest path, so it is
+    where per-request observability overhead (trace stamping, two
+    histogram observations, the e2e clock reads) would show first.
+    ``observability=False`` is exactly the pre-tracing code path — the
+    traced hit median must stay within 10% of it (plus a 200 us
+    absolute floor: at ~100 us round-trips, scheduler jitter on a
+    loaded CI box dwarfs any multiplicative bound).
+    """
+    request = ScheduleRequest(soc="alpha15", tl_c=165.0, stcl=60.0)
+    rounds = 300
+
+    with _live_server(
+        backend="thread", max_workers=2, observability=False
+    ) as port:
+        untraced_s = _median_hit_latency(port, request, rounds)
+    with _live_server(backend="thread", max_workers=2) as port:
+        traced_s = _median_hit_latency(port, request, rounds)
+
+    overhead = traced_s / untraced_s - 1.0
+    print(
+        f"\ncache hit untraced {untraced_s * 1e6:.0f} us vs traced "
+        f"{traced_s * 1e6:.0f} us ({overhead * +100.0:.1f}% overhead)"
+    )
+    assert traced_s <= untraced_s * 1.10 + 200e-6, (
+        f"tracing overhead {overhead * 100.0:.1f}%: traced hit "
+        f"{traced_s * 1e6:.0f} us vs untraced {untraced_s * 1e6:.0f} us"
     )

@@ -232,6 +232,12 @@ class SolveReport:
         Answer provenance: ``True`` when this report was served from
         the scheduling service's answer cache instead of a fresh solve
         (``elapsed_s`` etc. then describe the *original* solve).
+    timings:
+        Per-phase wall-clock durations in seconds (``model_build``,
+        ``limit_resolve``, ``solver``, ``total``; the service adds
+        ``worker``, ``queue_wait`` and ``service_total``).  ``None``
+        for reports predating the tracing layer — every consumer must
+        stay ``None``-safe.
     extras:
         Solver-specific diagnostics.
     """
@@ -245,10 +251,17 @@ class SolveReport:
     steady_solves: int = 0
     cache_hit: bool = False
     cached: bool = False
+    timings: Mapping[str, float] | None = None
     extras: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "extras", dict(self.extras or {}))
+        if self.timings is not None:
+            object.__setattr__(
+                self,
+                "timings",
+                {str(k): float(v) for k, v in dict(self.timings).items()},
+            )
 
     @property
     def request_hash(self) -> str | None:
@@ -310,6 +323,12 @@ class SolveReport:
             f"{'hit' if self.cache_hit else 'miss'}"
             f"{' (served from the answer cache)' if self.cached else ''}",
         ]
+        if self.timings:
+            phases = ", ".join(
+                f"{name} {duration * 1e3:.1f} ms"
+                for name, duration in self.timings.items()
+            )
+            lines.append(f"  phases: {phases}")
         if self.extras:
             pairs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.extras.items()))
             lines.append(f"  {pairs}")
@@ -344,6 +363,7 @@ def report_to_dict(report: SolveReport) -> dict[str, Any]:
         "steady_solves": report.steady_solves,
         "cache_hit": report.cache_hit,
         "cached": report.cached,
+        "timings": None if report.timings is None else dict(report.timings),
         "extras": dict(report.extras),
     }
 
@@ -385,5 +405,8 @@ def report_from_dict(data: dict[str, Any]) -> SolveReport:
         steady_solves=int(data.get("steady_solves", 0)),
         cache_hit=bool(data.get("cache_hit", False)),
         cached=bool(data.get("cached", False)),
+        # .get twice over: archives written before the tracing layer
+        # carry no "timings" key at all, and newer ones may carry null.
+        timings=data.get("timings"),
         extras=data.get("extras") or {},
     )

@@ -27,6 +27,7 @@ from typing import Any, Mapping, Sequence
 from ..errors import ReproError, RequestError
 from ..core.session_model import SessionModelConfig, SessionThermalModel
 from ..engine.cache import ThermalModelCache, resolve_cache
+from ..obs.trace import RequestTrace
 from ..engine.scenarios import ScenarioSpec
 from ..soc.library import ALPHA15_POWER_SEED
 from ..spec_utils import validate_limit_fields
@@ -195,11 +196,15 @@ class Workbench:
         stc_scale: float,
     ) -> SolveReport:
         start = time.perf_counter()
-        simulator, cache_hit = self._simulator_for(soc)
-        model = SessionThermalModel(
-            soc,
-            SessionModelConfig(include_vertical=include_vertical, stc_scale=stc_scale),
-        )
+        trace = RequestTrace()
+        with trace.phase("model_build"):
+            simulator, cache_hit = self._simulator_for(soc)
+            model = SessionThermalModel(
+                soc,
+                SessionModelConfig(
+                    include_vertical=include_vertical, stc_scale=stc_scale
+                ),
+            )
         solves_before = simulator.steady_solve_count
         try:
             return self._resolve_and_solve(
@@ -216,6 +221,7 @@ class Workbench:
                 cache_hit=cache_hit,
                 solves_before=solves_before,
                 start=start,
+                trace=trace,
             )
         except Exception as exc:
             # Error-record consumers (the batch runner) still want the
@@ -247,30 +253,32 @@ class Workbench:
         cache_hit: bool,
         solves_before: int,
         start: float,
+        trace: RequestTrace,
     ) -> SolveReport:
-        if tl_c is None:
-            assert tl_headroom is not None
-            ambient = soc.package.ambient_c
-            # All singleton sessions in one batched reduced-operator
-            # application (the same trick as the scheduler's phase A).
-            names = list(soc.core_names)
-            batch = simulator.block_steady_state_batch(
-                [{name: soc[name].test_power_w} for name in names]
-            )
-            peak = float(batch.own_temperatures_c(names).max())
-            tl_c = ambient + tl_headroom * (peak - ambient)
-        if stcl is None and stcl_headroom is not None:
-            worst = max(
-                model.session_thermal_characteristic([name])
-                for name in soc.core_names
-            )
-            if not math.isfinite(worst):
-                raise RequestError(
-                    "a core has an infinite singleton STC under the "
-                    "lateral-only session model (isolated block on a "
-                    "non-tiling floorplan); set include_vertical=True"
+        with trace.phase("limit_resolve"):
+            if tl_c is None:
+                assert tl_headroom is not None
+                ambient = soc.package.ambient_c
+                # All singleton sessions in one batched reduced-operator
+                # application (the same trick as the scheduler's phase A).
+                names = list(soc.core_names)
+                batch = simulator.block_steady_state_batch(
+                    [{name: soc[name].test_power_w} for name in names]
                 )
-            stcl = stcl_headroom * worst
+                peak = float(batch.own_temperatures_c(names).max())
+                tl_c = ambient + tl_headroom * (peak - ambient)
+            if stcl is None and stcl_headroom is not None:
+                worst = max(
+                    model.session_thermal_characteristic([name])
+                    for name in soc.core_names
+                )
+                if not math.isfinite(worst):
+                    raise RequestError(
+                        "a core has an infinite singleton STC under the "
+                        "lateral-only session model (isolated block on a "
+                        "non-tiling floorplan); set include_vertical=True"
+                    )
+                stcl = stcl_headroom * worst
 
         context = SolveContext(
             soc=soc,
@@ -280,7 +288,8 @@ class Workbench:
             stcl=math.nan if stcl is None else float(stcl),
         )
         try:
-            result, extras = solver.solve(context, params)
+            with trace.phase("solver"):
+                result, extras = solver.solve(context, params)
         except ReproError:
             raise
         except (TypeError, ValueError) as exc:
@@ -292,15 +301,20 @@ class Workbench:
                 f"solver {solver.name!r} rejected params "
                 f"{dict(params)!r}: {exc}"
             ) from exc
+        elapsed_s = time.perf_counter() - start
+        # "total" is the same wall clock as elapsed_s, so phase sums
+        # and the headline number can never disagree.
+        trace.record("total", elapsed_s)
         return SolveReport(
             solver=solver.name,
             request=request,
             tl_c=context.tl_c,
             stcl=context.stcl,
             result=result,
-            elapsed_s=time.perf_counter() - start,
+            elapsed_s=elapsed_s,
             steady_solves=simulator.steady_solve_count - solves_before,
             cache_hit=cache_hit,
+            timings=trace.timings,
             extras=extras,
         )
 

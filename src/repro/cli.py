@@ -499,6 +499,7 @@ def serve_main(argv: list[str] | None = None) -> int:
     import asyncio
     import signal
 
+    from .obs import open_json_log
     from .service import DEFAULT_PORT, ScheduleServer, ScheduleService
 
     parser = argparse.ArgumentParser(
@@ -599,7 +600,30 @@ def serve_main(argv: list[str] | None = None) -> int:
         metavar="JSONL",
         help="append every served outcome to this JSONL archive",
     )
+    observability = parser.add_argument_group("observability")
+    observability.add_argument(
+        "--log-json",
+        metavar="PATH",
+        help="append structured JSON request-lifecycle events to this "
+        "file ('-' logs to stderr)",
+    )
+    observability.add_argument(
+        "--slow-request-ms",
+        type=float,
+        metavar="MS",
+        help="additionally log a slow_request event with the full phase "
+        "trace for requests slower end-to-end than this threshold "
+        "(implies stderr JSON logging when --log-json is not given)",
+    )
     args = parser.parse_args(argv)
+
+    try:
+        logger = (
+            open_json_log(args.log_json) if args.log_json is not None else None
+        )
+    except OSError as exc:
+        print(f"error: cannot open --log-json: {exc}", file=sys.stderr)
+        return 1
 
     async def _serve() -> None:
         service = ScheduleService(
@@ -618,27 +642,15 @@ def serve_main(argv: list[str] | None = None) -> int:
             # must not silently mean "serve stale forever").
             answer_ttl_s=None if args.answer_ttl == 0 else args.answer_ttl,
             warm_from=args.warm_from,
+            logger=logger,
+            slow_request_ms=args.slow_request_ms,
         )
         await service.start()
         server = ScheduleServer(service, host=args.host, port=args.port)
         await server.start()
-        pool = service.worker_pool
-        if pool.min_workers != pool.max_workers:
-            workers = f"{pool.min_workers}..{pool.max_workers} workers"
-        else:
-            workers = f"{pool.max_workers} workers"
-        cache = service.answer_cache
-        if cache is None:
-            answers = "answer cache off"
-        else:
-            ttl = "no TTL" if cache.ttl_s is None else f"TTL {cache.ttl_s:g} s"
-            answers = (
-                f"answer cache {len(cache)}/{cache.max_entries} ({ttl})"
-            )
         print(
             f"repro service listening on {args.host}:{server.port} "
-            f"(backend {service.backend.name!r}, {workers}, "
-            f"queue {args.queue_size}, {answers})",
+            f"({service.describe_config()})",
             flush=True,
         )
         stop_event = asyncio.Event()
@@ -666,6 +678,9 @@ def serve_main(argv: list[str] | None = None) -> int:
     except OSError as exc:  # port in use, bad bind address
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if logger is not None:
+            logger.close()
     return 0
 
 
@@ -781,6 +796,102 @@ def submit_main(argv: list[str] | None = None) -> int:
     return 0 if failures == 0 else 1
 
 
+def metrics_main(argv: list[str] | None = None) -> int:
+    """``repro metrics`` — scrape a running service as Prometheus text."""
+    from .errors import ServiceError
+    from .service import DEFAULT_PORT, ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description=(
+            "Fetch the telemetry of a running `repro serve` and print it "
+            "as Prometheus text exposition (counters, gauges, and "
+            "latency summaries with p50/p95/p99 quantiles)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="service host")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="service port"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            print(client.metrics_text(), end="", flush=True)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def top_main(argv: list[str] | None = None) -> int:
+    """``repro top`` — live terminal telemetry of a running service."""
+    import time as _time
+
+    from .errors import ServiceError
+    from .obs import render_top
+    from .service import DEFAULT_PORT, ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description=(
+            "Poll a running `repro serve` and render a live dashboard: "
+            "queue depth, worker band, hit rates, and latency "
+            "percentiles.  Ctrl-C exits."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="service host")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="service port"
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between polls (default 2.0)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="render N frames then exit (default 0: run until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (pipeable)",
+    )
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        print(
+            f"error: --interval must be positive, got {args.interval:g}",
+            file=sys.stderr,
+        )
+        return 1
+
+    rendered = 0
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            while True:
+                frame = render_top(client.stats())
+                if not args.no_clear:
+                    # Clear screen + home cursor; the frame repaints it.
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame, flush=True)
+                rendered += 1
+                if args.count and rendered >= args.count:
+                    break
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def report_main(argv: list[str] | None = None) -> int:
     """``repro report`` — per-solver summary of JSONL archives."""
     from .service import render_summary_table, summarize_archives
@@ -835,6 +946,8 @@ COMMANDS = {
     "batch": batch_main,
     "serve": serve_main,
     "submit": submit_main,
+    "metrics": metrics_main,
+    "top": top_main,
     "report": report_main,
 }
 
@@ -862,6 +975,8 @@ def repro_main(argv: list[str] | None = None) -> int:
         f"  repro batch --help      schedule a generated scenario fleet\n"
         f"  repro serve --help      run the async scheduling service (TCP)\n"
         f"  repro submit --help     send requests to a running service\n"
+        f"  repro metrics --help    scrape a running service (Prometheus text)\n"
+        f"  repro top --help        live telemetry dashboard of a service\n"
         f"  repro report --help     per-solver summary of JSONL archives"
     )
     if not argv or argv[0] in ("-h", "--help"):

@@ -224,6 +224,11 @@ class JobResult:
     cache_hit:
         Whether the job's thermal network + factorisation came out of
         the shared model cache.
+    timings:
+        Per-phase wall-clock durations in seconds, carried over from
+        the solve report (``model_build``, ``limit_resolve``,
+        ``solver``, ``total``, ``worker``).  ``None`` for error records
+        and for archives predating the tracing layer.
     """
 
     spec: JobSpec
@@ -235,8 +240,15 @@ class JobResult:
     elapsed_s: float
     steady_solves: int = 0
     cache_hit: bool = False
+    timings: Mapping[str, float] | None = None
 
     def __post_init__(self) -> None:
+        if self.timings is not None:
+            object.__setattr__(
+                self,
+                "timings",
+                {str(k): float(v) for k, v in dict(self.timings).items()},
+            )
         if self.status == "ok" and self.result is None:
             raise SchedulingError(
                 f"job {self.spec.job_id!r}: status 'ok' requires a result"
@@ -320,6 +332,9 @@ def job_result_to_dict(job_result: JobResult) -> dict[str, Any]:
         "elapsed_s": job_result.elapsed_s,
         "steady_solves": job_result.steady_solves,
         "cache_hit": job_result.cache_hit,
+        "timings": (
+            None if job_result.timings is None else dict(job_result.timings)
+        ),
         "result": (
             None
             if job_result.result is None
@@ -363,4 +378,5 @@ def job_result_from_dict(
         elapsed_s=float(data["elapsed_s"]),
         steady_solves=int(data.get("steady_solves", 0)),
         cache_hit=bool(data.get("cache_hit", False)),
+        timings=data.get("timings"),
     )

@@ -69,6 +69,15 @@ def run_job(spec: JobSpec, cache: ThermalModelCache | None = None) -> JobResult:
             steady_solves=getattr(exc, "solve_steady_solves", 0),
             cache_hit=getattr(exc, "solve_cache_hit", False),
         )
+    elapsed_s = time.perf_counter() - start
+    # The spec->request conversion happens out here, so the job's wall
+    # time exceeds the report's; record it as the "worker" phase like
+    # the service's worker path does.
+    timings = (
+        {**report.timings, "worker": elapsed_s}
+        if report.timings is not None
+        else None
+    )
     return JobResult(
         spec=spec,
         status="ok",
@@ -76,9 +85,10 @@ def run_job(spec: JobSpec, cache: ThermalModelCache | None = None) -> JobResult:
         stcl=report.stcl,
         result=report.result,
         error=None,
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=elapsed_s,
         steady_solves=report.steady_solves,
         cache_hit=report.cache_hit,
+        timings=timings,
     )
 
 

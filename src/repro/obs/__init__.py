@@ -1,0 +1,54 @@
+"""Observability primitives: tracing, histograms, logging, rendering.
+
+The measurement substrate of the scheduling service (and of every later
+performance PR that has to prove itself):
+
+* :mod:`trace` — :class:`RequestTrace` / :func:`trace_request`, named
+  monotonic-clock phases carried on reports as the ``timings`` field;
+* :mod:`histogram` — :class:`Histogram` / :class:`HistogramRegistry`,
+  fixed-bucket streaming latency histograms with interpolated
+  p50/p95/p99 snapshots;
+* :mod:`log` — :class:`JsonLogger`, one-JSON-object-per-line event
+  logging for the request lifecycle trail;
+* :mod:`prometheus` — text-exposition rendering behind the ``metrics``
+  wire frame and ``repro metrics``;
+* :mod:`top` — the ``repro top`` dashboard renderer.
+
+Everything here is dependency-free and importable on its own; the
+service decides *what* to measure, this package knows *how*.
+"""
+
+from .histogram import (
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    HistogramRegistry,
+)
+from .log import JsonLogger, open_json_log
+from .prometheus import (
+    MetricFamily,
+    counter_family,
+    gauge_family,
+    info_family,
+    render_families,
+    summary_family,
+)
+from .top import format_duration, render_top
+from .trace import RequestTrace, trace_request
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "Histogram",
+    "HistogramRegistry",
+    "JsonLogger",
+    "MetricFamily",
+    "RequestTrace",
+    "counter_family",
+    "format_duration",
+    "gauge_family",
+    "info_family",
+    "open_json_log",
+    "render_families",
+    "render_top",
+    "summary_family",
+    "trace_request",
+]

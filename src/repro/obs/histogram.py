@@ -1,0 +1,229 @@
+"""Fixed-bucket streaming latency histograms (no dependencies).
+
+A :class:`Histogram` accumulates observations into a fixed ascending
+sequence of bucket upper bounds (plus one overflow bucket), tracking
+count, sum, min and max alongside — constant memory however many values
+stream through, which is what lets the scheduling service record every
+request's queue-wait/solve/end-to-end latency without ever growing.
+
+Quantiles are estimated by linear interpolation inside the bucket that
+contains the requested rank, clamped to the observed ``[min, max]`` so a
+p99 can never be reported outside the data.  Two histograms with
+identical bounds :meth:`~Histogram.merge` exactly (counts are additive),
+which is how per-worker histograms would fold into one service-wide
+view.
+
+:class:`HistogramRegistry` is the named collection the service owns: one
+histogram per latency family, thread-safe, snapshotting to plain dicts
+ready for the stats wire frame.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Sequence
+
+#: Default bucket upper bounds (seconds): four per decade, 10 us .. 100 s.
+#: Wide enough for a sub-millisecond cache hit and a minutes-long exact
+#: search alike; 29 buckets keep a snapshot trivially cheap.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (-5.0 + step / 4.0) for step in range(29)
+)
+
+#: The quantiles every snapshot reports.
+SNAPSHOT_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+class Histogram:
+    """One streaming fixed-bucket histogram.
+
+    Parameters
+    ----------
+    bounds:
+        Strictly increasing bucket upper bounds.  A value ``v`` lands in
+        the first bucket whose bound is ``>= v``; values above the last
+        bound land in the overflow bucket.
+    """
+
+    __slots__ = ("_bounds", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(
+        self, bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got {bounds!r}"
+            )
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """The bucket upper bounds (overflow bucket excluded)."""
+        return self._bounds
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Per-bucket observation counts (last entry is the overflow)."""
+        return tuple(self._counts)
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of every observed value."""
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        """Smallest observed value (``nan`` when empty)."""
+        return self._min if self._count else math.nan
+
+    @property
+    def max(self) -> float:
+        """Largest observed value (``nan`` when empty)."""
+        return self._max if self._count else math.nan
+
+    def record(self, value: float) -> None:
+        """Stream one observation in (O(log buckets))."""
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot record NaN into a histogram")
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other*'s observations into this histogram.
+
+        Only histograms with identical bounds merge exactly; anything
+        else is a programming error, not data.
+        """
+        if other._bounds != self._bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        for i, count in enumerate(other._counts):
+            self._counts[i] += count
+        self._count += other._count
+        self._sum += other._sum
+        if other._count:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``0 <= q <= 1``; ``nan`` when empty).
+
+        Linear interpolation within the containing bucket, clamped to
+        the observed ``[min, max]`` — the overflow bucket interpolates
+        toward the observed max, so an estimate never exceeds reality.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1], got {q!r}")
+        if self._count == 0:
+            return math.nan
+        target = q * self._count
+        cumulative = 0
+        for i, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            if cumulative + count >= target:
+                lower = self._bounds[i - 1] if i > 0 else 0.0
+                upper = (
+                    self._bounds[i] if i < len(self._bounds) else self._max
+                )
+                fraction = (target - cumulative) / count
+                estimate = lower + fraction * (upper - lower)
+                return min(max(estimate, self._min), self._max)
+            cumulative += count
+        return self._max
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready summary: count/sum/min/max/mean plus p50/p95/p99.
+
+        Non-finite values (an empty histogram's quantiles) become
+        ``None`` so the snapshot survives strict JSON and Prometheus
+        rendering alike.
+        """
+
+        def _clean(value: float) -> float | None:
+            return value if math.isfinite(value) else None
+
+        data: dict[str, Any] = {
+            "count": self._count,
+            "sum": self._sum,
+            "min": _clean(self.min),
+            "max": _clean(self.max),
+            "mean": _clean(self._sum / self._count) if self._count else None,
+        }
+        for q in SNAPSHOT_QUANTILES:
+            data[f"p{int(q * 100)}"] = _clean(self.quantile(q))
+        return data
+
+
+class HistogramRegistry:
+    """A named, thread-safe collection of same-bounds histograms.
+
+    The service's event loop records into it while ``metrics`` frames
+    (and a drain's final describe) may read from other threads, hence
+    the lock; with tens of buckets both paths are microseconds.
+    """
+
+    def __init__(
+        self, bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS
+    ) -> None:
+        self._bounds = tuple(float(b) for b in bounds)
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, created on first use."""
+        with self._lock:
+            found = self._histograms.get(name)
+            if found is None:
+                found = self._histograms[name] = Histogram(self._bounds)
+            return found
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        with self._lock:
+            found = self._histograms.get(name)
+            if found is None:
+                found = self._histograms[name] = Histogram(self._bounds)
+            found.record(value)
+
+    def names(self) -> tuple[str, ...]:
+        """Registered histogram names, in creation order."""
+        with self._lock:
+            return tuple(self._histograms)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Per-histogram snapshots, keyed by name (JSON-ready)."""
+        with self._lock:
+            return {
+                name: hist.snapshot()
+                for name, hist in self._histograms.items()
+            }
+
+    def merge(self, other: "HistogramRegistry") -> None:
+        """Fold every histogram of *other* into this registry."""
+        with other._lock:
+            items = list(other._histograms.items())
+        for name, hist in items:
+            self.histogram(name).merge(hist)

@@ -1,0 +1,86 @@
+"""Structured JSON logging: one event, one JSON object, one line.
+
+:class:`JsonLogger` writes machine-parseable event lines — the service's
+request admitted/deduped/shed/completed/timed-out trail — without
+touching the stdlib ``logging`` tree (no global state, no handler
+surprises inside a long-lived asyncio process).  Each line is a single
+JSON object with a ``ts`` wall-clock timestamp and an ``event`` name,
+followed by whatever fields the caller attaches::
+
+    {"ts": 1754650000.123456, "event": "request_completed", "request_hash": "...", ...}
+
+The writer is thread-safe (archive appends and zombie-solve callbacks
+run off the event loop) and swallows I/O errors: a full disk must not
+take the service down, exactly like the archive's error policy.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, IO
+
+
+class JsonLogger:
+    """Thread-safe one-object-per-line JSON event writer.
+
+    Parameters
+    ----------
+    stream:
+        Destination text stream (default ``sys.stderr``, which keeps
+        event lines out of the CLI's stdout contract).
+    clock:
+        Wall-clock source for the ``ts`` field; injectable for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        *,
+        clock: Callable[[], float] = time.time,
+        _owns_stream: bool = False,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._owns_stream = _owns_stream
+
+    def log(self, event: str, **fields: Any) -> None:
+        """Emit one event line; unencodable values fall back to repr."""
+        record: dict[str, Any] = {"ts": round(self._clock(), 6), "event": event}
+        record.update(fields)
+        try:
+            line = json.dumps(record, separators=(",", ":"), default=repr)
+        except (TypeError, ValueError):
+            return  # a malformed field must not crash the caller
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass  # closed/full destination: drop the event, not the service
+
+    def close(self) -> None:
+        """Close the destination if this logger opened it."""
+        if self._owns_stream:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+
+
+def open_json_log(path: "str | Path | None") -> JsonLogger:
+    """A :class:`JsonLogger` for *path* (``None`` or ``"-"`` = stderr).
+
+    File destinations are opened in append mode with line buffering, so
+    restarted services extend their event trail instead of truncating
+    it.
+    """
+    if path is None or str(path) == "-":
+        return JsonLogger()
+    handle = Path(path).open("a", buffering=1)
+    return JsonLogger(handle, _owns_stream=True)

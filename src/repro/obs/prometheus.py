@@ -1,0 +1,130 @@
+"""Prometheus text-exposition rendering (no client library).
+
+The scheduling service answers the ``metrics`` wire frame with the
+standard text format — ``# HELP`` / ``# TYPE`` headers followed by
+samples — so any Prometheus-compatible scraper (or plain ``grep``) can
+consume it.  This module only knows how to *render*; what gets rendered
+is decided by the service's own metric field table, keeping the
+dependency direction obs ← service.
+
+A :class:`MetricFamily` is one named metric with its samples; histogram
+snapshots (from :mod:`repro.obs.histogram`) render as Prometheus
+*summaries*: ``{quantile="0.5"}``/``0.95``/``0.99`` samples plus
+``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class MetricFamily:
+    """One metric and its samples, ready to render.
+
+    Attributes
+    ----------
+    name:
+        Full metric name (``repro_submitted_total``, ...).
+    kind:
+        Prometheus type: ``"counter"``, ``"gauge"`` or ``"summary"``.
+    help:
+        One-line help text (newlines and backslashes are escaped).
+    samples:
+        ``(suffix, labels, value)`` triples; the suffix is appended to
+        the family name (``"_sum"``, ``"_count"``, or ``""``).
+    """
+
+    name: str
+    kind: str
+    help: str
+    samples: tuple = field(default_factory=tuple)
+
+
+def counter_family(name: str, help_text: str, value: float) -> MetricFamily:
+    """A single-sample counter (``_total`` appended if missing)."""
+    if not name.endswith("_total"):
+        name = f"{name}_total"
+    return MetricFamily(name, "counter", help_text, (("", None, value),))
+
+
+def gauge_family(name: str, help_text: str, value: float) -> MetricFamily:
+    """A single-sample gauge."""
+    return MetricFamily(name, "gauge", help_text, (("", None, value),))
+
+
+def info_family(
+    name: str, help_text: str, labels: Mapping[str, str]
+) -> MetricFamily:
+    """A constant-1 gauge carrying string facts as labels."""
+    return MetricFamily(
+        name, "gauge", help_text, (("", dict(labels), 1.0),)
+    )
+
+
+def summary_family(
+    name: str, help_text: str, snapshot: Mapping[str, Any]
+) -> MetricFamily:
+    """A summary built from a histogram snapshot dict.
+
+    *snapshot* is :meth:`repro.obs.histogram.Histogram.snapshot` output:
+    ``count``/``sum`` plus ``p50``/``p95``/``p99`` (``None`` when
+    empty — rendered as Prometheus' ``NaN``).
+    """
+    samples = [
+        ("", {"quantile": "0.5"}, snapshot.get("p50")),
+        ("", {"quantile": "0.95"}, snapshot.get("p95")),
+        ("", {"quantile": "0.99"}, snapshot.get("p99")),
+        ("_sum", None, float(snapshot.get("sum", 0.0))),
+        ("_count", None, float(snapshot.get("count", 0))),
+    ]
+    return MetricFamily(name, "summary", help_text, tuple(samples))
+
+
+def _format_value(value: "float | None") -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "NaN"
+    value = float(value)
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: "Mapping[str, str] | None") -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in labels.items()
+    )
+    return "{" + body + "}"
+
+
+def render_families(families: Sequence[MetricFamily]) -> str:
+    """Render families to the text exposition format (trailing newline)."""
+    lines: list[str] = []
+    for family in families:
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for suffix, labels, value in family.samples:
+            lines.append(
+                f"{family.name}{suffix}{_format_labels(labels)} "
+                f"{_format_value(value)}"
+            )
+    return "\n".join(lines) + "\n"

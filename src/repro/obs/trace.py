@@ -1,0 +1,85 @@
+"""Lightweight request-lifecycle tracing: named phases on one clock.
+
+A :class:`RequestTrace` accumulates named phase durations against an
+injectable monotonic clock (``time.perf_counter`` by default; tests pass
+fakes and never sleep).  It is deliberately minimal — a dict of floats
+plus a context manager — because its output has to ride on every
+:class:`~repro.api.SolveReport` (the ``timings`` field) and cross the
+wire as plain JSON.
+
+Usage::
+
+    with trace_request() as trace:
+        with trace.phase("model_build"):
+            ...
+        with trace.phase("solver"):
+            ...
+    trace.timings  # {"model_build": ..., "solver": ..., "total": ...}
+
+Re-entering a phase name accumulates (a solve that resolves two limits
+charges both resolutions to ``limit_resolve``), so phase sums stay
+comparable across requests with different control flow.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+
+class RequestTrace:
+    """Phase-duration accumulator for one request.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source; seconds as float.  Injectable so tests
+        assert exact durations without sleeping.
+    """
+
+    __slots__ = ("_clock", "_started", "_timings")
+
+    def __init__(
+        self, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self._clock = clock
+        self._started = clock()
+        self._timings: dict[str, float] = {}
+
+    @property
+    def timings(self) -> dict[str, float]:
+        """The accumulated phase durations (a copy; seconds)."""
+        return dict(self._timings)
+
+    def elapsed_s(self) -> float:
+        """Seconds since the trace was created."""
+        return self._clock() - self._started
+
+    def record(self, name: str, duration_s: float) -> None:
+        """Add *duration_s* to the named phase (creating it at 0)."""
+        self._timings[name] = self._timings.get(name, 0.0) + float(duration_s)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block as the named phase (exceptions still charged)."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.record(name, self._clock() - start)
+
+
+@contextmanager
+def trace_request(
+    clock: Callable[[], float] = time.perf_counter,
+) -> Iterator[RequestTrace]:
+    """A trace for one request; ``total`` is stamped on normal exit.
+
+    ``total`` is the wall time of the whole ``with`` body, so phase
+    durations always sum to at most ``total`` (the remainder is the
+    untraced glue between phases).
+    """
+    trace = RequestTrace(clock)
+    yield trace
+    trace.record("total", trace.elapsed_s())

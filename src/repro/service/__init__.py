@@ -15,7 +15,7 @@ and that answers with :class:`~repro.api.SolveReport`\\ s:
 * :mod:`pool` — :class:`AdaptiveWorkerPool`, the admission gate that
   scales worker concurrency between min/max with queue depth;
 * :mod:`protocol` — the newline-delimited JSON frame format
-  (submit/report/error/stats/ping);
+  (submit/report/error/stats/ping/metrics);
 * :mod:`server` — :class:`ScheduleServer`, the asyncio TCP front end;
 * :mod:`client` — :class:`AsyncServiceClient` (pipelined asyncio) and
   :class:`ServiceClient` (blocking wrapper);
@@ -59,6 +59,7 @@ from .protocol import (
     decode_frame,
     encode_frame,
     error_frame,
+    metrics_frame,
     parse_submit_frame,
     ping_frame,
     report_frame,
@@ -74,7 +75,15 @@ from .report import (
     summarize_records,
 )
 from .server import ScheduleServer
-from .service import ScheduleService, ServiceJob, ServiceMetrics
+from .service import (
+    LATENCY_FAMILIES,
+    METRIC_FIELDS,
+    MetricField,
+    ScheduleService,
+    ServiceJob,
+    ServiceMetrics,
+    render_metrics_text,
+)
 
 __all__ = [
     "AdaptiveWorkerPool",
@@ -82,7 +91,10 @@ __all__ = [
     "AnswerCacheStats",
     "AsyncServiceClient",
     "DEFAULT_PORT",
+    "LATENCY_FAMILIES",
     "MAX_FRAME_BYTES",
+    "METRIC_FIELDS",
+    "MetricField",
     "RecordStats",
     "ReportArchive",
     "SERVICE_RECORD_KIND",
@@ -97,10 +109,12 @@ __all__ = [
     "encode_frame",
     "error_frame",
     "load_service_archive",
+    "metrics_frame",
     "outcome_record",
     "parse_submit_frame",
     "ping_frame",
     "record_stats",
+    "render_metrics_text",
     "render_summary_table",
     "report_frame",
     "solve_request_outcome",

@@ -8,7 +8,8 @@ only need the wire payload).
 
 :class:`ServiceClient` is the synchronous wrapper for scripts and the
 CLI: it runs an event loop on a background thread and exposes blocking
-``submit`` / ``submit_many`` / ``stats`` / ``ping`` calls.
+``submit`` / ``submit_many`` / ``stats`` / ``metrics_text`` / ``ping``
+calls.
 
 Answer provenance survives decoding: a report served from the service's
 answer cache arrives with ``report.cached`` set (and ``"cached": true``
@@ -39,6 +40,7 @@ from .protocol import (
     MAX_FRAME_BYTES,
     decode_frame,
     encode_frame,
+    metrics_frame,
     ping_frame,
     stats_frame,
     submit_frame,
@@ -241,6 +243,18 @@ class AsyncServiceClient:
             _raise_error_frame(response)
         return response["stats"]
 
+    async def metrics_text(self) -> str:
+        """The service's telemetry as Prometheus text exposition."""
+        frame_id = f"r{next(self._ids)}"
+        response = await self._roundtrip(metrics_frame(frame_id))
+        if response["type"] == "error":
+            _raise_error_frame(response)
+        if response["type"] != "metrics":
+            raise ProtocolError(
+                f"expected a metrics frame, got {response['type']!r}"
+            )
+        return response["text"]
+
     async def ping(self) -> float:
         """Round-trip a ping; returns the latency in seconds."""
         frame_id = f"r{next(self._ids)}"
@@ -348,6 +362,10 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         """Blocking :meth:`AsyncServiceClient.stats`."""
         return self._call(self._client.stats())
+
+    def metrics_text(self) -> str:
+        """Blocking :meth:`AsyncServiceClient.metrics_text`."""
+        return self._call(self._client.metrics_text())
 
     def ping(self) -> float:
         """Blocking :meth:`AsyncServiceClient.ping`."""

@@ -16,6 +16,7 @@ and even interleaved batch runs.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Literal
@@ -88,12 +89,18 @@ def solve_request_outcome(
     # must not take down a long-lived service worker.
     except Exception as exc:
         return error_outcome(exc, time.perf_counter() - start)
+    elapsed_s = time.perf_counter() - start
+    # The engine-side wall time used to be discarded on this path; carry
+    # it as the "worker" phase so batch and service reports compare.
+    report = dataclasses.replace(
+        report, timings={**(report.timings or {}), "worker": elapsed_s}
+    )
     return SolveOutcome(
         status="ok",
         report=report,
         error=None,
         error_type=None,
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=elapsed_s,
         steady_solves=report.steady_solves,
         cache_hit=report.cache_hit,
     )

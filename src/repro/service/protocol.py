@@ -6,17 +6,19 @@ archives, so the codecs (and greppability) carry over to the wire.
 
 Client to server::
 
-    {"type": "submit", "id": "c1", "request": {...}, "timeout_s": 30}
-    {"type": "stats",  "id": "c2"}
-    {"type": "ping",   "id": "c3"}
+    {"type": "submit",  "id": "c1", "request": {...}, "timeout_s": 30}
+    {"type": "stats",   "id": "c2"}
+    {"type": "ping",    "id": "c3"}
+    {"type": "metrics", "id": "c4"}
 
 Server to client (correlated by the client-chosen ``id``; responses to
 concurrent submits arrive in *completion* order, not submission order)::
 
-    {"type": "report", "id": "c1", "request_hash": "...", "report": {...}}
-    {"type": "error",  "id": "c1", "error_type": "...", "error": "..."}
-    {"type": "stats",  "id": "c2", "stats": {...}}
-    {"type": "pong",   "id": "c3"}
+    {"type": "report",  "id": "c1", "request_hash": "...", "report": {...}}
+    {"type": "error",   "id": "c1", "error_type": "...", "error": "..."}
+    {"type": "stats",   "id": "c2", "stats": {...}}
+    {"type": "pong",    "id": "c3"}
+    {"type": "metrics", "id": "c4", "text": "# HELP repro_submitted..."}
 
 Frames embed requests and reports in exactly the dict forms of
 :func:`repro.api.request_to_dict` / :func:`repro.api.report_to_dict`,
@@ -30,7 +32,12 @@ gauges (``queue_depth``, ``in_flight``, ``current_workers`` inside the
 ``min_workers``/``workers`` band), submission counters (``submitted``,
 ``answer_hits``, ``deduped``, ``rejected``, ``shed``), solve counters,
 and the nested ``cache`` (thermal models) and ``answer_cache``
-(hits/misses/evictions/expirations) statistics.
+(hits/misses/evictions/expirations) statistics, plus a nested
+``latency`` mapping of streaming-histogram snapshots
+(p50/p95/p99/count per phase).  The metrics frame's ``text`` payload is
+the same telemetry rendered as Prometheus text exposition
+(:func:`repro.service.service.render_metrics_text`), ready for a
+scraper or ``repro metrics``.
 """
 
 from __future__ import annotations
@@ -57,7 +64,7 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 #: Every frame type either side may send.
 FRAME_TYPES = frozenset(
-    {"submit", "report", "error", "stats", "ping", "pong"}
+    {"submit", "report", "error", "stats", "ping", "pong", "metrics"}
 )
 
 
@@ -126,6 +133,11 @@ def stats_frame(frame_id: str) -> dict[str, Any]:
 def ping_frame(frame_id: str) -> dict[str, Any]:
     """A liveness-probe frame."""
     return {"type": "ping", "id": frame_id}
+
+
+def metrics_frame(frame_id: str) -> dict[str, Any]:
+    """A Prometheus-text metrics-scrape frame."""
+    return {"type": "metrics", "id": frame_id}
 
 
 # -- server-side builders -------------------------------------------------------------

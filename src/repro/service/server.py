@@ -175,6 +175,16 @@ class ScheduleServer:
                     "stats": self._service.metrics().to_dict(),
                 },
             )
+        elif frame_type == "metrics":
+            await self._send(
+                writer,
+                write_lock,
+                {
+                    "type": "metrics",
+                    "id": frame_id,
+                    "text": self._service.metrics_text(),
+                },
+            )
         elif frame_type == "submit":
             await self._handle_submit(frame, frame_id, writer, write_lock, pending)
         else:

@@ -48,12 +48,21 @@ import time
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 from ..api.request import ScheduleRequest, SolveReport
 from ..engine.backends import ExecutionBackend, create_backend
 from ..engine.cache import CacheStats, ThermalModelCache, resolve_cache
 from ..errors import ServiceBusyError, ServiceClosedError, ServiceError
+from ..obs.histogram import HistogramRegistry
+from ..obs.log import JsonLogger
+from ..obs.prometheus import (
+    counter_family,
+    gauge_family,
+    info_family,
+    render_families,
+    summary_family,
+)
 from .answer_cache import AnswerCache, AnswerCacheStats, warm_cache_from_archive
 from .archive import ReportArchive
 from .execution import (
@@ -64,6 +73,97 @@ from .execution import (
     solve_request_outcome,
 )
 from .pool import AdaptiveWorkerPool
+
+#: Latency histogram families the service records (seconds):
+#: ``queue_wait`` (submit to worker dispatch — slot acquisition
+#: included, since a job only leaves the queue once a slot is held),
+#: ``solve`` (wall time inside the worker), ``e2e`` (submit to answer —
+#: answer-cache hits included, which is what makes its distribution
+#: bimodal), ``answer_hit`` (cache-lookup latency of hits) and
+#: ``archive_append`` (background archive write).
+LATENCY_FAMILIES = ("queue_wait", "solve", "e2e", "answer_hit", "archive_append")
+
+
+@dataclass(frozen=True)
+class MetricField:
+    """One scalar of the stats frame: name, Prometheus kind, prose.
+
+    The single source of truth behind :meth:`ServiceMetrics.to_dict`,
+    :meth:`ServiceMetrics.describe` and the Prometheus rendering —
+    adding a counter here adds it to all three, so they cannot drift.
+
+    Attributes
+    ----------
+    name:
+        Attribute name on :class:`ServiceMetrics` (and stats-frame key).
+    kind:
+        ``"counter"`` or ``"gauge"`` (Prometheus semantics).
+    group:
+        Describe-line grouping: ``"config"`` fields appear in the
+        headline, ``"traffic"``/``"solves"`` fields in their own lines,
+        ``"rate"`` fields in the throughput line.
+    label:
+        Human phrasing used by :meth:`ServiceMetrics.describe`.
+    help:
+        Prometheus ``# HELP`` text.
+    """
+
+    name: str
+    kind: str
+    group: str
+    label: str
+    help: str
+
+
+#: Every scalar of the stats frame, in wire order.
+METRIC_FIELDS: tuple[MetricField, ...] = (
+    MetricField("workers", "gauge", "config", "workers max",
+                "Worker-pool maximum."),
+    MetricField("min_workers", "gauge", "config", "workers min",
+                "Adaptive worker-pool floor."),
+    MetricField("current_workers", "gauge", "config", "current workers",
+                "Current adaptive-pool admission target."),
+    MetricField("scale_ups", "counter", "solves", "pool scale-ups",
+                "One-step pool scale-up decisions."),
+    MetricField("scale_downs", "counter", "solves", "pool scale-downs",
+                "One-step pool scale-down decisions."),
+    MetricField("queue_capacity", "gauge", "config", "queue capacity",
+                "Job-queue bound (the backpressure threshold)."),
+    MetricField("queue_depth", "gauge", "config", "queue depth",
+                "Jobs waiting for a worker slot right now."),
+    MetricField("in_flight", "gauge", "config", "in flight",
+                "Jobs currently occupying a worker."),
+    MetricField("submitted", "counter", "traffic", "submitted",
+                "Submissions accepted (dedup and answer hits included)."),
+    MetricField("answer_hits", "counter", "traffic", "answer-cache hits",
+                "Submissions answered from the answer cache."),
+    MetricField("deduped", "counter", "traffic", "deduped",
+                "Submissions attached to an identical in-flight solve."),
+    MetricField("completed", "counter", "traffic", "ok",
+                "Jobs resolved with a report."),
+    MetricField("errors", "counter", "traffic", "errors",
+                "Jobs resolved with an error outcome."),
+    MetricField("timeouts", "counter", "traffic", "timeouts",
+                "Jobs that exceeded their solve timeout."),
+    MetricField("rejected", "counter", "traffic", "rejected",
+                "Submissions refused with ServiceBusyError."),
+    MetricField("shed", "counter", "traffic", "shed",
+                "Rejections caused by the shed watermark."),
+    MetricField("solves_started", "counter", "solves", "solves started",
+                "Worker-pool executions dispatched."),
+    MetricField("solves_completed", "counter", "solves", "solves completed",
+                "Worker-pool executions finished (zombies included)."),
+    MetricField("cache_hits", "counter", "solves", "model cache hits",
+                "Solves whose thermal model came out of a cache."),
+    MetricField("uptime_s", "gauge", "rate", "uptime s",
+                "Seconds since the service started."),
+    MetricField("requests_per_s", "gauge", "rate", "req/s",
+                "Answered submissions per second of uptime."),
+)
+
+
+def _format_quantile_ms(value: "float | None") -> str:
+    return "-" if value is None else f"{value * 1e3:.2f} ms"
 
 
 class ServiceJob:
@@ -81,9 +181,20 @@ class ServiceJob:
     waiters:
         Submissions that dedup-attached to this job after the first —
         the count of *other* clients whose answers die with it.
+    queue_wait_s:
+        Seconds between submission and worker dispatch (``None`` until
+        the job leaves the queue).
     """
 
-    __slots__ = ("request", "key", "timeout_s", "future", "submitted_at", "waiters")
+    __slots__ = (
+        "request",
+        "key",
+        "timeout_s",
+        "future",
+        "submitted_at",
+        "waiters",
+        "queue_wait_s",
+    )
 
     def __init__(
         self,
@@ -98,6 +209,7 @@ class ServiceJob:
         self.future = future
         self.submitted_at = time.perf_counter()
         self.waiters = 0
+        self.queue_wait_s: float | None = None
 
     @property
     def done(self) -> bool:
@@ -173,6 +285,11 @@ class ServiceMetrics:
         whose per-process caches are visible only via ``cache_hits``).
     answer_cache:
         Answer-cache statistics (``None`` when the cache is disabled).
+    latency:
+        Per-family latency histogram snapshots (count/sum/min/max/mean
+        plus p50/p95/p99; see :data:`LATENCY_FAMILIES`), keyed under
+        ``"latency"`` in the stats frame.  ``None`` when the service
+        runs with ``observability=False``.
     """
 
     backend: str
@@ -199,33 +316,18 @@ class ServiceMetrics:
     shed: int = 0
     answer_hits: int = 0
     answer_cache: AnswerCacheStats | None = None
+    latency: Mapping[str, Mapping[str, Any]] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready form (the stats wire frame's payload)."""
-        data = {
-            "backend": self.backend,
-            "workers": self.workers,
-            "min_workers": self.min_workers,
-            "current_workers": self.current_workers,
-            "scale_ups": self.scale_ups,
-            "scale_downs": self.scale_downs,
-            "queue_capacity": self.queue_capacity,
-            "queue_depth": self.queue_depth,
-            "in_flight": self.in_flight,
-            "submitted": self.submitted,
-            "answer_hits": self.answer_hits,
-            "deduped": self.deduped,
-            "completed": self.completed,
-            "errors": self.errors,
-            "timeouts": self.timeouts,
-            "rejected": self.rejected,
-            "shed": self.shed,
-            "solves_started": self.solves_started,
-            "solves_completed": self.solves_completed,
-            "cache_hits": self.cache_hits,
-            "uptime_s": self.uptime_s,
-            "requests_per_s": self.requests_per_s,
-        }
+        """JSON-ready form (the stats wire frame's payload).
+
+        Scalar keys come straight from :data:`METRIC_FIELDS`, so the
+        wire frame, :meth:`describe` and the Prometheus exposition all
+        report the same field set by construction.
+        """
+        data: dict[str, Any] = {"backend": self.backend}
+        for metric in METRIC_FIELDS:
+            data[metric.name] = getattr(self, metric.name)
         if self.cache is not None:
             data["cache"] = {
                 "hits": self.cache.hits,
@@ -235,6 +337,11 @@ class ServiceMetrics:
             }
         if self.answer_cache is not None:
             data["answer_cache"] = self.answer_cache.to_dict()
+        if self.latency is not None:
+            data["latency"] = {
+                name: dict(snapshot)
+                for name, snapshot in self.latency.items()
+            }
         return data
 
     @property
@@ -248,7 +355,12 @@ class ServiceMetrics:
         return self.answer_hits / self.submitted if self.submitted else 0.0
 
     def describe(self) -> str:
-        """Multi-line human-readable snapshot."""
+        """Multi-line human-readable snapshot.
+
+        The counter lines are generated from :data:`METRIC_FIELDS`
+        (one ``value label`` pair per field, grouped), so a counter
+        added to the stats frame shows up here without a second edit.
+        """
         if self.min_workers and self.min_workers != self.workers:
             workers = (
                 f"{self.current_workers} workers "
@@ -260,20 +372,102 @@ class ServiceMetrics:
             f"schedule service on backend {self.backend!r} "
             f"({workers}, queue {self.queue_depth}/"
             f"{self.queue_capacity}, {self.in_flight} in flight)",
-            f"  {self.submitted} submitted ({self.answer_hits} answer-cache "
-            f"hits, {self.deduped} deduped, {self.rejected} rejected), "
-            f"{self.completed} ok, {self.errors} errors "
-            f"({self.timeouts} timeouts)",
-            f"  {self.solves_started} solves started / "
-            f"{self.solves_completed} completed, {self.cache_hits} model "
-            f"cache hits, {self.requests_per_s:.1f} req/s over "
-            f"{self.uptime_s:.1f} s",
         ]
+        for group in ("traffic", "solves"):
+            pairs = ", ".join(
+                f"{getattr(self, metric.name)} {metric.label}"
+                for metric in METRIC_FIELDS
+                if metric.group == group
+            )
+            lines.append(f"  {pairs}")
+        lines.append(
+            f"  {self.requests_per_s:.1f} req/s over {self.uptime_s:.1f} s"
+        )
+        if self.latency:
+            pairs = ", ".join(
+                f"{name} p50 {_format_quantile_ms(snapshot.get('p50'))} / "
+                f"p95 {_format_quantile_ms(snapshot.get('p95'))} "
+                f"({snapshot.get('count', 0)} samples)"
+                for name, snapshot in self.latency.items()
+                if snapshot.get("count")
+            )
+            if pairs:
+                lines.append(f"  latency: {pairs}")
         if self.answer_cache is not None:
             lines.append(f"  {self.answer_cache.describe()}")
         if self.cache is not None:
             lines.append(f"  {self.cache.describe()}")
         return "\n".join(lines)
+
+
+def render_metrics_text(metrics: ServiceMetrics) -> str:
+    """Prometheus text exposition of one metrics snapshot.
+
+    Scalars render from :data:`METRIC_FIELDS` (counters as
+    ``repro_<name>_total``, gauges as ``repro_<name>``), the nested
+    cache stats as their own families, and each latency snapshot as a
+    summary (``repro_<family>_seconds`` with p50/p95/p99 quantile
+    samples plus ``_sum``/``_count``).
+    """
+    families = [
+        info_family(
+            "repro_service", "Service configuration.",
+            {"backend": metrics.backend},
+        )
+    ]
+    for metric in METRIC_FIELDS:
+        value = float(getattr(metrics, metric.name))
+        name = f"repro_{metric.name}"
+        if metric.kind == "counter":
+            families.append(counter_family(name, metric.help, value))
+        else:
+            families.append(gauge_family(name, metric.help, value))
+    if metrics.cache is not None:
+        cache = metrics.cache
+        families.extend(
+            (
+                counter_family(
+                    "repro_model_cache_hits",
+                    "Thermal models served from the shared cache.",
+                    cache.hits,
+                ),
+                counter_family(
+                    "repro_model_cache_misses",
+                    "Thermal models built fresh.",
+                    cache.misses,
+                ),
+                gauge_family(
+                    "repro_model_cache_entries",
+                    "Thermal models currently cached.",
+                    cache.entries,
+                ),
+                counter_family(
+                    "repro_model_cache_evictions",
+                    "Thermal models evicted by the cache bound.",
+                    cache.evictions,
+                ),
+            )
+        )
+    if metrics.answer_cache is not None:
+        answers = metrics.answer_cache.to_dict()
+        for key, value in answers.items():
+            name = f"repro_answer_cache_{key}"
+            help_text = f"Answer-cache {key.replace('_', ' ')}."
+            if key == "entries":
+                families.append(gauge_family(name, help_text, value))
+            else:
+                families.append(counter_family(name, help_text, value))
+    if metrics.latency is not None:
+        for family_name, snapshot in metrics.latency.items():
+            families.append(
+                summary_family(
+                    f"repro_{family_name}_seconds",
+                    f"Request {family_name.replace('_', ' ')} latency "
+                    f"in seconds.",
+                    snapshot,
+                )
+            )
+    return render_families(families)
 
 
 class ScheduleService:
@@ -328,6 +522,23 @@ class ScheduleService:
     warm_from:
         Service-archive JSONL path whose ``ok`` records pre-populate
         the answer cache at :meth:`start`.
+    logger:
+        A :class:`~repro.obs.log.JsonLogger` receiving the structured
+        request-lifecycle events (admitted / deduped / shed /
+        cache-hit / completed / timed-out); ``None`` disables event
+        logging.
+    slow_request_ms:
+        End-to-end latency threshold above which a completed request
+        additionally logs a ``slow_request`` event with its full phase
+        timings.  Implies a default stderr logger when none is given.
+    histograms:
+        Explicit :class:`~repro.obs.histogram.HistogramRegistry` (to
+        share one registry across services, or for tests with custom
+        bounds).
+    observability:
+        ``False`` turns off latency recording, report timing stamps
+        and event logging entirely — the pre-tracing hot path, kept as
+        the overhead baseline the benchmarks compare against.
     """
 
     def __init__(
@@ -347,6 +558,10 @@ class ScheduleService:
         answer_cache_size: int = 256,
         answer_ttl_s: float | None = 300.0,
         warm_from: "str | Path | None" = None,
+        logger: JsonLogger | None = None,
+        slow_request_ms: float | None = None,
+        histograms: HistogramRegistry | None = None,
+        observability: bool = True,
     ) -> None:
         if isinstance(backend, ExecutionBackend):
             self._backend = backend
@@ -418,6 +633,26 @@ class ScheduleService:
         #: double-count the warmed stat.
         self._warmed_once = False
 
+        if slow_request_ms is not None and slow_request_ms <= 0.0:
+            raise ServiceError(
+                f"slow_request_ms must be positive, got {slow_request_ms!r}"
+            )
+        self._observability = observability
+        self._latency = (
+            histograms if histograms is not None else HistogramRegistry()
+        )
+        if observability:
+            # Pre-create the families so an idle service's metrics
+            # exposition already lists every histogram at zero.
+            for family in LATENCY_FAMILIES:
+                self._latency.histogram(family)
+        if logger is None and slow_request_ms is not None:
+            logger = JsonLogger()  # slow-request logging needs a sink
+        self._logger = logger
+        self._slow_request_s = (
+            None if slow_request_ms is None else slow_request_ms / 1e3
+        )
+
         self._started = False
         self._accepting = False
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -477,6 +712,40 @@ class ScheduleService:
     def running(self) -> bool:
         """True between :meth:`start` and :meth:`stop`."""
         return self._started
+
+    @property
+    def latency_histograms(self) -> HistogramRegistry:
+        """The latency histogram registry (always present; recording
+        only happens with ``observability=True``)."""
+        return self._latency
+
+    def describe_config(self) -> str:
+        """One-line static configuration (the serve banner's body).
+
+        Shared with the CLI so the banner cannot drift from the
+        service's actual knobs.
+        """
+        pool = self._pool
+        if pool.min_workers != pool.max_workers:
+            workers = f"{pool.min_workers}..{pool.max_workers} workers"
+        else:
+            workers = f"{pool.max_workers} workers"
+        cache = self._answer_cache
+        if cache is None:
+            answers = "answer cache off"
+        else:
+            ttl = (
+                "no TTL" if cache.ttl_s is None else f"TTL {cache.ttl_s:g} s"
+            )
+            answers = f"answer cache {len(cache)}/{cache.max_entries} ({ttl})"
+        return (
+            f"backend {self._backend.name!r}, {workers}, "
+            f"queue {self._queue_size}, {answers}"
+        )
+
+    def _log_event(self, event: str, **fields: Any) -> None:
+        if self._logger is not None:
+            self._logger.log(event, **fields)
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -625,14 +894,34 @@ class ScheduleService:
         # worker and no dedup bookkeeping.  (An expired entry reports a
         # miss and falls through to a fresh solve — never served stale.)
         if self._answer_cache is not None:
+            lookup_start = time.perf_counter()
             stored = self._answer_cache.get(key)
             if stored is not None:
-                return self._cached_job(request, key, stored), False
+                job = self._cached_job(request, key, stored)
+                if self._observability:
+                    hit_s = time.perf_counter() - lookup_start
+                    self._latency.observe("answer_hit", hit_s)
+                    # e2e covers *every* answered submission; hits are
+                    # what makes its distribution bimodal.
+                    self._latency.observe("e2e", hit_s)
+                    self._log_event(
+                        "request_cache_hit",
+                        request_hash=key,
+                        solver=request.solver,
+                    )
+                return job, False
         existing = self._inflight.get(key)
         if existing is not None:
             self._submitted += 1
             self._deduped += 1
             existing.waiters += 1
+            if self._observability:
+                self._log_event(
+                    "request_deduped",
+                    request_hash=key,
+                    solver=request.solver,
+                    waiters=existing.waiters,
+                )
             return existing, False
         if (
             self._shed_watermark is not None
@@ -641,6 +930,13 @@ class ScheduleService:
         ):
             self._rejected += 1
             self._shed += 1
+            if self._observability:
+                self._log_event(
+                    "request_shed",
+                    request_hash=key,
+                    solver=request.solver,
+                    queue_depth=self._queue.qsize(),
+                )
             raise ServiceBusyError(
                 f"job queue depth reached the shed watermark "
                 f"({self._shed_watermark}); retry later"
@@ -654,6 +950,16 @@ class ScheduleService:
         )
         self._inflight[key] = job
         self._submitted += 1
+        if self._observability:
+            self._log_event(
+                "request_admitted",
+                request_hash=key,
+                solver=request.solver,
+                timeout_s=job.timeout_s,
+                queue_depth=(
+                    self._queue.qsize() if self._queue is not None else 0
+                ),
+            )
         return job, True
 
     async def submit(
@@ -812,6 +1118,11 @@ class ScheduleService:
     async def _run_job(self, job: ServiceJob) -> None:
         assert self._loop is not None
         self._solves_started += 1
+        # Dispatch happens with a worker slot already held, so this one
+        # duration covers both the queue and slot acquisition.
+        job.queue_wait_s = time.perf_counter() - job.submitted_at
+        if self._observability:
+            self._latency.observe("queue_wait", job.queue_wait_s)
         try:
             worker_future = self._loop.run_in_executor(
                 self._executor, self._worker, job.request
@@ -866,6 +1177,12 @@ class ScheduleService:
 
     def _finish(self, job: ServiceJob, outcome: SolveOutcome) -> None:
         self._inflight.pop(job.key, None)
+        e2e_s = time.perf_counter() - job.submitted_at
+        if self._observability:
+            outcome = self._stamp_timings(job, outcome, e2e_s)
+            self._latency.observe("e2e", e2e_s)
+            if outcome.ok:
+                self._latency.observe("solve", outcome.elapsed_s)
         if outcome.ok:
             self._completed += 1
             if outcome.cache_hit:
@@ -874,10 +1191,71 @@ class ScheduleService:
                 self._answer_cache.put(job.key, outcome)
         else:
             self._errors += 1
+        if self._observability:
+            self._log_finished(job, outcome, e2e_s)
         if self._archive is not None:
             self._schedule_archive_append(job, outcome)
         if not job.future.done():
             job.future.set_result(outcome)
+
+    def _stamp_timings(
+        self, job: ServiceJob, outcome: SolveOutcome, e2e_s: float
+    ) -> SolveOutcome:
+        """Re-stamp an ok outcome's report with the service-side phases.
+
+        ``queue_wait`` and ``service_total`` join the worker-side
+        phases on the report, so the answer cache (and hence every
+        later hit) serves the original solve's full trace.
+        """
+        if not outcome.ok or outcome.report is None:
+            return outcome
+        timings = dict(outcome.report.timings or {})
+        if job.queue_wait_s is not None:
+            timings["queue_wait"] = job.queue_wait_s
+        timings["service_total"] = e2e_s
+        return dataclasses.replace(
+            outcome,
+            report=dataclasses.replace(outcome.report, timings=timings),
+        )
+
+    def _log_finished(
+        self, job: ServiceJob, outcome: SolveOutcome, e2e_s: float
+    ) -> None:
+        if self._logger is None:
+            return
+        timings = (
+            dict(outcome.report.timings)
+            if outcome.ok
+            and outcome.report is not None
+            and outcome.report.timings is not None
+            else None
+        )
+        event = (
+            "request_timed_out"
+            if outcome.error_type == "TimeoutError"
+            else "request_completed"
+        )
+        self._log_event(
+            event,
+            request_hash=job.key,
+            solver=job.request.solver,
+            status=outcome.status,
+            error_type=outcome.error_type,
+            waiters=job.waiters,
+            queue_wait_s=job.queue_wait_s,
+            solve_s=outcome.elapsed_s,
+            e2e_s=e2e_s,
+            timings=timings,
+        )
+        if self._slow_request_s is not None and e2e_s >= self._slow_request_s:
+            self._log_event(
+                "slow_request",
+                request_hash=job.key,
+                solver=job.request.solver,
+                threshold_ms=self._slow_request_s * 1e3,
+                e2e_s=e2e_s,
+                timings=timings,
+            )
 
     def _schedule_archive_append(
         self, job: ServiceJob, outcome: SolveOutcome
@@ -894,6 +1272,7 @@ class ScheduleService:
         assert self._loop is not None and self._archive is not None
 
         async def _append() -> None:
+            append_start = time.perf_counter()
             try:
                 await self._loop.run_in_executor(
                     None,
@@ -906,6 +1285,11 @@ class ScheduleService:
                 )
             except Exception:
                 self._archive_errors += 1
+            else:
+                if self._observability:
+                    self._latency.observe(
+                        "archive_append", time.perf_counter() - append_start
+                    )
 
         task = asyncio.create_task(_append())
         self._tasks.add(task)
@@ -963,4 +1347,11 @@ class ScheduleService:
                 if self._answer_cache is not None
                 else None
             ),
+            latency=(
+                self._latency.snapshot() if self._observability else None
+            ),
         )
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition (the ``metrics`` frame's payload)."""
+        return render_metrics_text(self.metrics())

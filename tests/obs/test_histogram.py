@@ -1,0 +1,165 @@
+"""Streaming-histogram correctness: buckets, quantiles, merge.
+
+Everything here is exact-value arithmetic on tiny hand-chosen bucket
+sets — no clocks, no sleeps, no tolerance fudging beyond float
+``pytest.approx``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BOUNDS, Histogram, HistogramRegistry
+
+
+class TestBucketing:
+    def test_values_land_in_first_bucket_with_bound_gte(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 8.0):
+            hist.record(value)
+        # 0.5 -> <=1 bucket; 1.5 x2 -> <=2; 3.0 -> <=4; 8.0 -> overflow.
+        assert hist.counts == (1, 2, 1, 1)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(14.5)
+        assert hist.min == 0.5
+        assert hist.max == 8.0
+
+    def test_value_exactly_on_a_bound_lands_in_that_bucket(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        hist.record(2.0)
+        assert hist.counts == (0, 1, 0, 0)
+
+    def test_rejects_nan(self):
+        hist = Histogram(bounds=(1.0,))
+        with pytest.raises(ValueError, match="NaN"):
+            hist.record(math.nan)
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(bounds=(1.0, 1.0, 2.0))
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(bounds=())
+
+    def test_default_bounds_span_10us_to_100s(self):
+        assert DEFAULT_LATENCY_BOUNDS[0] == pytest.approx(1e-5)
+        assert DEFAULT_LATENCY_BOUNDS[-1] == pytest.approx(100.0)
+        assert len(DEFAULT_LATENCY_BOUNDS) == 29
+
+
+class TestQuantiles:
+    def test_empty_histogram_quantile_is_nan(self):
+        hist = Histogram(bounds=(1.0,))
+        assert math.isnan(hist.quantile(0.5))
+        assert math.isnan(hist.min)
+        assert math.isnan(hist.max)
+
+    def test_p50_interpolates_within_the_containing_bucket(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 8.0):
+            hist.record(value)
+        # target rank 2.5 of 5 falls in the (1, 2] bucket holding ranks
+        # 2..3: lower 1.0 + (2.5-1)/2 * (2.0-1.0) = 1.75.
+        assert hist.quantile(0.5) == pytest.approx(1.75)
+
+    def test_overflow_bucket_interpolates_toward_observed_max(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 8.0):
+            hist.record(value)
+        # q=1 lands at the end of the overflow bucket whose upper edge
+        # is the observed max — never an invented "last bound * k".
+        assert hist.quantile(1.0) == pytest.approx(8.0)
+
+    def test_estimates_clamp_to_observed_min_and_max(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        hist.record(0.5)
+        # Interpolation inside [0, 1] would report below the smallest
+        # observation; the clamp forbids that.
+        assert hist.quantile(0.0) == pytest.approx(0.5)
+        assert hist.quantile(1.0) == pytest.approx(0.5)
+
+    def test_single_value_every_quantile_is_that_value(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        hist.record(1.3)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(1.3)
+
+    def test_quantile_outside_unit_interval_rejected(self):
+        hist = Histogram(bounds=(1.0,))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            hist.quantile(1.5)
+
+    def test_snapshot_is_json_ready(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        empty = hist.snapshot()
+        assert empty["count"] == 0
+        assert empty["p50"] is None and empty["mean"] is None
+        for value in (0.5, 1.5, 1.5, 3.0, 8.0):
+            hist.record(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 5
+        assert snap["mean"] == pytest.approx(2.9)
+        assert snap["p50"] == pytest.approx(1.75)
+        assert set(snap) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+        }
+
+
+class TestMerge:
+    def test_merge_is_equivalent_to_one_combined_stream(self):
+        bounds = (0.001, 0.01, 0.1, 1.0)
+        left, right, combined = (
+            Histogram(bounds), Histogram(bounds), Histogram(bounds),
+        )
+        left_values = [0.0005, 0.005, 0.05, 0.5, 5.0]
+        right_values = [0.002, 0.02, 0.2, 2.0]
+        for value in left_values:
+            left.record(value)
+            combined.record(value)
+        for value in right_values:
+            right.record(value)
+            combined.record(value)
+        left.merge(right)
+        assert left.counts == combined.counts
+        assert left.count == combined.count
+        assert left.sum == pytest.approx(combined.sum)
+        assert left.min == combined.min and left.max == combined.max
+        for q in (0.5, 0.95, 0.99):
+            assert left.quantile(q) == pytest.approx(combined.quantile(q))
+
+    def test_merge_with_empty_histogram_changes_nothing(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        hist.record(1.5)
+        hist.merge(Histogram(bounds=(1.0, 2.0)))
+        assert hist.count == 1
+        assert hist.min == 1.5 and hist.max == 1.5
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ValueError, match="different bucket bounds"):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+
+class TestRegistry:
+    def test_observe_creates_on_first_use_and_snapshots(self):
+        registry = HistogramRegistry(bounds=(1.0, 2.0))
+        registry.observe("solve", 1.5)
+        registry.observe("solve", 0.5)
+        registry.observe("e2e", 1.8)
+        assert registry.names() == ("solve", "e2e")
+        snap = registry.snapshot()
+        assert snap["solve"]["count"] == 2
+        assert snap["e2e"]["count"] == 1
+
+    def test_registry_merge_folds_per_name(self):
+        a = HistogramRegistry(bounds=(1.0, 2.0))
+        b = HistogramRegistry(bounds=(1.0, 2.0))
+        a.observe("solve", 0.5)
+        b.observe("solve", 1.5)
+        b.observe("queue_wait", 0.1)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["solve"]["count"] == 2
+        assert snap["queue_wait"]["count"] == 1

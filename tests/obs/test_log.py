@@ -1,0 +1,69 @@
+"""JsonLogger tests: parseable lines, injected clock, error policy."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import JsonLogger, open_json_log
+
+
+class TestJsonLogger:
+    def test_one_parseable_object_per_line(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream, clock=lambda: 1000.0)
+        logger.log("request_admitted", request_hash="abc", queue_depth=3)
+        logger.log("request_completed", status="ok")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "ts": 1000.0,
+            "event": "request_admitted",
+            "request_hash": "abc",
+            "queue_depth": 3,
+        }
+        assert json.loads(lines[1])["event"] == "request_completed"
+
+    def test_timestamp_rounded_to_microseconds(self):
+        stream = io.StringIO()
+        JsonLogger(stream, clock=lambda: 1234.123456789).log("e")
+        assert json.loads(stream.getvalue())["ts"] == 1234.123457
+
+    def test_unencodable_values_fall_back_to_repr(self):
+        stream = io.StringIO()
+        JsonLogger(stream, clock=lambda: 0.0).log("e", payload={1, 2})
+        record = json.loads(stream.getvalue())
+        assert "1" in record["payload"]  # repr of the set, not a crash
+
+    def test_closed_stream_swallowed(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream, clock=lambda: 0.0)
+        stream.close()
+        logger.log("e")  # must not raise
+
+    def test_close_only_closes_owned_streams(self):
+        stream = io.StringIO()
+        JsonLogger(stream).close()
+        assert not stream.closed
+
+
+class TestOpenJsonLog:
+    def test_path_appends_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = open_json_log(path)
+        logger.log("first")
+        logger.close()
+        logger = open_json_log(path)  # append, not truncate
+        logger.log("second")
+        logger.close()
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert [e["event"] for e in events] == ["first", "second"]
+
+    def test_dash_means_stderr(self, capsys):
+        logger = open_json_log("-")
+        logger.log("to_stderr")
+        logger.close()
+        assert "to_stderr" in capsys.readouterr().err

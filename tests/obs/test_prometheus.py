@@ -1,0 +1,74 @@
+"""Prometheus text-exposition rendering tests."""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs import (
+    counter_family,
+    gauge_family,
+    info_family,
+    render_families,
+    summary_family,
+)
+
+
+class TestFamilies:
+    def test_counter_appends_total_once(self):
+        assert counter_family("repro_submitted", "h", 3).name == (
+            "repro_submitted_total"
+        )
+        assert counter_family("repro_submitted_total", "h", 3).name == (
+            "repro_submitted_total"
+        )
+
+    def test_render_counter_and_gauge(self):
+        text = render_families(
+            [
+                counter_family("repro_submitted", "Requests submitted.", 7),
+                gauge_family("repro_queue_depth", "Jobs queued.", 3),
+            ]
+        )
+        assert text == (
+            "# HELP repro_submitted_total Requests submitted.\n"
+            "# TYPE repro_submitted_total counter\n"
+            "repro_submitted_total 7\n"
+            "# HELP repro_queue_depth Jobs queued.\n"
+            "# TYPE repro_queue_depth gauge\n"
+            "repro_queue_depth 3\n"
+        )
+
+    def test_info_family_constant_one_with_labels(self):
+        text = render_families(
+            [info_family("repro_service", "Config.", {"backend": "thread"})]
+        )
+        assert 'repro_service{backend="thread"} 1\n' in text
+
+    def test_summary_from_snapshot(self):
+        snapshot = {"count": 4, "sum": 2.0, "p50": 0.5, "p95": 0.9, "p99": 1.5}
+        text = render_families(
+            [summary_family("repro_solve_seconds", "Solve latency.", snapshot)]
+        )
+        assert "# TYPE repro_solve_seconds summary" in text
+        assert 'repro_solve_seconds{quantile="0.5"} 0.5' in text
+        assert 'repro_solve_seconds{quantile="0.99"} 1.5' in text
+        assert "repro_solve_seconds_sum 2" in text
+        assert "repro_solve_seconds_count 4" in text
+
+    def test_empty_summary_renders_nan_quantiles(self):
+        snapshot = {"count": 0, "sum": 0.0, "p50": None, "p95": None, "p99": None}
+        text = render_families(
+            [summary_family("repro_e2e_seconds", "h", snapshot)]
+        )
+        assert 'repro_e2e_seconds{quantile="0.5"} NaN' in text
+        assert "repro_e2e_seconds_count 0" in text
+
+    def test_value_and_label_escaping(self):
+        text = render_families(
+            [
+                gauge_family("repro_inf", "h", math.inf),
+                info_family("repro_i", 'he"lp', {"k": 'va"l\\ue'}),
+            ]
+        )
+        assert "repro_inf +Inf" in text
+        assert 'k="va\\"l\\\\ue"' in text

@@ -1,0 +1,86 @@
+"""render_top tests — a pure function over a known stats dict."""
+
+from __future__ import annotations
+
+from repro.obs import format_duration, render_top
+
+FULL_STATS = {
+    "backend": "thread",
+    "workers": 4,
+    "min_workers": 2,
+    "current_workers": 3,
+    "scale_ups": 5,
+    "scale_downs": 4,
+    "queue_capacity": 128,
+    "queue_depth": 32,
+    "in_flight": 3,
+    "submitted": 100,
+    "answer_hits": 25,
+    "deduped": 10,
+    "completed": 60,
+    "errors": 2,
+    "timeouts": 1,
+    "rejected": 3,
+    "shed": 0,
+    "solves_started": 65,
+    "solves_completed": 62,
+    "cache_hits": 40,
+    "uptime_s": 330.0,
+    "requests_per_s": 0.3,
+    "cache": {"hits": 40, "misses": 25, "entries": 12, "evictions": 0},
+    "answer_cache": {
+        "hits": 25,
+        "misses": 75,
+        "entries": 50,
+        "evictions": 5,
+        "expirations": 2,
+        "warmed": 10,
+    },
+    "latency": {
+        "queue_wait": {"count": 65, "p50": 0.004, "p95": 0.02, "p99": 0.09},
+        "solve": {"count": 62, "p50": 0.11, "p95": 0.5, "p99": 1.2},
+        "e2e": {"count": 90, "p50": 0.12, "p95": 0.6, "p99": 1.5},
+        "answer_hit": {"count": 25, "p50": 0.0001, "p95": 0.0002, "p99": 0.0002},
+        "archive_append": {"count": 0},
+    },
+}
+
+
+class TestRenderTop:
+    def test_full_dashboard(self):
+        screen = render_top(FULL_STATS)
+        assert "backend 'thread'" in screen
+        assert "up 5.5 min" in screen
+        assert "32/128" in screen and "in-flight 3" in screen
+        assert "3/4 (floor 2, +5/-4 scaling)" in screen
+        assert "100 submitted: 25 answer hits (25%)" in screen
+        assert "10 deduped (10%)" in screen
+        assert "65 started / 62 done, 40 model-cache hits (62%)" in screen
+        assert "answers 50 cached, 25 hits / 75 misses" in screen
+        assert "models  12 cached, 40 hits / 25 misses" in screen
+
+    def test_latency_table_formats_and_skips_empty_rows(self):
+        screen = render_top(FULL_STATS)
+        assert "queue wait" in screen and "4.00ms" in screen
+        assert "solve" in screen and "110ms" in screen  # >=100ms: no decimals
+        assert "1.50s" in screen  # >=1s: seconds
+        assert "answer hit" in screen and "0.10ms" in screen
+        # Zero-sample families render no row at all.
+        assert "archive append" not in screen
+
+    def test_minimal_stats_renders_without_latency_or_caches(self):
+        screen = render_top({"backend": "serial", "uptime_s": 3.0})
+        assert "backend 'serial'" in screen
+        assert "latency" not in screen
+        assert "answers" not in screen
+
+    def test_zero_capacity_bar_is_empty_not_a_crash(self):
+        screen = render_top({"queue_depth": 0, "queue_capacity": 0})
+        assert "[" + "-" * 24 + "] 0/0" in screen
+
+
+class TestFormatDuration:
+    def test_bands(self):
+        assert format_duration(42.0) == "42 s"
+        assert format_duration(330.0) == "5.5 min"
+        assert format_duration(7560.0) == "2.1 h"

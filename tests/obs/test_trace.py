@@ -1,0 +1,85 @@
+"""RequestTrace tests — fake clocks only, no sleeps anywhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import RequestTrace, trace_request
+
+
+class FakeClock:
+    """A monotonic clock advanced explicitly by the test."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRequestTrace:
+    def test_phase_charges_exact_clock_delta(self):
+        clock = FakeClock()
+        trace = RequestTrace(clock)
+        with trace.phase("model_build"):
+            clock.advance(0.25)
+        assert trace.timings == {"model_build": pytest.approx(0.25)}
+
+    def test_reentered_phase_accumulates(self):
+        clock = FakeClock()
+        trace = RequestTrace(clock)
+        with trace.phase("limit_resolve"):
+            clock.advance(0.1)
+        with trace.phase("limit_resolve"):
+            clock.advance(0.3)
+        assert trace.timings["limit_resolve"] == pytest.approx(0.4)
+
+    def test_phase_charged_even_when_body_raises(self):
+        clock = FakeClock()
+        trace = RequestTrace(clock)
+        with pytest.raises(RuntimeError):
+            with trace.phase("solver"):
+                clock.advance(0.5)
+                raise RuntimeError("infeasible")
+        assert trace.timings["solver"] == pytest.approx(0.5)
+
+    def test_elapsed_tracks_from_construction(self):
+        clock = FakeClock()
+        trace = RequestTrace(clock)
+        clock.advance(1.5)
+        assert trace.elapsed_s() == pytest.approx(1.5)
+
+    def test_timings_property_returns_a_copy(self):
+        trace = RequestTrace(FakeClock())
+        trace.record("solver", 1.0)
+        trace.timings["solver"] = 99.0
+        assert trace.timings["solver"] == 1.0
+
+
+class TestTraceRequest:
+    def test_total_stamped_on_normal_exit(self):
+        clock = FakeClock()
+        with trace_request(clock) as trace:
+            with trace.phase("solver"):
+                clock.advance(0.2)
+            clock.advance(0.05)  # untraced glue
+        assert trace.timings["solver"] == pytest.approx(0.2)
+        assert trace.timings["total"] == pytest.approx(0.25)
+
+    def test_phases_sum_to_at_most_total(self):
+        clock = FakeClock()
+        with trace_request(clock) as trace:
+            with trace.phase("a"):
+                clock.advance(0.1)
+            with trace.phase("b"):
+                clock.advance(0.2)
+            clock.advance(0.3)
+        total = trace.timings["total"]
+        phase_sum = sum(
+            v for k, v in trace.timings.items() if k != "total"
+        )
+        assert phase_sum <= total
+        assert total == pytest.approx(0.6)

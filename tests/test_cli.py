@@ -10,11 +10,13 @@ from repro.cli import (
     batch_main,
     load_power_csv,
     main,
+    metrics_main,
     parse_solver_params,
     report_main,
     repro_main,
     solve_main,
     submit_main,
+    top_main,
 )
 from repro.errors import ReproError
 from repro.floorplan.generator import grid_floorplan
@@ -496,6 +498,51 @@ class TestReportCommand:
         assert "no records" in capsys.readouterr().out
 
 
+class TestMetricsCommand:
+    def test_scrape_prints_prometheus_text(self, live_server, capsys):
+        submit_main(
+            ["--port", str(live_server), "--soc", "worked-example6",
+             "--tl", "80", "--stcl", "60", "--quiet"]
+        )
+        assert metrics_main(["--port", str(live_server)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_submitted_total counter" in out
+        assert "repro_submitted_total 1" in out
+        assert "# TYPE repro_solve_seconds summary" in out
+        assert "repro_solve_seconds_count 1" in out
+        assert 'repro_e2e_seconds{quantile="0.95"}' in out
+
+    def test_no_server_is_a_clean_error(self, capsys):
+        assert metrics_main(["--port", "1"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestTopCommand:
+    def test_single_frame_renders_dashboard(self, live_server, capsys):
+        submit_main(
+            ["--port", str(live_server), "--soc", "worked-example6",
+             "--tl", "80", "--stcl", "60", "--quiet"]
+        )
+        exit_code = top_main(
+            ["--port", str(live_server), "--count", "1", "--no-clear"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "repro top — backend 'thread'" in out
+        assert "queue   [" in out and "workers [" in out
+        assert "1 submitted" in out
+        assert "end-to-end" in out  # latency table populated
+        assert "\x1b[2J" not in out  # --no-clear really appends
+
+    def test_nonpositive_interval_is_a_clean_error(self, capsys):
+        assert top_main(["--interval", "0"]) == 1
+        assert "interval" in capsys.readouterr().err
+
+    def test_no_server_is_a_clean_error(self, capsys):
+        assert top_main(["--port", "1", "--count", "1"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
 def boot_serve_subprocess(extra_args):
     """Spawn ``repro serve --port 0 ...``; return (proc, port) once the
     listening banner appears.  One launcher for every subprocess serve
@@ -650,9 +697,44 @@ class TestWarmStartSubprocess:
         assert "1 answer-cache hits" in rest
 
 
+class TestServeObservabilityFlags:
+    def test_log_json_and_slow_request_ms_write_event_trail(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        proc, port = boot_serve_subprocess(
+            ["--workers", "2", "--log-json", str(log_path),
+             "--slow-request-ms", "0.001"]
+        )
+        try:
+            assert submit_main(
+                ["--port", str(port), "--soc", "worked-example6",
+                 "--tl", "80", "--stcl", "60", "--quiet"]
+            ) == 0
+        finally:
+            drain_serve_subprocess(proc)
+        events = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        names = [e["event"] for e in events]
+        assert "request_admitted" in names
+        assert "request_completed" in names
+        assert "slow_request" in names  # sub-microsecond threshold
+        completed = next(
+            e for e in events if e["event"] == "request_completed"
+        )
+        assert "service_total" in completed["timings"]
+
+    def test_negative_slow_threshold_is_a_clean_error(self, capsys):
+        from repro.cli import serve_main
+
+        exit_code = serve_main(["--port", "0", "--slow-request-ms", "-5"])
+        assert exit_code == 1
+        assert "slow_request_ms" in capsys.readouterr().err
+
+
 class TestUmbrellaUsage:
     def test_usage_lists_service_commands(self, capsys):
         assert repro_main([]) == 2
         out = capsys.readouterr().out
-        for command in ("serve", "submit", "report"):
+        for command in ("serve", "submit", "metrics", "top", "report"):
             assert f"repro {command}" in out
