@@ -21,6 +21,7 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy", "scipy"],
     entry_points={

@@ -1,0 +1,43 @@
+"""Codebase-aware static analysis for the repro package.
+
+``repro.analysis`` is the home of ``repro check``: an AST-walking lint
+framework plus rules that encode this repository's own conventions —
+the things a generic linter cannot know, like which attributes are
+guarded by which lock, which dataclasses must stay field-for-field in
+sync with their dict/JSONL/wire codecs, and which calls must never run
+on the service's event loop.
+
+The public surface mirrors the solver registry of :mod:`repro.api`:
+
+* :class:`~repro.analysis.registry.LintRule` — base class for rules.
+* :func:`~repro.analysis.registry.register_rule` — class decorator that
+  adds a rule to the registry.
+* :func:`~repro.analysis.runner.run_check` — load sources, run rules,
+  apply the baseline, return a :class:`~repro.analysis.runner.CheckResult`.
+
+Importing this package registers the built-in rules as a side effect
+(exactly like importing :mod:`repro.api.builtin_solvers`).
+"""
+
+from .baseline import Baseline, BaselineDiff
+from .findings import Finding
+from .project import Project, SourceFile
+from .registry import LintRule, available_rules, get_rule, register_rule
+from .runner import CheckResult, run_check
+
+# Importing the rules package registers every built-in rule.
+from . import rules as _rules  # noqa: F401  (imported for side effect)
+
+__all__ = [
+    "Baseline",
+    "BaselineDiff",
+    "CheckResult",
+    "Finding",
+    "LintRule",
+    "Project",
+    "SourceFile",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+    "run_check",
+]

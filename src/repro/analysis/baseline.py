@@ -1,0 +1,110 @@
+"""Committed-baseline ratchet for ``repro check``.
+
+The baseline file maps finding fingerprints (``rule::path::message``)
+to occurrence counts.  Semantics:
+
+* A finding whose fingerprint is in the baseline, up to its recorded
+  count, is *baselined* — reported but not failing.
+* Any finding beyond the baseline (new fingerprint, or more occurrences
+  of a known one) is *new* — it fails the check.
+* A baseline entry no match occurred for is *stale* — the debt was paid
+  down; ``--update-baseline`` removes it, so the baseline only ever
+  ratchets toward zero unless someone deliberately rewrites it.
+
+The file is plain sorted JSON so diffs in review show exactly which
+debt was added or retired.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import AnalysisError
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Conventional baseline filename at the repository root.
+DEFAULT_BASELINE_NAME = "repro-check-baseline.json"
+
+
+@dataclass
+class BaselineDiff:
+    """Result of applying a baseline to a list of findings."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no finding escapes the baseline."""
+        return not self.new
+
+
+class Baseline:
+    """A fingerprint -> count mapping with ratchet semantics."""
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts = dict(counts or {})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: dict[str, int] = {}
+        for finding in findings:
+            counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != BASELINE_VERSION
+            or not isinstance(payload.get("findings"), dict)
+        ):
+            raise AnalysisError(
+                f"baseline {path} is not a version-{BASELINE_VERSION} "
+                f"repro-check baseline"
+            )
+        counts = {}
+        for fingerprint, count in payload["findings"].items():
+            if not isinstance(count, int) or count < 1:
+                raise AnalysisError(
+                    f"baseline {path}: bad count {count!r} for {fingerprint!r}"
+                )
+            counts[fingerprint] = count
+        return cls(counts)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, review-friendly JSON."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def apply(self, findings: Iterable[Finding]) -> BaselineDiff:
+        """Split *findings* into new vs baselined, and note stale entries."""
+        diff = BaselineDiff()
+        remaining = dict(self.counts)
+        for finding in findings:
+            budget = remaining.get(finding.fingerprint, 0)
+            if budget > 0:
+                remaining[finding.fingerprint] = budget - 1
+                diff.baselined.append(finding)
+            else:
+                diff.new.append(finding)
+        diff.stale = sorted(
+            fingerprint for fingerprint, count in remaining.items() if count > 0
+        )
+        return diff

@@ -1,0 +1,55 @@
+"""The unit of lint output: a :class:`Finding` with a stable fingerprint.
+
+A finding pins a rule violation to ``path:line`` for humans and to a
+*fingerprint* for the baseline.  The fingerprint deliberately excludes
+the line number so that unrelated edits shifting a legacy finding up or
+down the file do not invalidate the committed baseline; it is the
+triple ``rule::path::message``.  Two identical legacy findings in one
+file share a fingerprint — the baseline stores a *count* per
+fingerprint, so adding a third occurrence still fails the check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Sort order is (path, line, col, rule) so text output reads like a
+    compiler's: file by file, top to bottom.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str = field(compare=True)
+    message: str = ""
+    hint: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity: stable across line shifts, not across edits."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form used by ``repro check --format json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """One-line human form: ``path:line:col: [rule] message``."""
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

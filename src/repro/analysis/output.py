@@ -1,0 +1,49 @@
+"""Render a :class:`~repro.analysis.runner.CheckResult` for humans or CI.
+
+Two formats, matching the rest of the CLI:
+
+* ``text`` — compiler-style ``path:line:col: [rule] message`` lines,
+  new findings first, then a one-line summary.
+* ``json`` — the :meth:`CheckResult.to_dict` payload, pretty-printed,
+  suitable for upload as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .runner import CheckResult
+
+
+def render_text(result: CheckResult, verbose: bool = False) -> str:
+    """Human-readable report; baselined findings only shown when *verbose*."""
+    lines: list[str] = []
+    if result.diff.new:
+        lines.append("new findings (not in baseline):")
+        for finding in result.diff.new:
+            lines.append("  " + finding.render().replace("\n", "\n  "))
+    if result.diff.baselined and verbose:
+        lines.append("baselined findings (known debt):")
+        for finding in result.diff.baselined:
+            lines.append("  " + finding.render().replace("\n", "\n  "))
+    if result.diff.stale:
+        lines.append(
+            "stale baseline entries (fixed debt; run --update-baseline "
+            "to retire them):"
+        )
+        for fingerprint in result.diff.stale:
+            lines.append(f"  {fingerprint}")
+    summary = (
+        f"checked {result.files_checked} files with "
+        f"{len(result.rules)} rules: "
+        f"{len(result.diff.new)} new, "
+        f"{len(result.diff.baselined)} baselined, "
+        f"{len(result.diff.stale)} stale baseline entries"
+    )
+    lines.append(("FAIL: " if not result.ok else "OK: ") + summary)
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    """Machine-readable report (stable key order)."""
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True)

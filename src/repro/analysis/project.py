@@ -1,0 +1,181 @@
+"""Source loading for the analysis pass.
+
+A :class:`Project` is a parsed snapshot of Python sources: each
+:class:`SourceFile` carries the text, the split lines, the ``ast`` tree,
+its dotted module name, and the per-line ``# repro: ignore[...]``
+suppressions.  Two constructors cover the two consumers:
+
+* :meth:`Project.load` walks the real package tree on disk (the CLI).
+* :meth:`Project.from_sources` builds a project from an in-memory
+  ``{path: source}`` mapping (the fixture-snippet tests), so every rule
+  can be exercised against hand-written positive/negative cases without
+  touching the filesystem.
+
+Paths are always stored relative to the *parent* of the package root
+(``repro/service/service.py``), never to the current directory — the
+baseline fingerprints embed them, so they must not depend on where
+``repro check`` happens to be invoked from.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from ..errors import AnalysisError
+
+#: Matches ``# repro: ignore`` and ``# repro: ignore[rule-a, rule-b]``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[\w\-, ]*)\])?"
+)
+
+
+def _module_name(rel_path: str) -> str:
+    """Dotted module for a package-relative posix path."""
+    parts = rel_path.split("/")
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _parse_suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
+    """Per-line suppressed rules; an empty set means *all* rules."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            out[lineno] = frozenset()
+        else:
+            out[lineno] = frozenset(
+                name.strip() for name in rules.split(",") if name.strip()
+            )
+    return out
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file."""
+
+    path: str  # package-relative posix path, e.g. "repro/service/pool.py"
+    module: str  # dotted module, e.g. "repro.service.pool"
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(repr=False)
+    suppressions: dict[int, frozenset[str]] = field(repr=False)
+
+    @classmethod
+    def from_text(cls, path: str, text: str) -> "SourceFile":
+        try:
+            tree = ast.parse(text)
+        except SyntaxError as exc:
+            raise AnalysisError(
+                f"cannot parse {path}: {exc.msg} (line {exc.lineno})"
+            ) from exc
+        lines = text.splitlines()
+        return cls(
+            path=path,
+            module=_module_name(path),
+            text=text,
+            tree=tree,
+            lines=lines,
+            suppressions=_parse_suppressions(lines),
+        )
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True if *rule* is suppressed on *line* (or its decorator line)."""
+        suppressed = self.suppressions.get(line)
+        if suppressed is None:
+            return False
+        return not suppressed or rule in suppressed
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-indexed source line, or '' when out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Project:
+    """A set of parsed source files plus lookup helpers for rules."""
+
+    def __init__(self, files: list[SourceFile]) -> None:
+        self.files = sorted(files, key=lambda sf: sf.path)
+        self._by_path = {sf.path: sf for sf in self.files}
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "Project":
+        """Build a project from ``{package-relative path: source text}``."""
+        return cls([SourceFile.from_text(p, t) for p, t in sources.items()])
+
+    @classmethod
+    def load(cls, package_root: Path) -> "Project":
+        """Parse every ``*.py`` under *package_root* (the ``repro`` dir)."""
+        package_root = package_root.resolve()
+        if not package_root.is_dir():
+            raise AnalysisError(f"not a directory: {package_root}")
+        base = package_root.parent
+        files = []
+        for path in sorted(package_root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            rel = path.relative_to(base).as_posix()
+            files.append(SourceFile.from_text(rel, path.read_text()))
+        if not files:
+            raise AnalysisError(f"no Python sources under {package_root}")
+        return cls(files)
+
+    def get(self, path: str) -> SourceFile | None:
+        return self._by_path.get(path)
+
+    def files_under(self, module_prefix: str) -> list[SourceFile]:
+        """Files whose module is *module_prefix* or lives beneath it."""
+        return [
+            sf
+            for sf in self.files
+            if sf.module == module_prefix
+            or sf.module.startswith(module_prefix + ".")
+        ]
+
+    def iter_classes(self) -> Iterator[tuple[SourceFile, ast.ClassDef]]:
+        """Every class definition in the project, at any nesting level."""
+        for sf in self.files:
+            for node in ast.walk(sf.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield sf, node
+
+    def iter_functions(
+        self,
+    ) -> Iterator[tuple[SourceFile, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        """Every function definition in the project."""
+        for sf in self.files:
+            for node in ast.walk(sf.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield sf, node
+
+    def find_class(self, name: str) -> tuple[SourceFile, ast.ClassDef] | None:
+        """First class named *name*, searching the whole project."""
+        for sf, node in self.iter_classes():
+            if node.name == name:
+                return sf, node
+        return None
+
+    def find_function(
+        self, name: str
+    ) -> tuple[SourceFile, ast.FunctionDef | ast.AsyncFunctionDef] | None:
+        """First module-level function named *name* in the project."""
+        for sf in self.files:
+            for node in sf.tree.body:
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == name
+                ):
+                    return sf, node
+        return None

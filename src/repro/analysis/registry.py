@@ -1,0 +1,103 @@
+"""Rule registry for ``repro check``.
+
+Mirrors the solver registry of :mod:`repro.api.solvers`: rules are
+classes decorated with :func:`register_rule`, looked up by a stable
+kebab-case ``name``, and enumerated with :func:`available_rules`.  A
+rule receives the whole :class:`~repro.analysis.project.Project` (not
+one file at a time) because the interesting checks here are
+cross-file: a codec in ``repro.api`` must match a dataclass defined
+two modules away.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Type
+
+from ..errors import AnalysisError
+from .findings import Finding
+from .project import Project
+
+_REGISTRY: dict[str, "LintRule"] = {}
+
+
+class LintRule(ABC):
+    """Base class for analysis rules.
+
+    Class attributes
+    ----------------
+    name:
+        Stable kebab-case identifier — used in ``--select``/``--ignore``,
+        in ``# repro: ignore[name]`` suppressions, and in baseline
+        fingerprints.  Renaming a rule invalidates its baseline entries.
+    description:
+        One-line summary shown by ``repro check --list-rules``.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    @abstractmethod
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Yield every violation of this rule in *project*."""
+
+    def finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        """Build a finding attributed to this rule."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule=self.name,
+            message=message,
+            hint=hint,
+        )
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule (as a singleton instance) to the registry."""
+    if not cls.name:
+        raise AnalysisError(f"rule class {cls.__name__} declares no name")
+    if cls.name in _REGISTRY:
+        raise AnalysisError(f"duplicate rule name {cls.name!r}")
+    if not cls.description:
+        raise AnalysisError(f"rule {cls.name!r} declares no description")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def get_rule(name: str) -> LintRule:
+    """Look up one rule by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown rule {name!r}; available: "
+            f"{', '.join(sorted(_REGISTRY)) or '(none)'}"
+        ) from None
+
+
+def available_rules() -> list[LintRule]:
+    """Every registered rule, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def resolve_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[LintRule]:
+    """The rules to run: all by default, narrowed by select/ignore."""
+    if select:
+        rules = [get_rule(name) for name in select]
+    else:
+        rules = available_rules()
+    if ignore:
+        dropped = {get_rule(name).name for name in ignore}
+        rules = [rule for rule in rules if rule.name not in dropped]
+    return rules

@@ -1,0 +1,21 @@
+"""Built-in rules for ``repro check``.
+
+Importing this package registers every rule (the same import-time
+registration pattern as the built-in solver fleet in
+:mod:`repro.api.solvers`).  Each module holds exactly one rule so a
+rule's detection logic, message wording, and hints live in one place.
+"""
+
+from . import async_blocking  # noqa: F401
+from . import codec_drift  # noqa: F401
+from . import lock_discipline  # noqa: F401
+from . import solver_contract  # noqa: F401
+from . import units_boundary  # noqa: F401
+
+__all__ = [
+    "async_blocking",
+    "codec_drift",
+    "lock_discipline",
+    "solver_contract",
+    "units_boundary",
+]

@@ -1,0 +1,106 @@
+"""Small AST helpers shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def import_table(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the qualified names they import.
+
+    ``import time`` -> ``{"time": "time"}``; ``import numpy as np`` ->
+    ``{"np": "numpy"}``; ``from time import sleep`` ->
+    ``{"sleep": "time.sleep"}``.  Only top-level and nested statement
+    imports are considered — good enough for call-site resolution.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                table[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+    return table
+
+
+def qualified_name(node: ast.expr, table: dict[str, str]) -> str | None:
+    """Resolve ``a.b.c`` / ``name`` through the import table, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = table.get(node.id, node.id)
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk *node*'s body without descending into nested def/class/lambda.
+
+    The nested definition nodes themselves are yielded (so a rule can
+    decide what to do with them), but their bodies are not entered —
+    code inside a nested function runs on that function's schedule, not
+    the enclosing one's.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def str_constant(node: ast.expr) -> str | None:
+    """The value of a string-literal node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def numeric_constant(node: ast.expr) -> float | None:
+    """The value of a (possibly negated) numeric literal, else None."""
+    sign = 1.0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        sign = -1.0 if isinstance(node.op, ast.USub) else 1.0
+        node = node.operand
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    ):
+        return sign * float(node.value)
+    return None
+
+
+def string_keys_in_dict_literals(fn: ast.AST) -> set[str]:
+    """Every string key of a dict literal / dict() call / subscript store."""
+    keys: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                value = str_constant(key) if key is not None else None
+                if value is not None:
+                    keys.add(value)
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "dict":
+                keys.update(kw.arg for kw in node.keywords if kw.arg)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    value = str_constant(target.slice)
+                    if value is not None:
+                        keys.add(value)
+    return keys

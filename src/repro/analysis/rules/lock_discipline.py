@@ -1,0 +1,182 @@
+"""Rule: declared-guarded attributes are only touched under their lock.
+
+The convention (introduced together with this rule) is a trailing
+comment on the attribute's assignment in ``__init__``::
+
+    self._entries = OrderedDict()   # guarded-by: _lock
+    self._submitted = 0             # guarded-by: event-loop
+
+Guard names that look like attributes (leading underscore) are
+*enforced*: every later read or write of the attribute must sit
+lexically inside ``with <obj>.<guard>:`` (or ``async with``) on the
+same object — ``self._entries`` wants ``with self._lock:``, and
+``other._entries`` in a merge method wants ``with other._lock:``.
+
+Guard names without a leading underscore (``event-loop``) are
+*ownership documentation*: the attribute belongs to a single execution
+domain and takes no lock at all.  They are parsed (so typos in the
+annotation fail loudly via ``--list-rules`` debugging) but generate no
+findings — documenting single-owner state is exactly how the service's
+event-loop counters avoid needing a lock.
+
+Escape hatches, both deliberate:
+
+* ``__init__`` itself is exempt (nothing else can see the object yet);
+* methods whose name ends in ``_locked`` are exempt — the repo's
+  convention for helpers documented as "caller holds the lock".
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..findings import Finding
+from ..project import Project, SourceFile
+from ..registry import LintRule, register_rule
+
+GUARD_RE = re.compile(r"#\s*guarded-by:\s*(?P<guard>[\w\-]+)")
+
+Held = frozenset[tuple[str, str]]
+
+
+def guarded_attributes(sf: SourceFile, cls: ast.ClassDef) -> dict[str, str]:
+    """``{attribute name: guard name}`` declared by *cls*'s annotations."""
+    guards: dict[str, str] = {}
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        # A multi-line assignment may carry the comment on any of its
+        # lines (typically the last, next to the value expression).
+        match = None
+        for lineno in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+            match = GUARD_RE.search(sf.line_text(lineno))
+            if match is not None:
+                break
+        if match is None:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                guards[target.attr] = match.group("guard")
+    return guards
+
+
+@register_rule
+class LockDisciplineRule(LintRule):
+    name = "lock-discipline"
+    description = (
+        "reads/writes of '# guarded-by:' attributes outside a "
+        "'with <obj>.<lock>:' scope"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for sf, cls in project.iter_classes():
+            guards = guarded_attributes(sf, cls)
+            enforced = {
+                attr: guard
+                for attr, guard in guards.items()
+                if guard.startswith("_")
+            }
+            if not enforced:
+                continue
+            for stmt in cls.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name == "__init__" or stmt.name.endswith("_locked"):
+                    continue
+                yield from self._check_method(
+                    sf, cls, stmt, enforced, frozenset()
+                )
+
+    def _check_method(
+        self,
+        sf: SourceFile,
+        cls: ast.ClassDef,
+        node: ast.AST,
+        guards: dict[str, str],
+        held: Held,
+    ) -> Iterator[Finding]:
+        """Walk *node*, tracking which (object, lock) pairs are held.
+
+        With-blocks are the only construct that changes the held set:
+        everything between them is scanned flat, and each nested
+        with-block recurses with the (possibly extended) set.
+        """
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in node.items:
+                ctx = item.context_expr
+                if isinstance(ctx, ast.Attribute) and isinstance(
+                    ctx.value, ast.Name
+                ):
+                    acquired.add((ctx.value.id, ctx.attr))
+                # The acquisition expression itself still runs unlocked.
+                yield from self._scan_flat(sf, cls, item, guards, held)
+            inside = frozenset(acquired)
+            for stmt in node.body:
+                yield from self._check_method(sf, cls, stmt, guards, inside)
+            return
+        yield from self._scan_flat(sf, cls, node, guards, held)
+
+    def _scan_flat(
+        self,
+        sf: SourceFile,
+        cls: ast.ClassDef,
+        node: ast.AST,
+        guards: dict[str, str],
+        held: Held,
+    ) -> Iterator[Finding]:
+        """Scan *node*, recursing into nested with-blocks via _check_method."""
+        stack: list[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            if current is not node and isinstance(
+                current, (ast.With, ast.AsyncWith)
+            ):
+                yield from self._check_method(sf, cls, current, guards, held)
+                continue
+            yield from self._check_attribute(sf, cls, current, guards, held)
+            stack.extend(ast.iter_child_nodes(current))
+
+    def _check_attribute(
+        self,
+        sf: SourceFile,
+        cls: ast.ClassDef,
+        node: ast.AST,
+        guards: dict[str, str],
+        held: Held,
+    ) -> Iterator[Finding]:
+        if not isinstance(node, ast.Attribute):
+            return
+        if not isinstance(node.value, ast.Name):
+            return
+        guard = guards.get(node.attr)
+        if guard is None:
+            return
+        base = node.value.id
+        # Accessing the lock itself (e.g. `self._lock.locked()`) is fine.
+        if node.attr == guard:
+            return
+        if (base, guard) in held:
+            return
+        yield self.finding(
+            sf.path,
+            node.lineno,
+            node.col_offset,
+            f"{cls.name}.{node.attr} is guarded by {guard!r} but "
+            f"accessed as {base}.{node.attr} without "
+            f"'with {base}.{guard}:'",
+            hint=(
+                f"wrap the access in 'with {base}.{guard}:' or move it "
+                f"into a *_locked helper called under the lock"
+            ),
+        )

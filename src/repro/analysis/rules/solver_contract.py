@@ -1,0 +1,241 @@
+"""Rule: ``register_solver`` registrations honour the solver contract.
+
+PR 2's registry made every scheduling algorithm a stateless singleton
+declaring its capabilities up front; the upcoming solver zoo (Babu et
+al. superposition strategies) will stress exactly that contract.  For
+every class registered with ``@register_solver`` (or a
+``register_solver(Cls)`` call) this rule requires:
+
+* an explicit string ``name`` — the registry key;
+* an explicit ``needs_stcl`` boolean — capability flags are part of
+  the contract, not something to inherit silently;
+* an explicit ``param_names`` declaration — the validation gate;
+* every ``params.get("x")`` / ``params["x"]`` key used inside the
+  class to be in that declared set (otherwise ``validate_params``
+  rejects requests the solver actually understands — or worse, the
+  solver silently ignores typo'd request parameters);
+* no duplicate registry names across the project;
+* no module-level scipy/matplotlib/pandas import in a module that
+  registers a solver: solver modules must stay importable for CLI
+  listings and analysis without pulling the heavy numeric stack
+  (numpy is the package-wide baseline and is fine).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..project import Project, SourceFile
+from ..registry import LintRule, register_rule
+from ._ast_util import str_constant
+
+#: Module-level imports that drag in the heavy numeric stack.
+HEAVY_IMPORTS = ("scipy", "matplotlib", "pandas")
+
+#: Class attributes every registered solver must declare explicitly.
+REQUIRED_DECLARATIONS = ("name", "needs_stcl", "param_names")
+
+
+def _is_register_decorator(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "register_solver"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "register_solver"
+    return False
+
+
+def registered_solver_classes(
+    project: Project,
+) -> list[tuple[SourceFile, ast.ClassDef]]:
+    """Every class registered via decorator or direct call."""
+    classes: list[tuple[SourceFile, ast.ClassDef]] = []
+    for sf in project.files:
+        called_names: set[str] = set()
+        for node in ast.walk(sf.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _is_register_decorator(node.func)
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+            ):
+                called_names.add(node.args[0].id)
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name in called_names or any(
+                _is_register_decorator(d) for d in node.decorator_list
+            ):
+                classes.append((sf, node))
+    return classes
+
+
+def _class_assignments(cls: ast.ClassDef) -> dict[str, ast.expr]:
+    """Directly assigned class attributes (name -> value expression)."""
+    out: dict[str, ast.expr] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                out[stmt.target.id] = stmt.value
+    return out
+
+
+def _declared_param_names(value: ast.expr) -> set[str] | None:
+    """Statically evaluate a param_names declaration, else None.
+
+    Understands ``frozenset({...})``, ``frozenset()``, set/tuple/list
+    literals of string constants.
+    """
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name) and func.id in {"frozenset", "set"}:
+            if not value.args:
+                return set()
+            return _declared_param_names(value.args[0])
+        return None
+    if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+        names = set()
+        for element in value.elts:
+            text = str_constant(element)
+            if text is None:
+                return None
+            names.add(text)
+        return names
+    return None
+
+
+def _params_keys_used(cls: ast.ClassDef) -> list[tuple[str, ast.AST]]:
+    """Every string key pulled out of a ``params`` mapping in the class."""
+    used: list[tuple[str, ast.AST]] = []
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "params"
+                and node.args
+            ):
+                key = str_constant(node.args[0])
+                if key is not None:
+                    used.append((key, node))
+        elif isinstance(node, ast.Subscript):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "params"
+            ):
+                key = str_constant(node.slice)
+                if key is not None:
+                    used.append((key, node))
+    return used
+
+
+@register_rule
+class SolverContractRule(LintRule):
+    name = "solver-contract"
+    description = (
+        "register_solver classes must declare name/needs_stcl/param_names, "
+        "use only declared params, and avoid scipy-at-import modules"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        solver_classes = registered_solver_classes(project)
+        yield from self._check_declarations(solver_classes)
+        yield from self._check_duplicate_names(solver_classes)
+        yield from self._check_heavy_imports(project, solver_classes)
+
+    def _check_declarations(
+        self, solver_classes: list[tuple[SourceFile, ast.ClassDef]]
+    ) -> Iterator[Finding]:
+        for sf, cls in solver_classes:
+            assigned = _class_assignments(cls)
+            for required in REQUIRED_DECLARATIONS:
+                if required not in assigned:
+                    yield self.finding(
+                        sf.path,
+                        cls.lineno,
+                        cls.col_offset,
+                        f"registered solver {cls.name} does not declare "
+                        f"{required!r} explicitly",
+                        hint=(
+                            "capability flags and accepted params are part "
+                            "of the register_solver contract; declare them "
+                            "in the class body even when inheriting the "
+                            "default value"
+                        ),
+                    )
+            declared = None
+            if "param_names" in assigned:
+                declared = _declared_param_names(assigned["param_names"])
+            if declared is None:
+                continue  # dynamic declaration: subset check not possible
+            for key, node in _params_keys_used(cls):
+                if key not in declared:
+                    yield self.finding(
+                        sf.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"solver {cls.name} reads params[{key!r}] but does "
+                        f"not declare it in param_names",
+                        hint=(
+                            "add the key to param_names so validate_params "
+                            "accepts requests that use it"
+                        ),
+                    )
+
+    def _check_duplicate_names(
+        self, solver_classes: list[tuple[SourceFile, ast.ClassDef]]
+    ) -> Iterator[Finding]:
+        seen: dict[str, str] = {}
+        for sf, cls in solver_classes:
+            assigned = _class_assignments(cls)
+            value = assigned.get("name")
+            registry_name = str_constant(value) if value is not None else None
+            if registry_name is None:
+                continue
+            if registry_name in seen:
+                yield self.finding(
+                    sf.path,
+                    cls.lineno,
+                    cls.col_offset,
+                    f"solver registry name {registry_name!r} of {cls.name} "
+                    f"is already registered by {seen[registry_name]}",
+                    hint="registry names must be unique",
+                )
+            else:
+                seen[registry_name] = cls.name
+
+    def _check_heavy_imports(
+        self,
+        project: Project,
+        solver_classes: list[tuple[SourceFile, ast.ClassDef]],
+    ) -> Iterator[Finding]:
+        solver_files = {sf.path for sf, _ in solver_classes}
+        for sf in project.files:
+            if sf.path not in solver_files:
+                continue
+            for stmt in sf.tree.body:  # module level only
+                roots: list[str] = []
+                if isinstance(stmt, ast.Import):
+                    roots = [alias.name.split(".")[0] for alias in stmt.names]
+                elif isinstance(stmt, ast.ImportFrom) and stmt.module:
+                    roots = [stmt.module.split(".")[0]]
+                for root in roots:
+                    if root in HEAVY_IMPORTS:
+                        yield self.finding(
+                            sf.path,
+                            stmt.lineno,
+                            stmt.col_offset,
+                            f"solver module imports {root} at module level",
+                            hint=(
+                                "import lazily inside solve() so the solver "
+                                "registry stays importable without the "
+                                "heavy numeric stack"
+                            ),
+                        )

@@ -1,0 +1,114 @@
+"""Rule: no raw unit-conversion literals where :mod:`repro.units` helps.
+
+The package standardises its unit boundaries in :mod:`repro.units`:
+temperatures cross API boundaries in Celsius and are converted with
+``celsius_to_kelvin``/``kelvin_to_celsius`` (never a bare ``273.15``),
+and package geometry is stored in metres but written as ``mm(...)`` /
+``mm2(...)`` at construction sites.  This rule flags the three ways
+raw literals sneak past those boundaries:
+
+* a bare ``273.15`` (or ``-273.15``) anywhere outside ``repro/units.py``;
+* a numeric literal below 200 passed to a ``*_k`` keyword — a Kelvin
+  temperature below 200 K is almost certainly a Celsius value that
+  missed its conversion;
+* a literal of 0.05 or more passed to one of the known metre-valued
+  package-geometry keywords (``die_thickness``, ``sink_side``, ...) —
+  a five-centimetre die thickness is really a millimetre value that
+  should read ``mm(0.5)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ...units import KELVIN_OFFSET
+from ..findings import Finding
+from ..project import Project, SourceFile
+from ..registry import LintRule, register_rule
+from ._ast_util import numeric_constant
+
+#: Keyword parameters measured in metres (PackageConfig geometry).
+METRE_KEYWORDS = frozenset(
+    {
+        "die_thickness",
+        "tim_thickness",
+        "spreader_side",
+        "spreader_thickness",
+        "sink_side",
+        "sink_thickness",
+    }
+)
+
+#: A Kelvin temperature below this is almost certainly Celsius.
+MIN_PLAUSIBLE_KELVIN = 200.0
+
+#: A metre-valued package dimension at or above this (5 cm) is almost
+#: certainly a millimetre value.
+MAX_PLAUSIBLE_METRES = 0.05
+
+
+@register_rule
+class UnitsBoundaryRule(LintRule):
+    name = "units-boundary"
+    description = (
+        "raw unit-conversion literals (273.15, Celsius into *_k, "
+        "millimetres into metre params) where repro.units helpers exist"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for sf in project.files:
+            if sf.module == "repro.units":
+                continue  # the helpers' own definitions
+            yield from self._check_offset_literals(sf)
+            yield from self._check_call_keywords(sf)
+
+    def _check_offset_literals(self, sf: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(sf.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, float)
+                and abs(node.value) == KELVIN_OFFSET
+            ):
+                yield self.finding(
+                    sf.path,
+                    node.lineno,
+                    node.col_offset,
+                    "raw Kelvin-offset literal 273.15",
+                    hint=(
+                        "use celsius_to_kelvin()/kelvin_to_celsius() from "
+                        "repro.units"
+                    ),
+                )
+
+    def _check_call_keywords(self, sf: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                value = numeric_constant(kw.value)
+                if value is None:
+                    continue
+                if kw.arg.endswith("_k") and value < MIN_PLAUSIBLE_KELVIN:
+                    yield self.finding(
+                        sf.path,
+                        kw.value.lineno,
+                        kw.value.col_offset,
+                        f"{kw.arg}={value:g} looks like Celsius passed to a "
+                        f"Kelvin parameter",
+                        hint=(
+                            f"write {kw.arg}=celsius_to_kelvin({value:g}) "
+                            f"(repro.units)"
+                        ),
+                    )
+                elif kw.arg in METRE_KEYWORDS and value >= MAX_PLAUSIBLE_METRES:
+                    yield self.finding(
+                        sf.path,
+                        kw.value.lineno,
+                        kw.value.col_offset,
+                        f"{kw.arg}={value:g} looks like millimetres passed "
+                        f"to a metre parameter",
+                        hint=f"write {kw.arg}=mm({value:g}) (repro.units)",
+                    )

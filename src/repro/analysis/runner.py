@@ -1,0 +1,81 @@
+"""Run rules over a project and apply the baseline.
+
+:func:`run_check` is the programmatic heart of ``repro check``: the CLI
+is a thin argv wrapper around it, and the self-check test calls it
+directly against the repository's own source tree and committed
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .baseline import Baseline, BaselineDiff
+from .findings import Finding
+from .project import Project
+from .registry import LintRule, resolve_rules
+
+
+@dataclass
+class CheckResult:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding]
+    diff: BaselineDiff
+    rules: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing escapes the baseline."""
+        return self.diff.ok
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form used by ``--format json`` (and the CI artifact)."""
+        return {
+            "ok": self.ok,
+            "rules": list(self.rules),
+            "files_checked": self.files_checked,
+            "counts": {
+                "total": len(self.findings),
+                "new": len(self.diff.new),
+                "baselined": len(self.diff.baselined),
+                "stale_baseline_entries": len(self.diff.stale),
+            },
+            "new": [f.to_dict() for f in self.diff.new],
+            "baselined": [f.to_dict() for f in self.diff.baselined],
+            "stale_baseline_entries": list(self.diff.stale),
+        }
+
+
+def run_rules(project: Project, rules: Sequence[LintRule]) -> list[Finding]:
+    """All findings from *rules*, suppressions applied, sorted."""
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(project):
+            source = project.get(finding.path)
+            if source is not None and source.is_suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def run_check(
+    project: Project,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+) -> CheckResult:
+    """Run the (selected) rules over *project* against *baseline*."""
+    rules = resolve_rules(select=select, ignore=ignore)
+    findings = run_rules(project, rules)
+    diff = (baseline or Baseline()).apply(findings)
+    return CheckResult(
+        findings=findings,
+        diff=diff,
+        rules=[rule.name for rule in rules],
+        files_checked=len(project.files),
+    )

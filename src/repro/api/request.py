@@ -169,7 +169,11 @@ class ScheduleRequest:
 
     def describe(self) -> str:
         """One-line human-readable request summary."""
-        system = self.soc if self.soc is not None else self.scenario.name
+        if self.soc is not None:
+            system = self.soc
+        else:
+            assert self.scenario is not None  # __post_init__: exactly one source
+            system = self.scenario.name
         tl = f"TL={self.tl_c:g}" if self.tl_c is not None else f"TLx{self.tl_headroom:g}"
         if self.stcl is not None:
             stcl = f", STCL={self.stcl:g}"
@@ -393,6 +397,7 @@ def report_from_dict(data: dict[str, Any]) -> SolveReport:
     else:
         from .workbench import _builtin_scenario  # deferred: workbench imports us
 
+        assert request.soc is not None  # __post_init__: exactly one source
         scenario = _builtin_scenario(request.soc)
     soc = scenario.build_soc()
     return SolveReport(

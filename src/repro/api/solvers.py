@@ -21,6 +21,7 @@ Adding a scheduler to the comparison space is now one class::
     @register_solver
     class MySolver(Solver):
         name = "mine"
+        needs_stcl = False
         param_names = frozenset({"alpha"})
 
         def solve(self, context, params):
@@ -206,7 +207,9 @@ class ThermalAwareSolver(Solver):
         }
     )
 
-    def solve(self, context, params):
+    def solve(
+        self, context: SolveContext, params: Mapping[str, Any]
+    ) -> tuple[ScheduleResult, dict[str, Any]]:
         config = SchedulerConfig(**dict(params))
         scheduler = ThermalAwareScheduler(
             context.soc,
@@ -241,6 +244,7 @@ class PowerConstrainedSolver(Solver):
     """
 
     name = "power_constrained"
+    needs_stcl = False
     param_names = frozenset({"power_limit_w", "power_fraction", "sort_descending"})
 
     @staticmethod
@@ -249,7 +253,9 @@ class PowerConstrainedSolver(Solver):
         biggest = max(core.test_power_w for core in soc)
         return max(1.02 * biggest, fraction * soc.total_test_power_w())
 
-    def solve(self, context, params):
+    def solve(
+        self, context: SolveContext, params: Mapping[str, Any]
+    ) -> tuple[ScheduleResult, dict[str, Any]]:
         fraction = float(params.get("power_fraction", 0.5))
         cap = params.get("power_limit_w")
         if cap is None:
@@ -269,8 +275,12 @@ class SequentialSolver(Solver):
     """One core per session, input order — the longest sensible schedule."""
 
     name = "sequential"
+    needs_stcl = False
+    param_names = frozenset()
 
-    def solve(self, context, params):
+    def solve(
+        self, context: SolveContext, params: Mapping[str, Any]
+    ) -> tuple[ScheduleResult, dict[str, Any]]:
         schedule = sequential_schedule(context.soc)
         return self.baseline_result(context, schedule), {}
 
@@ -280,9 +290,12 @@ class RandomSolver(Solver):
     """Seeded random packing under an optional power cap (sanity baseline)."""
 
     name = "random"
+    needs_stcl = False
     param_names = frozenset({"seed", "power_limit_w"})
 
-    def solve(self, context, params):
+    def solve(
+        self, context: SolveContext, params: Mapping[str, Any]
+    ) -> tuple[ScheduleResult, dict[str, Any]]:
         cap = params.get("power_limit_w")
         scheduler = RandomScheduler(
             context.soc,
@@ -298,9 +311,12 @@ class OptimalMinSessionsSolver(Solver):
     """Exact branch-and-bound minimum-session search (small SoCs only)."""
 
     name = "optimal"
+    needs_stcl = False
     param_names = frozenset({"max_cores"})
 
-    def solve(self, context, params):
+    def solve(
+        self, context: SolveContext, params: Mapping[str, Any]
+    ) -> tuple[ScheduleResult, dict[str, Any]]:
         scheduler = OptimalMinSessionsScheduler(
             context.soc,
             simulator=context.simulator,

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import time
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from ..errors import ReproError, RequestError
 from ..core.session_model import SessionModelConfig, SessionThermalModel
@@ -34,7 +34,11 @@ from ..spec_utils import validate_limit_fields
 from ..soc.system import SocUnderTest
 from ..thermal.simulator import ThermalSimulator
 from .request import ScheduleRequest, SolveReport
-from .solvers import SolveContext, get_solver
+from .solvers import Solver, SolveContext, get_solver
+
+if TYPE_CHECKING:
+    from ..engine.jobs import JobSpec
+    from ..engine.runner import BatchResult
 
 
 def _builtin_scenario(name: str) -> ScenarioSpec:
@@ -184,7 +188,7 @@ class Workbench:
     def _execute(
         self,
         *,
-        solver,
+        solver: Solver,
         request: ScheduleRequest | None,
         soc: SocUnderTest,
         params: Mapping[str, Any],
@@ -229,10 +233,12 @@ class Workbench:
             # Any exception type: run_job records non-ReproError solver
             # bugs too, and their effort must not read as zero.
             try:
-                exc.solve_steady_solves = (
-                    simulator.steady_solve_count - solves_before
+                setattr(
+                    exc,
+                    "solve_steady_solves",
+                    simulator.steady_solve_count - solves_before,
                 )
-                exc.solve_cache_hit = cache_hit
+                setattr(exc, "solve_cache_hit", cache_hit)
             except AttributeError:
                 pass  # exceptions with __slots__ cannot carry extras
             raise
@@ -240,7 +246,7 @@ class Workbench:
     def _resolve_and_solve(
         self,
         *,
-        solver,
+        solver: Solver,
         request: ScheduleRequest | None,
         soc: SocUnderTest,
         params: Mapping[str, Any],
@@ -326,7 +332,7 @@ class Workbench:
         backend: str = "serial",
         max_workers: int | None = None,
         jsonl_path: str | Path | None = None,
-    ):
+    ) -> "BatchResult":
         """Fan a fleet of :class:`~repro.engine.jobs.JobSpec` out.
 
         Delegates to :class:`~repro.engine.runner.BatchRunner` with this

@@ -1,6 +1,6 @@
 """``repro`` — thermal-safe scheduling from the command line.
 
-Six subcommands::
+The subcommands::
 
     repro schedule ...   # one SoC, one (TL, STCL) question (paper flow)
     repro solve ...      # one request through any registered solver
@@ -8,6 +8,7 @@ Six subcommands::
     repro serve ...      # long-lived scheduling service (JSONL over TCP)
     repro submit ...     # send requests to a running service
     repro report ...     # per-solver summary of JSONL archives
+    repro check ...      # repo-specific static analysis (lint rules)
 
 (``repro-schedule`` remains as an alias for ``repro schedule``, and
 ``python -m repro ...`` works without installed entry points.)
@@ -939,6 +940,133 @@ def report_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def check_main(argv: list[str] | None = None) -> int:
+    """``repro check`` — the codebase-aware static-analysis pass.
+
+    Exit codes: 0 when clean against the baseline, 1 when new findings
+    (or an analysis error) exist, 2 on usage errors — the same shape as
+    the other subcommands, so CI can gate on it directly.
+    """
+    from .analysis import Project, available_rules, run_check
+    from .analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+    from .analysis.output import render_json, render_text
+    from .errors import AnalysisError
+
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Run the repro-specific static-analysis rules (async-blocking, "
+            "lock-discipline, codec-drift, solver-contract, units-boundary) "
+            "over the package sources, ratcheted against a committed "
+            "baseline of known findings."
+        ),
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        type=Path,
+        default=None,
+        metavar="PACKAGE_DIR",
+        help=(
+            "the repro package directory to analyse "
+            "(default: the installed package being run)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the CI artifact shape)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when it "
+            f"exists, else no baseline)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to exactly the current findings "
+            "(retires stale entries; requires --baseline or an existing "
+            "default baseline path)"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print baselined (known-debt) findings in text format",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in available_rules():
+            print(f"{rule.name:16s} {rule.description}")
+        return 0
+
+    package_root = args.root
+    if package_root is None:
+        package_root = Path(__file__).resolve().parent
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = Path(DEFAULT_BASELINE_NAME)
+        if default.exists() or args.update_baseline:
+            baseline_path = default
+
+    try:
+        project = Project.load(package_root)
+        baseline = (
+            Baseline.load(baseline_path) if baseline_path is not None else None
+        )
+        result = run_check(
+            project,
+            select=args.select,
+            ignore=args.ignore,
+            baseline=baseline,
+        )
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.update_baseline:
+        from .analysis.baseline import Baseline as _Baseline
+
+        _Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"baseline {baseline_path} updated with "
+            f"{len(result.findings)} findings"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
 #: ``repro`` subcommands.
 COMMANDS = {
     "schedule": main,
@@ -949,6 +1077,7 @@ COMMANDS = {
     "metrics": metrics_main,
     "top": top_main,
     "report": report_main,
+    "check": check_main,
 }
 
 
@@ -977,7 +1106,8 @@ def repro_main(argv: list[str] | None = None) -> int:
         f"  repro submit --help     send requests to a running service\n"
         f"  repro metrics --help    scrape a running service (Prometheus text)\n"
         f"  repro top --help        live telemetry dashboard of a service\n"
-        f"  repro report --help     per-solver summary of JSONL archives"
+        f"  repro report --help     per-solver summary of JSONL archives\n"
+        f"  repro check --help      repo-specific static analysis (lints)"
     )
     if not argv or argv[0] in ("-h", "--help"):
         print(usage)

@@ -174,7 +174,7 @@ class SharedReducedSlot:
     def __init__(self, model: BuiltModel, solver: SteadyStateSolver) -> None:
         self._model = model
         self._solver = solver
-        self._operator: ReducedSteadyOperator | None = None
+        self._operator: ReducedSteadyOperator | None = None  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def __call__(self) -> ReducedSteadyOperator:
@@ -244,11 +244,11 @@ class ThermalModelCache:
         self._max_entries = max_entries
         self._entries: OrderedDict[
             str, tuple[BuiltModel, SteadyStateSolver, SharedReducedSlot]
-        ] = OrderedDict()
+        ] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:

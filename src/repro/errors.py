@@ -131,3 +131,12 @@ class ServiceClosedError(ServiceError):
 
 class ProtocolError(ServiceError):
     """A JSONL wire frame was malformed or of an unknown type."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis pass (``repro check``) could not run.
+
+    Examples: an unparseable source file, an unknown rule name passed to
+    ``--select``/``--ignore``, or a corrupt baseline file.  Rule
+    *findings* are not errors — they are the pass's normal output.
+    """

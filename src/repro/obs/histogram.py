@@ -127,6 +127,16 @@ class Histogram:
             self._min = min(self._min, other._min)
             self._max = max(self._max, other._max)
 
+    def copy(self) -> "Histogram":
+        """An independent copy (same bounds, same observations so far)."""
+        clone = Histogram(self._bounds)
+        clone._counts = list(self._counts)
+        clone._count = self._count
+        clone._sum = self._sum
+        clone._min = self._min
+        clone._max = self._max
+        return clone
+
     def quantile(self, q: float) -> float:
         """Estimate the *q*-quantile (``0 <= q <= 1``; ``nan`` when empty).
 
@@ -189,7 +199,7 @@ class HistogramRegistry:
         self, bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS
     ) -> None:
         self._bounds = tuple(float(b) for b in bounds)
-        self._histograms: dict[str, Histogram] = {}
+        self._histograms: dict[str, Histogram] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def histogram(self, name: str) -> Histogram:
@@ -222,8 +232,23 @@ class HistogramRegistry:
             }
 
     def merge(self, other: "HistogramRegistry") -> None:
-        """Fold every histogram of *other* into this registry."""
+        """Fold every histogram of *other* into this registry.
+
+        The source histograms are copied under *other*'s lock and the
+        copies folded under this registry's lock, so a merge races
+        neither concurrent observes into the source (torn counts read
+        mid-record) nor into the destination (lost increments).  The
+        two locks are never held at once, so cross-merges cannot
+        deadlock.
+        """
         with other._lock:
-            items = list(other._histograms.items())
-        for name, hist in items:
-            self.histogram(name).merge(hist)
+            copies = {
+                name: hist.copy()
+                for name, hist in other._histograms.items()
+            }
+        with self._lock:
+            for name, copy in copies.items():
+                found = self._histograms.get(name)
+                if found is None:
+                    found = self._histograms[name] = Histogram(self._bounds)
+                found.merge(copy)

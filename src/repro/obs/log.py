@@ -44,7 +44,7 @@ class JsonLogger:
         clock: Callable[[], float] = time.time,
         _owns_stream: bool = False,
     ) -> None:
-        self._stream = stream if stream is not None else sys.stderr
+        self._stream = stream if stream is not None else sys.stderr  # guarded-by: _lock
         self._clock = clock
         self._lock = threading.Lock()
         self._owns_stream = _owns_stream
@@ -65,12 +65,17 @@ class JsonLogger:
                 pass  # closed/full destination: drop the event, not the service
 
     def close(self) -> None:
-        """Close the destination if this logger opened it."""
+        """Close the destination if this logger opened it.
+
+        Taken under the lock so a close cannot land between another
+        thread's write and flush.
+        """
         if self._owns_stream:
-            try:
-                self._stream.close()
-            except OSError:
-                pass
+            with self._lock:
+                try:
+                    self._stream.close()
+                except OSError:
+                    pass
 
 
 def open_json_log(path: "str | Path | None") -> JsonLogger:

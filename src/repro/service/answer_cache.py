@@ -139,14 +139,14 @@ class AnswerCache:
         self._clock = clock
         #: key -> (outcome, stored_at); ordered oldest-use first.
         self._entries: "OrderedDict[str, tuple[SolveOutcome, float]]" = (
-            OrderedDict()
+            OrderedDict()  # guarded-by: _lock
         )
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._expirations = 0
-        self._warmed = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._expirations = 0  # guarded-by: _lock
+        self._warmed = 0  # guarded-by: _lock
 
     @property
     def max_entries(self) -> int:

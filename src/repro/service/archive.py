@@ -73,7 +73,7 @@ class ReportArchive:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._path.touch(exist_ok=True)
-        self._count = 0
+        self._count = 0  # guarded-by: _lock
         # The service appends from worker threads (it keeps file I/O
         # off its event loop); serialise writers so lines never shear.
         self._lock = threading.Lock()
@@ -86,7 +86,8 @@ class ReportArchive:
     @property
     def count(self) -> int:
         """Records appended by this writer (pre-existing lines excluded)."""
-        return self._count
+        with self._lock:
+            return self._count
 
     def append_outcome(
         self,

@@ -77,17 +77,17 @@ class AdaptiveWorkerPool:
         self._max = max_workers
         self._idle_s = scale_down_idle_s
         self._clock = clock
-        self._target = min_workers
-        self._in_use = 0
+        self._target = min_workers  # guarded-by: event-loop
+        self._in_use = 0  # guarded-by: event-loop
         #: True while the consumer holds an acquired slot but is still
         #: waiting for a job to run on it (parked on the queue).  That
         #: slot is *spare* capacity for scaling purposes: a submission
         #: it will pick up immediately must not look like backlog.
-        self._idle_claim = False
-        self._idle_since: float | None = None
-        self._waiter: "asyncio.Future[None] | None" = None
-        self._scale_ups = 0
-        self._scale_downs = 0
+        self._idle_claim = False  # guarded-by: event-loop
+        self._idle_since: float | None = None  # guarded-by: event-loop
+        self._waiter: "asyncio.Future[None] | None" = None  # guarded-by: event-loop
+        self._scale_ups = 0  # guarded-by: event-loop
+        self._scale_downs = 0  # guarded-by: event-loop
 
     # -- introspection -----------------------------------------------------------------
 

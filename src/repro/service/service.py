@@ -668,18 +668,18 @@ class ScheduleService:
         self._inflight: dict[str, ServiceJob] = {}
         self._started_at = 0.0
 
-        self._submitted = 0
-        self._deduped = 0
-        self._completed = 0
-        self._errors = 0
-        self._timeouts = 0
-        self._rejected = 0
-        self._shed = 0
-        self._answer_hits = 0
-        self._solves_started = 0
-        self._solves_completed = 0
-        self._cache_hits = 0
-        self._archive_errors = 0
+        self._submitted = 0  # guarded-by: event-loop
+        self._deduped = 0  # guarded-by: event-loop
+        self._completed = 0  # guarded-by: event-loop
+        self._errors = 0  # guarded-by: event-loop
+        self._timeouts = 0  # guarded-by: event-loop
+        self._rejected = 0  # guarded-by: event-loop
+        self._shed = 0  # guarded-by: event-loop
+        self._answer_hits = 0  # guarded-by: event-loop
+        self._solves_started = 0  # guarded-by: event-loop
+        self._solves_completed = 0  # guarded-by: event-loop
+        self._cache_hits = 0  # guarded-by: event-loop
+        self._archive_errors = 0  # guarded-by: event-loop
 
     # -- properties --------------------------------------------------------------------
 

@@ -1,0 +1,108 @@
+"""Baseline ratchet semantics: add, suppress, pay down, retire."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, Finding
+from repro.errors import AnalysisError
+
+
+def finding(path="repro/x.py", line=1, message="boom", rule="demo-rule"):
+    return Finding(
+        path=path, line=line, col=0, rule=rule, message=message, hint=""
+    )
+
+
+class TestFingerprints:
+    def test_fingerprint_excludes_line_and_column(self):
+        a = finding(line=10)
+        b = finding(line=99)
+        assert a.fingerprint == b.fingerprint == "demo-rule::repro/x.py::boom"
+
+    def test_fingerprint_distinguishes_rule_path_message(self):
+        assert finding().fingerprint != finding(rule="other").fingerprint
+        assert finding().fingerprint != finding(path="repro/y.py").fingerprint
+        assert finding().fingerprint != finding(message="bang").fingerprint
+
+
+class TestApply:
+    def test_empty_baseline_marks_everything_new(self):
+        diff = Baseline().apply([finding(), finding(message="bang")])
+        assert len(diff.new) == 2
+        assert not diff.baselined and not diff.stale
+        assert not diff.ok
+
+    def test_baselined_finding_does_not_fail(self):
+        baseline = Baseline.from_findings([finding()])
+        diff = baseline.apply([finding(line=42)])  # line moved: same debt
+        assert diff.ok
+        assert len(diff.baselined) == 1 and not diff.new and not diff.stale
+
+    def test_counts_are_per_fingerprint_budgets(self):
+        baseline = Baseline.from_findings([finding(), finding()])  # budget 2
+        diff = baseline.apply([finding(), finding(), finding()])
+        assert len(diff.baselined) == 2
+        assert len(diff.new) == 1  # the third occurrence escapes
+        assert not diff.ok
+
+    def test_paid_down_debt_becomes_stale(self):
+        baseline = Baseline.from_findings([finding()])
+        diff = baseline.apply([])
+        assert diff.ok  # stale entries never fail the check
+        assert diff.stale == [finding().fingerprint]
+
+    def test_partial_paydown_reports_the_unspent_budget_as_stale(self):
+        # One of two recorded occurrences was fixed: the check passes,
+        # and the leftover budget shows up as retirable debt.
+        baseline = Baseline.from_findings([finding(), finding()])
+        diff = baseline.apply([finding()])
+        assert diff.ok and len(diff.baselined) == 1
+        assert diff.stale == [finding().fingerprint]
+
+
+class TestLoadSave:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([finding(), finding(), finding(message="bang")]).save(
+            path
+        )
+        loaded = Baseline.load(path)
+        assert loaded.counts == {
+            "demo-rule::repro/x.py::boom": 2,
+            "demo-rule::repro/x.py::bang": 1,
+        }
+
+    def test_file_shape_is_versioned_sorted_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([finding(message="z"), finding(message="a")]).save(
+            path
+        )
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert list(payload["findings"]) == sorted(payload["findings"])
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").counts == {}
+
+    def test_bad_json_is_analysis_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{nope")
+        with pytest.raises(AnalysisError, match="cannot read baseline"):
+            Baseline.load(path)
+
+    def test_wrong_version_is_analysis_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(AnalysisError, match="version-1"):
+            Baseline.load(path)
+
+    def test_bad_count_is_analysis_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "findings": {"rule::p::m": 0}})
+        )
+        with pytest.raises(AnalysisError, match="bad count"):
+            Baseline.load(path)

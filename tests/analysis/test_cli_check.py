@@ -1,0 +1,115 @@
+"""The ``repro check`` subcommand: exit codes, baseline flow, formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import check_main
+
+CLEAN = "x = 1\n"
+DIRTY = "t_k = t_c + 273.15\n"
+
+
+@pytest.fixture
+def pkg(tmp_path):
+    """A throwaway package directory to analyse."""
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    return root
+
+
+def write(pkg, source):
+    (pkg / "mod.py").write_text(source)
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, pkg, capsys):
+        write(pkg, CLEAN)
+        assert check_main([str(pkg)]) == 0
+        assert capsys.readouterr().out.startswith("OK:")
+
+    def test_new_finding_exits_one(self, pkg, capsys):
+        write(pkg, DIRTY)
+        assert check_main([str(pkg)]) == 1
+        out = capsys.readouterr().out
+        assert "pkg/mod.py:1:" in out
+        assert "[units-boundary]" in out
+
+    def test_analysis_error_exits_one(self, tmp_path, capsys):
+        assert check_main([str(tmp_path / "missing")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_usage_error_exits_two(self, pkg):
+        with pytest.raises(SystemExit) as exc:
+            check_main([str(pkg), "--format", "yaml"])
+        assert exc.value.code == 2
+
+    def test_unknown_rule_is_an_analysis_error(self, pkg, capsys):
+        write(pkg, CLEAN)
+        assert check_main([str(pkg), "--select", "bogus"]) == 1
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestBaselineFlow:
+    def test_update_baseline_then_check_is_clean(self, pkg, tmp_path, capsys):
+        write(pkg, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            check_main(
+                [str(pkg), "--baseline", str(baseline), "--update-baseline"]
+            )
+            == 0
+        )
+        assert "updated with 1 findings" in capsys.readouterr().out
+        assert json.loads(baseline.read_text())["version"] == 1
+        # The recorded debt no longer fails...
+        assert check_main([str(pkg), "--baseline", str(baseline)]) == 0
+        # ...but fresh debt still does.
+        write(pkg, DIRTY + "t2_k = t2_c + 273.15\n")
+        assert check_main([str(pkg), "--baseline", str(baseline)]) == 1
+
+    def test_fixed_debt_goes_stale_but_passes(self, pkg, tmp_path, capsys):
+        write(pkg, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        check_main([str(pkg), "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        write(pkg, CLEAN)
+        assert check_main([str(pkg), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entries" in capsys.readouterr().out
+        # Retiring the stale entry empties the baseline again.
+        check_main([str(pkg), "--baseline", str(baseline), "--update-baseline"])
+        assert json.loads(baseline.read_text())["findings"] == {}
+
+    def test_suppression_comment_needs_no_baseline(self, pkg):
+        write(pkg, DIRTY.rstrip() + "  # repro: ignore[units-boundary]\n")
+        assert check_main([str(pkg)]) == 0
+
+
+class TestFormatsAndListing:
+    def test_json_format_emits_the_artifact_shape(self, pkg, capsys):
+        write(pkg, DIRTY)
+        assert check_main([str(pkg), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["counts"]["new"] == 1
+        assert payload["new"][0]["path"] == "pkg/mod.py"
+
+    def test_list_rules_names_every_shipped_rule(self, capsys):
+        assert check_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "async-blocking",
+            "lock-discipline",
+            "codec-drift",
+            "solver-contract",
+            "units-boundary",
+        ):
+            assert name in out
+
+    def test_select_restricts_the_run(self, pkg, capsys):
+        write(pkg, DIRTY)
+        assert check_main([str(pkg), "--select", "lock-discipline"]) == 0
+        assert "1 rules" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""Source loading: paths, module names, suppressions, error handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Project
+from repro.analysis.project import SourceFile, _module_name
+from repro.errors import AnalysisError
+
+
+class TestModuleNames:
+    def test_plain_module(self):
+        assert _module_name("repro/service/pool.py") == "repro.service.pool"
+
+    def test_package_init_maps_to_package(self):
+        assert _module_name("repro/service/__init__.py") == "repro.service"
+
+    def test_top_level_init(self):
+        assert _module_name("repro/__init__.py") == "repro"
+
+
+class TestSourceFile:
+    def test_parse_and_lines(self):
+        sf = SourceFile.from_text("repro/x.py", "a = 1\nb = 2\n")
+        assert sf.module == "repro.x"
+        assert sf.line_text(2) == "b = 2"
+        assert sf.line_text(99) == ""
+        assert sf.line_text(0) == ""
+
+    def test_syntax_error_is_analysis_error(self):
+        with pytest.raises(AnalysisError, match="cannot parse repro/x.py"):
+            SourceFile.from_text("repro/x.py", "def broken(:\n")
+
+    def test_bare_ignore_suppresses_every_rule(self):
+        sf = SourceFile.from_text("repro/x.py", "a = 1  # repro: ignore\n")
+        assert sf.is_suppressed("units-boundary", 1)
+        assert sf.is_suppressed("anything-else", 1)
+        assert not sf.is_suppressed("units-boundary", 2)
+
+    def test_bracketed_ignore_suppresses_named_rules_only(self):
+        sf = SourceFile.from_text(
+            "repro/x.py",
+            "a = 1  # repro: ignore[units-boundary, lock-discipline]\n",
+        )
+        assert sf.is_suppressed("units-boundary", 1)
+        assert sf.is_suppressed("lock-discipline", 1)
+        assert not sf.is_suppressed("async-blocking", 1)
+
+
+class TestProject:
+    def test_from_sources_and_lookups(self):
+        project = Project.from_sources(
+            {
+                "repro/a.py": "class Foo:\n    pass\n",
+                "repro/sub/b.py": "def helper():\n    return 1\n",
+            }
+        )
+        assert [sf.path for sf in project.files] == [
+            "repro/a.py",
+            "repro/sub/b.py",
+        ]
+        assert project.get("repro/a.py") is not None
+        assert project.get("missing.py") is None
+        sf, cls = project.find_class("Foo")
+        assert sf.path == "repro/a.py" and cls.name == "Foo"
+        assert project.find_class("Bar") is None
+        sf, fn = project.find_function("helper")
+        assert fn.name == "helper"
+        assert project.find_function("nope") is None
+
+    def test_find_function_is_module_level_only(self):
+        project = Project.from_sources(
+            {"repro/a.py": "class C:\n    def method(self):\n        pass\n"}
+        )
+        assert project.find_function("method") is None
+
+    def test_files_under_prefix(self):
+        project = Project.from_sources(
+            {
+                "repro/service/a.py": "x = 1\n",
+                "repro/service/sub/b.py": "x = 1\n",
+                "repro/api/c.py": "x = 1\n",
+            }
+        )
+        under = project.files_under("repro.service")
+        assert sorted(sf.module for sf in under) == [
+            "repro.service.a",
+            "repro.service.sub.b",
+        ]
+
+    def test_load_walks_tree_with_parent_relative_paths(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        (pkg / "sub").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "sub" / "mod.py").write_text("x = 1\n")
+        (pkg / "__pycache__").mkdir()
+        (pkg / "__pycache__" / "junk.py").write_text("broken(\n")
+        project = Project.load(pkg)
+        assert [sf.path for sf in project.files] == [
+            "pkg/__init__.py",
+            "pkg/sub/mod.py",
+        ]
+
+    def test_load_rejects_non_directory(self, tmp_path):
+        with pytest.raises(AnalysisError, match="not a directory"):
+            Project.load(tmp_path / "missing")
+
+    def test_load_rejects_empty_tree(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(AnalysisError, match="no Python sources"):
+            Project.load(tmp_path / "empty")

@@ -1,0 +1,91 @@
+"""Rule registry: registration contract and select/ignore resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import available_rules, get_rule
+from repro.analysis.registry import (
+    _REGISTRY,
+    LintRule,
+    register_rule,
+    resolve_rules,
+)
+from repro.errors import AnalysisError
+
+EXPECTED_RULES = {
+    "async-blocking",
+    "lock-discipline",
+    "codec-drift",
+    "solver-contract",
+    "units-boundary",
+}
+
+
+class TestRegistry:
+    def test_all_shipped_rules_are_registered(self):
+        names = {rule.name for rule in available_rules()}
+        assert EXPECTED_RULES <= names
+
+    def test_available_rules_sorted_by_name(self):
+        names = [rule.name for rule in available_rules()]
+        assert names == sorted(names)
+
+    def test_unknown_rule_is_analysis_error(self):
+        with pytest.raises(AnalysisError, match="unknown rule 'nope'"):
+            get_rule("nope")
+
+    def test_register_requires_name_and_description(self):
+        class Nameless(LintRule):
+            def check(self, project):
+                return iter(())
+
+        with pytest.raises(AnalysisError, match="declares no name"):
+            register_rule(Nameless)
+
+        class Undescribed(LintRule):
+            name = "undescribed-demo"
+
+            def check(self, project):
+                return iter(())
+
+        with pytest.raises(AnalysisError, match="declares no description"):
+            register_rule(Undescribed)
+        assert "undescribed-demo" not in _REGISTRY
+
+    def test_duplicate_name_is_rejected(self):
+        class Impostor(LintRule):
+            name = "units-boundary"
+            description = "clash"
+
+            def check(self, project):
+                return iter(())
+
+        with pytest.raises(AnalysisError, match="duplicate rule name"):
+            register_rule(Impostor)
+
+
+class TestResolveRules:
+    def test_default_is_every_rule(self):
+        assert resolve_rules() == available_rules()
+
+    def test_select_narrows_and_preserves_request_order(self):
+        rules = resolve_rules(select=["units-boundary", "codec-drift"])
+        assert [r.name for r in rules] == ["units-boundary", "codec-drift"]
+
+    def test_ignore_drops_rules(self):
+        names = {r.name for r in resolve_rules(ignore=["async-blocking"])}
+        assert "async-blocking" not in names
+        assert "lock-discipline" in names
+
+    def test_select_then_ignore(self):
+        rules = resolve_rules(
+            select=["units-boundary", "codec-drift"], ignore=["codec-drift"]
+        )
+        assert [r.name for r in rules] == ["units-boundary"]
+
+    def test_unknown_select_or_ignore_raises(self):
+        with pytest.raises(AnalysisError):
+            resolve_rules(select=["bogus"])
+        with pytest.raises(AnalysisError):
+            resolve_rules(ignore=["bogus"])

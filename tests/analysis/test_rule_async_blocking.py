@@ -1,0 +1,139 @@
+"""Fixture snippets for the async-blocking rule."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import Project, get_rule
+from repro.analysis.runner import run_rules
+
+RULE = "async-blocking"
+
+
+def findings_for(source: str):
+    project = Project.from_sources(
+        {"repro/fixture.py": textwrap.dedent(source)}
+    )
+    return run_rules(project, [get_rule(RULE)])
+
+
+class TestPositive:
+    def test_time_sleep_in_async_def(self):
+        found = findings_for(
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)
+            """
+        )
+        assert len(found) == 1
+        f = found[0]
+        assert f.rule == RULE
+        assert f.path == "repro/fixture.py"
+        assert f.line == 5
+        assert "time.sleep" in f.message
+        assert "asyncio.sleep" in f.hint
+
+    def test_aliased_import_is_resolved(self):
+        found = findings_for(
+            """
+            from time import sleep as snooze
+
+            async def handler():
+                snooze(1)
+            """
+        )
+        assert len(found) == 1
+        assert "time.sleep" in found[0].message
+
+    def test_subprocess_and_os_system(self):
+        found = findings_for(
+            """
+            import os
+            import subprocess
+
+            async def handler():
+                subprocess.run(["ls"])
+                os.system("ls")
+            """
+        )
+        assert {f.line for f in found} == {6, 7}
+
+    def test_blocking_builtins(self):
+        found = findings_for(
+            """
+            async def handler(path):
+                with open(path) as fh:
+                    return fh
+            """
+        )
+        assert len(found) == 1
+        assert "open()" in found[0].message
+
+    def test_path_io_methods(self):
+        found = findings_for(
+            """
+            async def handler(path):
+                return path.read_text()
+            """
+        )
+        assert len(found) == 1
+        assert ".read_text()" in found[0].message
+
+    def test_direct_solver_invocation(self):
+        found = findings_for(
+            """
+            async def handler(request):
+                return process_solve(request)
+            """
+        )
+        assert len(found) == 1
+        assert "process_solve" in found[0].message
+        assert "run_in_executor" in found[0].hint
+
+
+class TestNegative:
+    def test_sync_def_is_not_checked(self):
+        assert not findings_for(
+            """
+            import time
+
+            def handler():
+                time.sleep(0.1)
+            """
+        )
+
+    def test_asyncio_sleep_is_fine(self):
+        assert not findings_for(
+            """
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(0.1)
+            """
+        )
+
+    def test_nested_def_runs_on_executor_not_loop(self):
+        # The repo's standard pattern: a closure handed to run_in_executor.
+        assert not findings_for(
+            """
+            import time
+
+            async def handler(loop):
+                def work():
+                    time.sleep(0.1)
+                    return process_solve(None)
+                return await loop.run_in_executor(None, work)
+            """
+        )
+
+    def test_suppression_comment_wins(self):
+        assert not findings_for(
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)  # repro: ignore[async-blocking]
+            """
+        )

@@ -1,0 +1,237 @@
+"""Fixture snippets for the lock-discipline rule and its annotation parser."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis import Project, get_rule
+from repro.analysis.rules.lock_discipline import guarded_attributes
+from repro.analysis.runner import run_rules
+
+RULE = "lock-discipline"
+
+
+def project_for(source: str) -> Project:
+    return Project.from_sources(
+        {"repro/fixture.py": textwrap.dedent(source)}
+    )
+
+
+def findings_for(source: str):
+    return run_rules(project_for(source), [get_rule(RULE)])
+
+
+COUNTER_CLASS = """
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: _lock
+"""
+
+
+class TestGuardExtraction:
+    def test_single_line_annotation(self):
+        project = project_for(COUNTER_CLASS)
+        sf = project.files[0]
+        cls = project.find_class("Counter")[1]
+        assert guarded_attributes(sf, cls) == {"_hits": "_lock"}
+
+    def test_multi_line_assignment_comment_on_value_line(self):
+        project = project_for(
+            """
+            class Box:
+                def __init__(self):
+                    self._entries = (
+                        {}
+                    )  # guarded-by: _lock
+            """
+        )
+        sf = project.files[0]
+        cls = project.find_class("Box")[1]
+        assert guarded_attributes(sf, cls) == {"_entries": "_lock"}
+
+    def test_annotated_assignment(self):
+        project = project_for(
+            """
+            class Box:
+                def __init__(self):
+                    self._entries: dict = {}  # guarded-by: _lock
+            """
+        )
+        sf = project.files[0]
+        cls = project.find_class("Box")[1]
+        assert guarded_attributes(sf, cls) == {"_entries": "_lock"}
+
+
+class TestPositive:
+    def test_unlocked_write_is_flagged(self):
+        found = findings_for(
+            COUNTER_CLASS
+            + """
+    def bump(self):
+        self._hits += 1
+"""
+        )
+        assert len(found) == 1
+        f = found[0]
+        assert f.rule == RULE
+        assert "Counter._hits" in f.message
+        assert "with self._lock:" in f.message
+
+    def test_unlocked_read_is_flagged(self):
+        found = findings_for(
+            COUNTER_CLASS
+            + """
+    def peek(self):
+        return self._hits
+"""
+        )
+        assert len(found) == 1
+
+    def test_access_after_with_block_closes(self):
+        found = findings_for(
+            COUNTER_CLASS
+            + """
+    def bump(self):
+        with self._lock:
+            self._hits += 1
+        return self._hits
+"""
+        )
+        assert len(found) == 1
+        assert found[0].line == 12  # only the access after the block
+
+    def test_with_nested_under_if_is_still_seen(self):
+        # Regression: the walker must find with-blocks at any depth, and
+        # must keep flagging accesses outside them.
+        found = findings_for(
+            COUNTER_CLASS
+            + """
+    def bump(self, fast):
+        if fast:
+            with self._lock:
+                self._hits += 1
+        else:
+            self._hits += 1
+"""
+        )
+        assert len(found) == 1
+        assert found[0].line == 14
+
+    def test_other_objects_guard_is_per_object(self):
+        # Holding self's lock does not license touching other's state.
+        found = findings_for(
+            COUNTER_CLASS
+            + """
+    def absorb(self, other):
+        with self._lock:
+            self._hits += other._hits
+"""
+        )
+        assert len(found) == 1
+        assert "other._hits" in found[0].message
+        assert "with other._lock:" in found[0].message
+
+    def test_acquisition_expression_runs_unlocked(self):
+        # `with (self._hits and self._lock):` touches _hits before the
+        # lock is held.
+        found = findings_for(
+            COUNTER_CLASS
+            + """
+    def weird(self):
+        with (self._hits and self._lock):
+            pass
+"""
+        )
+        assert len(found) == 1
+
+
+class TestNegative:
+    def test_locked_access_is_fine(self):
+        assert not findings_for(
+            COUNTER_CLASS
+            + """
+    def bump(self):
+        with self._lock:
+            self._hits += 1
+"""
+        )
+
+    def test_async_with_counts(self):
+        assert not findings_for(
+            COUNTER_CLASS
+            + """
+    async def bump(self):
+        async with self._lock:
+            self._hits += 1
+"""
+        )
+
+    def test_init_is_exempt(self):
+        assert not findings_for(COUNTER_CLASS)
+
+    def test_locked_suffix_helpers_are_exempt(self):
+        assert not findings_for(
+            COUNTER_CLASS
+            + """
+    def _bump_locked(self):
+        self._hits += 1
+"""
+        )
+
+    def test_touching_the_lock_itself_is_fine(self):
+        assert not findings_for(
+            COUNTER_CLASS
+            + """
+    def busy(self):
+        return self._lock.locked()
+"""
+        )
+
+    def test_other_objects_lock_guards_other(self):
+        assert not findings_for(
+            COUNTER_CLASS
+            + """
+    def absorb(self, other):
+        with other._lock:
+            hits = other._hits
+        with self._lock:
+            self._hits += hits
+"""
+        )
+
+    def test_non_underscore_guard_is_documentation_only(self):
+        assert not findings_for(
+            """
+            class Service:
+                def __init__(self):
+                    self._submitted = 0  # guarded-by: event-loop
+
+                def admit(self):
+                    self._submitted += 1
+            """
+        )
+
+    def test_unannotated_attributes_are_not_enforced(self):
+        assert not findings_for(
+            """
+            class Plain:
+                def __init__(self):
+                    self._hits = 0
+
+                def bump(self):
+                    self._hits += 1
+            """
+        )
+
+    def test_suppression_comment_wins(self):
+        assert not findings_for(
+            COUNTER_CLASS
+            + """
+    def bump(self):
+        self._hits += 1  # repro: ignore[lock-discipline]
+"""
+        )

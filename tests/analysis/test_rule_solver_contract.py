@@ -1,0 +1,139 @@
+"""Fixture snippets for the solver-contract rule."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import Project, get_rule
+from repro.analysis.runner import run_rules
+
+RULE = "solver-contract"
+
+
+def findings_for(**sources: str):
+    project = Project.from_sources(
+        {
+            f"repro/{name}.py": textwrap.dedent(source)
+            for name, source in sources.items()
+        }
+    )
+    return run_rules(project, [get_rule(RULE)])
+
+
+GOOD_SOLVER = """
+@register_solver
+class DemoSolver:
+    name = "demo"
+    needs_stcl = False
+    param_names = frozenset({"max_sessions"})
+
+    def solve(self, context, params):
+        return params.get("max_sessions")
+"""
+
+
+class TestDeclarations:
+    def test_complete_solver_is_clean(self):
+        assert not findings_for(solver=GOOD_SOLVER)
+
+    def test_each_missing_declaration_is_flagged(self):
+        found = findings_for(
+            solver="""
+            @register_solver
+            class BareSolver:
+                def solve(self, context, params):
+                    return None
+            """
+        )
+        missing = {
+            f.message.split("declare ")[1].split(" explicitly")[0]
+            for f in found
+        }
+        assert missing == {"'name'", "'needs_stcl'", "'param_names'"}
+
+    def test_call_style_registration_is_seen(self):
+        found = findings_for(
+            solver="""
+            class LateSolver:
+                name = "late"
+                param_names = frozenset()
+
+                def solve(self, context, params):
+                    return None
+
+            register_solver(LateSolver)
+            """
+        )
+        assert len(found) == 1
+        assert "'needs_stcl'" in found[0].message
+
+    def test_unregistered_class_is_not_a_solver(self):
+        assert not findings_for(
+            solver="""
+            class Helper:
+                def solve(self, context, params):
+                    return params["whatever"]
+            """
+        )
+
+
+class TestParamNames:
+    def test_undeclared_params_key_is_flagged(self):
+        found = findings_for(
+            solver=GOOD_SOLVER.replace(
+                'params.get("max_sessions")', 'params.get("max_sesions")'
+            )
+        )
+        assert len(found) == 1
+        assert "params['max_sesions']" in found[0].message
+
+    def test_subscript_access_is_checked_too(self):
+        found = findings_for(
+            solver=GOOD_SOLVER.replace(
+                'params.get("max_sessions")', 'params["budget"]'
+            )
+        )
+        assert len(found) == 1
+        assert "'budget'" in found[0].message
+
+    def test_dynamic_declaration_disables_subset_check(self):
+        assert not findings_for(
+            solver=GOOD_SOLVER.replace(
+                'frozenset({"max_sessions"})', "frozenset(compute())"
+            )
+        )
+
+
+class TestRegistryNames:
+    def test_duplicate_registry_name_is_flagged(self):
+        found = findings_for(
+            a=GOOD_SOLVER,
+            b=GOOD_SOLVER.replace("class DemoSolver", "class OtherSolver"),
+        )
+        assert len(found) == 1
+        assert "already registered" in found[0].message
+
+
+class TestHeavyImports:
+    def test_module_level_scipy_in_solver_module_is_flagged(self):
+        found = findings_for(
+            solver="import scipy.sparse\n" + GOOD_SOLVER
+        )
+        assert len(found) == 1
+        assert "imports scipy at module level" in found[0].message
+        assert found[0].line == 1
+
+    def test_lazy_import_inside_solve_is_fine(self):
+        assert not findings_for(
+            solver=GOOD_SOLVER.replace(
+                "    def solve(self, context, params):",
+                "    def solve(self, context, params):\n"
+                "        import scipy.sparse",
+            )
+        )
+
+    def test_heavy_import_in_non_solver_module_is_fine(self):
+        assert not findings_for(thermal="import scipy.sparse\n")
+
+    def test_numpy_is_the_accepted_baseline(self):
+        assert not findings_for(solver="import numpy as np\n" + GOOD_SOLVER)

@@ -1,0 +1,72 @@
+"""Fixture snippets for the units-boundary rule."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import Project, get_rule
+from repro.analysis.runner import run_rules
+
+RULE = "units-boundary"
+
+
+def findings_for(source: str, path: str = "repro/fixture.py"):
+    project = Project.from_sources({path: textwrap.dedent(source)})
+    return run_rules(project, [get_rule(RULE)])
+
+
+class TestKelvinOffsetLiteral:
+    def test_raw_offset_is_flagged(self):
+        found = findings_for("t_k = t_c + 273.15\n")
+        assert len(found) == 1
+        assert "273.15" in found[0].message
+        assert "celsius_to_kelvin" in found[0].hint
+
+    def test_negative_offset_is_flagged(self):
+        assert len(findings_for("t_c = t_k - +273.15\n")) == 1
+
+    def test_units_module_itself_is_exempt(self):
+        assert not findings_for(
+            "KELVIN_OFFSET = 273.15\n", path="repro/units.py"
+        )
+
+    def test_other_floats_are_fine(self):
+        assert not findings_for("x = 273.16\ny = 3.15\n")
+
+
+class TestKelvinKeywords:
+    def test_celsius_into_kelvin_keyword_is_flagged(self):
+        found = findings_for("model = build(ambient_k=45.0)\n")
+        assert len(found) == 1
+        assert "ambient_k=45" in found[0].message
+        assert "celsius_to_kelvin" in found[0].hint
+
+    def test_plausible_kelvin_is_fine(self):
+        assert not findings_for("model = build(ambient_k=318.15)\n")
+
+    def test_non_kelvin_keywords_are_ignored(self):
+        assert not findings_for("model = build(scale_k2=45.0)\n")
+
+    def test_non_literal_values_are_ignored(self):
+        assert not findings_for("model = build(ambient_k=ambient)\n")
+
+
+class TestMetreKeywords:
+    def test_millimetres_into_metre_keyword_is_flagged(self):
+        found = findings_for("pkg = PackageConfig(die_thickness=0.5)\n")
+        assert len(found) == 1
+        assert "die_thickness=0.5" in found[0].message
+        assert "mm(0.5)" in found[0].hint
+
+    def test_plausible_metres_are_fine(self):
+        assert not findings_for("pkg = PackageConfig(die_thickness=0.0005)\n")
+
+    def test_unknown_keywords_are_ignored(self):
+        assert not findings_for("pkg = PackageConfig(board_area=2.0)\n")
+
+
+class TestSuppression:
+    def test_line_suppression_wins(self):
+        assert not findings_for(
+            "t_k = t_c + 273.15  # repro: ignore[units-boundary]\n"
+        )

@@ -1,0 +1,125 @@
+"""run_check orchestration and the text/JSON renderers."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import Baseline, Project, run_check
+from repro.analysis.output import render_json, render_text
+
+DIRTY = {
+    "repro/hot.py": "t_k = t_c + 273.15\n",
+    "repro/cold.py": "x = 1\n",
+}
+
+
+class TestRunCheck:
+    def test_clean_project(self):
+        result = run_check(Project.from_sources({"repro/a.py": "x = 1\n"}))
+        assert result.ok
+        assert result.findings == []
+        assert result.files_checked == 1
+        assert "units-boundary" in result.rules
+
+    def test_findings_fail_without_baseline(self):
+        result = run_check(Project.from_sources(DIRTY))
+        assert not result.ok
+        assert len(result.diff.new) == 1
+        assert result.diff.new[0].rule == "units-boundary"
+
+    def test_baseline_turns_findings_into_known_debt(self):
+        project = Project.from_sources(DIRTY)
+        baseline = Baseline.from_findings(run_check(project).findings)
+        result = run_check(project, baseline=baseline)
+        assert result.ok
+        assert len(result.diff.baselined) == 1 and not result.diff.new
+
+    def test_select_runs_only_named_rules(self):
+        result = run_check(
+            Project.from_sources(DIRTY), select=["lock-discipline"]
+        )
+        assert result.ok  # the units finding is not looked for
+        assert result.rules == ["lock-discipline"]
+
+    def test_ignore_skips_named_rules(self):
+        result = run_check(
+            Project.from_sources(DIRTY), ignore=["units-boundary"]
+        )
+        assert result.ok
+        assert "units-boundary" not in result.rules
+
+
+class TestJsonOutput:
+    def test_schema(self):
+        payload = json.loads(render_json(run_check(Project.from_sources(DIRTY))))
+        assert set(payload) == {
+            "ok",
+            "rules",
+            "files_checked",
+            "counts",
+            "new",
+            "baselined",
+            "stale_baseline_entries",
+        }
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 2
+        assert payload["counts"] == {
+            "total": 1,
+            "new": 1,
+            "baselined": 0,
+            "stale_baseline_entries": 0,
+        }
+        (finding,) = payload["new"]
+        assert set(finding) == {
+            "path",
+            "line",
+            "col",
+            "rule",
+            "message",
+            "hint",
+            "fingerprint",
+        }
+        assert finding["path"] == "repro/hot.py"
+        assert finding["rule"] == "units-boundary"
+
+    def test_stale_entries_are_listed(self):
+        baseline = Baseline({"units-boundary::repro/gone.py::fixed": 1})
+        result = run_check(
+            Project.from_sources({"repro/a.py": "x = 1\n"}), baseline=baseline
+        )
+        payload = json.loads(render_json(result))
+        assert payload["ok"] is True
+        assert payload["stale_baseline_entries"] == [
+            "units-boundary::repro/gone.py::fixed"
+        ]
+
+
+class TestTextOutput:
+    def test_clean_summary_line(self):
+        text = render_text(
+            run_check(Project.from_sources({"repro/a.py": "x = 1\n"}))
+        )
+        assert text.startswith("OK: checked 1 files")
+
+    def test_new_findings_render_compiler_style(self):
+        text = render_text(run_check(Project.from_sources(DIRTY)))
+        assert "new findings (not in baseline):" in text
+        assert "repro/hot.py:1:" in text
+        assert "[units-boundary]" in text
+        assert text.splitlines()[-1].startswith("FAIL:")
+
+    def test_baselined_findings_only_shown_verbose(self):
+        project = Project.from_sources(DIRTY)
+        baseline = Baseline.from_findings(run_check(project).findings)
+        result = run_check(project, baseline=baseline)
+        assert "repro/hot.py" not in render_text(result)
+        assert "repro/hot.py" in render_text(result, verbose=True)
+
+    def test_stale_entries_suggest_update(self):
+        baseline = Baseline({"units-boundary::repro/gone.py::fixed": 1})
+        result = run_check(
+            Project.from_sources({"repro/a.py": "x = 1\n"}), baseline=baseline
+        )
+        text = render_text(result)
+        assert "--update-baseline" in text
+        assert "units-boundary::repro/gone.py::fixed" in text

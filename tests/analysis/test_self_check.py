@@ -1,0 +1,146 @@
+"""The repository analyses itself — and mutations of itself fail.
+
+The self-check pins the headline guarantee: ``repro check`` over the
+real package tree is clean against the committed baseline.  The
+mutation tests pin the opposite direction (the acceptance criteria):
+deleting a codec field or adding an un-locked guarded access to the
+*real sources* produces a finding with the right file and line — the
+rules are wired to the actual codebase, not just to fixtures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, Project, run_check
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+BASELINE_PATH = REPO_ROOT / "repro-check-baseline.json"
+
+
+@pytest.fixture(scope="module")
+def repo_project() -> Project:
+    return Project.load(PACKAGE_ROOT)
+
+
+def mutate(project: Project, path: str, old: str, new: str) -> Project:
+    """The same project with one file's source textually edited."""
+    sources = {sf.path: sf.text for sf in project.files}
+    assert old in sources[path], f"mutation anchor not found in {path}"
+    sources[path] = sources[path].replace(old, new)
+    return Project.from_sources(sources)
+
+
+class TestSelfCheck:
+    def test_repository_is_clean_against_committed_baseline(
+        self, repo_project
+    ):
+        result = run_check(
+            repo_project, baseline=Baseline.load(BASELINE_PATH)
+        )
+        details = "\n".join(f.render() for f in result.diff.new)
+        assert result.ok, f"repro check found new debt:\n{details}"
+        assert result.files_checked > 50
+
+    def test_committed_baseline_carries_no_stale_debt(self, repo_project):
+        result = run_check(
+            repo_project, baseline=Baseline.load(BASELINE_PATH)
+        )
+        assert result.diff.stale == []
+
+
+class TestRealSourceMutations:
+    def test_dropping_a_report_codec_field_is_caught(self, repo_project):
+        mutated = mutate(
+            repo_project,
+            "repro/api/request.py",
+            '"cached": report.cached,',
+            "",
+        )
+        result = run_check(mutated, select=["codec-drift"])
+        assert not result.ok
+        (finding,) = result.diff.new
+        assert finding.path == "repro/api/request.py"
+        assert "report_to_dict() does not write field 'cached'" in finding.message
+        assert finding.line > 0
+
+    def test_dropping_a_from_codec_field_is_caught(self, repo_project):
+        mutated = mutate(
+            repo_project,
+            "repro/api/request.py",
+            'elapsed_s=float(data["elapsed_s"]),',
+            "",
+        )
+        result = run_check(mutated, select=["codec-drift"])
+        assert any(
+            "report_from_dict() does not pass field 'elapsed_s'" in f.message
+            for f in result.diff.new
+        )
+
+    def test_unlocked_guarded_access_is_caught(self, repo_project):
+        mutated = mutate(
+            repo_project,
+            "repro/service/answer_cache.py",
+            '    def clear(self) -> None:\n        """Drop every entry and zero the counters."""\n',
+            '    def clear(self) -> None:\n        """Drop every entry and zero the counters."""\n'
+            "        self._hits += 0\n",
+        )
+        result = run_check(mutated, select=["lock-discipline"])
+        assert not result.ok
+        (finding,) = result.diff.new
+        assert finding.path == "repro/service/answer_cache.py"
+        assert "AnswerCache._hits" in finding.message
+        assert "with self._lock:" in finding.message
+        assert "self._hits += 0" in mutated.get(finding.path).line_text(
+            finding.line
+        )
+
+    def test_blocking_call_on_the_event_loop_is_caught(self, repo_project):
+        mutated = mutate(
+            repo_project,
+            "repro/service/service.py",
+            "import asyncio",
+            "import asyncio\nimport time",
+        )
+        # Inject a sleeping async method next to a real one.
+        anchor = "    async def start(self) -> None:"
+        mutated = mutate(
+            mutated,
+            "repro/service/service.py",
+            anchor,
+            "    async def _nap(self):\n        time.sleep(1)\n\n" + anchor,
+        )
+        result = run_check(mutated, select=["async-blocking"])
+        assert any(
+            "time.sleep" in f.message for f in result.diff.new
+        )
+
+    def test_forking_the_wire_format_is_caught(self, repo_project):
+        mutated = mutate(
+            repo_project,
+            "repro/service/protocol.py",
+            '"report": report_to_dict(report),',
+            '"report": dict(vars(report)),',
+        )
+        result = run_check(mutated, select=["codec-drift"])
+        assert any(
+            "report_frame() no longer embeds report_to_dict()" in f.message
+            for f in result.diff.new
+        )
+
+    def test_deleting_a_solver_capability_flag_is_caught(self, repo_project):
+        # Remove every explicit needs_stcl declaration from the solver zoo.
+        mutated = mutate(
+            repo_project,
+            "repro/api/solvers.py",
+            "    needs_stcl = False",
+            "",
+        )
+        result = run_check(mutated, select=["solver-contract"])
+        assert any(
+            "does not declare 'needs_stcl'" in f.message
+            for f in result.diff.new
+        )

@@ -1,0 +1,140 @@
+"""Regression tests for races the lock-discipline pass surfaced.
+
+``repro check`` flagged three real gaps: ``HistogramRegistry.merge``
+iterated the source registry's histograms without its lock (torn
+counts under concurrent ``observe``), ``ReportArchive.count`` read its
+counter unlocked, and ``JsonLogger.close`` could close the stream
+between another thread's write and flush.  These tests pin the fixed
+behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.histogram import Histogram, HistogramRegistry
+from repro.obs.log import JsonLogger, open_json_log
+
+
+class TestHistogramCopy:
+    def test_copy_is_independent_and_equal(self):
+        hist = Histogram(bounds=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.record(value)
+        clone = hist.copy()
+        assert clone.counts == hist.counts
+        assert clone.count == hist.count
+        assert clone.sum == hist.sum
+        assert clone.min == hist.min and clone.max == hist.max
+        clone.record(0.5)
+        assert clone.count == hist.count + 1
+        assert hist.count == 4  # the original never moved
+
+    def test_empty_copy(self):
+        clone = Histogram(bounds=(1.0,)).copy()
+        assert clone.count == 0
+        assert clone.counts == (0, 0)
+
+
+class TestMergeUnderConcurrency:
+    def test_merge_races_neither_source_nor_destination(self):
+        source = HistogramRegistry(bounds=(0.001, 0.01, 0.1, 1.0))
+        target = HistogramRegistry(bounds=(0.001, 0.01, 0.1, 1.0))
+        observations_per_thread = 2000
+        stop = threading.Event()
+
+        def observe_into(registry):
+            for i in range(observations_per_thread):
+                registry.observe("latency", 0.005)
+
+        def merge_repeatedly():
+            while not stop.is_set():
+                target.merge(source)
+
+        feeder = threading.Thread(target=observe_into, args=(source,))
+        own = threading.Thread(target=observe_into, args=(target,))
+        merger = threading.Thread(target=merge_repeatedly)
+        for t in (feeder, own, merger):
+            t.start()
+        feeder.join()
+        own.join()
+        stop.set()
+        merger.join()
+
+        # One final quiescent merge; the source is fully folded in.
+        target.merge(source)
+        snapshot = target.snapshot()["latency"]
+        # Every observation the target saw directly must be there, and a
+        # torn merge would have lost or double-counted increments
+        # relative to the per-bucket sum invariant.
+        assert snapshot["count"] >= 2 * observations_per_thread
+        hist = target.histogram("latency")
+        assert sum(hist.counts) == hist.count
+
+    def test_cross_merge_does_not_deadlock(self):
+        a = HistogramRegistry(bounds=(1.0,))
+        b = HistogramRegistry(bounds=(1.0,))
+        a.observe("x", 0.5)
+        b.observe("x", 0.5)
+
+        def ab():
+            for _ in range(200):
+                a.merge(b)
+
+        def ba():
+            for _ in range(200):
+                b.merge(a)
+
+        t1, t2 = threading.Thread(target=ab), threading.Thread(target=ba)
+        t1.start()
+        t2.start()
+        t1.join(timeout=30)
+        t2.join(timeout=30)
+        assert not t1.is_alive() and not t2.is_alive()
+
+    def test_merge_still_rejects_mismatched_bounds(self):
+        a = HistogramRegistry(bounds=(1.0,))
+        b = HistogramRegistry(bounds=(2.0,))
+        a.observe("x", 0.5)
+        b.observe("x", 0.5)
+        try:
+            a.merge(b)
+        except ValueError as exc:
+            assert "bounds" in str(exc)
+        else:  # pragma: no cover - the regression would land here
+            raise AssertionError("mismatched-bounds merge was accepted")
+
+
+class TestLoggerCloseUnderLock:
+    def test_close_while_writers_race_never_raises(self, tmp_path):
+        logger = open_json_log(tmp_path / "events.jsonl")
+        start = threading.Barrier(3)
+
+        def write_events():
+            start.wait()
+            for i in range(500):
+                logger.log("tick", i=i)
+
+        def close_logger():
+            start.wait()
+            logger.close()
+
+        writers = [threading.Thread(target=write_events) for _ in range(2)]
+        closer = threading.Thread(target=close_logger)
+        for t in (*writers, closer):
+            t.start()
+        for t in (*writers, closer):
+            t.join()
+        # Every line that made it to disk is complete JSON.
+        for line in (tmp_path / "events.jsonl").read_text().splitlines():
+            assert line.startswith('{"ts":') and line.endswith("}")
+
+    def test_close_does_not_touch_borrowed_streams(self, tmp_path):
+        handle = (tmp_path / "borrowed.jsonl").open("a")
+        try:
+            logger = JsonLogger(handle)
+            logger.log("tick")
+            logger.close()
+            assert not handle.closed  # the caller owns it
+        finally:
+            handle.close()

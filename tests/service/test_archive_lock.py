@@ -1,0 +1,39 @@
+"""Regression: ``ReportArchive.count`` reads under the writer lock.
+
+The lock-discipline pass flagged the old unlocked read; with appends
+coming from worker threads, the count a drain prints must be a
+consistent post-append value, never a torn or stale one.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.archive import ReportArchive, load_service_archive
+
+
+class TestCountUnderConcurrentAppends:
+    def test_count_matches_lines_after_threads_join(self, tmp_path):
+        archive = ReportArchive(tmp_path / "served.jsonl")
+        appends_per_thread = 200
+
+        def append_records(worker):
+            for i in range(appends_per_thread):
+                archive.append_record({"worker": worker, "i": i})
+
+        threads = [
+            threading.Thread(target=append_records, args=(w,))
+            for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        readers_saw = []
+        while any(t.is_alive() for t in threads):
+            readers_saw.append(archive.count)  # must never raise or tear
+        for t in threads:
+            t.join()
+
+        assert archive.count == 4 * appends_per_thread
+        assert len(load_service_archive(archive.path)) == archive.count
+        assert all(0 <= seen <= archive.count for seen in readers_saw)
+        assert readers_saw == sorted(readers_saw)  # monotone non-decreasing
