@@ -22,7 +22,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from contextlib import contextmanager
+from contextlib import AsyncExitStack, contextmanager
 
 import pytest
 
@@ -30,6 +30,8 @@ from repro.api import ScheduleRequest
 from repro.engine import BatchRunner, generate_fleet
 from repro.service import (
     AsyncServiceClient,
+    ChaosProxy,
+    FleetRouter,
     ScheduleServer,
     ScheduleService,
     ServiceClient,
@@ -222,6 +224,133 @@ def test_bench_service_cache_hit_latency(benchmark):
         f"cache hit only {speedup:.1f}x faster than the miss path "
         f"({hit_s * 1e3:.3f} ms vs {miss_s * 1e3:.2f} ms)"
     )
+
+
+def _run_fleet_burst(requests, n_shards: int = 2):
+    """One fleet lifecycle: shards + router boot, routed burst, drain."""
+
+    async def main():
+        async with AsyncExitStack() as stack:
+            servers = []
+            for _ in range(n_shards):
+                service = await stack.enter_async_context(
+                    ScheduleService(backend="thread", max_workers=WORKERS)
+                )
+                server = ScheduleServer(service, port=0)
+                await server.start()
+                stack.push_async_callback(server.stop)
+                servers.append(server)
+            router = FleetRouter(
+                [f"127.0.0.1:{s.port}" for s in servers],
+                probe_interval_s=None,
+            )
+            await router.start()
+            stack.push_async_callback(router.stop)
+            async with await AsyncServiceClient.connect(
+                port=router.port
+            ) as client:
+                frames = await client.submit_many(requests, decode=False)
+                stats = await client.stats()
+            return frames, stats
+
+    return asyncio.run(main())
+
+
+def test_bench_fleet_throughput(benchmark, burst_requests):
+    """Requests/s for the same burst routed across a two-shard fleet.
+
+    The router hop must stay a modest tax over the single-server burst
+    (tracked side by side in BENCH_service.json), and fleet-wide dedup
+    must hold: identical requests land on one shard, so the whole fleet
+    still solves each distinct question once.
+    """
+    frames, stats = benchmark(lambda: _run_fleet_burst(burst_requests))
+    assert len(frames) == BURST
+    assert all(f["type"] == "report" for f in frames)
+    assert stats["backend"] == "fleet"
+    assert stats["healthy_shards"] == 2
+    assert stats["solves_started"] == DISTINCT  # fleet-wide dedup held
+    benchmark.extra_info["requests"] = BURST
+    benchmark.extra_info["shards"] = 2
+    benchmark.extra_info["fleet_requests_per_second"] = round(
+        BURST / benchmark.stats["mean"], 1
+    )
+    benchmark.extra_info["solves_started"] = stats["solves_started"]
+    benchmark.extra_info["dedup_hits"] = stats["deduped"]
+    benchmark.extra_info["answer_hits"] = stats["answer_hits"]
+
+
+def _failover_recovery_once() -> float:
+    """Seconds from killing a request's owning shard to the failover answer."""
+    request = ScheduleRequest(soc="alpha15", tl_c=165.0, stcl=60.0)
+
+    async def main() -> float:
+        async with AsyncExitStack() as stack:
+            servers = []
+            proxies = []
+            for _ in range(3):
+                service = await stack.enter_async_context(
+                    ScheduleService(backend="thread", max_workers=2)
+                )
+                server = ScheduleServer(service, port=0)
+                await server.start()
+                stack.push_async_callback(server.stop)
+                servers.append(server)
+                # Every shard sits behind a severable proxy so the kill
+                # is a genuine connection reset, whichever shard owns
+                # the benchmark request.
+                proxy = await stack.enter_async_context(
+                    ChaosProxy("127.0.0.1", server.port)
+                )
+                proxies.append(proxy)
+            shards = [f"127.0.0.1:{p.port}" for p in proxies]
+            router = FleetRouter(shards, probe_interval_s=None)
+            await router.start()
+            stack.push_async_callback(router.stop)
+            async with await AsyncServiceClient.connect(
+                port=router.port
+            ) as client:
+                await client.submit(request)  # warm onto the owner
+                owner = router.ring.owner(request.content_hash())
+                index = shards.index(owner)
+                start = time.perf_counter()
+                proxies[index].sever()
+                await servers[index].stop()
+                report = await client.submit(request)  # fails over
+                elapsed = time.perf_counter() - start
+                assert report.n_sessions >= 1
+                assert router.router_counters()["failovers"] >= 1
+            return elapsed
+
+    return asyncio.run(main())
+
+
+def test_bench_fleet_failover_recovery(benchmark):
+    """Time from a shard kill to the first successful failover answer.
+
+    The interval a client actually experiences: the owning shard dies
+    mid-conversation and the next identical request must come back from
+    a neighbour — re-dial discovery, ring walk, and the (cold-cache)
+    re-solve included.
+    """
+    recoveries: list[float] = []
+    benchmark.pedantic(
+        lambda: recoveries.append(_failover_recovery_once()),
+        rounds=3,
+        iterations=1,
+    )
+    recoveries.sort()
+    median = recoveries[len(recoveries) // 2]
+    print(
+        f"\nfailover recovery: median {median * 1e3:.1f} ms over "
+        f"{len(recoveries)} kills (worst {recoveries[-1] * 1e3:.1f} ms)"
+    )
+    benchmark.extra_info["failover_recovery_ms"] = round(median * 1e3, 2)
+    benchmark.extra_info["failover_recovery_worst_ms"] = round(
+        recoveries[-1] * 1e3, 2
+    )
+    benchmark.extra_info["kills"] = len(recoveries)
+    assert median < 30.0, f"failover took {median:.1f} s"
 
 
 def _median_hit_latency(port: int, request: ScheduleRequest, rounds: int) -> float:

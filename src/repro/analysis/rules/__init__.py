@@ -8,6 +8,7 @@ rule's detection logic, message wording, and hints live in one place.
 
 from . import async_blocking  # noqa: F401
 from . import codec_drift  # noqa: F401
+from . import frame_schema  # noqa: F401
 from . import lock_discipline  # noqa: F401
 from . import solver_contract  # noqa: F401
 from . import units_boundary  # noqa: F401
@@ -15,6 +16,7 @@ from . import units_boundary  # noqa: F401
 __all__ = [
     "async_blocking",
     "codec_drift",
+    "frame_schema",
     "lock_discipline",
     "solver_contract",
     "units_boundary",

@@ -1,0 +1,253 @@
+"""Rule: wire-frame types, builders, and dispatch tables stay in lockstep.
+
+The JSONL protocol is defined in three places that must agree:
+
+* the ``FRAME_TYPES`` / ``CLIENT_FRAME_TYPES`` / ``SERVER_FRAME_TYPES``
+  registries in ``protocol.py`` (``CLIENT | SERVER`` must cover every
+  frame type, and each side-set must be a subset of the whole);
+* the frame *builders* (``submit_frame``, ``fleet_stats_frame``, ...)
+  whose literal ``"type"`` values must all be registered; and
+* the server's and router's dispatch tables
+  (``ScheduleServer._handle_frame`` / ``FleetRouter._handle_frame``),
+  whose ``frame_type == "..."`` arms must handle *exactly* the
+  client-sendable set — a new client frame type that only one endpoint
+  learned about would make the fleet answer differently per hop.
+
+History shows the failure mode this closes: ``fleet_stats`` landed as a
+frame builder and a server branch in the same PR — the rule makes the
+third copy (the router) impossible to forget, and the next frame type
+impossible to half-wire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..project import Project, SourceFile
+from ..registry import LintRule, register_rule
+
+#: The frame-type registries protocol.py must declare.
+REGISTRY_NAMES = ("FRAME_TYPES", "CLIENT_FRAME_TYPES", "SERVER_FRAME_TYPES")
+
+#: Every (class, method) that dispatches on client-sent frame types.
+#: Each must compare a variable literally named ``frame_type`` against
+#: string constants — the shape this rule can see.
+DISPATCHERS: tuple[tuple[str, str], ...] = (
+    ("ScheduleServer", "_handle_frame"),
+    ("FleetRouter", "_handle_frame"),
+)
+
+
+def _registry_literal(
+    project: Project, name: str
+) -> tuple[SourceFile, ast.Assign, frozenset[str]] | None:
+    """The module-level ``NAME = frozenset({...})`` assignment, if any."""
+    for sf in project.files:
+        for stmt in sf.tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            targets = [
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            ]
+            if name not in targets:
+                continue
+            strings = frozenset(
+                node.value
+                for node in ast.walk(stmt.value)
+                if isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+            )
+            return sf, stmt, strings
+    return None
+
+
+def _literal_type_values(fn: ast.AST) -> list[tuple[str, int, int]]:
+    """Every string written under a literal ``"type"`` dict key in *fn*."""
+    values = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key, value in zip(node.keys, node.values):
+            if not (
+                isinstance(key, ast.Constant) and key.value == "type"
+            ):
+                continue
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                values.append((value.value, value.lineno, value.col_offset))
+    return values
+
+
+def dispatched_types(fn: ast.AST) -> dict[str, tuple[int, int]]:
+    """Frame types a dispatcher handles: ``frame_type == "..."`` arms."""
+    handled: dict[str, tuple[int, int]] = {}
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not (
+            isinstance(node.left, ast.Name) and node.left.id == "frame_type"
+        ):
+            continue
+        for op, comparator in zip(node.ops, node.comparators):
+            if not isinstance(op, ast.Eq):
+                continue
+            if isinstance(comparator, ast.Constant) and isinstance(
+                comparator.value, str
+            ):
+                handled.setdefault(
+                    comparator.value, (node.lineno, node.col_offset)
+                )
+    return handled
+
+
+def _find_method(
+    cls: ast.ClassDef, name: str
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == name
+        ):
+            return stmt
+    return None
+
+
+@register_rule
+class FrameSchemaRule(LintRule):
+    name = "frame-schema"
+    description = (
+        "wire frame types drifting between the protocol registries, the "
+        "frame builders, and the server/router dispatch tables"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        registries = {
+            name: _registry_literal(project, name) for name in REGISTRY_NAMES
+        }
+        # Fixture projects only carry what they exercise: with no
+        # FRAME_TYPES registry at all there is no protocol to check.
+        if registries["FRAME_TYPES"] is None:
+            return
+        yield from self._check_registry_algebra(registries)
+        yield from self._check_builders(registries)
+        client = registries["CLIENT_FRAME_TYPES"]
+        if client is not None:
+            yield from self._check_dispatchers(project, client[2])
+
+    # -- the three registries must partition cleanly -------------------------------
+
+    def _check_registry_algebra(self, registries: dict) -> Iterator[Finding]:
+        sf, stmt, all_types = registries["FRAME_TYPES"]
+        sides: dict[str, frozenset[str]] = {}
+        for name in ("CLIENT_FRAME_TYPES", "SERVER_FRAME_TYPES"):
+            located = registries[name]
+            if located is None:
+                yield self.finding(
+                    sf.path,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"protocol declares FRAME_TYPES but no {name}",
+                    hint=(
+                        "declare which side may send each frame type; the "
+                        "dispatch tables are checked against it"
+                    ),
+                )
+                continue
+            side_sf, side_stmt, side_types = located
+            sides[name] = side_types
+            for extra in sorted(side_types - all_types):
+                yield self.finding(
+                    side_sf.path,
+                    side_stmt.lineno,
+                    side_stmt.col_offset,
+                    f"{name} lists {extra!r} which is not in FRAME_TYPES",
+                    hint="register the frame type in FRAME_TYPES too",
+                )
+        if len(sides) == len(REGISTRY_NAMES) - 1:
+            covered = sides["CLIENT_FRAME_TYPES"] | sides["SERVER_FRAME_TYPES"]
+            for orphan in sorted(all_types - covered):
+                yield self.finding(
+                    sf.path,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"frame type {orphan!r} is in FRAME_TYPES but neither "
+                    f"CLIENT_FRAME_TYPES nor SERVER_FRAME_TYPES claims it",
+                    hint=(
+                        "a frame type nobody may send is dead wire schema; "
+                        "add it to the side that sends it"
+                    ),
+                )
+
+    # -- every built frame must carry a registered type ----------------------------
+
+    def _check_builders(self, registries: dict) -> Iterator[Finding]:
+        sf, _stmt, all_types = registries["FRAME_TYPES"]
+        for node in sf.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for value, lineno, col in _literal_type_values(node):
+                if value not in all_types:
+                    yield self.finding(
+                        sf.path,
+                        lineno,
+                        col,
+                        f"{node.name}() builds a frame of unregistered "
+                        f"type {value!r}",
+                        hint="add the type to FRAME_TYPES (and one side-set)",
+                    )
+
+    # -- the dispatch tables must cover exactly the client set ---------------------
+
+    def _check_dispatchers(
+        self, project: Project, client_types: frozenset[str]
+    ) -> Iterator[Finding]:
+        for class_name, method_name in DISPATCHERS:
+            located = project.find_class(class_name)
+            if located is None:
+                continue  # fixtures only carry what they exercise
+            sf, cls = located
+            method = _find_method(cls, method_name)
+            if method is None:
+                yield self.finding(
+                    sf.path,
+                    cls.lineno,
+                    cls.col_offset,
+                    f"{class_name} has no {method_name}() dispatch method",
+                    hint=(
+                        "the frame dispatcher is part of the wire "
+                        "contract; rename it here and in DISPATCHERS "
+                        "together"
+                    ),
+                )
+                continue
+            handled = dispatched_types(method)
+            if not handled:
+                continue  # a stub without a dispatch table (fixtures)
+            for missing in sorted(client_types - set(handled)):
+                yield self.finding(
+                    sf.path,
+                    method.lineno,
+                    method.col_offset,
+                    f"{class_name}.{method_name}() does not dispatch "
+                    f"client frame type {missing!r}",
+                    hint=(
+                        f'add an ``elif frame_type == "{missing}"`` arm — '
+                        f"every endpoint must answer every client frame"
+                    ),
+                )
+            for stale in sorted(set(handled) - client_types):
+                lineno, col = handled[stale]
+                yield self.finding(
+                    sf.path,
+                    lineno,
+                    col,
+                    f"{class_name}.{method_name}() dispatches {stale!r} "
+                    f"which is not in CLIENT_FRAME_TYPES",
+                    hint=(
+                        "register the type in CLIENT_FRAME_TYPES (and "
+                        "FRAME_TYPES) or drop the dead arm"
+                    ),
+                )

@@ -6,6 +6,8 @@ The subcommands::
     repro solve ...      # one request through any registered solver
     repro batch ...      # a generated fleet of scenarios over a backend
     repro serve ...      # long-lived scheduling service (JSONL over TCP)
+    repro route ...      # consistent-hash router over N serve shards
+    repro fleet ...      # per-shard health table of a running fleet
     repro submit ...     # send requests to a running service
     repro report ...     # per-solver summary of JSONL archives
     repro check ...      # repo-specific static analysis (lint rules)
@@ -685,6 +687,230 @@ def serve_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def route_main(argv: list[str] | None = None) -> int:
+    """``repro route`` — run the fleet router in front of N shards."""
+    import asyncio
+    import signal
+
+    from .service import DEFAULT_ROUTER_PORT
+    from .service.fleet import FleetRouter, RetryPolicy
+
+    parser = argparse.ArgumentParser(
+        prog="repro route",
+        description=(
+            "Route scheduling requests over a fleet of `repro serve` "
+            "shards: consistent hashing by request content hash, health "
+            "probes with per-shard circuit breakers, and failover along "
+            "the ring when a shard is down."
+        ),
+    )
+    network = parser.add_argument_group("network")
+    network.add_argument("--host", default="127.0.0.1", help="bind address")
+    network.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_ROUTER_PORT,
+        help=f"TCP port (default {DEFAULT_ROUTER_PORT}; 0 picks a free port)",
+    )
+    fleet = parser.add_argument_group("fleet")
+    fleet.add_argument(
+        "--shard",
+        action="append",
+        required=True,
+        dest="shards",
+        metavar="HOST:PORT",
+        help="a `repro serve` shard address (repeat per shard)",
+    )
+    fleet.add_argument(
+        "--replicas",
+        type=int,
+        default=128,
+        help="virtual-node points per shard on the hash ring (default 128)",
+    )
+    health = parser.add_argument_group("health")
+    health.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between ping probes of every shard (default 1.0)",
+    )
+    health.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="per-probe deadline in seconds (default 2.0)",
+    )
+    health.add_argument(
+        "--failure-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive failures that open a shard's breaker (default 3)",
+    )
+    health.add_argument(
+        "--cooldown",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="open-breaker cooldown before a trial request (default 5.0)",
+    )
+    health.add_argument(
+        "--recovery-threshold",
+        type=int,
+        default=2,
+        metavar="N",
+        help="half-open successes that close the breaker (default 2)",
+    )
+    health.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="tries per shard before failing over (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    async def _route() -> None:
+        router = FleetRouter(
+            args.shards,
+            host=args.host,
+            port=args.port,
+            replicas=args.replicas,
+            retry_policy=RetryPolicy(
+                max_attempts=args.retry_attempts,
+                base_delay_s=0.05,
+                max_delay_s=0.5,
+            ),
+            probe_interval_s=args.probe_interval,
+            probe_timeout_s=args.probe_timeout,
+            failure_threshold=args.failure_threshold,
+            cooldown_s=args.cooldown,
+            recovery_threshold=args.recovery_threshold,
+        )
+        await router.start()
+        print(
+            f"repro router listening on {args.host}:{router.port} "
+            f"({router.describe_config()})",
+            flush=True,
+        )
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_event.set)
+            except NotImplementedError:  # non-unix event loops
+                pass
+        try:
+            await stop_event.wait()
+        finally:
+            print("stopping router...", flush=True)
+            counters = router.router_counters()
+            await router.stop()
+            pairs = ", ".join(
+                f"{key}={value:.1f}" if isinstance(value, float) else f"{key}={value}"
+                for key, value in counters.items()
+            )
+            print(f"router counters: {pairs}", flush=True)
+
+    try:
+        asyncio.run(_route())
+    except KeyboardInterrupt:
+        pass  # loops without signal handlers (stop already attempted)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:  # port in use, bad bind address
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def fleet_main(argv: list[str] | None = None) -> int:
+    """``repro fleet`` — per-shard health and stats of a running fleet."""
+    import json
+
+    from .errors import ServiceError
+    from .service import DEFAULT_ROUTER_PORT, ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro fleet",
+        description=(
+            "Fetch the fleet_stats frame from a running `repro route` "
+            "(or a plain `repro serve`, which answers as a fleet of one) "
+            "and print a per-shard health table plus the aggregate."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="router host")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_ROUTER_PORT, help="router port"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw fleet payload as JSON (the CI artifact shape)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            fleet = client.fleet_stats()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps(fleet, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"fleet: {fleet['healthy_shards']}/{fleet['shard_count']} "
+        f"shards healthy"
+    )
+    for name in sorted(fleet["shards"]):
+        shard = fleet["shards"][name]
+        state = "healthy" if shard.get("healthy") else "unhealthy"
+        stats = shard.get("stats") or {}
+        line = (
+            f"  {name}: {state} (breaker {shard.get('breaker')}, "
+            f"{shard.get('probes', 0)} probes, "
+            f"{shard.get('probe_failures', 0)} failed)"
+        )
+        if stats:
+            line += (
+                f" — {stats.get('submitted', 0)} submitted, "
+                f"{stats.get('completed', 0)} ok, "
+                f"{stats.get('answer_hits', 0)} answer hits, "
+                f"{stats.get('errors', 0)} errors"
+            )
+        if shard.get("last_error"):
+            line += f" [last error: {shard['last_error']}]"
+        print(line)
+    aggregate = fleet.get("aggregate") or {}
+    pairs = ", ".join(
+        f"{key}={aggregate[key]}"
+        for key in (
+            "submitted",
+            "completed",
+            "answer_hits",
+            "deduped",
+            "errors",
+            "solves_started",
+        )
+        if key in aggregate
+    )
+    print(f"aggregate: {pairs}")
+    router = fleet.get("router")
+    if router:
+        print(
+            f"router: {router.get('submits', 0)} submits, "
+            f"{router.get('routed', 0)} routed, "
+            f"{router.get('failovers', 0)} failovers, "
+            f"{router.get('unrouted', 0)} unrouted"
+        )
+    return 0
+
+
 def submit_main(argv: list[str] | None = None) -> int:
     """``repro submit`` — send requests to a running ``repro serve``."""
     from .api import request_from_dict
@@ -1073,6 +1299,8 @@ COMMANDS = {
     "solve": solve_main,
     "batch": batch_main,
     "serve": serve_main,
+    "route": route_main,
+    "fleet": fleet_main,
     "submit": submit_main,
     "metrics": metrics_main,
     "top": top_main,
@@ -1103,6 +1331,8 @@ def repro_main(argv: list[str] | None = None) -> int:
         f"  repro solve --help      one request through any registered solver\n"
         f"  repro batch --help      schedule a generated scenario fleet\n"
         f"  repro serve --help      run the async scheduling service (TCP)\n"
+        f"  repro route --help      route a sharded fleet of services\n"
+        f"  repro fleet --help      per-shard health table of a fleet\n"
         f"  repro submit --help     send requests to a running service\n"
         f"  repro metrics --help    scrape a running service (Prometheus text)\n"
         f"  repro top --help        live telemetry dashboard of a service\n"

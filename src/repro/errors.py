@@ -110,7 +110,16 @@ class ExperimentError(ReproError):
 
 
 class ServiceError(ReproError):
-    """The async scheduling service failed to accept or answer a request."""
+    """The async scheduling service failed to accept or answer a request.
+
+    Class attribute ``retryable`` rides every service error (and its
+    wire ``error`` frame): ``True`` marks transient conditions a client
+    should retry with backoff (busy, lost connection), ``False`` marks
+    answers that will not change (infeasible request, protocol abuse).
+    """
+
+    #: Whether retrying the same request later can succeed.
+    retryable = False
 
 
 class ServiceBusyError(ServiceError):
@@ -122,7 +131,36 @@ class ServiceBusyError(ServiceError):
     backoff; clients that can wait (and no watermark is set) should use
     the awaiting submit path, which blocks until queue space frees up
     instead of raising.
+
+    Attributes
+    ----------
+    retry_after_s:
+        Server-side hint: how long to wait before retrying, estimated
+        from the queue depth and recent solve latency (``None`` when
+        the raiser has no estimate).  A
+        :class:`repro.service.fleet.RetryPolicy` honours it before
+        falling back to exponential backoff.
     """
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after_s: "float | None" = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceConnectionError(ServiceError):
+    """The TCP connection to a service could not be made, or was lost.
+
+    Always retryable: solves are deterministic and deduplicated by
+    content hash server-side, so re-submitting after a reconnect can
+    never double-apply work.  Raised by the clients in place of raw
+    ``ConnectionError``/``OSError`` so callers (and
+    :class:`repro.service.fleet.RetryPolicy`) can classify it without
+    string matching.
+    """
+
+    retryable = True
 
 
 class ServiceClosedError(ServiceError):

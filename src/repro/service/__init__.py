@@ -20,7 +20,11 @@ and that answers with :class:`~repro.api.SolveReport`\\ s:
 * :mod:`client` — :class:`AsyncServiceClient` (pipelined asyncio) and
   :class:`ServiceClient` (blocking wrapper);
 * :mod:`archive` — the append-only JSONL archive of served outcomes;
-* :mod:`report` — per-solver aggregation of batch and service archives.
+* :mod:`report` — per-solver aggregation of batch and service archives;
+* :mod:`fleet` — the sharded fleet: consistent-hash ring,
+  :class:`FleetRouter` (``repro route``) with health checks, circuit
+  breakers and failover, the shared :class:`RetryPolicy`, and the
+  seeded :class:`ChaosProxy` fault-injection harness.
 
 Quickstart (in one process; over TCP it is ``repro serve`` +
 ``repro submit``)::
@@ -52,13 +56,25 @@ from .archive import (
 )
 from .client import AsyncServiceClient, ServiceClient
 from .execution import SolveOutcome, solve_request_outcome
+from .fleet import (
+    ChaosProxy,
+    CircuitBreaker,
+    FaultPlan,
+    FleetRouter,
+    HashRing,
+    RetryPolicy,
+    ShardHealth,
+    aggregate_fleet_stats,
+)
 from .pool import AdaptiveWorkerPool
 from .protocol import (
     DEFAULT_PORT,
+    DEFAULT_ROUTER_PORT,
     MAX_FRAME_BYTES,
     decode_frame,
     encode_frame,
     error_frame,
+    fleet_stats_frame,
     metrics_frame,
     parse_submit_frame,
     ping_frame,
@@ -90,24 +106,34 @@ __all__ = [
     "AnswerCache",
     "AnswerCacheStats",
     "AsyncServiceClient",
+    "ChaosProxy",
+    "CircuitBreaker",
     "DEFAULT_PORT",
+    "DEFAULT_ROUTER_PORT",
+    "FaultPlan",
+    "FleetRouter",
+    "HashRing",
     "LATENCY_FAMILIES",
     "MAX_FRAME_BYTES",
     "METRIC_FIELDS",
     "MetricField",
     "RecordStats",
     "ReportArchive",
+    "RetryPolicy",
     "SERVICE_RECORD_KIND",
     "ScheduleServer",
     "ScheduleService",
     "ServiceClient",
     "ServiceJob",
     "ServiceMetrics",
+    "ShardHealth",
     "SolveOutcome",
     "SolverSummary",
+    "aggregate_fleet_stats",
     "decode_frame",
     "encode_frame",
     "error_frame",
+    "fleet_stats_frame",
     "load_service_archive",
     "metrics_frame",
     "outcome_record",

@@ -11,12 +11,20 @@ CLI: it runs an event loop on a background thread and exposes blocking
 ``submit`` / ``submit_many`` / ``stats`` / ``metrics_text`` / ``ping``
 calls.
 
+Connection loss is survivable: a client built by :meth:`connect` knows
+its address, so after the read loop dies it re-dials on the next call
+(pending calls at the moment of loss fail with the typed, retryable
+:class:`~repro.errors.ServiceConnectionError` — the solves are
+deduplicated by content hash server-side, so resubmitting is safe).
+With a :class:`~repro.service.fleet.RetryPolicy` attached, the re-dial
+and the resubmission happen transparently, and ``ServiceBusyError``
+answers are retried honouring the server's ``retry_after_s`` hint
+before exponential backoff.
+
 Answer provenance survives decoding: a report served from the service's
 answer cache arrives with ``report.cached`` set (and ``"cached": true``
 in the raw frame), so a client can distinguish a memory answer from a
-fresh solve.  A service shedding load (queue past its watermark)
-answers with a :class:`~repro.errors.ServiceBusyError` error frame,
-raised here as that class — callers can catch it and back off.
+fresh solve.
 """
 
 from __future__ import annotations
@@ -25,7 +33,10 @@ import asyncio
 import itertools
 import threading
 import time
-from typing import Any, AsyncIterator, Sequence
+from typing import TYPE_CHECKING, Any, AsyncIterator, Callable, Sequence
+
+if TYPE_CHECKING:  # imported lazily: fleet.router imports this module
+    from .fleet.retry import RetryPolicy
 
 from ..api.request import ScheduleRequest, SolveReport, report_from_dict
 from ..errors import (
@@ -33,6 +44,7 @@ from ..errors import (
     ReproError,
     ServiceBusyError,
     ServiceClosedError,
+    ServiceConnectionError,
     ServiceError,
 )
 from .protocol import (
@@ -40,6 +52,7 @@ from .protocol import (
     MAX_FRAME_BYTES,
     decode_frame,
     encode_frame,
+    fleet_stats_frame,
     metrics_frame,
     ping_frame,
     stats_frame,
@@ -50,6 +63,7 @@ from .protocol import (
 _ERROR_CLASSES = {
     "ServiceBusyError": ServiceBusyError,
     "ServiceClosedError": ServiceClosedError,
+    "ServiceConnectionError": ServiceConnectionError,
     "ProtocolError": ProtocolError,
 }
 
@@ -58,6 +72,10 @@ def _raise_error_frame(frame: dict[str, Any]) -> None:
     error_type = frame.get("error_type") or "ServiceError"
     message = frame.get("error") or "unknown service error"
     cls = _ERROR_CLASSES.get(error_type, ServiceError)
+    if cls is ServiceBusyError:
+        # Reconstitute the server's backoff hint so a RetryPolicy can
+        # honour it client-side.
+        raise ServiceBusyError(message, retry_after_s=frame.get("retry_after_s"))
     if (
         cls is ServiceError
         and error_type != "ServiceError"
@@ -73,36 +91,111 @@ class AsyncServiceClient:
     """Pipelined asyncio client over one service connection."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        host: str | None = None,
+        port: int | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
-        self._reader = reader
-        self._writer = writer
+        self._host = host
+        self._port = port
+        self._retry_policy = retry_policy
         self._write_lock = asyncio.Lock()
+        self._reconnect_lock = asyncio.Lock()
         self._pending: dict[str, asyncio.Future] = {}
         self._ids = itertools.count(1)
         self._closed = False
+        self._attach(reader, writer)
+
+    def _attach(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
         self._connection_lost = False
-        self._read_task = asyncio.ensure_future(self._read_loop())
+        self._read_task = asyncio.ensure_future(self._read_loop(reader))
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+        cls,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        retry_policy: RetryPolicy | None = None,
     ) -> "AsyncServiceClient":
-        """Open a connection to a running ``repro serve``."""
-        try:
-            reader, writer = await asyncio.open_connection(
-                host, port, limit=MAX_FRAME_BYTES
-            )
-        except OSError as exc:
-            raise ServiceError(
-                f"cannot connect to scheduling service at {host}:{port}: {exc}"
-            ) from exc
-        return cls(reader, writer)
+        """Open a connection to a running ``repro serve`` (or router).
 
-    async def _read_loop(self) -> None:
+        With a *retry_policy*, refused dials are retried with backoff
+        before giving up; the policy stays attached and also governs
+        reconnects and transient-error retries on later calls.
+        """
+        reader, writer = await cls._dial(host, port, retry_policy)
+        return cls(
+            reader, writer, host=host, port=port, retry_policy=retry_policy
+        )
+
+    @staticmethod
+    async def _dial(
+        host: str, port: int, retry_policy: RetryPolicy | None
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return await asyncio.open_connection(
+                    host, port, limit=MAX_FRAME_BYTES
+                )
+            except OSError as exc:
+                if retry_policy is None or not retry_policy.should_retry(
+                    attempt
+                ):
+                    raise ServiceConnectionError(
+                        f"cannot connect to scheduling service at "
+                        f"{host}:{port}: {exc}"
+                    ) from exc
+                await retry_policy.pause(attempt)
+
+    @property
+    def connection_lost(self) -> bool:
+        """True when the read loop has died (the next call re-dials)."""
+        return self._connection_lost
+
+    async def reconnect(self) -> None:
+        """Re-dial after connection loss; re-entrant and idempotent.
+
+        Concurrent callers serialise on a lock; whoever arrives after
+        the connection is live again returns immediately.  Only clients
+        built by :meth:`connect` know their address — a client wrapped
+        around raw streams cannot re-dial.
+        """
+        if self._closed:
+            raise ServiceConnectionError("client is closed")
+        if self._host is None or self._port is None:
+            raise ServiceConnectionError(
+                "client was built from raw streams and cannot reconnect"
+            )
+        async with self._reconnect_lock:
+            if self._closed:
+                raise ServiceConnectionError("client is closed")
+            if not self._connection_lost:
+                return
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except asyncio.CancelledError:
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            reader, writer = await self._dial(
+                self._host, self._port, self._retry_policy
+            )
+            self._attach(reader, writer)
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
         try:
             while True:
-                line = await self._reader.readline()
+                line = await reader.readline()
                 if not line:
                     break
                 if not line.strip():
@@ -123,7 +216,9 @@ class AsyncServiceClient:
             # after registering its future, so no future can slip in
             # behind this sweep and hang forever.
             self._connection_lost = True
-            self._fail_pending(ServiceError("connection to the service closed"))
+            self._fail_pending(
+                ServiceConnectionError("connection to the service closed")
+            )
 
     def _fail_pending(self, exc: Exception) -> None:
         for future in self._pending.values():
@@ -135,7 +230,7 @@ class AsyncServiceClient:
         if self._closed:
             raise ServiceError("client is closed")
         if self._connection_lost:
-            raise ServiceError("connection to the service closed")
+            raise ServiceConnectionError("connection to the service closed")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[frame["id"]] = future
         if self._connection_lost:
@@ -144,13 +239,74 @@ class AsyncServiceClient:
             # dead transport can buffer silently, which would leave
             # the caller awaiting forever.
             self._pending.pop(frame["id"], None)
-            raise ServiceError("connection to the service closed")
+            raise ServiceConnectionError("connection to the service closed")
         async with self._write_lock:
             self._writer.write(encode_frame(frame))
             await self._writer.drain()
         return await future
 
+    async def _request(
+        self,
+        build: Callable[[str], dict[str, Any]],
+        busy_retry: bool = False,
+    ) -> dict[str, Any]:
+        """One request-response exchange, with reconnect and retries.
+
+        *build* maps a fresh frame id to the request frame (a new id
+        per attempt — the failed attempt's id died with its future).
+        Connection loss triggers a re-dial; with a retry policy it is
+        retried with backoff, and with ``busy_retry`` so are
+        ``ServiceBusyError`` answers (honouring ``retry_after_s``).
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if self._connection_lost and not self._closed:
+                    await self.reconnect()
+                response = await self._roundtrip(build(f"r{next(self._ids)}"))
+            except ServiceConnectionError:
+                if (
+                    self._closed
+                    or self._retry_policy is None
+                    or not self._retry_policy.should_retry(attempt)
+                ):
+                    raise
+                await self._retry_policy.pause(attempt)
+                continue
+            if (
+                busy_retry
+                and response["type"] == "error"
+                and response.get("error_type") == "ServiceBusyError"
+                and self._retry_policy is not None
+                and self._retry_policy.should_retry(attempt)
+            ):
+                await self._retry_policy.pause(
+                    attempt, retry_after_s=response.get("retry_after_s")
+                )
+                continue
+            return response
+
     # -- calls -------------------------------------------------------------------------
+
+    async def submit_raw(
+        self,
+        request: ScheduleRequest,
+        *,
+        timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        """Submit and return the raw response frame — report *or* error.
+
+        Error frames are returned, not raised, so a relay (the fleet
+        router) can forward them with full wire fidelity (``retryable``,
+        ``retry_after_s``, ``request_hash`` intact).  Connection loss
+        still raises :class:`~repro.errors.ServiceConnectionError`
+        after the retry policy is exhausted.
+        """
+        return await self._request(
+            lambda frame_id: submit_frame(frame_id, request, timeout_s=timeout_s),
+            busy_retry=True,
+        )
 
     async def submit(
         self,
@@ -166,12 +322,12 @@ class AsyncServiceClient:
         Error frames raise: :class:`~repro.errors.ServiceBusyError` /
         :class:`~repro.errors.ServiceClosedError` /
         :class:`~repro.errors.ProtocolError` for their own kinds,
-        :class:`~repro.errors.ServiceError` for solve failures.
+        :class:`~repro.errors.ServiceConnectionError` for a lost
+        connection, :class:`~repro.errors.ServiceError` for solve
+        failures.  Resubmitting after a connection error is always
+        safe — solves are deduplicated by content hash server-side.
         """
-        frame_id = f"r{next(self._ids)}"
-        response = await self._roundtrip(
-            submit_frame(frame_id, request, timeout_s=timeout_s)
-        )
+        response = await self.submit_raw(request, timeout_s=timeout_s)
         if response["type"] == "error":
             _raise_error_frame(response)
         if response["type"] != "report":
@@ -237,16 +393,26 @@ class AsyncServiceClient:
 
     async def stats(self) -> dict[str, Any]:
         """The service's current metrics snapshot."""
-        frame_id = f"r{next(self._ids)}"
-        response = await self._roundtrip(stats_frame(frame_id))
+        response = await self._request(stats_frame)
         if response["type"] == "error":
             _raise_error_frame(response)
         return response["stats"]
 
+    async def fleet_stats(self) -> dict[str, Any]:
+        """Fleet-level stats: per-shard health and an aggregate.
+
+        Against a router: every shard's health record and stats plus
+        the summed fleet counters.  Against a plain server: the same
+        shape as a healthy fleet of one.
+        """
+        response = await self._request(fleet_stats_frame)
+        if response["type"] == "error":
+            _raise_error_frame(response)
+        return response["fleet"]
+
     async def metrics_text(self) -> str:
         """The service's telemetry as Prometheus text exposition."""
-        frame_id = f"r{next(self._ids)}"
-        response = await self._roundtrip(metrics_frame(frame_id))
+        response = await self._request(metrics_frame)
         if response["type"] == "error":
             _raise_error_frame(response)
         if response["type"] != "metrics":
@@ -257,9 +423,8 @@ class AsyncServiceClient:
 
     async def ping(self) -> float:
         """Round-trip a ping; returns the latency in seconds."""
-        frame_id = f"r{next(self._ids)}"
         start = time.perf_counter()
-        response = await self._roundtrip(ping_frame(frame_id))
+        response = await self._request(ping_frame)
         if response["type"] != "pong":
             raise ProtocolError(f"expected pong, got {response['type']!r}")
         return time.perf_counter() - start
@@ -296,7 +461,9 @@ class ServiceClient:
             report = client.submit(ScheduleRequest(soc="alpha15", ...))
 
     Every call is thread-safe; concurrent submits from several threads
-    pipeline over the single connection.
+    pipeline over the single connection.  An optional
+    :class:`~repro.service.fleet.RetryPolicy` gives every call the
+    async client's reconnect/backoff behaviour.
     """
 
     def __init__(
@@ -304,6 +471,7 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         connect_timeout_s: float = 30.0,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -314,7 +482,10 @@ class ServiceClient:
         self._thread.start()
         try:
             self._client: AsyncServiceClient = self._call(
-                AsyncServiceClient.connect(host, port), timeout=connect_timeout_s
+                AsyncServiceClient.connect(
+                    host, port, retry_policy=retry_policy
+                ),
+                timeout=connect_timeout_s,
             )
         except BaseException:
             self._shutdown_loop()
@@ -362,6 +533,10 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         """Blocking :meth:`AsyncServiceClient.stats`."""
         return self._call(self._client.stats())
+
+    def fleet_stats(self) -> dict[str, Any]:
+        """Blocking :meth:`AsyncServiceClient.fleet_stats`."""
+        return self._call(self._client.fleet_stats())
 
     def metrics_text(self) -> str:
         """Blocking :meth:`AsyncServiceClient.metrics_text`."""

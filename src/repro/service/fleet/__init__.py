@@ -1,0 +1,47 @@
+"""Fault-tolerant sharded fleet: ring, router, health, retry, chaos.
+
+One ``repro serve`` process is a single point of failure.  This package
+turns N of them into one logical service:
+
+* :mod:`ring` — :class:`HashRing`, consistent hashing with virtual
+  nodes over :meth:`~repro.api.ScheduleRequest.content_hash`, so every
+  identical request lands on the same shard and N answer caches dedup
+  as one;
+* :mod:`router` — :class:`FleetRouter` (``repro route``), the JSONL
+  front end that forwards submits to the owning shard, fails over
+  along the ring when it is dark, and aggregates fleet-level stats;
+* :mod:`health` — :class:`CircuitBreaker` / :class:`ShardHealth`, the
+  probe bookkeeping and three-state breaker behind failover decisions;
+* :mod:`retry` — :class:`RetryPolicy`, capped exponential backoff with
+  full jitter, shared by the router's shard connections and both
+  service clients;
+* :mod:`stats` — :func:`aggregate_fleet_stats`, the ``fleet_stats``
+  frame payload (shared with the plain server, which answers as a
+  fleet of one);
+* :mod:`faults` — :class:`FaultPlan` / :class:`ChaosProxy`, the seeded
+  deterministic fault injector the failover paths are tested with.
+"""
+
+from .faults import ChaosProxy, FaultPlan
+from .health import BREAKER_STATES, CircuitBreaker, ShardHealth
+from .retry import RetryPolicy, is_retryable
+from .ring import HashRing, stable_hash
+from .router import DEFAULT_ROUTER_PORT, FleetRouter, parse_shard
+from .stats import AGGREGATE_COUNTERS, aggregate_fleet_stats
+
+__all__ = [
+    "AGGREGATE_COUNTERS",
+    "BREAKER_STATES",
+    "ChaosProxy",
+    "CircuitBreaker",
+    "DEFAULT_ROUTER_PORT",
+    "FaultPlan",
+    "FleetRouter",
+    "HashRing",
+    "RetryPolicy",
+    "ShardHealth",
+    "aggregate_fleet_stats",
+    "is_retryable",
+    "parse_shard",
+    "stable_hash",
+]

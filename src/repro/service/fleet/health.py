@@ -1,0 +1,172 @@
+"""Per-shard health tracking: circuit breaker + probe bookkeeping.
+
+The router owns one :class:`ShardHealth` per shard.  Every interaction
+with the shard — a periodic ping probe or a real forwarded request —
+reports its outcome here; the embedded :class:`CircuitBreaker` turns
+the raw outcome stream into a routing decision (``allows()``) with the
+classic three-state machine:
+
+``closed``
+    Normal operation.  ``failure_threshold`` *consecutive* failures
+    trip the breaker open.
+``open``
+    The shard is skipped entirely (failover targets get its keys).
+    After ``cooldown_s`` the breaker lets a single trial request
+    through (``half_open``).
+``half_open``
+    Probation: ``recovery_threshold`` consecutive successes close the
+    breaker, any failure re-opens it and restarts the cooldown.
+
+Time is injectable (``clock``), so tests step through open→half-open
+transitions without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ...errors import ServiceError
+
+#: Breaker states, in no particular order (documented above).
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with an injectable clock."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        recovery_threshold: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1 or recovery_threshold < 1:
+            raise ServiceError(
+                f"breaker thresholds must be >= 1, got "
+                f"{failure_threshold!r}/{recovery_threshold!r}"
+            )
+        if cooldown_s < 0.0:
+            raise ServiceError(f"cooldown_s must be >= 0, got {cooldown_s!r}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.recovery_threshold = recovery_threshold
+        self._clock = clock
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state; reading it performs the open→half_open check."""
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = "half_open"
+            self._consecutive_successes = 0
+        return self._state
+
+    def allows(self) -> bool:
+        """Whether a request may be sent to the guarded shard now."""
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        """Note a successful interaction with the shard."""
+        state = self.state
+        self._consecutive_failures = 0
+        if state == "half_open":
+            self._consecutive_successes += 1
+            if self._consecutive_successes >= self.recovery_threshold:
+                self._state = "closed"
+        elif state == "open":
+            # A success while open can only come from a request that was
+            # in flight when the breaker tripped; it is evidence the
+            # shard lives, so move straight to probation.
+            self._state = "half_open"
+            self._consecutive_successes = 1
+            if self._consecutive_successes >= self.recovery_threshold:
+                self._state = "closed"
+
+    def record_failure(self) -> None:
+        """Note a failed interaction with the shard."""
+        state = self.state
+        self._consecutive_successes = 0
+        if state == "half_open":
+            self._state = "open"
+            self._opened_at = self._clock()
+            self._consecutive_failures = self.failure_threshold
+            return
+        self._consecutive_failures += 1
+        if (
+            state == "closed"
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = "open"
+            self._opened_at = self._clock()
+
+
+class ShardHealth:
+    """One shard's health record as the router sees it.
+
+    Combines the breaker with probe counters and the last-error string
+    so ``fleet_stats`` can explain *why* a shard is unhealthy, not just
+    that it is.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        recovery_threshold: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = name
+        self.breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            cooldown_s=cooldown_s,
+            recovery_threshold=recovery_threshold,
+            clock=clock,
+        )
+        self.probes = 0
+        self.probe_failures = 0
+        self.last_error: str | None = None
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the router would currently route to this shard."""
+        return self.breaker.allows()
+
+    def record_success(self) -> None:
+        """A probe or forwarded request reached the shard and answered."""
+        self.breaker.record_success()
+        if self.breaker.state == "closed":
+            self.last_error = None
+
+    def record_failure(self, error: str) -> None:
+        """A probe or forwarded request failed; *error* says how."""
+        self.last_error = error
+        self.breaker.record_failure()
+
+    def record_probe(self, ok: bool, error: str | None = None) -> None:
+        """Outcome of one periodic ping probe."""
+        self.probes += 1
+        if ok:
+            self.record_success()
+        else:
+            self.probe_failures += 1
+            self.record_failure(error or "ping probe failed")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot for the ``fleet_stats`` frame."""
+        return {
+            "name": self.name,
+            "healthy": self.healthy,
+            "breaker": self.breaker.state,
+            "probes": self.probes,
+            "probe_failures": self.probe_failures,
+            "last_error": self.last_error,
+        }

@@ -1,0 +1,124 @@
+"""Shared retry policy: capped exponential backoff with full jitter.
+
+One policy object serves every retry loop in the system — the router's
+shard connections, :class:`~repro.service.client.AsyncServiceClient`'s
+connect/transient-error retry, and the sync wrapper on top of it — so
+"how hard do we hammer a struggling shard" is configured in exactly one
+place.
+
+Design points:
+
+* **Full jitter** — the delay for attempt *n* is uniform in
+  ``[0, min(max_delay, base * multiplier**(n-1))]`` (the AWS
+  architecture-blog result): a fleet of clients reconnecting after a
+  shard restart spreads out instead of thundering back in lockstep.
+* **Server hints win** — a :class:`~repro.errors.ServiceBusyError`
+  carrying ``retry_after_s`` knows the queue depth it came from; the
+  policy honours the hint (capped at ``max_delay_s``) before falling
+  back to its own exponential schedule.
+* **Injectable clock, RNG and sleeper** — tests drive the policy with
+  a seeded RNG and an instant sleeper, so every backoff sequence is
+  deterministic and no test ever really sleeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Awaitable, Callable
+
+from ...errors import ServiceError
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether retrying after *exc* can succeed.
+
+    Service errors carry an explicit ``retryable`` flag; raw socket
+    failures (``OSError`` covers ``ConnectionError``) are retryable by
+    nature — the next dial may reach a relaunched server.
+    """
+    flagged = getattr(exc, "retryable", None)
+    if flagged is not None:
+        return bool(flagged)
+    return isinstance(exc, (OSError, asyncio.TimeoutError))
+
+
+class RetryPolicy:
+    """Capped exponential backoff + full jitter, with injectable time.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (``1`` = never retry).
+    base_delay_s:
+        Backoff cap before the first retry; doubles (``multiplier``)
+        per further attempt.
+    max_delay_s:
+        Upper bound on any single delay, hinted or computed.
+    multiplier:
+        Exponential growth factor of the backoff cap.
+    rng:
+        ``random.Random``-like source of ``random()`` in ``[0, 1)``;
+        seed it for deterministic tests.
+    sleep:
+        Async sleeper; defaults to :func:`asyncio.sleep`.  Tests inject
+        an instant (or event-gated) coroutine so no wall time passes.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay_s: float = 0.05,
+        max_delay_s: float = 2.0,
+        multiplier: float = 2.0,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], Awaitable[Any]] | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {max_attempts!r}"
+            )
+        if base_delay_s < 0.0 or max_delay_s < base_delay_s:
+            raise ServiceError(
+                f"need 0 <= base_delay_s <= max_delay_s, got "
+                f"{base_delay_s!r}/{max_delay_s!r}"
+            )
+        if multiplier < 1.0:
+            raise ServiceError(
+                f"multiplier must be >= 1, got {multiplier!r}"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.multiplier = multiplier
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether a failed 1-based *attempt* leaves tries in the budget."""
+        return attempt < self.max_attempts
+
+    def backoff_s(
+        self, attempt: int, retry_after_s: float | None = None
+    ) -> float:
+        """The delay before retrying after failed 1-based *attempt*.
+
+        A server-provided *retry_after_s* hint is honoured as-is
+        (capped at ``max_delay_s``); otherwise full jitter over the
+        exponential cap for this attempt.
+        """
+        if retry_after_s is not None and retry_after_s >= 0.0:
+            return min(float(retry_after_s), self.max_delay_s)
+        cap = min(
+            self.max_delay_s,
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+        )
+        return cap * self._rng.random()
+
+    async def pause(
+        self, attempt: int, retry_after_s: float | None = None
+    ) -> float:
+        """Sleep the backoff for *attempt*; returns the delay used."""
+        delay = self.backoff_s(attempt, retry_after_s=retry_after_s)
+        await self._sleep(delay)
+        return delay

@@ -1,0 +1,143 @@
+"""Consistent-hash ring over request content hashes.
+
+The fleet's sharding key is :meth:`~repro.api.ScheduleRequest.content_hash`:
+schedules are deterministic per request, so routing every identical
+question to the same shard turns N private answer caches into one
+fleet-wide dedup cache.  :class:`HashRing` maps those keys to shard
+names with the classic consistent-hashing construction — each node owns
+``replicas`` pseudo-random points on a 64-bit circle, a key belongs to
+the first node point at or after its own hash — which gives the two
+properties the router needs:
+
+* **balance** — with enough virtual nodes the keyspace splits close to
+  evenly (property-tested, not hoped for);
+* **minimal remap on membership change** — removing a node only moves
+  the keys it owned, adding a node only steals keys for itself; every
+  other key keeps its shard (and therefore its warm answer cache).
+
+Hashing uses SHA-256, never Python's ``hash()``: placement must be
+identical across processes, interpreter restarts and
+``PYTHONHASHSEED`` values, or a router restart would scramble the
+fleet's cache affinity.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterator, Sequence
+
+from ...errors import ServiceError
+
+
+def stable_hash(data: str) -> int:
+    """A process-independent 64-bit hash of *data* (first SHA-256 bytes)."""
+    digest = hashlib.sha256(data.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node names (shard addresses, typically ``host:port``).
+    replicas:
+        Virtual-node points per node.  More points mean better balance
+        at the cost of a larger (still tiny) sorted array; 128 keeps
+        the per-node load within a few tens of percent of fair for
+        small fleets.
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), replicas: int = 128) -> None:
+        if replicas < 1:
+            raise ServiceError(f"replicas must be >= 1, got {replicas!r}")
+        self._replicas = replicas
+        self._nodes: set[str] = set()
+        self._points: list[int] = []  # sorted virtual-node positions
+        self._owners: dict[int, str] = {}  # position -> node name
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def replicas(self) -> int:
+        """Virtual-node points per node."""
+        return self._replicas
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        """Current member names."""
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def _node_points(self, node: str) -> Iterator[int]:
+        for replica in range(self._replicas):
+            yield stable_hash(f"{node}#{replica}")
+
+    def add_node(self, node: str) -> None:
+        """Add *node*; keys it now owns move to it, no other key moves."""
+        if not node:
+            raise ServiceError("ring node name must be non-empty")
+        if node in self._nodes:
+            raise ServiceError(f"ring already contains node {node!r}")
+        self._nodes.add(node)
+        for point in self._node_points(node):
+            if point in self._owners:
+                # A 64-bit collision between two nodes' points: keep the
+                # lexicographically smaller owner so placement stays
+                # deterministic regardless of insertion order.
+                if node < self._owners[point]:
+                    self._owners[point] = node
+                continue
+            self._owners[point] = node
+            bisect.insort(self._points, point)
+
+    def remove_node(self, node: str) -> None:
+        """Remove *node*; only the keys it owned are remapped."""
+        if node not in self._nodes:
+            raise ServiceError(f"ring does not contain node {node!r}")
+        self._nodes.discard(node)
+        for point in self._node_points(node):
+            if self._owners.get(point) != node:
+                continue  # collision point kept by the other owner
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            if index < len(self._points) and self._points[index] == point:
+                del self._points[index]
+
+    def owner(self, key: str) -> str:
+        """The node owning *key* (the first preference)."""
+        return next(self.preference(key))
+
+    def preference(self, key: str) -> Iterator[str]:
+        """Every node in failover order for *key*, each exactly once.
+
+        The owner first, then the distinct nodes met walking the ring
+        clockwise — the order the router tries shards in when the owner
+        is down or its breaker is open.  Deterministic per key, and a
+        stable function of the membership: two routers with the same
+        shard list compute the same order.
+        """
+        if not self._points:
+            raise ServiceError("hash ring is empty (no nodes)")
+        start = bisect.bisect_right(self._points, stable_hash(key))
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            point = self._points[(start + offset) % len(self._points)]
+            node = self._owners[point]
+            if node not in seen:
+                seen.add(node)
+                yield node
+
+    def load_counts(self, keys: Sequence[str]) -> dict[str, int]:
+        """Keys-per-node tally for *keys* (balance introspection/tests)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts

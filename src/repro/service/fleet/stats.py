@@ -1,0 +1,79 @@
+"""Fleet-level stats aggregation (the ``fleet_stats`` frame payload).
+
+Shared by the router (N shards) and the plain server (a fleet of one),
+so a client can ask either endpoint the same question and read the
+answer with the same code.  Lives in its own module — the server
+imports it and the router imports it, and it imports neither.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+#: Stats-frame scalars that sum meaningfully across shards.  A subset
+#: of :data:`repro.service.service.METRIC_FIELDS` — per-shard gauges
+#: like ``workers`` or ``queue_capacity`` describe one process and are
+#: left to the per-shard breakdown.
+AGGREGATE_COUNTERS = (
+    "queue_depth",
+    "in_flight",
+    "submitted",
+    "answer_hits",
+    "deduped",
+    "completed",
+    "errors",
+    "timeouts",
+    "rejected",
+    "shed",
+    "solves_started",
+    "solves_completed",
+    "cache_hits",
+)
+
+
+def aggregate_fleet_stats(
+    shards: Mapping[str, Mapping[str, Any]],
+    router: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The ``fleet`` payload of a ``fleet_stats`` frame.
+
+    Parameters
+    ----------
+    shards:
+        Per-shard entries, each a
+        :meth:`~repro.service.fleet.health.ShardHealth.to_dict`-shaped
+        dict plus an optional ``"stats"`` key holding that shard's
+        stats-frame payload (``None`` when the shard is unreachable).
+    router:
+        The router's own counters (``None`` when a plain server answers
+        as a fleet of one).
+
+    Returns the per-shard breakdown plus an ``aggregate`` summing the
+    shared counters, with ``uptime_s`` as the oldest shard's uptime and
+    ``requests_per_s`` as the sum of per-shard throughputs.
+    """
+    aggregate: dict[str, Any] = {name: 0 for name in AGGREGATE_COUNTERS}
+    uptime_s = 0.0
+    requests_per_s = 0.0
+    healthy = 0
+    for shard in shards.values():
+        if shard.get("healthy"):
+            healthy += 1
+        stats = shard.get("stats")
+        if not stats:
+            continue
+        for counter in AGGREGATE_COUNTERS:
+            aggregate[counter] += int(stats.get(counter, 0))
+        uptime_s = max(uptime_s, float(stats.get("uptime_s", 0.0)))
+        requests_per_s += float(stats.get("requests_per_s", 0.0))
+    aggregate["uptime_s"] = uptime_s
+    aggregate["requests_per_s"] = requests_per_s
+    fleet: dict[str, Any] = {
+        "shard_count": len(shards),
+        "healthy_shards": healthy,
+        "shards": {name: dict(shard) for name, shard in shards.items()},
+        "aggregate": aggregate,
+    }
+    if router is not None:
+        fleet["router"] = dict(router)
+    return fleet

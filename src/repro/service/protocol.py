@@ -6,19 +6,29 @@ archives, so the codecs (and greppability) carry over to the wire.
 
 Client to server::
 
-    {"type": "submit",  "id": "c1", "request": {...}, "timeout_s": 30}
-    {"type": "stats",   "id": "c2"}
-    {"type": "ping",    "id": "c3"}
-    {"type": "metrics", "id": "c4"}
+    {"type": "submit",      "id": "c1", "request": {...}, "timeout_s": 30}
+    {"type": "stats",       "id": "c2"}
+    {"type": "ping",        "id": "c3"}
+    {"type": "metrics",     "id": "c4"}
+    {"type": "fleet_stats", "id": "c5"}
 
 Server to client (correlated by the client-chosen ``id``; responses to
 concurrent submits arrive in *completion* order, not submission order)::
 
-    {"type": "report",  "id": "c1", "request_hash": "...", "report": {...}}
-    {"type": "error",   "id": "c1", "error_type": "...", "error": "..."}
-    {"type": "stats",   "id": "c2", "stats": {...}}
-    {"type": "pong",    "id": "c3"}
-    {"type": "metrics", "id": "c4", "text": "# HELP repro_submitted..."}
+    {"type": "report",      "id": "c1", "request_hash": "...", "report": {...}}
+    {"type": "error",       "id": "c1", "error_type": "...", "error": "...",
+     "retryable": true, "retry_after_s": 0.5}
+    {"type": "stats",       "id": "c2", "stats": {...}}
+    {"type": "pong",        "id": "c3"}
+    {"type": "metrics",     "id": "c4", "text": "# HELP repro_submitted..."}
+    {"type": "fleet_stats", "id": "c5", "fleet": {"shards": {...}, ...}}
+
+Error frames optionally carry ``retryable`` (mirror of the raising
+error class's flag: retry with backoff, or accept the answer as final)
+and, on busy errors, ``retry_after_s`` — the server's own backoff hint.
+The fleet_stats frame is answered by a ``repro route`` router with
+per-shard health/stats and a fleet aggregate; a plain ``repro serve``
+answers it too, as a healthy fleet of one.
 
 Frames embed requests and reports in exactly the dict forms of
 :func:`repro.api.request_to_dict` / :func:`repro.api.report_to_dict`,
@@ -62,9 +72,32 @@ DEFAULT_PORT = 7788
 #: below this, so anything larger is a protocol violation, not data.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
+#: Default TCP port of ``repro route`` (one above the shard default).
+DEFAULT_ROUTER_PORT = 7789
+
 #: Every frame type either side may send.
 FRAME_TYPES = frozenset(
-    {"submit", "report", "error", "stats", "ping", "pong", "metrics"}
+    {
+        "submit",
+        "report",
+        "error",
+        "stats",
+        "ping",
+        "pong",
+        "metrics",
+        "fleet_stats",
+    }
+)
+
+#: Frame types a client may send (the server/router dispatch tables must
+#: cover exactly this set — enforced by the ``frame-schema`` check rule).
+CLIENT_FRAME_TYPES = frozenset(
+    {"submit", "stats", "ping", "metrics", "fleet_stats"}
+)
+
+#: Frame types a server or router may answer with.
+SERVER_FRAME_TYPES = frozenset(
+    {"report", "error", "stats", "pong", "metrics", "fleet_stats"}
 )
 
 
@@ -140,6 +173,16 @@ def metrics_frame(frame_id: str) -> dict[str, Any]:
     return {"type": "metrics", "id": frame_id}
 
 
+def fleet_stats_frame(frame_id: str) -> dict[str, Any]:
+    """A fleet-level stats query.
+
+    Answered by a router with per-shard health and stats plus an
+    aggregate; a plain server answers as a healthy fleet of one, so
+    clients can ask either endpoint the same question.
+    """
+    return {"type": "fleet_stats", "id": frame_id}
+
+
 # -- server-side builders -------------------------------------------------------------
 
 
@@ -158,8 +201,15 @@ def error_frame(
     error: str,
     error_type: str = "ServiceError",
     request_hash: str | None = None,
+    retryable: bool | None = None,
+    retry_after_s: float | None = None,
 ) -> dict[str, Any]:
-    """A failure frame (solve error, protocol error, or rejection)."""
+    """A failure frame (solve error, protocol error, or rejection).
+
+    ``retryable`` mirrors the raising error class's flag so clients can
+    classify without a class table; ``retry_after_s`` is the server's
+    backoff hint on busy errors (queue depth x recent solve latency).
+    """
     frame: dict[str, Any] = {
         "type": "error",
         "id": frame_id,
@@ -168,6 +218,10 @@ def error_frame(
     }
     if request_hash is not None:
         frame["request_hash"] = request_hash
+    if retryable is not None:
+        frame["retryable"] = retryable
+    if retry_after_s is not None:
+        frame["retry_after_s"] = retry_after_s
     return frame
 
 

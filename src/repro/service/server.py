@@ -21,6 +21,7 @@ from __future__ import annotations
 import asyncio
 
 from ..errors import ProtocolError, ReproError, ServiceError
+from .fleet.stats import aggregate_fleet_stats
 from .protocol import (
     MAX_FRAME_BYTES,
     decode_frame,
@@ -185,6 +186,28 @@ class ScheduleServer:
                     "text": self._service.metrics_text(),
                 },
             )
+        elif frame_type == "fleet_stats":
+            # A plain server answers as a healthy fleet of one, so a
+            # client can ask a shard and a router the same question.
+            name = f"{self.host}:{self.port}"
+            shard = {
+                "name": name,
+                "healthy": True,
+                "breaker": "closed",
+                "probes": 0,
+                "probe_failures": 0,
+                "last_error": None,
+                "stats": self._service.metrics().to_dict(),
+            }
+            await self._send(
+                writer,
+                write_lock,
+                {
+                    "type": "fleet_stats",
+                    "id": frame_id,
+                    "fleet": aggregate_fleet_stats({name: shard}),
+                },
+            )
         elif frame_type == "submit":
             await self._handle_submit(frame, frame_id, writer, write_lock, pending)
         else:
@@ -227,6 +250,8 @@ class ScheduleServer:
                     str(exc),
                     type(exc).__name__,
                     request_hash=request.content_hash(),
+                    retryable=getattr(exc, "retryable", None),
+                    retry_after_s=getattr(exc, "retry_after_s", None),
                 ),
             )
             return
@@ -251,7 +276,12 @@ class ScheduleServer:
         # either way, or its submit would wait forever.
         except ServiceError as exc:
             frame = error_frame(
-                frame_id, str(exc), type(exc).__name__, request_hash=job.key
+                frame_id,
+                str(exc),
+                type(exc).__name__,
+                request_hash=job.key,
+                retryable=getattr(exc, "retryable", None),
+                retry_after_s=getattr(exc, "retry_after_s", None),
             )
         else:
             if outcome.ok:

@@ -939,7 +939,8 @@ class ScheduleService:
                 )
             raise ServiceBusyError(
                 f"job queue depth reached the shed watermark "
-                f"({self._shed_watermark}); retry later"
+                f"({self._shed_watermark}); retry later",
+                retry_after_s=self._busy_retry_after_s(),
             )
         assert self._loop is not None
         job = ServiceJob(
@@ -961,6 +962,23 @@ class ScheduleService:
                 ),
             )
         return job, True
+
+    def _busy_retry_after_s(self) -> float:
+        """Backoff hint for busy rejections: roughly one queue drain.
+
+        Queue depth over current worker concurrency, scaled by the
+        median solve latency (0.5 s when no solve has been timed yet),
+        clamped to [0.05 s, 30 s].  Deliberately rough — the point is
+        that the *server* knows its own backlog better than a client's
+        blind exponential schedule does.
+        """
+        depth = (
+            self._queue.qsize() if self._queue is not None else self._queue_size
+        )
+        workers = max(1, self._pool.current_workers)
+        solve = self._latency.snapshot().get("solve") or {}
+        per_solve = solve.get("p50") or 0.5
+        return min(max(max(depth, 1) / workers * per_solve, 0.05), 30.0)
 
     async def submit(
         self, request: ScheduleRequest, *, timeout_s: float | None = None
@@ -1023,7 +1041,8 @@ class ScheduleService:
                         ServiceBusyError(
                             "the queue was full and the originating "
                             "submission was cancelled before this request "
-                            "could be queued; retry"
+                            "could be queued; retry",
+                            retry_after_s=self._busy_retry_after_s(),
                         )
                         if job.waiters and self._accepting
                         else ServiceClosedError(
@@ -1054,7 +1073,8 @@ class ScheduleService:
                 self._rejected += 1
                 raise ServiceBusyError(
                     f"job queue is full ({self._queue_size} waiting); "
-                    f"retry later or use the awaiting submit path"
+                    f"retry later or use the awaiting submit path",
+                    retry_after_s=self._busy_retry_after_s(),
                 ) from None
         return job
 

@@ -1,0 +1,195 @@
+"""Fixture snippets for the frame-schema rule."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import Project, get_rule
+from repro.analysis.runner import run_rules
+
+RULE = "frame-schema"
+
+
+def findings_for(**sources: str):
+    project = Project.from_sources(
+        {
+            f"repro/{name}.py": textwrap.dedent(source)
+            for name, source in sources.items()
+        }
+    )
+    return run_rules(project, [get_rule(RULE)])
+
+
+# A miniature protocol + both dispatchers, fully in lockstep.
+PROTOCOL = """
+FRAME_TYPES = frozenset({"submit", "report", "ping", "pong"})
+CLIENT_FRAME_TYPES = frozenset({"submit", "ping"})
+SERVER_FRAME_TYPES = frozenset({"report", "pong"})
+
+def submit_frame(frame_id, request):
+    return {"type": "submit", "id": frame_id, "request": request}
+
+def ping_frame(frame_id):
+    return {"type": "ping", "id": frame_id}
+"""
+
+SERVER = """
+class ScheduleServer:
+    async def _handle_frame(self, frame):
+        frame_type = frame["type"]
+        if frame_type == "ping":
+            return {"type": "pong"}
+        elif frame_type == "submit":
+            return {"type": "report"}
+"""
+
+ROUTER = """
+class FleetRouter:
+    async def _handle_frame(self, frame):
+        frame_type = frame["type"]
+        if frame_type == "ping":
+            return {"type": "pong"}
+        elif frame_type == "submit":
+            return {"type": "report"}
+"""
+
+
+class TestRegistryAlgebra:
+    def test_lockstep_protocol_is_clean(self):
+        assert not findings_for(
+            protocol=PROTOCOL, server=SERVER, router=ROUTER
+        )
+
+    def test_no_registry_at_all_is_skipped(self):
+        # Fixture projects without a protocol have nothing to check.
+        assert not findings_for(other="x = 1")
+
+    def test_missing_side_set_is_flagged(self):
+        found = findings_for(
+            protocol=PROTOCOL.replace(
+                'SERVER_FRAME_TYPES = frozenset({"report", "pong"})', ""
+            ),
+            server=SERVER,
+        )
+        assert any(
+            "no SERVER_FRAME_TYPES" in f.message for f in found
+        )
+
+    def test_side_type_outside_frame_types_is_flagged(self):
+        found = findings_for(
+            protocol=PROTOCOL.replace(
+                '{"submit", "ping"}', '{"submit", "ping", "gossip"}'
+            ),
+            server=SERVER,
+        )
+        assert any(
+            "CLIENT_FRAME_TYPES lists 'gossip'" in f.message for f in found
+        )
+
+    def test_orphan_frame_type_is_flagged(self):
+        found = findings_for(
+            protocol=PROTOCOL.replace(
+                '{"submit", "report", "ping", "pong"}',
+                '{"submit", "report", "ping", "pong", "gossip"}',
+            ),
+            server=SERVER,
+        )
+        f = next(f for f in found if "neither" in f.message)
+        assert "'gossip'" in f.message
+        assert f.rule == RULE
+        assert f.path == "repro/protocol.py"
+
+
+class TestBuilders:
+    def test_builder_with_unregistered_type_is_flagged(self):
+        found = findings_for(
+            protocol=PROTOCOL
+            + """
+def gossip_frame(frame_id):
+    return {"type": "gossip", "id": frame_id}
+"""
+        )
+        assert any(
+            "gossip_frame() builds a frame of unregistered type 'gossip'"
+            in f.message
+            for f in found
+        )
+
+
+class TestDispatchTables:
+    def test_dispatcher_missing_a_client_type_is_flagged(self):
+        # The historical failure mode: a frame type lands in the
+        # protocol and one endpoint, but the other never learns it.
+        found = findings_for(
+            protocol=PROTOCOL,
+            server=SERVER,
+            router=ROUTER.replace(
+                """
+        elif frame_type == "submit":
+            return {"type": "report"}""",
+                "",
+            ),
+        )
+        f = next(f for f in found if "does not dispatch" in f.message)
+        assert (
+            "FleetRouter._handle_frame() does not dispatch client frame "
+            "type 'submit'" in f.message
+        )
+        assert f.path == "repro/router.py"
+
+    def test_dispatcher_with_stale_arm_is_flagged(self):
+        found = findings_for(
+            protocol=PROTOCOL,
+            server=SERVER.replace(
+                'frame_type == "ping"', 'frame_type == "gossip"'
+            ),
+        )
+        messages = [f.message for f in found]
+        assert any(
+            "dispatches 'gossip' which is not in CLIENT_FRAME_TYPES" in m
+            for m in messages
+        )
+        assert any(
+            "does not dispatch client frame type 'ping'" in m
+            for m in messages
+        )
+
+    def test_dispatcher_class_without_method_is_flagged(self):
+        found = findings_for(
+            protocol=PROTOCOL,
+            server="""
+class ScheduleServer:
+    pass
+""",
+        )
+        assert any(
+            "ScheduleServer has no _handle_frame() dispatch method"
+            in f.message
+            for f in found
+        )
+
+    def test_stub_dispatcher_without_table_is_skipped(self):
+        # A fixture-style stub that never compares frame_type is not a
+        # drifted dispatch table.
+        assert not findings_for(
+            protocol=PROTOCOL,
+            server="""
+class ScheduleServer:
+    async def _handle_frame(self, frame):
+        raise NotImplementedError
+""",
+        )
+
+    def test_real_protocol_module_is_clean_against_itself(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        sources = {}
+        for rel in (
+            "service/protocol.py",
+            "service/server.py",
+            "service/fleet/router.py",
+        ):
+            sources[f"repro/{rel}"] = (root / rel).read_text()
+        project = Project.from_sources(sources)
+        assert not run_rules(project, [get_rule(RULE)])

@@ -1,0 +1,171 @@
+"""Circuit breaker and shard health, stepped with an injected clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import CircuitBreaker, ShardHealth
+from repro.service.fleet.health import BREAKER_STATES
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_breaker(**kwargs) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("cooldown_s", 5.0)
+    kwargs.setdefault("recovery_threshold", 2)
+    breaker = CircuitBreaker(clock=clock, **kwargs)
+    return breaker, clock
+
+
+class TestClosedState:
+    def test_starts_closed_and_allowing(self):
+        breaker, _clock = make_breaker()
+        assert breaker.state == "closed"
+        assert breaker.allows()
+
+    def test_scattered_failures_do_not_trip(self):
+        breaker, _clock = make_breaker()
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()  # resets the consecutive count
+        assert breaker.state == "closed"
+
+    def test_consecutive_failures_trip_open(self):
+        breaker, _clock = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allows()
+
+
+class TestOpenState:
+    def trip(self) -> tuple[CircuitBreaker, FakeClock]:
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        return breaker, clock
+
+    def test_cooldown_moves_to_half_open(self):
+        breaker, clock = self.trip()
+        clock.advance(4.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half_open"
+        assert breaker.allows()
+
+    def test_in_flight_success_while_open_goes_to_probation(self):
+        breaker, _clock = self.trip()
+        breaker.record_success()
+        assert breaker.state == "half_open"
+
+
+class TestHalfOpenState:
+    def half_open(self) -> tuple[CircuitBreaker, FakeClock]:
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        return breaker, clock
+
+    def test_recovery_threshold_closes(self):
+        breaker, _clock = self.half_open()
+        breaker.record_success()
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_any_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self.half_open()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(4.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half_open"
+
+    def test_full_outage_recovery_cycle(self):
+        # The scenario the fleet-smoke job replays with a real SIGKILL.
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()  # shard dies
+        assert not breaker.allows()
+        clock.advance(5.0)  # shard relaunches during cooldown
+        for _ in range(2):
+            breaker.record_success()  # probation probes pass
+        assert breaker.state == "closed"
+        assert breaker.allows()
+
+
+class TestValidation:
+    def test_states_catalogue(self):
+        assert set(BREAKER_STATES) == {"closed", "open", "half_open"}
+
+    def test_thresholds_must_be_positive(self):
+        with pytest.raises(ServiceError, match="thresholds"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ServiceError, match="thresholds"):
+            CircuitBreaker(recovery_threshold=0)
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ServiceError, match="cooldown"):
+            CircuitBreaker(cooldown_s=-1.0)
+
+
+class TestShardHealth:
+    def test_probe_bookkeeping_and_last_error(self):
+        clock = FakeClock()
+        health = ShardHealth("127.0.0.1:7788", clock=clock)
+        health.record_probe(True)
+        health.record_probe(False, "ConnectionRefusedError: [Errno 111]")
+        assert health.probes == 2
+        assert health.probe_failures == 1
+        assert "Refused" in health.last_error
+        assert health.healthy  # one failure does not trip the breaker
+
+    def test_unhealthy_explains_why_then_recovers_clean(self):
+        clock = FakeClock()
+        health = ShardHealth(
+            "s1", failure_threshold=2, cooldown_s=1.0, recovery_threshold=1,
+            clock=clock,
+        )
+        health.record_probe(False, "boom")
+        health.record_probe(False, "boom")
+        assert not health.healthy
+        snapshot = health.to_dict()
+        assert snapshot["healthy"] is False
+        assert snapshot["breaker"] == "open"
+        assert snapshot["last_error"] == "boom"
+        clock.advance(1.0)
+        health.record_probe(True)
+        assert health.healthy
+        assert health.to_dict()["breaker"] == "closed"
+        assert health.last_error is None
+
+    def test_to_dict_shape_matches_the_fleet_frame(self):
+        health = ShardHealth("s1")
+        assert set(health.to_dict()) == {
+            "name",
+            "healthy",
+            "breaker",
+            "probes",
+            "probe_failures",
+            "last_error",
+        }

@@ -1,0 +1,116 @@
+"""RetryPolicy: seeded jitter, server hints, retryability classing."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import (
+    ProtocolError,
+    ServiceBusyError,
+    ServiceConnectionError,
+    ServiceError,
+)
+from repro.service import RetryPolicy
+from repro.service.fleet.retry import is_retryable
+
+
+class TestIsRetryable:
+    def test_service_errors_carry_their_own_flag(self):
+        assert is_retryable(ServiceBusyError("queue full"))
+        assert is_retryable(ServiceConnectionError("reset"))
+        assert not is_retryable(ServiceError("solve failed"))
+        assert not is_retryable(ProtocolError("bad frame"))
+
+    def test_raw_socket_failures_are_retryable_by_nature(self):
+        assert is_retryable(ConnectionResetError())
+        assert is_retryable(OSError(111, "refused"))
+        assert is_retryable(asyncio.TimeoutError())
+
+    def test_arbitrary_exceptions_are_not(self):
+        assert not is_retryable(ValueError("nope"))
+
+
+class TestBackoff:
+    def test_full_jitter_is_deterministic_under_a_seed(self):
+        a = RetryPolicy(rng=random.Random(42))
+        b = RetryPolicy(rng=random.Random(42))
+        assert [a.backoff_s(n) for n in (1, 2, 3)] == [
+            b.backoff_s(n) for n in (1, 2, 3)
+        ]
+
+    def test_jitter_stays_under_the_exponential_cap(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1,
+            max_delay_s=1.0,
+            multiplier=2.0,
+            rng=random.Random(7),
+        )
+        for attempt, cap in ((1, 0.1), (2, 0.2), (3, 0.4), (4, 0.8), (5, 1.0)):
+            for _ in range(50):
+                assert 0.0 <= policy.backoff_s(attempt) <= cap
+
+    def test_cap_never_exceeds_max_delay(self):
+        policy = RetryPolicy(
+            base_delay_s=0.5, max_delay_s=1.0, rng=random.Random(0)
+        )
+        assert all(policy.backoff_s(10) <= 1.0 for _ in range(100))
+
+    def test_server_hint_wins_over_the_schedule(self):
+        policy = RetryPolicy(base_delay_s=0.05, max_delay_s=2.0)
+        assert policy.backoff_s(1, retry_after_s=0.75) == 0.75
+
+    def test_server_hint_is_capped_at_max_delay(self):
+        policy = RetryPolicy(max_delay_s=2.0)
+        assert policy.backoff_s(1, retry_after_s=60.0) == 2.0
+
+    def test_negative_hint_falls_back_to_jitter(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, max_delay_s=0.1, rng=random.Random(3)
+        )
+        assert policy.backoff_s(1, retry_after_s=-1.0) <= 0.1
+
+
+class TestBudget:
+    def test_should_retry_spends_the_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_single_attempt_never_retries(self):
+        assert not RetryPolicy(max_attempts=1).should_retry(1)
+
+
+class TestPause:
+    def test_pause_uses_the_injected_sleeper_and_no_wall_time(self):
+        slept: list[float] = []
+
+        async def instant(delay: float) -> None:
+            slept.append(delay)
+
+        async def main():
+            policy = RetryPolicy(
+                rng=random.Random(9), sleep=instant, max_delay_s=2.0
+            )
+            used = await policy.pause(2, retry_after_s=0.3)
+            assert used == 0.3
+            assert slept == [0.3]
+
+        asyncio.run(main())
+
+
+class TestValidation:
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ServiceError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_inverted_delays_rejected(self):
+        with pytest.raises(ServiceError, match="base_delay_s"):
+            RetryPolicy(base_delay_s=2.0, max_delay_s=1.0)
+
+    def test_shrinking_multiplier_rejected(self):
+        with pytest.raises(ServiceError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)

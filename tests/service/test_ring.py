@@ -1,0 +1,140 @@
+"""Property tests for the consistent-hash ring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceError
+from repro.service import HashRing
+from repro.service.fleet.ring import stable_hash
+
+NODES = ["10.0.0.1:7788", "10.0.0.2:7788", "10.0.0.3:7788"]
+
+node_names = st.lists(
+    st.text(
+        alphabet="abcdefghij0123456789.:", min_size=1, max_size=20
+    ),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+keys = st.lists(st.text(min_size=1, max_size=32), min_size=1, max_size=64)
+
+
+def many_keys(n: int = 2000) -> list[str]:
+    return [f"request-hash-{i:05d}" for i in range(n)]
+
+
+class TestStableHash:
+    def test_is_process_independent(self):
+        # Pinned values: any change here scrambles every deployed
+        # fleet's placement, so it must be deliberate.
+        assert stable_hash("") == 16406829232824261652
+        assert stable_hash("a") == 14598278634844962250
+
+    def test_is_64_bit(self):
+        for key in many_keys(200):
+            assert 0 <= stable_hash(key) < 2**64
+
+
+class TestPlacement:
+    def test_owner_is_deterministic_across_instances(self):
+        a = HashRing(NODES)
+        b = HashRing(list(reversed(NODES)))
+        for key in many_keys(500):
+            assert a.owner(key) == b.owner(key)
+
+    def test_balance_within_a_factor_of_fair(self):
+        ring = HashRing(NODES, replicas=128)
+        counts = ring.load_counts(many_keys())
+        fair = 2000 / len(NODES)
+        for node, count in counts.items():
+            assert fair / 2 <= count <= fair * 2, (node, counts)
+
+    @settings(max_examples=30, deadline=None)
+    @given(nodes=node_names, sample=keys)
+    def test_every_key_lands_on_a_member(self, nodes, sample):
+        ring = HashRing(nodes)
+        for key in sample:
+            assert ring.owner(key) in ring.nodes
+
+
+class TestMinimalRemap:
+    def test_adding_a_node_only_steals_keys_for_itself(self):
+        before = HashRing(NODES)
+        owners_before = {k: before.owner(k) for k in many_keys()}
+        before.add_node("10.0.0.4:7788")
+        moved = {
+            k: (owners_before[k], before.owner(k))
+            for k in owners_before
+            if before.owner(k) != owners_before[k]
+        }
+        assert moved  # the new node must take *some* load
+        assert all(new == "10.0.0.4:7788" for _old, new in moved.values())
+
+    def test_removing_a_node_only_moves_its_own_keys(self):
+        ring = HashRing(NODES)
+        owners_before = {k: ring.owner(k) for k in many_keys()}
+        ring.remove_node(NODES[1])
+        for key, old in owners_before.items():
+            if old == NODES[1]:
+                assert ring.owner(key) in (NODES[0], NODES[2])
+            else:
+                assert ring.owner(key) == old
+
+    @settings(max_examples=20, deadline=None)
+    @given(nodes=node_names, sample=keys)
+    def test_add_then_remove_round_trips(self, nodes, sample):
+        ring = HashRing(nodes)
+        owners = {k: ring.owner(k) for k in sample}
+        ring.add_node("transient-node-zz")
+        ring.remove_node("transient-node-zz")
+        assert {k: ring.owner(k) for k in sample} == owners
+
+
+class TestPreference:
+    def test_starts_with_the_owner_and_covers_all_nodes_once(self):
+        ring = HashRing(NODES)
+        for key in many_keys(100):
+            order = list(ring.preference(key))
+            assert order[0] == ring.owner(key)
+            assert sorted(order) == sorted(NODES)
+
+    def test_is_stable_per_key(self):
+        ring = HashRing(NODES)
+        for key in many_keys(50):
+            assert list(ring.preference(key)) == list(ring.preference(key))
+
+    def test_survives_the_owner_leaving(self):
+        # The failover contract: when the owner dies, the second
+        # preference is exactly the new owner after a remove.
+        ring = HashRing(NODES)
+        key = "some-request-hash"
+        first, second = list(ring.preference(key))[:2]
+        ring.remove_node(first)
+        assert ring.owner(key) == second
+
+
+class TestValidation:
+    def test_empty_ring_has_no_owner(self):
+        with pytest.raises(ServiceError, match="empty"):
+            HashRing().owner("key")
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(NODES)
+        with pytest.raises(ServiceError, match="already contains"):
+            ring.add_node(NODES[0])
+
+    def test_remove_of_stranger_rejected(self):
+        with pytest.raises(ServiceError, match="does not contain"):
+            HashRing(NODES).remove_node("10.9.9.9:1")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ServiceError, match="non-empty"):
+            HashRing().add_node("")
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(ServiceError, match="replicas"):
+            HashRing(replicas=0)

@@ -1,0 +1,427 @@
+"""Fleet router: affinity, failover, health, and the chaos acceptance run."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from contextlib import AsyncExitStack
+
+import pytest
+
+from repro.api import ScheduleRequest
+from repro.errors import ServiceConnectionError, ServiceError
+from repro.service import (
+    AsyncServiceClient,
+    ChaosProxy,
+    FleetRouter,
+    RetryPolicy,
+    ScheduleServer,
+    ScheduleService,
+)
+from repro.service.fleet.router import parse_shard
+
+REQUEST = ScheduleRequest(soc="worked_example6", tl_c=80.0, stcl=60.0)
+
+
+async def instant_sleep(_delay: float) -> None:
+    await asyncio.sleep(0)
+
+
+def fast_policy(attempts: int = 2) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=attempts, rng=random.Random(0), sleep=instant_sleep
+    )
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def run_fleet(scenario, n_shards: int = 3, **router_kwargs):
+    """Start *n_shards* servers + a router, run scenario, tear down."""
+
+    async def main():
+        async with AsyncExitStack() as stack:
+            services = []
+            servers = []
+            for _ in range(n_shards):
+                service = await stack.enter_async_context(
+                    ScheduleService(backend="thread", max_workers=2)
+                )
+                server = ScheduleServer(service, host="127.0.0.1", port=0)
+                await server.start()
+                stack.push_async_callback(server.stop)
+                services.append(service)
+                servers.append(server)
+            shards = [f"127.0.0.1:{s.port}" for s in servers]
+            router_kwargs.setdefault("probe_interval_s", None)
+            router_kwargs.setdefault("retry_policy", fast_policy())
+            router = FleetRouter(shards, **router_kwargs)
+            await router.start()
+            stack.push_async_callback(router.stop)
+            return await scenario(router, servers, services)
+
+    return asyncio.run(main())
+
+
+def service_by_shard(router, servers, services):
+    """Map shard name -> its backing service."""
+    return {
+        f"127.0.0.1:{server.port}": service
+        for server, service in zip(servers, services)
+    }
+
+
+class TestParseShard:
+    def test_host_port(self):
+        assert parse_shard("10.1.2.3:7788") == ("10.1.2.3", 7788)
+
+    def test_bare_port_means_localhost(self):
+        assert parse_shard("7788") == ("127.0.0.1", 7788)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ServiceError, match="shard spec"):
+            parse_shard("host:seven")
+        with pytest.raises(ServiceError, match="port"):
+            parse_shard("host:0")
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ServiceError, match="at least one"):
+            FleetRouter([])
+
+    def test_duplicate_shards_rejected(self):
+        with pytest.raises(ServiceError, match="duplicate"):
+            FleetRouter(["127.0.0.1:7788", "7788"])
+
+
+class TestRouting:
+    def test_identical_requests_share_one_shard_and_one_solve(self):
+        async def scenario(router, servers, services):
+            by_shard = service_by_shard(router, servers, services)
+            owner = router.ring.owner(REQUEST.content_hash())
+            async with await AsyncServiceClient.connect(
+                port=router.port
+            ) as client:
+                first = await client.submit(REQUEST)
+                second = await client.submit(REQUEST)
+            assert first.request_hash == second.request_hash
+            assert second.cached  # answered from the owner's cache
+            solves = {
+                name: svc.metrics().solves_started
+                for name, svc in by_shard.items()
+            }
+            assert solves[owner] == 1
+            assert all(n == 0 for name, n in solves.items() if name != owner)
+            counters = router.router_counters()
+            assert counters["submits"] == 2
+            assert counters["routed"] == 2
+            assert counters["failovers"] == 0
+
+        run_fleet(scenario)
+
+    def test_stats_frame_aggregates_the_fleet(self):
+        async def scenario(router, servers, services):
+            async with await AsyncServiceClient.connect(
+                port=router.port
+            ) as client:
+                await client.submit(REQUEST)
+                stats = await client.stats()
+            assert stats["backend"] == "fleet"
+            assert stats["shard_count"] == 3
+            assert stats["healthy_shards"] == 3
+            assert stats["submitted"] == 1
+
+        run_fleet(scenario)
+
+    def test_fleet_stats_frame_breaks_out_every_shard(self):
+        async def scenario(router, servers, services):
+            async with await AsyncServiceClient.connect(
+                port=router.port
+            ) as client:
+                await client.submit(REQUEST)
+                fleet = await client.fleet_stats()
+            assert set(fleet["shards"]) == set(router.shards)
+            for entry in fleet["shards"].values():
+                assert entry["healthy"] is True
+                assert entry["breaker"] == "closed"
+                assert entry["stats"] is not None
+            assert fleet["aggregate"]["solves_started"] == 1
+            assert fleet["router"]["routed"] == 1
+
+        run_fleet(scenario)
+
+    def test_solve_errors_relay_verbatim_without_failover(self):
+        # A deterministic solver failure fails identically on every
+        # shard; bouncing it around the ring would just triple the cost.
+        infeasible = ScheduleRequest(
+            soc="worked_example6", tl_c=30.0, stcl=60.0
+        )
+
+        async def scenario(router, servers, services):
+            async with await AsyncServiceClient.connect(
+                port=router.port
+            ) as client:
+                with pytest.raises(ServiceError, match="CoreThermalViolation"):
+                    await client.submit(infeasible)
+            counters = router.router_counters()
+            assert counters["failovers"] == 0
+            assert counters["relayed_errors"] == 1
+
+        run_fleet(scenario)
+
+
+class TestFailover:
+    def test_dead_owner_fails_over_along_the_ring(self):
+        async def scenario(router, servers, services):
+            by_shard = service_by_shard(router, servers, services)
+            key = REQUEST.content_hash()
+            preference = list(router.ring.preference(key))
+            owner, second = preference[0], preference[1]
+            # Kill the owner before any connection is pooled to it.
+            dead = next(
+                s for s in servers if f"127.0.0.1:{s.port}" == owner
+            )
+            await dead.stop()
+            async with await AsyncServiceClient.connect(
+                port=router.port
+            ) as client:
+                report = await asyncio.wait_for(client.submit(REQUEST), 60)
+            assert report.n_sessions >= 1
+            assert by_shard[second].metrics().solves_started == 1
+            counters = router.router_counters()
+            assert counters["failovers"] == 1
+            assert counters["routed"] == 1
+            assert router.health(owner).last_error is not None
+
+        run_fleet(scenario)
+
+    def test_whole_ring_dark_is_an_honest_retryable_error(self):
+        async def scenario(router, servers, services):
+            for server in servers:
+                await server.stop()
+            async with await AsyncServiceClient.connect(
+                port=router.port
+            ) as client:
+                frame = await asyncio.wait_for(
+                    client.submit_raw(REQUEST), 60
+                )
+                assert frame["type"] == "error"
+                assert frame["error_type"] == "ServiceConnectionError"
+                assert frame["retryable"] is True
+                assert frame["request_hash"] == REQUEST.content_hash()
+                assert "no healthy shard" in frame["error"]
+                # The decoding path raises the typed class.
+                with pytest.raises(
+                    ServiceConnectionError, match="no healthy shard"
+                ):
+                    await client.submit(REQUEST)
+            assert router.router_counters()["unrouted"] == 2
+
+        run_fleet(scenario, n_shards=2)
+
+    def test_probes_trip_the_breaker_and_probation_readmits(self):
+        clock = FakeClock()
+
+        async def scenario(router, servers, services):
+            victim_server = servers[0]
+            victim = f"127.0.0.1:{victim_server.port}"
+            port = victim_server.port
+            await victim_server.stop()
+            for _ in range(3):
+                await router.probe_once()
+            health = router.health(victim)
+            assert not health.healthy
+            assert health.breaker.state == "open"
+            assert health.probe_failures == 3
+            others = [s for s in router.shards if s != victim]
+            assert all(router.health(s).healthy for s in others)
+
+            # Relaunch on the same port, step past the cooldown, and
+            # let two probation probes readmit the shard.
+            relaunched = ScheduleServer(services[0], host="127.0.0.1", port=port)
+            await relaunched.start()
+            try:
+                clock.advance(5.0)
+                await router.probe_once()
+                await router.probe_once()
+                assert router.health(victim).healthy
+                assert router.health(victim).breaker.state == "closed"
+                assert router.health(victim).last_error is None
+            finally:
+                await relaunched.stop()
+
+        run_fleet(scenario, clock=clock, cooldown_s=5.0)
+
+    def test_open_breaker_is_skipped_without_a_dial(self):
+        clock = FakeClock()
+
+        async def scenario(router, servers, services):
+            key = REQUEST.content_hash()
+            owner = router.ring.owner(key)
+            owner_server = next(
+                s for s in servers if f"127.0.0.1:{s.port}" == owner
+            )
+            await owner_server.stop()
+            for _ in range(3):
+                await router.probe_once()
+            assert not router.health(owner).healthy
+            async with await AsyncServiceClient.connect(
+                port=router.port
+            ) as client:
+                report = await asyncio.wait_for(client.submit(REQUEST), 60)
+            assert report.n_sessions >= 1
+            # The breaker short-circuited the dead shard: the submit
+            # moved straight past it (failover) without another error.
+            assert router.router_counters()["failovers"] == 1
+
+        run_fleet(scenario, clock=clock)
+
+
+class TestRouterEndpoint:
+    def test_ping_answers_locally_and_metrics_label_shards(self):
+        async def scenario(router, servers, services):
+            async with await AsyncServiceClient.connect(
+                port=router.port
+            ) as client:
+                assert await client.ping() < 5.0
+                text = await client.metrics_text()
+            assert "repro_router_submits_total" in text
+            for shard in router.shards:
+                assert f'repro_shard_healthy{{shard="{shard}"}} 1' in text
+
+        run_fleet(scenario)
+
+    def test_server_side_frames_are_rejected(self):
+        async def scenario(router, servers, services):
+            from repro.service import encode_frame
+            import json
+
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", router.port
+            )
+            writer.write(encode_frame({"type": "report", "id": "x"}))
+            await writer.drain()
+            frame = json.loads(await reader.readline())
+            assert frame["type"] == "error"
+            assert "may not send" in frame["error"]
+            writer.close()
+            await writer.wait_closed()
+
+        run_fleet(scenario, n_shards=1)
+
+
+class TestChaosAcceptance:
+    """The ISSUE's acceptance scenario: one of three shards SIGKILLed
+    mid-burst; 100% of requests terminate (failover or typed retryable
+    error), zero hangs, zero duplicated solves for hashes already
+    cached on surviving shards."""
+
+    def distinct_requests(self) -> list[ScheduleRequest]:
+        return [
+            ScheduleRequest(soc="worked_example6", tl_c=80.0 + i, stcl=60.0)
+            for i in range(6)
+        ]
+
+    def test_shard_kill_mid_burst(self):
+        distinct = self.distinct_requests()
+        burst = [distinct[i % len(distinct)] for i in range(30)]
+
+        async def main():
+            async with AsyncExitStack() as stack:
+                services = []
+                servers = []
+                for _ in range(3):
+                    service = await stack.enter_async_context(
+                        ScheduleService(backend="thread", max_workers=2)
+                    )
+                    server = ScheduleServer(service, host="127.0.0.1", port=0)
+                    await server.start()
+                    stack.push_async_callback(server.stop)
+                    services.append(service)
+                    servers.append(server)
+                # Shard 0 sits behind a severable chaos proxy: cutting
+                # it gives the router a genuine connection-reset (the
+                # SIGKILL signature), not a polite shutdown.
+                proxy = await stack.enter_async_context(
+                    ChaosProxy("127.0.0.1", servers[0].port)
+                )
+                shards = [
+                    f"127.0.0.1:{proxy.port}",
+                    f"127.0.0.1:{servers[1].port}",
+                    f"127.0.0.1:{servers[2].port}",
+                ]
+                by_shard = {
+                    shards[i]: services[i] for i in range(3)
+                }
+                router = FleetRouter(
+                    shards,
+                    probe_interval_s=None,
+                    retry_policy=fast_policy(),
+                )
+                await router.start()
+                stack.push_async_callback(router.stop)
+
+                client = await AsyncServiceClient.connect(port=router.port)
+                # Warm every distinct request onto its owner: one solve
+                # each, now cached fleet-wide.
+                warm = await asyncio.wait_for(
+                    client.submit_many(distinct), 120
+                )
+                assert len(warm) == len(distinct)
+                solves_before = {
+                    name: svc.metrics().solves_started
+                    for name, svc in by_shard.items()
+                }
+                assert sum(solves_before.values()) == len(distinct)
+                victim = shards[0]
+                owned_by_victim = sum(
+                    1
+                    for r in distinct
+                    if router.ring.owner(r.content_hash()) == victim
+                )
+
+                # The burst, pipelined; the victim dies mid-flight.
+                pending = asyncio.ensure_future(
+                    client.submit_many(burst, return_errors=True)
+                )
+                await asyncio.sleep(0)  # submits reach the wire
+                proxy.sever()
+                await servers[0].stop()
+
+                results = await asyncio.wait_for(pending, 120)
+
+                # 100% of requests terminate: a report or an honest
+                # typed retryable error — zero hangs.
+                assert len(results) == len(burst)
+                reports = []
+                for result in results:
+                    if isinstance(result, Exception):
+                        assert isinstance(result, ServiceError)
+                        assert getattr(result, "retryable", False)
+                    else:
+                        reports.append(result)
+                # Two of three shards stayed up, so failover must have
+                # answered the overwhelming majority (every submit that
+                # reached the router after the kill).
+                assert len(reports) >= len(burst) - len(distinct)
+
+                # Zero duplicated solves for already-cached hashes:
+                # survivors re-solved at most the victim's keys (their
+                # own cached answers were reused), and each stolen key
+                # at most once thanks to per-shard dedup.
+                survivor_delta = sum(
+                    by_shard[name].metrics().solves_started
+                    - solves_before[name]
+                    for name in shards[1:]
+                )
+                assert survivor_delta <= owned_by_victim
+                await client.close()
+
+        asyncio.run(main())

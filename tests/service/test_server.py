@@ -99,17 +99,46 @@ class TestAsyncClient:
 
         run_with_server(scenario)
 
-    def test_submit_after_connection_loss_fails_fast(self):
+    def test_submit_after_connection_loss_reconnects(self):
         async def scenario(server, service):
+            from repro.errors import ServiceConnectionError
+
             client = await AsyncServiceClient.connect(port=server.port)
             await client.submit(REQUEST)
             # Sever the connection abruptly (a dead network path, a
-            # killed server box): the next call must fail fast, not
-            # hang on a write the dead transport buffers silently.
+            # killed server box): in-flight calls at the moment of loss
+            # fail fast with the typed retryable error — not a hang on
+            # a write the dead transport buffers silently.
+            pending = asyncio.ensure_future(client.submit(INFEASIBLE))
+            await asyncio.sleep(0)  # let the submit reach the wire
             client._writer.transport.abort()
-            await asyncio.sleep(0.1)  # let the loss reach the read loop
-            with pytest.raises(ServiceError, match="closed"):
+            with pytest.raises(ServiceConnectionError, match="closed"):
+                await asyncio.wait_for(pending, 10)
+            assert client.connection_lost
+            # The client object is not poisoned: with the server still
+            # alive, the next call re-dials transparently (even with no
+            # retry policy) and completes.
+            report = await asyncio.wait_for(client.submit(REQUEST), 10)
+            assert report.n_sessions >= 1
+            assert not client.connection_lost
+            await client.close()
+
+        run_with_server(scenario)
+
+    def test_submit_against_a_dead_server_raises_typed_retryable(self):
+        async def scenario(server, service):
+            from repro.errors import ServiceConnectionError
+
+            client = await AsyncServiceClient.connect(port=server.port)
+            await client.submit(REQUEST)
+            # Kill the listener too: the reconnect attempt must surface
+            # the typed, retryable connection error, not a raw OSError.
+            await server.stop()
+            client._writer.transport.abort()
+            await asyncio.sleep(0.05)  # let the loss reach the read loop
+            with pytest.raises(ServiceConnectionError, match="cannot connect"):
                 await asyncio.wait_for(client.submit(REQUEST), 10)
+            assert ServiceConnectionError("x").retryable
             await client.close()
 
         run_with_server(scenario)
