@@ -17,6 +17,16 @@ History shows the failure mode this closes: ``fleet_stats`` landed as a
 frame builder and a server branch in the same PR — the rule makes the
 third copy (the router) impossible to forget, and the next frame type
 impossible to half-wire.
+
+Server-*push* frames (``PUSH_FRAME_TYPES``: the ``progress``/``event``
+frames of a streaming submit) get the mirrored treatment: each push
+type must be registered in ``FRAME_TYPES`` *and* ``SERVER_FRAME_TYPES``,
+must have a builder, and must be routed by both client dispatch paths
+(``AsyncServiceClient._read_loop``, which steers push frames to watch
+subscriptions instead of pending futures, and
+``AsyncServiceClient.watch``, which classifies them for its caller) —
+a push type only one path knows about would stream over the wire and
+then vanish inside the client.
 """
 
 from __future__ import annotations
@@ -37,6 +47,13 @@ REGISTRY_NAMES = ("FRAME_TYPES", "CLIENT_FRAME_TYPES", "SERVER_FRAME_TYPES")
 DISPATCHERS: tuple[tuple[str, str], ...] = (
     ("ScheduleServer", "_handle_frame"),
     ("FleetRouter", "_handle_frame"),
+)
+
+#: Client-side paths that must route every server-push frame type, in
+#: the same literal ``frame_type == "..."`` shape as the dispatchers.
+PUSH_DISPATCHERS: tuple[tuple[str, str], ...] = (
+    ("AsyncServiceClient", "_read_loop"),
+    ("AsyncServiceClient", "watch"),
 )
 
 
@@ -136,6 +153,9 @@ class FrameSchemaRule(LintRule):
         client = registries["CLIENT_FRAME_TYPES"]
         if client is not None:
             yield from self._check_dispatchers(project, client[2])
+        push = _registry_literal(project, "PUSH_FRAME_TYPES")
+        if push is not None:
+            yield from self._check_push_frames(project, registries, push)
 
     # -- the three registries must partition cleanly -------------------------------
 
@@ -198,6 +218,91 @@ class FrameSchemaRule(LintRule):
                         f"type {value!r}",
                         hint="add the type to FRAME_TYPES (and one side-set)",
                     )
+
+    # -- push frames: registered, buildable, and client-routable -------------------
+
+    def _check_push_frames(
+        self,
+        project: Project,
+        registries: dict,
+        push: tuple[SourceFile, ast.Assign, frozenset[str]],
+    ) -> Iterator[Finding]:
+        push_sf, push_stmt, push_types = push
+        _sf, _stmt, all_types = registries["FRAME_TYPES"]
+        for extra in sorted(push_types - all_types):
+            yield self.finding(
+                push_sf.path,
+                push_stmt.lineno,
+                push_stmt.col_offset,
+                f"PUSH_FRAME_TYPES lists {extra!r} which is not in "
+                f"FRAME_TYPES",
+                hint="register the push frame type in FRAME_TYPES too",
+            )
+        server = registries["SERVER_FRAME_TYPES"]
+        if server is not None:
+            for extra in sorted(push_types - server[2]):
+                yield self.finding(
+                    push_sf.path,
+                    push_stmt.lineno,
+                    push_stmt.col_offset,
+                    f"push frame type {extra!r} is not in "
+                    f"SERVER_FRAME_TYPES",
+                    hint=(
+                        "push frames are server-sent by definition; add "
+                        "the type to SERVER_FRAME_TYPES"
+                    ),
+                )
+        built = set()
+        for node in push_sf.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for value, _lineno, _col in _literal_type_values(node):
+                    built.add(value)
+        for missing in sorted(push_types - built):
+            yield self.finding(
+                push_sf.path,
+                push_stmt.lineno,
+                push_stmt.col_offset,
+                f"no builder constructs a {missing!r} push frame",
+                hint=(
+                    f"add a {missing}_frame() builder next to the other "
+                    f"server-side builders — hand-rolled dicts drift"
+                ),
+            )
+        for class_name, method_name in PUSH_DISPATCHERS:
+            located = project.find_class(class_name)
+            if located is None:
+                continue  # fixtures only carry what they exercise
+            sf, cls = located
+            method = _find_method(cls, method_name)
+            if method is None:
+                yield self.finding(
+                    sf.path,
+                    cls.lineno,
+                    cls.col_offset,
+                    f"{class_name} has no {method_name}() push-frame "
+                    f"routing path",
+                    hint=(
+                        "the push-routing path is part of the wire "
+                        "contract; rename it here and in "
+                        "PUSH_DISPATCHERS together"
+                    ),
+                )
+                continue
+            handled = dispatched_types(method)
+            if not handled:
+                continue  # a stub without routing arms (fixtures)
+            for missing in sorted(push_types - set(handled)):
+                yield self.finding(
+                    sf.path,
+                    method.lineno,
+                    method.col_offset,
+                    f"{class_name}.{method_name}() does not route push "
+                    f"frame type {missing!r}",
+                    hint=(
+                        f'add a ``frame_type == "{missing}"`` arm — an '
+                        f"unrouted push frame vanishes inside the client"
+                    ),
+                )
 
     # -- the dispatch tables must cover exactly the client set ---------------------
 

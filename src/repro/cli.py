@@ -9,6 +9,7 @@ The subcommands::
     repro route ...      # consistent-hash router over N serve shards
     repro fleet ...      # per-shard health table of a running fleet
     repro submit ...     # send requests to a running service
+    repro watch ...      # stream one request's closed-loop run live
     repro report ...     # per-solver summary of JSONL archives
     repro check ...      # repo-specific static analysis (lint rules)
 
@@ -618,6 +619,52 @@ def serve_main(argv: list[str] | None = None) -> int:
         "trace for requests slower end-to-end than this threshold "
         "(implies stderr JSON logging when --log-json is not given)",
     )
+    reactive = parser.add_argument_group("reactive streaming")
+    reactive.add_argument(
+        "--reactive-elevated",
+        type=float,
+        metavar="C",
+        help="thermal-guard ELEVATED threshold for streamed submits "
+        "(needs --reactive-critical; default: derived per request "
+        "from its temperature limit)",
+    )
+    reactive.add_argument(
+        "--reactive-critical",
+        type=float,
+        metavar="C",
+        help="thermal-guard CRITICAL threshold (needs "
+        "--reactive-elevated)",
+    )
+    reactive.add_argument(
+        "--reactive-hysteresis",
+        type=float,
+        default=1.0,
+        metavar="C",
+        help="guard downgrade hysteresis in Celsius (default 1.0)",
+    )
+    reactive.add_argument(
+        "--reactive-chunk",
+        type=float,
+        default=0.02,
+        metavar="S",
+        help="closed-loop control interval in simulated seconds "
+        "(default 0.02)",
+    )
+    reactive.add_argument(
+        "--reactive-throttle",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="power factor applied while the guard is ELEVATED "
+        "(default 0.5)",
+    )
+    reactive.add_argument(
+        "--reactive-dt",
+        type=float,
+        default=5e-3,
+        metavar="S",
+        help="virtual-sensor sampling step in seconds (default 0.005)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -627,6 +674,28 @@ def serve_main(argv: list[str] | None = None) -> int:
     except OSError as exc:
         print(f"error: cannot open --log-json: {exc}", file=sys.stderr)
         return 1
+
+    from .reactive import GuardConfig, ReactiveConfig
+
+    if (args.reactive_elevated is None) != (args.reactive_critical is None):
+        print(
+            "error: --reactive-elevated and --reactive-critical go "
+            "together (one without the other leaves the guard half "
+            "configured)",
+            file=sys.stderr,
+        )
+        return 1
+    reactive_guard = None
+    if args.reactive_elevated is not None:
+        try:
+            reactive_guard = GuardConfig(
+                elevated_c=args.reactive_elevated,
+                critical_c=args.reactive_critical,
+                hysteresis_c=args.reactive_hysteresis,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     async def _serve() -> None:
         service = ScheduleService(
@@ -647,6 +716,12 @@ def serve_main(argv: list[str] | None = None) -> int:
             warm_from=args.warm_from,
             logger=logger,
             slow_request_ms=args.slow_request_ms,
+            reactive_guard=reactive_guard,
+            reactive_config=ReactiveConfig(
+                chunk_s=args.reactive_chunk,
+                throttle_factor=args.reactive_throttle,
+            ),
+            reactive_dt=args.reactive_dt,
         )
         await service.start()
         server = ScheduleServer(service, host=args.host, port=args.port)
@@ -1023,6 +1098,102 @@ def submit_main(argv: list[str] | None = None) -> int:
     return 0 if failures == 0 else 1
 
 
+def watch_main(argv: list[str] | None = None) -> int:
+    """``repro watch`` — stream one request's closed-loop run live."""
+    import json
+
+    from .errors import ServiceError
+    from .service import DEFAULT_PORT, ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro watch",
+        description=(
+            "Submit one request with streaming and render its "
+            "progress/event frames live as the service executes the "
+            "schedule closed-loop (works against repro serve and "
+            "repro route alike)."
+        ),
+    )
+    connection = parser.add_argument_group("connection")
+    connection.add_argument("--host", default="127.0.0.1", help="service host")
+    connection.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="service port"
+    )
+    connection.add_argument(
+        "--timeout",
+        type=float,
+        metavar="S",
+        help="per-solve timeout enforced by the service",
+    )
+    add_request_arguments(parser)
+    output = parser.add_argument_group("output")
+    output.add_argument(
+        "--json",
+        action="store_true",
+        help="print each frame as one raw JSON line instead of the "
+        "rendered timeline",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        request = request_from_args(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    failed = False
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            for frame in client.watch(request, timeout_s=args.timeout):
+                if args.json:
+                    print(json.dumps(frame), flush=True)
+                    failed = failed or frame["type"] == "error"
+                    continue
+                frame_type = frame["type"]
+                if frame_type == "progress":
+                    print(
+                        f"[{frame['seq']:>3}] {frame['stage']} "
+                        f"({frame.get('request_hash', '')[:12]})",
+                        flush=True,
+                    )
+                elif frame_type == "event":
+                    event = frame["event"]
+                    cores = ",".join(event.get("cores") or []) or "-"
+                    detail = event.get("detail") or ""
+                    print(
+                        f"[{frame['seq']:>3}] t={event['time_s']:8.3f} s "
+                        f"{event['kind']:<12} session={event.get('session')} "
+                        f"cores={cores} guard={event['guard_state']} "
+                        f"hottest={event.get('hottest_block')} "
+                        f"{event.get('max_temperature_c', 0.0):.2f} degC"
+                        + (f"  ({detail})" if detail else ""),
+                        flush=True,
+                    )
+                elif frame_type == "error":
+                    failed = True
+                    print(
+                        f"error: {frame.get('error_type')}: "
+                        f"{frame.get('error')}",
+                        file=sys.stderr,
+                    )
+                else:  # terminal report
+                    report = frame["report"]
+                    result = report.get("result", {})
+                    sessions = (result.get("schedule") or {}).get(
+                        "sessions", []
+                    )
+                    print(
+                        f"done: length {result.get('length_s'):g} s in "
+                        f"{len(sessions)} sessions "
+                        f"(cached: {report.get('cached', False)})",
+                        flush=True,
+                    )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 1 if failed else 0
+
+
 def metrics_main(argv: list[str] | None = None) -> int:
     """``repro metrics`` — scrape a running service as Prometheus text."""
     from .errors import ServiceError
@@ -1141,7 +1312,12 @@ def report_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        summaries = summarize_archives(args.archives, empty_ok=True)
+        # tolerate_torn_tail: `repro report` pointed at the live archive
+        # of a running `repro serve` races its appender — a half-written
+        # final record is an append in flight, not corruption.
+        summaries = summarize_archives(
+            args.archives, empty_ok=True, tolerate_torn_tail=True
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -1302,6 +1478,7 @@ COMMANDS = {
     "route": route_main,
     "fleet": fleet_main,
     "submit": submit_main,
+    "watch": watch_main,
     "metrics": metrics_main,
     "top": top_main,
     "report": report_main,
@@ -1334,6 +1511,7 @@ def repro_main(argv: list[str] | None = None) -> int:
         f"  repro route --help      route a sharded fleet of services\n"
         f"  repro fleet --help      per-shard health table of a fleet\n"
         f"  repro submit --help     send requests to a running service\n"
+        f"  repro watch --help      stream one request's closed-loop run live\n"
         f"  repro metrics --help    scrape a running service (Prometheus text)\n"
         f"  repro top --help        live telemetry dashboard of a service\n"
         f"  repro report --help     per-solver summary of JSONL archives\n"

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import math
+import warnings
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -170,19 +171,38 @@ def dump_jsonl(records: Iterable[dict[str, Any]], path: str | Path) -> int:
     return count
 
 
-def load_jsonl(path: str | Path) -> list[dict[str, Any]]:
-    """Read every record of a JSON-Lines file (blank lines skipped)."""
+def load_jsonl(
+    path: str | Path, *, tolerate_torn_tail: bool = False
+) -> list[dict[str, Any]]:
+    """Read every record of a JSON-Lines file (blank lines skipped).
+
+    With ``tolerate_torn_tail=True`` a corrupt *final* line — the
+    half-written record a killed or still-running appender leaves
+    behind — is skipped with a :class:`UserWarning` instead of raising.
+    Only the tail gets this grace: a bad record with valid records
+    after it is real corruption, not an append in flight, and still
+    raises :class:`~repro.errors.SchedulingError`.
+    """
     try:
         text = Path(path).read_text()
     except OSError as exc:
         raise SchedulingError(f"cannot load JSONL file {path}: {exc}") from exc
     records: list[dict[str, Any]] = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines()
+    last_lineno = len(lines)
+    for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError as exc:
+            if tolerate_torn_tail and lineno == last_lineno:
+                warnings.warn(
+                    f"skipping torn final JSONL record at {path}:{lineno} "
+                    f"(half-written append?): {exc}",
+                    stacklevel=2,
+                )
+                continue
             raise SchedulingError(
                 f"corrupt JSONL record at {path}:{lineno}: {exc}"
             ) from exc

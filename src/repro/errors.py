@@ -171,6 +171,11 @@ class ProtocolError(ServiceError):
     """A JSONL wire frame was malformed or of an unknown type."""
 
 
+class ReactiveError(ReproError):
+    """Closed-loop execution failed: bad guard config, sensor misuse,
+    or a schedule the reactive executor cannot run."""
+
+
 class AnalysisError(ReproError):
     """The static-analysis pass (``repro check``) could not run.
 

@@ -1,0 +1,38 @@
+"""Closed-loop reactive schedule execution.
+
+The paper's thermal-safe schedules are computed a priori and executed
+open-loop; this package closes the loop.  The transient thermal solver
+becomes a :class:`VirtualSensor`, a :class:`ThermalGuard` state
+machine classifies each sample (NORMAL / ELEVATED / CRITICAL with
+trend estimation and hysteresis), and a :class:`ReactiveExecutor`
+runs a solved schedule session-by-session — throttling, pausing, and
+reordering the remaining sessions as the die heats.  The service layer
+streams the resulting event timeline to watching clients as
+``progress``/``event`` push frames.
+"""
+
+from .executor import (
+    EVENT_KINDS,
+    ReactiveConfig,
+    ReactiveEvent,
+    ReactiveExecutor,
+    ReactiveRunReport,
+    run_schedule_result,
+)
+from .guard import GuardAnalysis, GuardConfig, ThermalGuard, ThermalState
+from .sensor import TemperatureSample, VirtualSensor
+
+__all__ = [
+    "EVENT_KINDS",
+    "GuardAnalysis",
+    "GuardConfig",
+    "ReactiveConfig",
+    "ReactiveEvent",
+    "ReactiveExecutor",
+    "ReactiveRunReport",
+    "TemperatureSample",
+    "ThermalGuard",
+    "ThermalState",
+    "VirtualSensor",
+    "run_schedule_result",
+]

@@ -1,0 +1,271 @@
+"""Thermal-guard state machine for closed-loop schedule execution.
+
+The guard watches a stream of :class:`~repro.reactive.sensor.TemperatureSample`
+objects and classifies the die into three states:
+
+* ``NORMAL`` — comfortably below the elevated threshold; keep going.
+* ``ELEVATED`` — above the elevated threshold; throttle remaining work.
+* ``CRITICAL`` — at or above the critical threshold; pause and cool.
+
+Upgrades are immediate (a single hot sample is enough — heat is not a
+thing to average away), downgrades require the temperature to fall a
+hysteresis band *below* the threshold so the state machine cannot flap
+on samples that hover at a boundary.  Every update also fits a
+least-squares line through a sliding window of recent samples, so each
+:class:`GuardAnalysis` carries the current warming/cooling trend in
+degrees per second alongside the headroom to critical.
+
+The guard itself holds no clock: time is whatever the samples say it
+is, which makes every test (and every replay of a recorded scenario)
+bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ReactiveError
+from .sensor import TemperatureSample
+
+__all__ = [
+    "GuardAnalysis",
+    "GuardConfig",
+    "ThermalGuard",
+    "ThermalState",
+]
+
+
+class ThermalState(Enum):
+    """Guard severity, ordered NORMAL < ELEVATED < CRITICAL."""
+
+    NORMAL = "normal"
+    ELEVATED = "elevated"
+    CRITICAL = "critical"
+
+    @property
+    def severity(self) -> int:
+        return _SEVERITY[self]
+
+
+_SEVERITY = {
+    ThermalState.NORMAL: 0,
+    ThermalState.ELEVATED: 1,
+    ThermalState.CRITICAL: 2,
+}
+
+#: Recommended action per state, reported in every analysis.
+_ACTIONS = {
+    ThermalState.NORMAL: "continue",
+    ThermalState.ELEVATED: "throttle",
+    ThermalState.CRITICAL: "pause",
+}
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Thresholds and window sizes of a :class:`ThermalGuard`.
+
+    ``hysteresis_c`` is subtracted from a threshold before a downgrade
+    is allowed: having entered ELEVATED at ``elevated_c``, the guard
+    returns to NORMAL only below ``elevated_c - hysteresis_c``.
+    """
+
+    elevated_c: float
+    critical_c: float
+    hysteresis_c: float = 1.0
+    trend_window_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.elevated_c < self.critical_c:
+            raise ReactiveError(
+                f"elevated threshold ({self.elevated_c!r} C) must be below "
+                f"critical ({self.critical_c!r} C)"
+            )
+        if self.hysteresis_c < 0.0:
+            raise ReactiveError(
+                f"hysteresis must be non-negative, got {self.hysteresis_c!r}"
+            )
+        if self.trend_window_s <= 0.0:
+            raise ReactiveError(
+                f"trend window must be positive, got {self.trend_window_s!r}"
+            )
+
+    @classmethod
+    def from_limit(
+        cls,
+        limit_c: float,
+        ambient_c: float,
+        *,
+        elevated_fraction: float = 0.7,
+        hysteresis_fraction: float = 0.05,
+        trend_window_s: float = 0.5,
+    ) -> GuardConfig:
+        """Derive thresholds from a temperature limit above ambient.
+
+        Critical sits at the limit itself; elevated at
+        ``elevated_fraction`` of the span from ambient to the limit.
+        """
+        span = limit_c - ambient_c
+        if span <= 0.0:
+            raise ReactiveError(
+                f"limit {limit_c!r} C is not above ambient {ambient_c!r} C"
+            )
+        if not 0.0 < elevated_fraction < 1.0:
+            raise ReactiveError(
+                f"elevated fraction must be in (0, 1), got "
+                f"{elevated_fraction!r}"
+            )
+        return cls(
+            elevated_c=ambient_c + elevated_fraction * span,
+            critical_c=limit_c,
+            hysteresis_c=max(hysteresis_fraction * span, 0.0),
+            trend_window_s=trend_window_s,
+        )
+
+
+@dataclass(frozen=True)
+class GuardAnalysis:
+    """One guard decision: state, headroom, trend, recommended action."""
+
+    time_s: float
+    state: ThermalState
+    previous_state: ThermalState
+    max_temperature_c: float
+    hottest_block: str
+    headroom_c: float
+    trend_c_per_s: float
+    recommended_action: str
+
+    @property
+    def transitioned(self) -> bool:
+        return self.state is not self.previous_state
+
+    @property
+    def throttle_recommended(self) -> bool:
+        return self.state.severity >= ThermalState.ELEVATED.severity
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "time_s": self.time_s,
+            "state": self.state.value,
+            "previous_state": self.previous_state.value,
+            "max_temperature_c": self.max_temperature_c,
+            "hottest_block": self.hottest_block,
+            "headroom_c": self.headroom_c,
+            "trend_c_per_s": self.trend_c_per_s,
+            "recommended_action": self.recommended_action,
+        }
+
+
+class ThermalGuard:
+    """NORMAL / ELEVATED / CRITICAL state machine over a sample stream.
+
+    Feed samples in timestamp order via :meth:`update`; each call
+    returns a :class:`GuardAnalysis`.  The guard accumulates transition
+    counts and per-state dwell time (by sample timestamps, so both are
+    deterministic under a fake clock) for the service metrics layer.
+    """
+
+    def __init__(self, config: GuardConfig) -> None:
+        self._config = config
+        self._state = ThermalState.NORMAL
+        self._window: deque[tuple[float, float]] = deque()
+        self._last_time_s: float | None = None
+        self._transitions: dict[str, int] = {}
+        self._dwell_s: dict[str, float] = {
+            state.value: 0.0 for state in ThermalState
+        }
+
+    @property
+    def config(self) -> GuardConfig:
+        return self._config
+
+    @property
+    def state(self) -> ThermalState:
+        return self._state
+
+    @property
+    def transitions(self) -> dict[str, int]:
+        """Transition counts keyed ``"normal->elevated"`` etc."""
+        return dict(self._transitions)
+
+    @property
+    def dwell_s(self) -> dict[str, float]:
+        """Seconds spent in each state, by state value."""
+        return dict(self._dwell_s)
+
+    def update(self, sample: TemperatureSample) -> GuardAnalysis:
+        """Classify one sample and return the resulting analysis."""
+        time_s = sample.time_s
+        if self._last_time_s is not None:
+            if time_s < self._last_time_s:
+                raise ReactiveError(
+                    f"samples must be in time order: {time_s!r} s after "
+                    f"{self._last_time_s!r} s"
+                )
+            # Dwell is attributed to the state held *before* this sample.
+            self._dwell_s[self._state.value] += time_s - self._last_time_s
+        self._last_time_s = time_s
+
+        temp = sample.max_temperature_c
+        previous = self._state
+        self._state = self._next_state(previous, temp)
+        if self._state is not previous:
+            key = f"{previous.value}->{self._state.value}"
+            self._transitions[key] = self._transitions.get(key, 0) + 1
+
+        self._window.append((time_s, temp))
+        cutoff = time_s - self._config.trend_window_s
+        while self._window and self._window[0][0] < cutoff:
+            self._window.popleft()
+
+        return GuardAnalysis(
+            time_s=time_s,
+            state=self._state,
+            previous_state=previous,
+            max_temperature_c=temp,
+            hottest_block=sample.hottest_block,
+            headroom_c=self._config.critical_c - temp,
+            trend_c_per_s=self._trend(),
+            recommended_action=_ACTIONS[self._state],
+        )
+
+    def _next_state(
+        self, current: ThermalState, temp: float
+    ) -> ThermalState:
+        cfg = self._config
+        # Upgrades are immediate.
+        if temp >= cfg.critical_c:
+            return ThermalState.CRITICAL
+        if temp >= cfg.elevated_c:
+            return (
+                current
+                if current is ThermalState.CRITICAL
+                and temp >= cfg.critical_c - cfg.hysteresis_c
+                else ThermalState.ELEVATED
+            )
+        # Below elevated: downgrades must clear the hysteresis band.
+        if current is ThermalState.CRITICAL:
+            if temp >= cfg.critical_c - cfg.hysteresis_c:
+                return ThermalState.CRITICAL
+            return ThermalState.ELEVATED
+        if current is ThermalState.ELEVATED:
+            if temp >= cfg.elevated_c - cfg.hysteresis_c:
+                return ThermalState.ELEVATED
+            return ThermalState.NORMAL
+        return ThermalState.NORMAL
+
+    def _trend(self) -> float:
+        """Least-squares slope (C/s) over the sliding window."""
+        n = len(self._window)
+        if n < 2:
+            return 0.0
+        mean_t = sum(t for t, _ in self._window) / n
+        mean_y = sum(y for _, y in self._window) / n
+        num = sum((t - mean_t) * (y - mean_y) for t, y in self._window)
+        den = sum((t - mean_t) ** 2 for t, _ in self._window)
+        if den == 0.0:
+            return 0.0
+        return num / den

@@ -1,0 +1,146 @@
+"""Virtual temperature sensor backed by the transient thermal solver.
+
+A :class:`VirtualSensor` is the closed-loop stand-in for on-die
+thermal diodes: it advances :meth:`ThermalSimulator.transient` through
+whatever power map the executor is currently applying, carries the
+thermal state (node temperature rises) across calls, and emits one
+timestamped :class:`TemperatureSample` per integration step.
+
+Timestamps are simulated seconds from an injectable start time, so a
+run is bit-for-bit reproducible: the same schedule, thresholds, and
+step size always produce the identical sample stream.  A real-sensor
+adapter only has to produce the same ``TemperatureSample`` shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ReactiveError
+from ..thermal.builder import die_node
+from ..thermal.simulator import ThermalSimulator
+
+__all__ = ["TemperatureSample", "VirtualSensor"]
+
+
+@dataclass(frozen=True)
+class TemperatureSample:
+    """Block temperatures (Celsius) observed at one instant."""
+
+    time_s: float
+    temperatures_c: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.temperatures_c:
+            raise ReactiveError("a temperature sample needs >= 1 block")
+
+    @property
+    def max_temperature_c(self) -> float:
+        return max(self.temperatures_c.values())
+
+    @property
+    def hottest_block(self) -> str:
+        # max() over items keeps the first of exact ties deterministic.
+        hottest, _ = max(
+            self.temperatures_c.items(), key=lambda item: item[1]
+        )
+        return hottest
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "time_s": self.time_s,
+            "temperatures_c": dict(self.temperatures_c),
+        }
+
+
+class VirtualSensor:
+    """Steps the transient solver through an executing schedule.
+
+    Parameters
+    ----------
+    simulator:
+        The thermal model acting as the die.
+    dt:
+        Integration step, which is also the sampling period (s).
+    start_time_s:
+        Timestamp of the first emitted sample minus ``dt`` — inject a
+        fake epoch here to line samples up with an external timeline.
+    """
+
+    def __init__(
+        self,
+        simulator: ThermalSimulator,
+        *,
+        dt: float = 5e-3,
+        start_time_s: float = 0.0,
+    ) -> None:
+        if dt <= 0.0:
+            raise ReactiveError(f"sensor step must be positive, got {dt!r}")
+        self._simulator = simulator
+        self._dt = dt
+        self._time_s = start_time_s
+        self._rises: np.ndarray | None = None
+        self._block_columns: list[tuple[str, int]] | None = None
+
+    @property
+    def simulator(self) -> ThermalSimulator:
+        return self._simulator
+
+    @property
+    def dt(self) -> float:
+        return self._dt
+
+    @property
+    def time_s(self) -> float:
+        """Simulated time at the last emitted sample."""
+        return self._time_s
+
+    def advance(
+        self, power_by_block: Mapping[str, float], duration_s: float
+    ) -> list[TemperatureSample]:
+        """Apply a power map for a duration; emit one sample per step.
+
+        The duration is rounded up to whole steps (matching the
+        transient solver), and the thermal state carries over to the
+        next call — a schedule advanced in chunks heats exactly as the
+        same schedule advanced in one call.
+        """
+        if duration_s <= 0.0:
+            raise ReactiveError(
+                f"advance duration must be positive, got {duration_s!r}"
+            )
+        result = self._simulator.transient(
+            power_by_block,
+            duration_s,
+            dt=self._dt,
+            initial_rises=self._rises,
+        )
+        self._rises = result.final_rises()
+        if self._block_columns is None:
+            names = result.node_names
+            self._block_columns = [
+                (block, names.index(die_node(block)))
+                for block in self._simulator.floorplan.block_names
+            ]
+        ambient = self._simulator.ambient_c
+        samples = []
+        for row in result.rises:
+            self._time_s += self._dt
+            samples.append(
+                TemperatureSample(
+                    time_s=self._time_s,
+                    temperatures_c={
+                        block: ambient + float(row[column])
+                        for block, column in self._block_columns
+                    },
+                )
+            )
+        return samples
+
+    def steps_for(self, duration_s: float) -> int:
+        """Number of samples :meth:`advance` will emit for a duration."""
+        # Mirror the solver's own rounding exactly.
+        return int(np.ceil(duration_s / self._dt))

@@ -15,7 +15,8 @@ and that answers with :class:`~repro.api.SolveReport`\\ s:
 * :mod:`pool` — :class:`AdaptiveWorkerPool`, the admission gate that
   scales worker concurrency between min/max with queue depth;
 * :mod:`protocol` — the newline-delimited JSON frame format
-  (submit/report/error/stats/ping/metrics);
+  (submit/report/error/stats/ping/metrics plus the progress/event
+  push frames of a streaming submit);
 * :mod:`server` — :class:`ScheduleServer`, the asyncio TCP front end;
 * :mod:`client` — :class:`AsyncServiceClient` (pipelined asyncio) and
   :class:`ServiceClient` (blocking wrapper);
@@ -71,13 +72,16 @@ from .protocol import (
     DEFAULT_PORT,
     DEFAULT_ROUTER_PORT,
     MAX_FRAME_BYTES,
+    PUSH_FRAME_TYPES,
     decode_frame,
     encode_frame,
     error_frame,
+    event_frame,
     fleet_stats_frame,
     metrics_frame,
     parse_submit_frame,
     ping_frame,
+    progress_frame,
     report_frame,
     stats_frame,
     submit_frame,
@@ -92,6 +96,7 @@ from .report import (
 )
 from .server import ScheduleServer
 from .service import (
+    DWELL_FAMILIES,
     LATENCY_FAMILIES,
     METRIC_FIELDS,
     MetricField,
@@ -110,6 +115,7 @@ __all__ = [
     "CircuitBreaker",
     "DEFAULT_PORT",
     "DEFAULT_ROUTER_PORT",
+    "DWELL_FAMILIES",
     "FaultPlan",
     "FleetRouter",
     "HashRing",
@@ -117,6 +123,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "METRIC_FIELDS",
     "MetricField",
+    "PUSH_FRAME_TYPES",
     "RecordStats",
     "ReportArchive",
     "RetryPolicy",
@@ -133,12 +140,14 @@ __all__ = [
     "decode_frame",
     "encode_frame",
     "error_frame",
+    "event_frame",
     "fleet_stats_frame",
     "load_service_archive",
     "metrics_frame",
     "outcome_record",
     "parse_submit_frame",
     "ping_frame",
+    "progress_frame",
     "record_stats",
     "render_metrics_text",
     "render_summary_table",

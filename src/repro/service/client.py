@@ -33,7 +33,14 @@ import asyncio
 import itertools
 import threading
 import time
-from typing import TYPE_CHECKING, Any, AsyncIterator, Callable, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    AsyncIterator,
+    Callable,
+    Iterator,
+    Sequence,
+)
 
 if TYPE_CHECKING:  # imported lazily: fleet.router imports this module
     from .fleet.retry import RetryPolicy
@@ -104,6 +111,10 @@ class AsyncServiceClient:
         self._write_lock = asyncio.Lock()
         self._reconnect_lock = asyncio.Lock()
         self._pending: dict[str, asyncio.Future] = {}
+        #: Watch queues by frame id: push frames land here instead of a
+        #: pending future; the terminal frame (or an exception on
+        #: connection loss) ends the subscription.
+        self._subscriptions: "dict[str, asyncio.Queue[Any]]" = {}
         self._ids = itertools.count(1)
         self._closed = False
         self._attach(reader, writer)
@@ -204,7 +215,22 @@ class AsyncServiceClient:
                     frame = decode_frame(line)
                 except ProtocolError:
                     continue  # tolerate garbage; pending ids still time out
-                future = self._pending.pop(frame.get("id"), None)
+                frame_id = frame.get("id")
+                frame_type = frame.get("type")
+                if frame_type == "progress" or frame_type == "event":
+                    # Server push: route to the watch subscription; a
+                    # push for an unknown id is dropped (its watcher
+                    # already finished or errored out).
+                    subscription = self._subscriptions.get(frame_id)
+                    if subscription is not None:
+                        subscription.put_nowait(frame)
+                    continue
+                subscription = self._subscriptions.pop(frame_id, None)
+                if subscription is not None:
+                    # Terminal report/error frame of a watch.
+                    subscription.put_nowait(frame)
+                    continue
+                future = self._pending.pop(frame_id, None)
                 if future is not None and not future.done():
                     future.set_result(frame)
         # ValueError: an oversized line (StreamReader converts
@@ -225,6 +251,9 @@ class AsyncServiceClient:
             if not future.done():
                 future.set_exception(exc)
         self._pending.clear()
+        for subscription in self._subscriptions.values():
+            subscription.put_nowait(exc)
+        self._subscriptions.clear()
 
     async def _roundtrip(self, frame: dict[str, Any]) -> dict[str, Any]:
         if self._closed:
@@ -391,6 +420,59 @@ class AsyncServiceClient:
         for completed in asyncio.as_completed(tasks):
             yield await completed
 
+    async def watch(
+        self,
+        request: ScheduleRequest,
+        *,
+        timeout_s: float | None = None,
+    ) -> AsyncIterator[dict[str, Any]]:
+        """Submit with streaming and yield every frame of the watch.
+
+        Yields raw frames in server order: ``progress`` (queued /
+        running), ``event`` (the reactive executor's timeline, one
+        frame per throttle / pause / reorder / session boundary), and
+        finally the ordinary terminal ``report`` or ``error`` frame —
+        after which the iterator ends.  Each push frame carries a
+        per-watch monotonically increasing ``seq``.
+
+        Connection loss mid-watch raises
+        :class:`~repro.errors.ServiceConnectionError`; a watch is never
+        auto-retried (re-submitting replays the whole timeline — the
+        caller must opt into that).
+        """
+        if self._closed:
+            raise ServiceError("client is closed")
+        if self._connection_lost:
+            await self.reconnect()
+        frame_id = f"w{next(self._ids)}"
+        queue: "asyncio.Queue[Any]" = asyncio.Queue()
+        self._subscriptions[frame_id] = queue
+        if self._connection_lost:
+            # Lost between the check and the registration (same race
+            # as _roundtrip): the read loop's sweep may have missed
+            # this subscription.
+            self._subscriptions.pop(frame_id, None)
+            raise ServiceConnectionError("connection to the service closed")
+        try:
+            frame = submit_frame(
+                frame_id, request, timeout_s=timeout_s, stream=True
+            )
+            async with self._write_lock:
+                self._writer.write(encode_frame(frame))
+                await self._writer.drain()
+            while True:
+                received = await queue.get()
+                if isinstance(received, Exception):
+                    raise received
+                frame_type = received.get("type")
+                if frame_type == "progress" or frame_type == "event":
+                    yield received
+                    continue
+                yield received  # terminal report/error ends the watch
+                return
+        finally:
+            self._subscriptions.pop(frame_id, None)
+
     async def stats(self) -> dict[str, Any]:
         """The service's current metrics snapshot."""
         response = await self._request(stats_frame)
@@ -529,6 +611,26 @@ class ServiceClient:
                 return_errors=return_errors,
             )
         )
+
+    def watch(
+        self,
+        request: ScheduleRequest,
+        *,
+        timeout_s: float | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Blocking :meth:`AsyncServiceClient.watch`: yields raw frames.
+
+        Pumps the async generator one frame at a time over the
+        background loop, so frames arrive as the server pushes them —
+        not batched at the end.
+        """
+        watcher = self._client.watch(request, timeout_s=timeout_s)
+        while True:
+            try:
+                frame = self._call(watcher.__anext__())
+            except StopAsyncIteration:
+                return
+            yield frame
 
     def stats(self) -> dict[str, Any]:
         """Blocking :meth:`AsyncServiceClient.stats`."""

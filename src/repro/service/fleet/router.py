@@ -392,7 +392,7 @@ class FleetRouter:
         pending: set[asyncio.Task],
     ) -> None:
         try:
-            request, timeout_s = parse_submit_frame(frame)
+            request, timeout_s, stream = parse_submit_frame(frame)
         except ProtocolError as exc:
             await self._send(
                 writer, write_lock, error_frame(frame_id, str(exc), "ProtocolError")
@@ -401,7 +401,9 @@ class FleetRouter:
         # One task per submit: the shard roundtrip must not stall this
         # connection's read loop, or pipelining dies at the router.
         task = asyncio.create_task(
-            self._route_submit(request, timeout_s, frame_id, writer, write_lock)
+            self._route_submit(
+                request, timeout_s, stream, frame_id, writer, write_lock
+            )
         )
         pending.add(task)
         task.add_done_callback(pending.discard)
@@ -410,6 +412,7 @@ class FleetRouter:
         self,
         request,
         timeout_s: float | None,
+        stream: bool,
         frame_id,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
@@ -429,6 +432,32 @@ class FleetRouter:
                 self._failovers += 1
             try:
                 client = await self._client(shard)
+            except (ServiceConnectionError, OSError) as exc:
+                health.record_failure(str(exc))
+                attempts.append(f"{shard}: {exc}")
+                continue
+            if stream:
+                status, detail = await self._relay_watch(
+                    client, request, timeout_s, frame_id, writer, write_lock
+                )
+                if status == "failover":
+                    health.record_failure(detail)
+                    attempts.append(f"{shard}: {detail}")
+                    continue
+                if status == "lost":
+                    # Push frames already reached the client; failing
+                    # over would replay the timeline from scratch, so
+                    # the watch ended with an error frame instead.
+                    health.record_failure(detail)
+                    self._routed += 1
+                    self._relayed_errors += 1
+                    return
+                health.record_success()
+                self._routed += 1
+                if status == "relayed_error":
+                    self._relayed_errors += 1
+                return
+            try:
                 response = await client.submit_raw(request, timeout_s=timeout_s)
             except (ServiceConnectionError, OSError) as exc:
                 health.record_failure(str(exc))
@@ -474,6 +503,75 @@ class FleetRouter:
             )
         except (ConnectionResetError, BrokenPipeError):
             pass
+
+    async def _relay_watch(
+        self,
+        client: AsyncServiceClient,
+        request,
+        timeout_s: float | None,
+        frame_id,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> tuple[str, str]:
+        """Relay one shard watch to the front client, id rewritten.
+
+        Returns ``(status, detail)``:
+
+        * ``("failover", why)`` — the shard refused before any frame
+          was relayed; the ring may still try the next shard.
+        * ``("lost", why)`` — the shard connection died mid-stream;
+          an error frame already ended the client's watch (replaying
+          the timeline on another shard is the *client's* choice).
+        * ``("relayed_error", "")`` / ``("done", "")`` — a terminal
+          error/report frame was relayed; the watch is over.
+        """
+        relayed_any = False
+        status = "done"
+        try:
+            async for shard_frame in client.watch(
+                request, timeout_s=timeout_s
+            ):
+                shard_type = shard_frame.get("type")
+                if shard_type == "error":
+                    if (
+                        not relayed_any
+                        and shard_frame.get("error_type")
+                        in FAILOVER_ERROR_TYPES
+                    ):
+                        return (
+                            "failover",
+                            f"{shard_frame.get('error_type')}: "
+                            f"{shard_frame.get('error')}",
+                        )
+                    status = "relayed_error"
+                relayed = dict(shard_frame)
+                relayed["id"] = frame_id
+                try:
+                    await self._send(writer, write_lock, relayed)
+                except (ConnectionResetError, BrokenPipeError):
+                    # Front client went away; the shard's solve (and
+                    # its archive record) still count.
+                    return "done", ""
+                relayed_any = True
+        except (ServiceConnectionError, OSError) as exc:
+            if not relayed_any:
+                return "failover", str(exc)
+            try:
+                await self._send(
+                    writer,
+                    write_lock,
+                    error_frame(
+                        frame_id,
+                        f"shard connection lost mid-watch: {exc}",
+                        "ServiceConnectionError",
+                        request_hash=request.content_hash(),
+                        retryable=True,
+                    ),
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return "lost", str(exc)
+        return status, ""
 
     # -- stats fan-out -----------------------------------------------------------------
 

@@ -6,7 +6,8 @@ archives, so the codecs (and greppability) carry over to the wire.
 
 Client to server::
 
-    {"type": "submit",      "id": "c1", "request": {...}, "timeout_s": 30}
+    {"type": "submit",      "id": "c1", "request": {...}, "timeout_s": 30,
+     "stream": true}
     {"type": "stats",       "id": "c2"}
     {"type": "ping",        "id": "c3"}
     {"type": "metrics",     "id": "c4"}
@@ -22,6 +23,25 @@ concurrent submits arrive in *completion* order, not submission order)::
     {"type": "pong",        "id": "c3"}
     {"type": "metrics",     "id": "c4", "text": "# HELP repro_submitted..."}
     {"type": "fleet_stats", "id": "c5", "fleet": {"shards": {...}, ...}}
+
+Server push (only on a ``"stream": true`` submit; zero or more of these
+precede the terminal report/error frame, all carrying the submit's
+``id`` plus a per-watch monotonically increasing ``seq``)::
+
+    {"type": "progress", "id": "c1", "seq": 0, "stage": "queued",
+     "request_hash": "..."}
+    {"type": "event",    "id": "c1", "seq": 2, "event": {"kind":
+     "throttled", "time_s": 0.12, "session": 3, "cores": ["B5"],
+     "guard_state": "elevated", "max_temperature_c": 51.6,
+     "hottest_block": "B5", ...}}
+
+Progress frames mark the request lifecycle (``queued`` on admission,
+``running`` once the solve is done and closed-loop execution starts);
+event frames replay the reactive executor's timeline live — queued /
+running / throttled / paused / reordered / session_done / done per
+session, each with the hottest block, its temperature, and the guard
+state at that instant.  A watch always ends with the ordinary report
+(or error) frame, so non-streaming semantics are a strict subset.
 
 Error frames optionally carry ``retryable`` (mirror of the raising
 error class's flag: retry with backoff, or accept the answer as final)
@@ -86,6 +106,8 @@ FRAME_TYPES = frozenset(
         "pong",
         "metrics",
         "fleet_stats",
+        "progress",
+        "event",
     }
 )
 
@@ -97,8 +119,23 @@ CLIENT_FRAME_TYPES = frozenset(
 
 #: Frame types a server or router may answer with.
 SERVER_FRAME_TYPES = frozenset(
-    {"report", "error", "stats", "pong", "metrics", "fleet_stats"}
+    {
+        "report",
+        "error",
+        "stats",
+        "pong",
+        "metrics",
+        "fleet_stats",
+        "progress",
+        "event",
+    }
 )
+
+#: Server-push frame types: unsolicited mid-stream frames a watching
+#: client must route to its subscription instead of a pending future.
+#: (Also enforced by the ``frame-schema`` rule: each must be registered
+#: above, have a builder, and be handled by both client dispatch paths.)
+PUSH_FRAME_TYPES = frozenset({"progress", "event"})
 
 
 def encode_frame(frame: Mapping[str, Any]) -> bytes:
@@ -146,8 +183,14 @@ def submit_frame(
     frame_id: str,
     request: ScheduleRequest,
     timeout_s: float | None = None,
+    *,
+    stream: bool = False,
 ) -> dict[str, Any]:
-    """A submit frame carrying *request* under correlation id *frame_id*."""
+    """A submit frame carrying *request* under correlation id *frame_id*.
+
+    With ``stream=True`` the server pushes ``progress``/``event``
+    frames for this id before the terminal report/error frame.
+    """
     frame: dict[str, Any] = {
         "type": "submit",
         "id": frame_id,
@@ -155,6 +198,8 @@ def submit_frame(
     }
     if timeout_s is not None:
         frame["timeout_s"] = timeout_s
+    if stream:
+        frame["stream"] = True
     return frame
 
 
@@ -225,10 +270,49 @@ def error_frame(
     return frame
 
 
+def progress_frame(
+    frame_id: str | None,
+    stage: str,
+    *,
+    seq: int,
+    request_hash: str | None = None,
+) -> dict[str, Any]:
+    """A lifecycle push frame: the watched request changed stage."""
+    frame: dict[str, Any] = {
+        "type": "progress",
+        "id": frame_id,
+        "seq": seq,
+        "stage": stage,
+    }
+    if request_hash is not None:
+        frame["request_hash"] = request_hash
+    return frame
+
+
+def event_frame(
+    frame_id: str | None,
+    event: Mapping[str, Any],
+    *,
+    seq: int,
+) -> dict[str, Any]:
+    """A reactive-execution push frame embedding one timeline event.
+
+    The payload is :meth:`repro.reactive.ReactiveEvent.to_dict` —
+    kind, simulated time, session, cores, guard state, and the hottest
+    block with its temperature.
+    """
+    return {
+        "type": "event",
+        "id": frame_id,
+        "seq": seq,
+        "event": dict(event),
+    }
+
+
 def parse_submit_frame(
     frame: Mapping[str, Any],
-) -> tuple[ScheduleRequest, float | None]:
-    """Extract the request (and optional timeout) from a submit frame.
+) -> tuple[ScheduleRequest, float | None, bool]:
+    """Extract request, optional timeout, and stream flag from a submit.
 
     Raises
     ------
@@ -262,4 +346,9 @@ def parse_submit_frame(
             raise ProtocolError(
                 f"timeout_s must be positive, got {timeout_s!r}"
             )
-    return request, timeout_s
+    stream = frame.get("stream", False)
+    if not isinstance(stream, bool):
+        raise ProtocolError(
+            f"stream must be a boolean, got {stream!r}"
+        )
+    return request, timeout_s, stream

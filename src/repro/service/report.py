@@ -169,6 +169,7 @@ def summarize_records(
 def summarize_archives(
     paths: Sequence[str | Path],
     empty_ok: bool = False,
+    tolerate_torn_tail: bool = False,
 ) -> list[SolverSummary]:
     """Summaries over the concatenation of one or more JSONL archives.
 
@@ -177,10 +178,17 @@ def summarize_archives(
     anything resolves — empty is a state, not a mistake); the default
     raises :class:`~repro.errors.SchedulingError` so library callers
     cannot mistake an empty summary for a summarised fleet.
+
+    ``tolerate_torn_tail`` forgives a half-written *final* record per
+    archive (with a warning): summarising the live archive of a running
+    ``repro serve`` races its appender, and losing the in-flight record
+    is correct — failing the whole report is not.
     """
     records: list[dict[str, Any]] = []
     for path in paths:
-        records.extend(load_jsonl(path))
+        records.extend(
+            load_jsonl(path, tolerate_torn_tail=tolerate_torn_tail)
+        )
     if not records:
         if empty_ok:
             return []

@@ -27,7 +27,9 @@ from .protocol import (
     decode_frame,
     encode_frame,
     error_frame,
+    event_frame,
     parse_submit_frame,
+    progress_frame,
     report_frame,
 )
 from .service import ScheduleService, ServiceJob
@@ -231,7 +233,7 @@ class ScheduleServer:
         pending: set[asyncio.Task],
     ) -> None:
         try:
-            request, timeout_s = parse_submit_frame(frame)
+            request, timeout_s, stream = parse_submit_frame(frame)
         except ProtocolError as exc:
             await self._send(
                 writer, write_lock, error_frame(frame_id, str(exc), "ProtocolError")
@@ -240,7 +242,9 @@ class ScheduleServer:
         try:
             # Awaiting submit is the backpressure point: a full queue
             # pauses this connection's read loop.
-            job = await self._service.submit(request, timeout_s=timeout_s)
+            job = await self._service.submit(
+                request, timeout_s=timeout_s, stream=stream
+            )
         except ReproError as exc:
             await self._send(
                 writer,
@@ -255,11 +259,97 @@ class ScheduleServer:
                 ),
             )
             return
-        task = asyncio.create_task(
-            self._answer_when_done(job, frame_id, writer, write_lock)
-        )
+        if stream:
+            # Subscribe before the first await: the reactive pump only
+            # broadcasts via loop callbacks, so a queue attached here
+            # (synchronously after submit returned) misses no event.
+            events = job.subscribe()
+            task = asyncio.create_task(
+                self._stream_when_done(
+                    job, events, frame_id, writer, write_lock
+                )
+            )
+        else:
+            task = asyncio.create_task(
+                self._answer_when_done(job, frame_id, writer, write_lock)
+            )
         pending.add(task)
         task.add_done_callback(pending.discard)
+
+    async def _stream_when_done(
+        self,
+        job: ServiceJob,
+        events: "asyncio.Queue[dict | None]",
+        frame_id,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Answer a streaming submit: push frames, then the terminal one.
+
+        Wire order per watch: ``progress(queued)``, then — once the
+        solve resolves ok — ``progress(running)`` and one ``event``
+        frame per reactive-timeline event, and finally the ordinary
+        report/error frame.  ``seq`` increases by one per push frame,
+        so a client can assert it missed nothing.
+        """
+        seq = 0
+        try:
+            await self._send(
+                writer,
+                write_lock,
+                progress_frame(
+                    frame_id, "queued", seq=seq, request_hash=job.key
+                ),
+            )
+            seq += 1
+            try:
+                outcome = await job.outcome()
+            except ServiceError as exc:
+                await self._send(
+                    writer,
+                    write_lock,
+                    error_frame(
+                        frame_id,
+                        str(exc),
+                        type(exc).__name__,
+                        request_hash=job.key,
+                        retryable=getattr(exc, "retryable", None),
+                        retry_after_s=getattr(exc, "retry_after_s", None),
+                    ),
+                )
+                return
+            if outcome.ok:
+                await self._send(
+                    writer,
+                    write_lock,
+                    progress_frame(
+                        frame_id, "running", seq=seq, request_hash=job.key
+                    ),
+                )
+                seq += 1
+            # Drain the reactive timeline to its sentinel even on an
+            # error outcome — the pump always terminates the queue.
+            while True:
+                event = await events.get()
+                if event is None:
+                    break
+                await self._send(
+                    writer, write_lock, event_frame(frame_id, event, seq=seq)
+                )
+                seq += 1
+            if outcome.ok:
+                assert outcome.report is not None
+                frame = report_frame(frame_id, outcome.report)
+            else:
+                frame = error_frame(
+                    frame_id,
+                    outcome.error or "unknown error",
+                    outcome.error_type or "ServiceError",
+                    request_hash=job.key,
+                )
+            await self._send(writer, write_lock, frame)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; the solve (and archive) still count
 
     async def _answer_when_done(
         self,

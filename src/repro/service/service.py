@@ -73,6 +73,13 @@ from .execution import (
     solve_request_outcome,
 )
 from .pool import AdaptiveWorkerPool
+from ..reactive import (
+    GuardConfig,
+    ReactiveConfig,
+    ReactiveEvent,
+    ReactiveRunReport,
+    run_schedule_result,
+)
 
 #: Latency histogram families the service records (seconds):
 #: ``queue_wait`` (submit to worker dispatch — slot acquisition
@@ -82,6 +89,13 @@ from .pool import AdaptiveWorkerPool
 #: bimodal), ``answer_hit`` (cache-lookup latency of hits) and
 #: ``archive_append`` (background archive write).
 LATENCY_FAMILIES = ("queue_wait", "solve", "e2e", "answer_hit", "archive_append")
+
+#: Per-state dwell-time histogram families (seconds spent in each
+#: thermal-guard state, one observation per state per reactive run).
+#: They live in the same registry as the latency families, so they ride
+#: the stats frame's ``latency`` mapping and the Prometheus summaries
+#: without a second pipeline.
+DWELL_FAMILIES = ("dwell_normal", "dwell_elevated", "dwell_critical")
 
 
 @dataclass(frozen=True)
@@ -155,6 +169,15 @@ METRIC_FIELDS: tuple[MetricField, ...] = (
                 "Worker-pool executions finished (zombies included)."),
     MetricField("cache_hits", "counter", "solves", "model cache hits",
                 "Solves whose thermal model came out of a cache."),
+    MetricField("reactive_runs", "counter", "reactive", "reactive runs",
+                "Closed-loop reactive executions streamed to watchers."),
+    MetricField("guard_transitions", "counter", "reactive",
+                "guard transitions",
+                "Thermal-guard state transitions across reactive runs."),
+    MetricField("reactive_throttles", "counter", "reactive", "throttles",
+                "Throttle engagements forced by the thermal guard."),
+    MetricField("reactive_pauses", "counter", "reactive", "pauses",
+                "Cooling pauses forced by the thermal guard."),
     MetricField("uptime_s", "gauge", "rate", "uptime s",
                 "Seconds since the service started."),
     MetricField("requests_per_s", "gauge", "rate", "req/s",
@@ -184,6 +207,13 @@ class ServiceJob:
     queue_wait_s:
         Seconds between submission and worker dispatch (``None`` until
         the job leaves the queue).
+    streaming:
+        True once any submitter asked for push events
+        (``submit(..., stream=True)``); the service then runs the
+        closed-loop reactive phase after the solve resolves.
+    streams:
+        Subscriber queues (see :meth:`subscribe`); every reactive event
+        is broadcast to all of them, then a ``None`` sentinel.
     """
 
     __slots__ = (
@@ -194,6 +224,9 @@ class ServiceJob:
         "submitted_at",
         "waiters",
         "queue_wait_s",
+        "streaming",
+        "streams",
+        "reactive_task",
     )
 
     def __init__(
@@ -210,6 +243,20 @@ class ServiceJob:
         self.submitted_at = time.perf_counter()
         self.waiters = 0
         self.queue_wait_s: float | None = None
+        self.streaming = False
+        self.streams: "list[asyncio.Queue[dict[str, Any] | None]]" = []
+        self.reactive_task: "asyncio.Task[None] | None" = None
+
+    def subscribe(self) -> "asyncio.Queue[dict[str, Any] | None]":
+        """A fresh event queue receiving this job's reactive timeline.
+
+        Subscribe on the event loop right after a streaming submit
+        returns (before any further ``await``) and no event can be
+        missed.  The queue ends with a ``None`` sentinel.
+        """
+        queue: "asyncio.Queue[dict[str, Any] | None]" = asyncio.Queue()
+        self.streams.append(queue)
+        return queue
 
     @property
     def done(self) -> bool:
@@ -317,6 +364,10 @@ class ServiceMetrics:
     answer_hits: int = 0
     answer_cache: AnswerCacheStats | None = None
     latency: Mapping[str, Mapping[str, Any]] | None = None
+    reactive_runs: int = 0
+    guard_transitions: int = 0
+    reactive_throttles: int = 0
+    reactive_pauses: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (the stats wire frame's payload).
@@ -373,7 +424,7 @@ class ServiceMetrics:
             f"({workers}, queue {self.queue_depth}/"
             f"{self.queue_capacity}, {self.in_flight} in flight)",
         ]
-        for group in ("traffic", "solves"):
+        for group in ("traffic", "solves", "reactive"):
             pairs = ", ".join(
                 f"{getattr(self, metric.name)} {metric.label}"
                 for metric in METRIC_FIELDS
@@ -459,12 +510,20 @@ def render_metrics_text(metrics: ServiceMetrics) -> str:
                 families.append(counter_family(name, help_text, value))
     if metrics.latency is not None:
         for family_name, snapshot in metrics.latency.items():
+            if family_name.startswith("dwell_"):
+                state = family_name[len("dwell_"):]
+                help_text = (
+                    f"Thermal-guard {state}-state dwell time per "
+                    f"reactive run, in seconds."
+                )
+            else:
+                help_text = (
+                    f"Request {family_name.replace('_', ' ')} latency "
+                    f"in seconds."
+                )
             families.append(
                 summary_family(
-                    f"repro_{family_name}_seconds",
-                    f"Request {family_name.replace('_', ' ')} latency "
-                    f"in seconds.",
-                    snapshot,
+                    f"repro_{family_name}_seconds", help_text, snapshot
                 )
             )
     return render_families(families)
@@ -539,6 +598,15 @@ class ScheduleService:
         ``False`` turns off latency recording, report timing stamps
         and event logging entirely — the pre-tracing hot path, kept as
         the overhead baseline the benchmarks compare against.
+    reactive_guard:
+        Thermal-guard thresholds for streaming submissions (``None``
+        derives them per request from its temperature limit via
+        :meth:`repro.reactive.GuardConfig.from_limit`).
+    reactive_config:
+        Control-loop knobs (chunk, throttle factor, pause interval) of
+        the streamed closed-loop execution.
+    reactive_dt:
+        Virtual-sensor integration/sampling step (s) for streamed runs.
     """
 
     def __init__(
@@ -562,6 +630,9 @@ class ScheduleService:
         slow_request_ms: float | None = None,
         histograms: HistogramRegistry | None = None,
         observability: bool = True,
+        reactive_guard: GuardConfig | None = None,
+        reactive_config: ReactiveConfig | None = None,
+        reactive_dt: float = 5e-3,
     ) -> None:
         if isinstance(backend, ExecutionBackend):
             self._backend = backend
@@ -644,8 +715,15 @@ class ScheduleService:
         if observability:
             # Pre-create the families so an idle service's metrics
             # exposition already lists every histogram at zero.
-            for family in LATENCY_FAMILIES:
+            for family in LATENCY_FAMILIES + DWELL_FAMILIES:
                 self._latency.histogram(family)
+        if reactive_dt <= 0.0:
+            raise ServiceError(
+                f"reactive_dt must be positive, got {reactive_dt!r}"
+            )
+        self._reactive_guard = reactive_guard
+        self._reactive_config = reactive_config
+        self._reactive_dt = reactive_dt
         if logger is None and slow_request_ms is not None:
             logger = JsonLogger()  # slow-request logging needs a sink
         self._logger = logger
@@ -680,6 +758,11 @@ class ScheduleService:
         self._solves_completed = 0  # guarded-by: event-loop
         self._cache_hits = 0  # guarded-by: event-loop
         self._archive_errors = 0  # guarded-by: event-loop
+        self._reactive_runs = 0  # guarded-by: event-loop
+        self._guard_transitions = 0  # guarded-by: event-loop
+        self._reactive_throttles = 0  # guarded-by: event-loop
+        self._reactive_pauses = 0  # guarded-by: event-loop
+        self._reactive_errors = 0  # guarded-by: event-loop
 
     # -- properties --------------------------------------------------------------------
 
@@ -981,15 +1064,31 @@ class ScheduleService:
         return min(max(max(depth, 1) / workers * per_solve, 0.05), 30.0)
 
     async def submit(
-        self, request: ScheduleRequest, *, timeout_s: float | None = None
+        self,
+        request: ScheduleRequest,
+        *,
+        timeout_s: float | None = None,
+        stream: bool = False,
     ) -> ServiceJob:
         """Enqueue a request, awaiting queue space if the service is full.
 
         Identical in-flight requests (same content hash) share one
         :class:`ServiceJob`; the returned job may therefore already be
         running — or even already done.
+
+        With ``stream=True`` the job runs the closed-loop reactive
+        phase once its solve resolves ok, broadcasting the event
+        timeline to every queue obtained via :meth:`ServiceJob.subscribe`
+        (call it right after this method returns, before any await).
         """
         job, fresh = self._prepare(request, timeout_s)
+        if stream:
+            job.streaming = True
+            if job.future.done():
+                # Answer-cache hit (or attach to an already-finished
+                # job): _finish will not run again, so the reactive
+                # phase must be scheduled here.
+                self._ensure_reactive(job)
         if fresh:
             assert self._queue is not None
             try:
@@ -1217,6 +1316,8 @@ class ScheduleService:
             self._schedule_archive_append(job, outcome)
         if not job.future.done():
             job.future.set_result(outcome)
+        if job.streaming:
+            self._ensure_reactive(job)
 
     def _stamp_timings(
         self, job: ServiceJob, outcome: SolveOutcome, e2e_s: float
@@ -1315,6 +1416,83 @@ class ScheduleService:
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
+    # -- reactive streaming ------------------------------------------------------------
+
+    def _ensure_reactive(self, job: ServiceJob) -> None:
+        """Schedule the job's reactive phase exactly once (loop only)."""
+        if job.reactive_task is not None:
+            return
+        task = asyncio.create_task(self._reactive_pump(job))
+        job.reactive_task = task
+        # Joined by drain: a stop() must not cut a watcher's stream.
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _broadcast(self, job: ServiceJob, event: dict[str, Any]) -> None:
+        for queue in job.streams:
+            queue.put_nowait(event)
+
+    async def _reactive_pump(self, job: ServiceJob) -> None:
+        """Run the closed-loop phase off-loop; stream its timeline.
+
+        The executor runs on a thread (`run_in_executor`) — transient
+        solves would stall the event loop.  Events cross back via
+        ``call_soon_threadsafe``; because loop callbacks are FIFO, all
+        of them land before the executor future resumes this coroutine,
+        so the ``None`` sentinel is always last.
+        """
+        assert self._loop is not None
+        try:
+            outcome = job.future.result()
+            if outcome.ok and outcome.report is not None:
+                loop = self._loop
+
+                def forward(event: ReactiveEvent) -> None:
+                    loop.call_soon_threadsafe(
+                        self._broadcast, job, event.to_dict()
+                    )
+
+                report = await loop.run_in_executor(
+                    None,
+                    partial(
+                        run_schedule_result,
+                        outcome.report.result,
+                        guard_config=self._reactive_guard,
+                        config=self._reactive_config,
+                        dt=self._reactive_dt,
+                        on_event=forward,
+                    ),
+                )
+                self._record_reactive(report)
+        except Exception as exc:
+            self._reactive_errors += 1
+            self._broadcast(
+                job,
+                {
+                    "kind": "reactive_error",
+                    "detail": f"{type(exc).__name__}: {exc}",
+                },
+            )
+            self._log_event(
+                "reactive_failed", request_hash=job.key, error=str(exc)
+            )
+        finally:
+            self._broadcast_sentinel(job)
+
+    def _broadcast_sentinel(self, job: ServiceJob) -> None:
+        for queue in job.streams:
+            queue.put_nowait(None)
+
+    def _record_reactive(self, report: ReactiveRunReport) -> None:
+        """Merge one reactive run into counters and dwell histograms."""
+        self._reactive_runs += 1
+        self._guard_transitions += sum(report.guard_transitions.values())
+        self._reactive_throttles += report.throttles
+        self._reactive_pauses += report.pauses
+        if self._observability:
+            for state, seconds in report.dwell_s.items():
+                self._latency.observe(f"dwell_{state}", seconds)
+
     # -- metrics -----------------------------------------------------------------------
 
     def metrics(self) -> ServiceMetrics:
@@ -1359,6 +1537,10 @@ class ScheduleService:
             solves_started=self._solves_started,
             solves_completed=self._solves_completed,
             cache_hits=self._cache_hits,
+            reactive_runs=self._reactive_runs,
+            guard_transitions=self._guard_transitions,
+            reactive_throttles=self._reactive_throttles,
+            reactive_pauses=self._reactive_pauses,
             uptime_s=uptime,
             requests_per_s=answered / uptime if uptime > 0.0 else 0.0,
             cache=self._cache.stats if self._cache is not None else None,

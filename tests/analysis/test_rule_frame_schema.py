@@ -181,15 +181,147 @@ class ScheduleServer:
         )
 
     def test_real_protocol_module_is_clean_against_itself(self):
-        from pathlib import Path
-
-        root = Path(__file__).resolve().parents[2] / "src" / "repro"
-        sources = {}
-        for rel in (
-            "service/protocol.py",
-            "service/server.py",
-            "service/fleet/router.py",
-        ):
-            sources[f"repro/{rel}"] = (root / rel).read_text()
+        sources = _real_sources()
         project = Project.from_sources(sources)
         assert not run_rules(project, [get_rule(RULE)])
+
+
+def _real_sources() -> dict[str, str]:
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2] / "src" / "repro"
+    sources = {}
+    for rel in (
+        "service/protocol.py",
+        "service/server.py",
+        "service/client.py",
+        "service/fleet/router.py",
+    ):
+        sources[f"repro/{rel}"] = (root / rel).read_text()
+    return sources
+
+
+# A push-frame protocol + client, fully in lockstep.
+PUSH_PROTOCOL = """
+FRAME_TYPES = frozenset({"submit", "report", "progress", "event"})
+CLIENT_FRAME_TYPES = frozenset({"submit"})
+SERVER_FRAME_TYPES = frozenset({"report", "progress", "event"})
+PUSH_FRAME_TYPES = frozenset({"progress", "event"})
+
+def submit_frame(frame_id, request):
+    return {"type": "submit", "id": frame_id, "request": request}
+
+def progress_frame(frame_id, stage, seq):
+    return {"type": "progress", "id": frame_id, "seq": seq, "stage": stage}
+
+def event_frame(frame_id, event, seq):
+    return {"type": "event", "id": frame_id, "seq": seq, "event": event}
+"""
+
+PUSH_CLIENT = """
+class AsyncServiceClient:
+    async def _read_loop(self, reader):
+        frame = await reader.read()
+        frame_type = frame.get("type")
+        if frame_type == "progress" or frame_type == "event":
+            self._route(frame)
+
+    async def watch(self, request):
+        while True:
+            frame = await self._queue.get()
+            frame_type = frame.get("type")
+            if frame_type == "progress" or frame_type == "event":
+                yield frame
+                continue
+            yield frame
+            return
+"""
+
+
+class TestPushFrames:
+    def test_lockstep_push_protocol_is_clean(self):
+        assert not findings_for(protocol=PUSH_PROTOCOL, client=PUSH_CLIENT)
+
+    def test_push_type_missing_from_server_set_is_flagged(self):
+        found = findings_for(
+            protocol=PUSH_PROTOCOL.replace(
+                'SERVER_FRAME_TYPES = frozenset({"report", "progress", '
+                '"event"})',
+                'SERVER_FRAME_TYPES = frozenset({"report", "progress"})',
+            ),
+            client=PUSH_CLIENT,
+        )
+        assert any(
+            "push frame type 'event' is not in SERVER_FRAME_TYPES"
+            in f.message
+            for f in found
+        )
+
+    def test_push_type_outside_frame_types_is_flagged(self):
+        found = findings_for(
+            protocol=PUSH_PROTOCOL.replace(
+                'PUSH_FRAME_TYPES = frozenset({"progress", "event"})',
+                'PUSH_FRAME_TYPES = frozenset({"progress", "event", '
+                '"gossip"})',
+            ),
+            client=PUSH_CLIENT,
+        )
+        assert any(
+            "PUSH_FRAME_TYPES lists 'gossip'" in f.message for f in found
+        )
+
+    def test_missing_builder_is_flagged(self):
+        found = findings_for(
+            protocol=PUSH_PROTOCOL.replace(
+                """
+def event_frame(frame_id, event, seq):
+    return {"type": "event", "id": frame_id, "seq": seq, "event": event}
+""",
+                "",
+            ),
+            client=PUSH_CLIENT,
+        )
+        assert any(
+            "no builder constructs a 'event' push frame" in f.message
+            for f in found
+        )
+
+    def test_client_path_missing_a_push_type_is_flagged(self):
+        found = findings_for(
+            protocol=PUSH_PROTOCOL,
+            client=PUSH_CLIENT.replace(
+                'frame_type == "progress" or frame_type == "event":\n'
+                "            self._route(frame)",
+                'frame_type == "progress":\n'
+                "            self._route(frame)",
+            ),
+        )
+        f = next(f for f in found if "does not route" in f.message)
+        assert (
+            "AsyncServiceClient._read_loop() does not route push frame "
+            "type 'event'" in f.message
+        )
+        assert f.path == "repro/client.py"
+
+    def test_mutated_real_source_deleting_event_builder_is_caught(self):
+        # The satellite's mutation check: take the REAL protocol and
+        # client sources, delete the event_frame builder, and the rule
+        # must point at protocol.py's PUSH_FRAME_TYPES registry line.
+        sources = _real_sources()
+        protocol_path = "repro/service/protocol.py"
+        original = sources[protocol_path]
+        start = original.index("def event_frame(")
+        end = original.index("def parse_submit_frame(")
+        sources[protocol_path] = original[:start] + original[end:]
+        project = Project.from_sources(sources)
+        found = run_rules(project, [get_rule(RULE)])
+        f = next(
+            f
+            for f in found
+            if "no builder constructs a 'event' push frame" in f.message
+        )
+        assert f.path == protocol_path
+        registry_line = 1 + original[
+            : original.index("PUSH_FRAME_TYPES = frozenset")
+        ].count("\n")
+        assert f.line == registry_line

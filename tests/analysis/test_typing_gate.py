@@ -24,6 +24,9 @@ PROMOTED = [
     "mypy-repro.api.solvers",
     "mypy-repro.api.workbench",
     "mypy-repro.obs.histogram",
+    "mypy-repro.reactive",
+    "mypy-repro.reactive.*",
+    "mypy-repro.service.protocol",
 ]
 
 
@@ -79,6 +82,8 @@ class TestMypyRun:
                 "repro.service",
                 "-p",
                 "repro.obs",
+                "-p",
+                "repro.reactive",
             ]
         )
         assert status == 0, f"mypy reported errors:\n{stdout}\n{stderr}"

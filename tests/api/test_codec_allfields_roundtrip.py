@@ -95,7 +95,7 @@ class TestRequestAllFields:
     def test_dict_jsonl_and_wire_agree(self):
         via_dict = request_from_dict(jsonl_hop(request_to_dict(REQUEST)))
         frame = jsonl_hop(submit_frame("f1", REQUEST, timeout_s=2.5))
-        via_wire, timeout_s = parse_submit_frame(frame)
+        via_wire, timeout_s, _ = parse_submit_frame(frame)
         assert via_dict == REQUEST  # frozen dataclass equality: all fields
         assert via_wire == REQUEST
         assert timeout_s == 2.5
@@ -165,5 +165,5 @@ class TestPreTimingsBackCompat:
     def test_old_wire_frame_still_parses(self):
         frame = submit_frame("f3", REQUEST)
         frame["request"].pop("params")  # a pre-params submitter
-        request, _ = parse_submit_frame(jsonl_hop(frame))
+        request, _, _ = parse_submit_frame(jsonl_hop(frame))
         assert request.params == {}

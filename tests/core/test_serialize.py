@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
@@ -166,3 +167,38 @@ class TestJsonl:
         path.write_text('{"ok": 1}\nnot json\n')
         with pytest.raises(SchedulingError, match=":2"):
             load_jsonl(path)
+
+
+class TestTornTail:
+    """A half-written final record — the mark a killed appender leaves."""
+
+    def test_torn_tail_raises_by_default(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"i": 0}\n{"i": 1, "nest')
+        with pytest.raises(SchedulingError, match=":2"):
+            load_jsonl(path)
+
+    def test_torn_tail_skipped_with_warning_when_tolerated(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"i": 0}\n{"i": 1}\n{"i": 2, "nest')
+        with pytest.warns(UserWarning, match="torn final JSONL record"):
+            records = load_jsonl(path, tolerate_torn_tail=True)
+        assert records == [{"i": 0}, {"i": 1}]
+
+    def test_mid_file_corruption_still_raises_when_tolerated(self, tmp_path):
+        # Only the tail gets grace: a bad record with valid records
+        # after it is real corruption, not an append in flight.
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"i": 0}\nnot json\n{"i": 2}\n')
+        with pytest.raises(SchedulingError, match=":2"):
+            load_jsonl(path, tolerate_torn_tail=True)
+
+    def test_clean_file_loads_without_warning(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        path.write_text('{"i": 0}\n{"i": 1}\n')
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_jsonl(path, tolerate_torn_tail=True) == [
+                {"i": 0},
+                {"i": 1},
+            ]

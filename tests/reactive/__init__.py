@@ -1,0 +1,1 @@
+"""Closed-loop reactive execution tests."""

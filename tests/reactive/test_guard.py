@@ -1,0 +1,213 @@
+"""ThermalGuard state machine under a fake clock.
+
+The guard holds no clock of its own — time is whatever the samples
+say — so every scenario here is a hand-written timeline and every
+assertion is exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReactiveError
+from repro.reactive import (
+    GuardConfig,
+    TemperatureSample,
+    ThermalGuard,
+    ThermalState,
+)
+
+#: Synthetic thresholds used throughout: wide, round, easy to reason about.
+CONFIG = GuardConfig(
+    elevated_c=50.0, critical_c=60.0, hysteresis_c=2.0, trend_window_s=1.0
+)
+
+
+def sample(time_s: float, temp_c: float, block: str = "B1") -> TemperatureSample:
+    return TemperatureSample(time_s=time_s, temperatures_c={block: temp_c})
+
+
+def feed(guard: ThermalGuard, timeline: list[tuple[float, float]]):
+    """Run a (time, temp) timeline through the guard; return analyses."""
+    return [guard.update(sample(t, temp)) for t, temp in timeline]
+
+
+class TestConfig:
+    def test_elevated_must_be_below_critical(self):
+        with pytest.raises(ReactiveError, match="must be below critical"):
+            GuardConfig(elevated_c=60.0, critical_c=60.0)
+
+    def test_negative_hysteresis_rejected(self):
+        with pytest.raises(ReactiveError, match="hysteresis"):
+            GuardConfig(elevated_c=50.0, critical_c=60.0, hysteresis_c=-0.1)
+
+    def test_from_limit_splits_the_ambient_span(self):
+        config = GuardConfig.from_limit(90.0, 40.0, elevated_fraction=0.7)
+        assert config.critical_c == pytest.approx(90.0)
+        assert config.elevated_c == pytest.approx(40.0 + 0.7 * 50.0)
+        assert config.hysteresis_c == pytest.approx(0.05 * 50.0)
+
+    def test_from_limit_rejects_limit_below_ambient(self):
+        with pytest.raises(ReactiveError, match="not above ambient"):
+            GuardConfig.from_limit(40.0, 45.0)
+
+
+class TestStateMachine:
+    def test_starts_normal(self):
+        assert ThermalGuard(CONFIG).state is ThermalState.NORMAL
+
+    def test_upgrades_are_immediate(self):
+        guard = ThermalGuard(CONFIG)
+        analyses = feed(guard, [(0.0, 45.0), (0.1, 51.0), (0.2, 61.0)])
+        assert [a.state for a in analyses] == [
+            ThermalState.NORMAL,
+            ThermalState.ELEVATED,
+            ThermalState.CRITICAL,
+        ]
+        assert analyses[1].transitioned and analyses[2].transitioned
+
+    def test_single_hot_sample_is_enough_for_critical(self):
+        guard = ThermalGuard(CONFIG)
+        analysis = guard.update(sample(0.0, 75.0))
+        assert analysis.state is ThermalState.CRITICAL
+        assert analysis.previous_state is ThermalState.NORMAL
+        assert analysis.recommended_action == "pause"
+
+    def test_downgrade_requires_clearing_the_hysteresis_band(self):
+        guard = ThermalGuard(CONFIG)
+        # Enter ELEVATED, then hover just below the threshold: with a
+        # 2 C band the guard must hold ELEVATED until below 48.
+        analyses = feed(
+            guard,
+            [(0.0, 51.0), (0.1, 49.5), (0.2, 48.5), (0.3, 47.9)],
+        )
+        assert [a.state for a in analyses] == [
+            ThermalState.ELEVATED,
+            ThermalState.ELEVATED,
+            ThermalState.ELEVATED,
+            ThermalState.NORMAL,
+        ]
+
+    def test_boundary_hover_does_not_flap(self):
+        guard = ThermalGuard(CONFIG)
+        # Oscillate +-0.5 C around the elevated threshold: one upgrade,
+        # zero downgrades.
+        timeline = [
+            (i * 0.1, 50.0 + (0.5 if i % 2 == 0 else -0.5))
+            for i in range(20)
+        ]
+        feed(guard, timeline)
+        assert guard.transitions == {"normal->elevated": 1}
+
+    def test_critical_downgrade_steps_through_elevated(self):
+        guard = ThermalGuard(CONFIG)
+        analyses = feed(
+            guard, [(0.0, 61.0), (0.1, 57.0), (0.2, 47.0), (0.3, 47.0)]
+        )
+        assert [a.state for a in analyses] == [
+            ThermalState.CRITICAL,
+            ThermalState.ELEVATED,
+            ThermalState.NORMAL,
+            ThermalState.NORMAL,
+        ]
+        assert guard.transitions == {
+            "normal->critical": 1,
+            "critical->elevated": 1,
+            "elevated->normal": 1,
+        }
+
+    def test_critical_holds_inside_its_own_hysteresis_band(self):
+        guard = ThermalGuard(CONFIG)
+        analyses = feed(guard, [(0.0, 61.0), (0.1, 58.5)])
+        # 58.5 is below critical (60) but inside the 2 C band.
+        assert analyses[1].state is ThermalState.CRITICAL
+
+    def test_out_of_order_samples_rejected(self):
+        guard = ThermalGuard(CONFIG)
+        guard.update(sample(1.0, 45.0))
+        with pytest.raises(ReactiveError, match="time order"):
+            guard.update(sample(0.5, 45.0))
+
+    def test_equal_timestamps_allowed(self):
+        guard = ThermalGuard(CONFIG)
+        guard.update(sample(1.0, 45.0))
+        analysis = guard.update(sample(1.0, 45.0))
+        assert analysis.state is ThermalState.NORMAL
+
+
+class TestAnalysis:
+    def test_headroom_is_distance_to_critical(self):
+        guard = ThermalGuard(CONFIG)
+        analysis = guard.update(sample(0.0, 52.5))
+        assert analysis.headroom_c == pytest.approx(7.5)
+
+    def test_trend_recovers_a_linear_ramp(self):
+        guard = ThermalGuard(CONFIG)
+        # 3 C/s ramp sampled at 10 Hz: the least-squares slope over the
+        # window must be the ramp itself.
+        analyses = feed(
+            guard, [(i * 0.1, 40.0 + 3.0 * i * 0.1) for i in range(8)]
+        )
+        assert analyses[-1].trend_c_per_s == pytest.approx(3.0)
+
+    def test_trend_window_forgets_old_samples(self):
+        guard = ThermalGuard(CONFIG)
+        # Old cooling, then a 1-second flat stretch: with a 1 s window
+        # the early samples age out and the trend settles to ~0.
+        timeline = [(0.0, 49.0), (0.1, 45.0)]
+        timeline += [(0.2 + i * 0.2, 45.0) for i in range(8)]
+        analyses = feed(guard, timeline)
+        assert analyses[-1].trend_c_per_s == pytest.approx(0.0)
+
+    def test_single_sample_has_zero_trend(self):
+        guard = ThermalGuard(CONFIG)
+        assert guard.update(sample(0.0, 45.0)).trend_c_per_s == 0.0
+
+    def test_throttle_recommended_at_elevated_and_above(self):
+        guard = ThermalGuard(CONFIG)
+        analyses = feed(guard, [(0.0, 45.0), (0.1, 51.0), (0.2, 61.0)])
+        assert [a.throttle_recommended for a in analyses] == [
+            False,
+            True,
+            True,
+        ]
+
+    def test_to_dict_is_json_ready(self):
+        guard = ThermalGuard(CONFIG)
+        payload = guard.update(sample(0.0, 51.0)).to_dict()
+        assert payload["state"] == "elevated"
+        assert payload["previous_state"] == "normal"
+        assert payload["recommended_action"] == "throttle"
+        assert payload["hottest_block"] == "B1"
+
+
+class TestBookkeeping:
+    def test_dwell_attributed_to_the_state_held_before_each_sample(self):
+        guard = ThermalGuard(CONFIG)
+        # NORMAL for 1 s, ELEVATED for 2 s, CRITICAL for 0.5 s.
+        feed(
+            guard,
+            [(0.0, 45.0), (1.0, 51.0), (3.0, 61.0), (3.5, 61.0)],
+        )
+        dwell = guard.dwell_s
+        assert dwell["normal"] == pytest.approx(1.0)
+        assert dwell["elevated"] == pytest.approx(2.0)
+        assert dwell["critical"] == pytest.approx(0.5)
+
+    def test_dwell_sums_to_elapsed_time(self):
+        guard = ThermalGuard(CONFIG)
+        timeline = [
+            (i * 0.25, 44.0 + 4.0 * (i % 5)) for i in range(40)
+        ]
+        feed(guard, timeline)
+        assert sum(guard.dwell_s.values()) == pytest.approx(
+            timeline[-1][0] - timeline[0][0]
+        )
+
+    def test_transitions_and_dwell_are_copies(self):
+        guard = ThermalGuard(CONFIG)
+        guard.update(sample(0.0, 61.0))
+        guard.transitions["normal->critical"] = 99
+        guard.dwell_s["normal"] = 99.0
+        assert guard.transitions == {"normal->critical": 1}
+        assert guard.dwell_s["normal"] == 0.0

@@ -1,0 +1,94 @@
+"""VirtualSensor: transient-solver stepping with carried thermal state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReactiveError
+from repro.reactive import TemperatureSample, VirtualSensor
+from repro.thermal.simulator import ThermalSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator(example_soc):
+    return ThermalSimulator(
+        example_soc.floorplan, example_soc.package, example_soc.adjacency
+    )
+
+
+@pytest.fixture()
+def power(example_soc):
+    return example_soc.session_power_map(("B1", "B4"))
+
+
+class TestSampleShape:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ReactiveError, match=">= 1 block"):
+            TemperatureSample(time_s=0.0, temperatures_c={})
+
+    def test_hottest_block_prefers_first_on_ties(self):
+        sample = TemperatureSample(
+            time_s=0.0, temperatures_c={"A": 50.0, "B": 50.0}
+        )
+        assert sample.hottest_block == "A"
+        assert sample.max_temperature_c == 50.0
+
+
+class TestSensor:
+    def test_bad_step_rejected(self, simulator):
+        with pytest.raises(ReactiveError, match="step must be positive"):
+            VirtualSensor(simulator, dt=0.0)
+
+    def test_bad_duration_rejected(self, simulator, power):
+        sensor = VirtualSensor(simulator, dt=0.01)
+        with pytest.raises(ReactiveError, match="duration must be positive"):
+            sensor.advance(power, 0.0)
+
+    def test_one_sample_per_step_with_dt_spacing(self, simulator, power):
+        sensor = VirtualSensor(simulator, dt=0.01, start_time_s=5.0)
+        samples = sensor.advance(power, 0.1)
+        assert len(samples) == sensor.steps_for(0.1) == 10
+        times = [s.time_s for s in samples]
+        assert times[0] == pytest.approx(5.01)
+        assert times[-1] == pytest.approx(5.1)
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == pytest.approx(0.01) for d in deltas)
+
+    def test_samples_cover_every_block(self, simulator, power, example_soc):
+        sensor = VirtualSensor(simulator, dt=0.01)
+        (sample,) = sensor.advance(power, 0.01)
+        assert set(sample.temperatures_c) == set(
+            example_soc.floorplan.block_names
+        )
+
+    def test_partial_step_rounds_up_like_the_solver(self, simulator, power):
+        sensor = VirtualSensor(simulator, dt=0.01)
+        assert len(sensor.advance(power, 0.015)) == 2
+
+    def test_chunked_advance_heats_like_one_call(self, simulator, power):
+        # The closed-loop contract: state carries across calls, so a
+        # schedule advanced in control-period chunks lands on exactly
+        # the temperatures of the same schedule advanced in one go.
+        whole = VirtualSensor(simulator, dt=0.01)
+        chunked = VirtualSensor(simulator, dt=0.01)
+        final_whole = whole.advance(power, 0.5)[-1]
+        last = None
+        for _ in range(10):
+            last = chunked.advance(power, 0.05)[-1]
+        assert last is not None
+        assert last.time_s == pytest.approx(final_whole.time_s)
+        for block, temp in final_whole.temperatures_c.items():
+            assert last.temperatures_c[block] == pytest.approx(temp)
+
+    def test_powered_blocks_heat_above_ambient(self, simulator, power):
+        sensor = VirtualSensor(simulator, dt=0.01)
+        sample = sensor.advance(power, 0.5)[-1]
+        ambient = simulator.ambient_c
+        assert sample.temperatures_c["B1"] > ambient
+        assert sample.max_temperature_c > ambient
+
+    def test_zero_power_cools_back_toward_ambient(self, simulator, power):
+        sensor = VirtualSensor(simulator, dt=0.01)
+        hot = sensor.advance(power, 0.5)[-1].max_temperature_c
+        cooled = sensor.advance({}, 1.0)[-1].max_temperature_c
+        assert cooled < hot

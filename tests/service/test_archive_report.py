@@ -152,3 +152,45 @@ class TestAggregation:
         assert "thermal_aware" in table
         assert "sequential" in table
         assert table.splitlines()[0].startswith("solver")
+
+
+class TestTornTailArchives:
+    """Reporting a live archive races its appender: the final record
+    may be half-written.  `repro report` skips it with a warning; the
+    library default stays strict."""
+
+    def make_torn_archive(self, tmp_path):
+        path = tmp_path / "served.jsonl"
+        archive = ReportArchive(path)
+        archive.append_outcome(REQUEST, solve_request_outcome(REQUEST))
+        archive.append_outcome(
+            SEQUENTIAL, solve_request_outcome(SEQUENTIAL)
+        )
+        # Simulate an append caught mid-write: a truncated final line.
+        with path.open("a") as handle:
+            handle.write('{"kind": "service", "status": "ok", "repo')
+        return path
+
+    def test_summarize_raises_by_default(self, tmp_path):
+        path = self.make_torn_archive(tmp_path)
+        with pytest.raises(SchedulingError, match="corrupt JSONL record"):
+            summarize_archives([path])
+
+    def test_summarize_tolerates_torn_tail_with_warning(self, tmp_path):
+        path = self.make_torn_archive(tmp_path)
+        with pytest.warns(UserWarning, match="torn final JSONL record"):
+            summaries = summarize_archives([path], tolerate_torn_tail=True)
+        by_name = {s.solver: s for s in summaries}
+        assert by_name["thermal_aware"].jobs == 1
+        assert by_name["sequential"].jobs == 1
+
+    def test_report_cli_skips_torn_tail(self, tmp_path, capsys):
+        from repro.cli import report_main
+
+        path = self.make_torn_archive(tmp_path)
+        with pytest.warns(UserWarning, match="torn final JSONL record"):
+            code = report_main([str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "thermal_aware" in out
+        assert "sequential" in out

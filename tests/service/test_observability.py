@@ -13,6 +13,7 @@ from repro.api import ScheduleRequest, Solver, register_solver
 from repro.core.baselines import sequential_schedule
 from repro.obs import JsonLogger
 from repro.service import (
+    DWELL_FAMILIES,
     LATENCY_FAMILIES,
     METRIC_FIELDS,
     AsyncServiceClient,
@@ -157,7 +158,7 @@ class TestMetricFieldTable:
             async with ScheduleService(backend="thread", max_workers=1) as svc:
                 assert set(svc.latency_histograms.names()) == set(
                     LATENCY_FAMILIES
-                )
+                ) | set(DWELL_FAMILIES)
 
         asyncio.run(main())
 

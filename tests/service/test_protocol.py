@@ -69,15 +69,33 @@ class TestSubmitFrames:
     @pytest.mark.parametrize("request_", [REQUEST, SCENARIO_REQUEST])
     def test_request_round_trips_through_submit_frame(self, request_):
         frame = decode_frame(encode_frame(submit_frame("c7", request_)))
-        parsed, timeout_s = parse_submit_frame(frame)
+        parsed, timeout_s, stream = parse_submit_frame(frame)
         assert parsed == request_
         assert parsed.content_hash() == request_.content_hash()
         assert timeout_s is None
+        assert stream is False
 
     def test_timeout_parsed(self):
-        parsed, timeout_s = parse_submit_frame(submit_frame("c1", REQUEST, 2.5))
+        parsed, timeout_s, _ = parse_submit_frame(submit_frame("c1", REQUEST, 2.5))
         assert parsed == REQUEST
         assert timeout_s == 2.5
+
+    def test_stream_flag_round_trips(self):
+        frame = decode_frame(
+            encode_frame(submit_frame("c1", REQUEST, stream=True))
+        )
+        _, _, stream = parse_submit_frame(frame)
+        assert stream is True
+
+    def test_plain_submit_carries_no_stream_key(self):
+        assert "stream" not in submit_frame("c1", REQUEST)
+
+    @pytest.mark.parametrize("bad", [1, "yes", None])
+    def test_bad_stream_rejected(self, bad):
+        frame = submit_frame("c1", REQUEST)
+        frame["stream"] = bad
+        with pytest.raises(ProtocolError, match="stream"):
+            parse_submit_frame(frame)
 
     def test_missing_request_rejected(self):
         with pytest.raises(ProtocolError, match="no request"):

@@ -155,7 +155,7 @@ class TestAsyncClient:
 
             loop = asyncio.get_running_loop()
 
-            async def pre_failed_submit(request, *, timeout_s=None):
+            async def pre_failed_submit(request, *, timeout_s=None, stream=False):
                 job = ServiceJob(
                     request, request.content_hash(), None, loop.create_future()
                 )

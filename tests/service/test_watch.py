@@ -1,0 +1,273 @@
+"""Streaming-watch acceptance over real TCP: server, router, sync client.
+
+The acceptance criterion from the closed-loop issue: a watched request
+streams monotonically ordered progress/event frames ending in a
+terminal ``report`` (or ``error``) frame — through a direct
+:class:`ScheduleServer` and unchanged through a :class:`FleetRouter`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+from contextlib import AsyncExitStack
+
+import pytest
+
+from repro.api import ScheduleRequest
+from repro.errors import ServiceError
+from repro.reactive import GuardConfig, ReactiveConfig
+from repro.service import (
+    AsyncServiceClient,
+    FleetRouter,
+    RetryPolicy,
+    ScheduleServer,
+    ScheduleService,
+    ServiceClient,
+)
+
+REQUEST = ScheduleRequest(soc="worked_example6", tl_c=80.0, stcl=60.0)
+INFEASIBLE = ScheduleRequest(soc="worked_example6", tl_c=30.0, stcl=60.0)
+
+#: Thresholds that force the worked example's ~53.3 C open-loop peak
+#: through ELEVATED, so every watch carries throttle events.
+HOT_GUARD = GuardConfig(elevated_c=49.0, critical_c=53.0, hysteresis_c=1.5)
+
+#: Service knobs every watch test shares: a guard that must act, and a
+#: coarse control period to keep the event timeline short.
+REACTIVE_KWARGS = dict(
+    reactive_guard=HOT_GUARD,
+    reactive_config=ReactiveConfig(chunk_s=0.1),
+    reactive_dt=5e-3,
+)
+
+
+def run_with_server(test_coro, **service_kwargs):
+    """Start service + TCP server, run *test_coro(server, service)*."""
+
+    async def main():
+        service_kwargs.setdefault("backend", "thread")
+        service_kwargs.setdefault("max_workers", 2)
+        async with ScheduleService(**service_kwargs) as service:
+            server = ScheduleServer(service, host="127.0.0.1", port=0)
+            await server.start()
+            try:
+                return await test_coro(server, service)
+            finally:
+                await server.stop()
+
+    return asyncio.run(main())
+
+
+async def collect_watch(client, request=REQUEST):
+    return [frame async for frame in client.watch(request)]
+
+
+def assert_well_formed_watch(frames, *, terminal="report"):
+    """The streaming contract every transport must uphold."""
+    assert frames, "watch yielded no frames"
+    pushes, tail = frames[:-1], frames[-1]
+    assert tail["type"] == terminal
+    assert all(f["type"] in ("progress", "event") for f in pushes)
+    # One id per watch, on every frame.
+    assert len({f["id"] for f in frames}) == 1
+    # Push seq is strictly monotonic from 0.
+    seqs = [f["seq"] for f in pushes]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+    assert seqs[0] == 0
+    stages = [f["stage"] for f in pushes if f["type"] == "progress"]
+    assert stages[0] == "queued"
+    return pushes, tail
+
+
+class TestDirectServer:
+    def test_watch_streams_ordered_events_ending_in_done(self):
+        async def scenario(server, service):
+            async with await AsyncServiceClient.connect(
+                port=server.port
+            ) as client:
+                frames = await collect_watch(client)
+            pushes, tail = assert_well_formed_watch(frames)
+            stages = [
+                f["stage"] for f in pushes if f["type"] == "progress"
+            ]
+            assert stages == ["queued", "running"]
+            kinds = [
+                f["event"]["kind"] for f in pushes if f["type"] == "event"
+            ]
+            # The hot guard must have acted, and the executor's own
+            # timeline must close before the terminal report frame.
+            assert "throttled" in kinds
+            assert kinds[-1] == "done"
+            event_times = [
+                f["event"]["time_s"]
+                for f in pushes
+                if f["type"] == "event"
+            ]
+            assert event_times == sorted(event_times)
+            assert tail["report"]["solver"] == "thermal_aware"
+
+        run_with_server(scenario, **REACTIVE_KWARGS)
+
+    def test_cached_answer_still_streams_a_full_timeline(self):
+        async def scenario(server, service):
+            async with await AsyncServiceClient.connect(
+                port=server.port
+            ) as client:
+                first = await collect_watch(client)
+                second = await collect_watch(client)
+            _, tail = assert_well_formed_watch(second)
+            assert tail["report"]["cached"] is True
+            kinds = [
+                f["event"]["kind"]
+                for f in second
+                if f["type"] == "event"
+            ]
+            assert kinds[-1] == "done"
+            # Deterministic replay: same schedule, same guard, same
+            # event timeline (seq/kind/time), fresh or cached.
+            assert [
+                (f["seq"], f["event"]["kind"], f["event"]["time_s"])
+                for f in first
+                if f["type"] == "event"
+            ] == [
+                (f["seq"], f["event"]["kind"], f["event"]["time_s"])
+                for f in second
+                if f["type"] == "event"
+            ]
+
+        run_with_server(scenario, **REACTIVE_KWARGS)
+
+    def test_failed_solve_watch_ends_in_error_frame(self):
+        async def scenario(server, service):
+            async with await AsyncServiceClient.connect(
+                port=server.port
+            ) as client:
+                frames = await collect_watch(client, INFEASIBLE)
+            _, tail = assert_well_formed_watch(frames, terminal="error")
+            assert tail["error_type"] == "CoreThermalViolationError"
+
+        run_with_server(scenario, **REACTIVE_KWARGS)
+
+    def test_watch_and_plain_submit_share_one_connection(self):
+        async def scenario(server, service):
+            async with await AsyncServiceClient.connect(
+                port=server.port
+            ) as client:
+                watcher = asyncio.ensure_future(collect_watch(client))
+                report = await client.submit(REQUEST)
+                frames = await watcher
+            assert report.solver == "thermal_aware"
+            assert_well_formed_watch(frames)
+
+        run_with_server(scenario, **REACTIVE_KWARGS)
+
+    def test_watch_bumps_reactive_metrics(self):
+        async def scenario(server, service):
+            async with await AsyncServiceClient.connect(
+                port=server.port
+            ) as client:
+                await collect_watch(client)
+            metrics = service.metrics()
+            assert metrics.reactive_runs == 1
+            assert metrics.reactive_throttles > 0
+            assert metrics.guard_transitions > 0
+
+        run_with_server(scenario, **REACTIVE_KWARGS)
+
+
+class TestThroughRouter:
+    def test_watch_relays_unchanged_through_the_fleet(self):
+        async def main():
+            async with AsyncExitStack() as stack:
+                servers = []
+                for _ in range(2):
+                    service = await stack.enter_async_context(
+                        ScheduleService(
+                            backend="thread",
+                            max_workers=2,
+                            **REACTIVE_KWARGS,
+                        )
+                    )
+                    server = ScheduleServer(
+                        service, host="127.0.0.1", port=0
+                    )
+                    await server.start()
+                    stack.push_async_callback(server.stop)
+                    servers.append(server)
+                router = FleetRouter(
+                    [f"127.0.0.1:{s.port}" for s in servers],
+                    probe_interval_s=None,
+                    retry_policy=RetryPolicy(
+                        max_attempts=2, rng=random.Random(0)
+                    ),
+                )
+                await router.start()
+                stack.push_async_callback(router.stop)
+                async with await AsyncServiceClient.connect(
+                    port=router.port
+                ) as client:
+                    return await collect_watch(client)
+
+        frames = asyncio.run(main())
+        pushes, tail = assert_well_formed_watch(frames)
+        kinds = [
+            f["event"]["kind"] for f in pushes if f["type"] == "event"
+        ]
+        assert "throttled" in kinds
+        assert kinds[-1] == "done"
+        assert tail["report"]["solver"] == "thermal_aware"
+
+
+class TestSyncClient:
+    def test_blocking_watch_yields_frames_in_order(self):
+        done = threading.Event()
+        collected: list[dict] = []
+
+        async def scenario(server, service):
+            def pump():
+                with ServiceClient(port=server.port) as client:
+                    collected.extend(client.watch(REQUEST))
+                done.set()
+
+            thread = threading.Thread(target=pump)
+            thread.start()
+            while not done.is_set():
+                await asyncio.sleep(0.01)
+            thread.join()
+
+        run_with_server(scenario, **REACTIVE_KWARGS)
+        pushes, tail = assert_well_formed_watch(collected)
+        assert any(f["type"] == "event" for f in pushes)
+
+
+class TestWatchWithoutReactiveService:
+    def test_default_service_still_completes_the_watch(self):
+        # No guard configured: the service derives thresholds from the
+        # request's TL, under which the worked example never leaves
+        # NORMAL — the watch still ends with the executor's done event
+        # and the terminal report.
+        async def scenario(server, service):
+            async with await AsyncServiceClient.connect(
+                port=server.port
+            ) as client:
+                frames = await collect_watch(client)
+            pushes, tail = assert_well_formed_watch(frames)
+            kinds = [
+                f["event"]["kind"] for f in pushes if f["type"] == "event"
+            ]
+            assert kinds[-1] == "done"
+            assert "throttled" not in kinds
+
+        run_with_server(scenario)
+
+    def test_closed_client_refuses_to_watch(self):
+        async def scenario(server, service):
+            client = await AsyncServiceClient.connect(port=server.port)
+            await client.close()
+            with pytest.raises(ServiceError, match="closed"):
+                await collect_watch(client)
+
+        run_with_server(scenario)
