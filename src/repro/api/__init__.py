@@ -50,6 +50,7 @@ from .workbench import (
     Workbench,
     default_workbench,
     execute_request,
+    execute_requests_batch,
     solve,
 )
 
@@ -69,6 +70,7 @@ __all__ = [
     "available_solvers",
     "default_workbench",
     "execute_request",
+    "execute_requests_batch",
     "get_solver",
     "register_solver",
     "report_from_dict",

@@ -569,6 +569,24 @@ def serve_main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the shared thermal-model cache",
     )
+    execution.add_argument(
+        "--coalesce-window-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="how long the dispatcher lingers for a burst to pile up "
+        "before draining the queue into a coalesced batch "
+        "(default 0: drain only what is already queued)",
+    )
+    execution.add_argument(
+        "--max-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="most jobs one worker dispatch may solve as a coalesced "
+        "group sharing model builds and GEMMs (default 1: coalescing "
+        "off, one job per dispatch)",
+    )
     caching = parser.add_argument_group("answer cache")
     caching.add_argument(
         "--answer-cache",
@@ -722,6 +740,8 @@ def serve_main(argv: list[str] | None = None) -> int:
                 throttle_factor=args.reactive_throttle,
             ),
             reactive_dt=args.reactive_dt,
+            coalesce_window_ms=args.coalesce_window_ms,
+            max_batch=args.max_batch,
         )
         await service.start()
         server = ScheduleServer(service, host=args.host, port=args.port)

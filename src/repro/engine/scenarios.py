@@ -131,6 +131,32 @@ class ScenarioSpec:
         """
         return self.kind == "hypothetical7"
 
+    def thermal_key(self) -> tuple:
+        """Hashable identity of the thermal *network* this spec builds.
+
+        Two specs with equal keys produce the same floorplan, package
+        and adjacency — hence the same compiled network, factorisation
+        and reduced operator — even when their power profiles or test
+        times differ.  The service's request coalescer groups pending
+        jobs by this key (a coarser key than the full request content
+        hash), so one shared model build serves the whole group.  Only
+        the fields that feed :meth:`build_floorplan` /
+        :meth:`build_package` participate; ``power_seed`` /
+        ``power_scale`` / ``test_time_s`` deliberately do not.
+        """
+        key: tuple = (self.kind, self.convection_resistance, self.ambient_c)
+        if self.kind == "grid":
+            key += (self.rows, self.cols, self.die_width, self.die_height)
+        elif self.kind == "slicing":
+            key += (
+                self.n_blocks,
+                self.die_width,
+                self.die_height,
+                self.floorplan_seed,
+                self.split_bias,
+            )
+        return key
+
     # -- builders -----------------------------------------------------------------
 
     def build_package(self) -> PackageConfig:

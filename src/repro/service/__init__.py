@@ -96,6 +96,7 @@ from .report import (
 )
 from .server import ScheduleServer
 from .service import (
+    BATCH_FAMILIES,
     DWELL_FAMILIES,
     LATENCY_FAMILIES,
     METRIC_FIELDS,
@@ -115,6 +116,7 @@ __all__ = [
     "CircuitBreaker",
     "DEFAULT_PORT",
     "DEFAULT_ROUTER_PORT",
+    "BATCH_FAMILIES",
     "DWELL_FAMILIES",
     "FaultPlan",
     "FleetRouter",

@@ -40,6 +40,7 @@ from typing import Any, Callable
 
 from ..api.request import report_from_dict
 from ..errors import SchedulingError, ServiceError
+from ..reactive import ReactiveRunReport
 from .execution import SolveOutcome
 
 
@@ -141,6 +142,11 @@ class AnswerCache:
         self._entries: "OrderedDict[str, tuple[SolveOutcome, float]]" = (
             OrderedDict()  # guarded-by: _lock
         )
+        #: Streamed-run timelines, keyed like (and subordinate to)
+        #: ``_entries``: a timeline never outlives its answer, so a hit
+        #: with a stored timeline can replay it instead of
+        #: re-simulating the whole closed-loop transient run.
+        self._reactive: "dict[str, ReactiveRunReport]" = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         self._hits = 0  # guarded-by: _lock
         self._misses = 0  # guarded-by: _lock
@@ -196,6 +202,7 @@ class AnswerCache:
             outcome, stored_at = entry
             if self._ttl_s is not None and now - stored_at >= self._ttl_s:
                 del self._entries[key]
+                self._reactive.pop(key, None)
                 self._expirations += 1
                 self._misses += 1
                 return None
@@ -215,8 +222,32 @@ class AnswerCache:
             self._entries[key] = (outcome, self._clock())
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_entries:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._reactive.pop(evicted, None)
                 self._evictions += 1
+
+    def put_reactive(self, key: str, report: ReactiveRunReport) -> None:
+        """Attach a streamed run's timeline to an already-stored answer.
+
+        A no-op when *key* has no live entry (evicted or expired since
+        the solve resolved) — a timeline must never outlive the answer
+        it explains.  The entry's TTL clock and LRU position are left
+        untouched: the timeline is derived data, not a refresh.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._reactive[key] = report
+
+    def reactive_report(self, key: str) -> ReactiveRunReport | None:
+        """The stored streamed-run timeline for *key*, or ``None``.
+
+        Non-mutating (no counters, no LRU refresh): callers probe this
+        right after a :meth:`get` hit, which already validated the
+        entry's liveness — replaying the timeline then spares the whole
+        closed-loop transient re-simulation.
+        """
+        with self._lock:
+            return self._reactive.get(key)
 
     def note_warmed(self, count: int) -> None:
         """Record *count* entries as archive-warmed (stats provenance)."""
@@ -227,6 +258,7 @@ class AnswerCache:
         """Drop every entry and zero the counters."""
         with self._lock:
             self._entries.clear()
+            self._reactive.clear()
             self._hits = 0
             self._misses = 0
             self._evictions = 0

@@ -1,0 +1,135 @@
+"""Coalesced batch solves must be bit-identical to solo solves.
+
+The service's request coalescer (PR 10) pushes groups of requests
+through :func:`repro.api.execute_requests_batch`, which shares SoC
+builds, simulator facades and memoised steady-state GEMMs across the
+group.  The entire design rests on one property: **sharing must be
+observationally invisible**.  These tests state it as a property over
+randomly generated floorplans and mixed solvers — every report a batch
+returns equals, field for field, the report a solo solve of the same
+request returns, including the ``steady_solves`` effort accounting.
+
+Why ``steady_solves`` can match at all: the batch path never *stacks*
+requests into one GEMM (BLAS multi-column products are not bitwise
+equal to their single-column runs).  It memoises — the first request
+needing a given power vector computes it, later ones replay the stored
+array — and the simulator facade charges its effort counter on memo
+hits too, so each request is billed exactly what it would have spent
+alone.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import ScheduleRequest, execute_request, execute_requests_batch
+from repro.api.request import report_to_dict
+from repro.engine.scenarios import ScenarioSpec
+from repro.errors import ReproError
+
+#: Report fields that legitimately differ between two executions of the
+#: same request: wall-clock stamps and cache provenance.  Everything
+#: else — schedule, temperatures, weights, BCMT, effort counters — must
+#: be bit-identical.
+_NONDETERMINISTIC_FIELDS = ("elapsed_s", "timings", "cache_hit")
+
+
+def canonical(report) -> dict:
+    """A report's deterministic content, ready for exact comparison."""
+    data = report_to_dict(report)
+    for field in _NONDETERMINISTIC_FIELDS:
+        data.pop(field, None)
+    return data
+
+
+def random_scenarios(rng: random.Random, count: int) -> list[ScenarioSpec]:
+    """Seeded random floorplans, mixing grid and slicing kinds."""
+    specs = []
+    for _ in range(count):
+        if rng.random() < 0.5:
+            specs.append(
+                ScenarioSpec(
+                    kind="grid",
+                    rows=rng.randint(2, 3),
+                    cols=rng.randint(2, 3),
+                    power_seed=rng.randint(0, 5),
+                )
+            )
+        else:
+            specs.append(
+                ScenarioSpec(
+                    kind="slicing",
+                    n_blocks=rng.randint(5, 8),
+                    floorplan_seed=rng.randint(0, 3),
+                    power_seed=rng.randint(0, 5),
+                )
+            )
+    return specs
+
+
+def random_requests(seed: int, count: int) -> list[ScheduleRequest]:
+    """A mixed burst: random floorplans, mixed solvers, varied limits.
+
+    Scenario duplicates are likely by construction (small seed spaces),
+    so the batch genuinely exercises shared builds and memo hits rather
+    than degenerating into per-request silos.
+    """
+    rng = random.Random(seed)
+    requests = []
+    for spec in random_scenarios(rng, count):
+        solver = rng.choice(["thermal_aware", "sequential", "power_constrained"])
+        kwargs: dict = {"scenario": spec, "solver": solver}
+        kwargs["tl_headroom"] = rng.choice([8.0, 12.0, 16.0])
+        if solver == "thermal_aware":
+            kwargs["stcl_headroom"] = rng.choice([4.0, 6.0])
+        requests.append(ScheduleRequest(**kwargs))
+    return requests
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batch_reports_bit_identical_to_solo(self, seed):
+        requests = random_requests(seed, count=8)
+        batch = execute_requests_batch(requests)
+        assert len(batch) == len(requests)
+        for request, item in zip(requests, batch):
+            solo = execute_request(request)
+            assert not isinstance(item, BaseException), item
+            assert canonical(item) == canonical(solo)
+            # Effort accounting matches exactly: memo hits are charged
+            # like the solves they replay.
+            assert item.steady_solves == solo.steady_solves
+
+    def test_same_scenario_varied_limits_share_and_still_match(self):
+        spec = ScenarioSpec(kind="grid", rows=3, cols=3, power_seed=7)
+        requests = [
+            ScheduleRequest(scenario=spec, tl_headroom=h, stcl_headroom=5.0)
+            for h in (8.0, 10.0, 12.0, 14.0)
+        ]
+        batch = execute_requests_batch(requests)
+        for request, item in zip(requests, batch):
+            assert canonical(item) == canonical(execute_request(request))
+
+    def test_mid_batch_infeasible_request_is_isolated(self):
+        spec = ScenarioSpec(kind="grid", rows=2, cols=2, power_seed=3)
+        good = ScheduleRequest(scenario=spec, tl_headroom=10.0, stcl_headroom=5.0)
+        # An absolute limit below ambient cannot be met by any core.
+        bad = ScheduleRequest(scenario=spec, tl_c=1.0, stcl=60.0)
+        tail = ScheduleRequest(scenario=spec, tl_headroom=14.0, stcl_headroom=5.0)
+        batch = execute_requests_batch([good, bad, tail])
+        assert canonical(batch[0]) == canonical(execute_request(good))
+        assert isinstance(batch[1], ReproError)
+        with pytest.raises(type(batch[1])):
+            execute_request(bad)
+        # The neighbour *after* the failure still matches solo exactly:
+        # the error neither poisoned the shared build nor the memo.
+        assert canonical(batch[2]) == canonical(execute_request(tail))
+
+    def test_batch_outputs_independent_of_group_order(self):
+        requests = random_requests(seed=4, count=6)
+        forward = execute_requests_batch(requests)
+        backward = execute_requests_batch(list(reversed(requests)))
+        for a, b in zip(forward, reversed(backward)):
+            assert canonical(a) == canonical(b)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import asyncio
 import random
 import threading
+import time
 from contextlib import AsyncExitStack
 
 import pytest
@@ -176,6 +177,96 @@ class TestDirectServer:
             assert metrics.guard_transitions > 0
 
         run_with_server(scenario, **REACTIVE_KWARGS)
+
+
+class TestSubmitNowaitStream:
+    """``submit_nowait`` threads ``stream=`` through like ``submit``."""
+
+    @staticmethod
+    async def _drain(job):
+        queue = job.subscribe()
+        events = []
+        while (item := await queue.get()) is not None:
+            events.append(item)
+        return events
+
+    def test_submit_nowait_streams_the_reactive_timeline(self):
+        async def main():
+            async with ScheduleService(
+                backend="thread", max_workers=2, **REACTIVE_KWARGS
+            ) as svc:
+                job = svc.submit_nowait(REQUEST, stream=True)
+                events = await self._drain(job)
+                kinds = [e["kind"] for e in events]
+                assert "throttled" in kinds
+                assert kinds[-1] == "done"
+                assert svc.metrics().reactive_runs == 1
+
+        asyncio.run(main())
+
+    def test_submit_nowait_streams_on_answer_cache_hit(self):
+        # The pre-resolved-job case: the answer cache resolves the
+        # future before submit_nowait returns, so _finish never runs
+        # again — the reactive phase must be scheduled at submit time.
+        async def main():
+            async with ScheduleService(
+                backend="thread", max_workers=2, **REACTIVE_KWARGS
+            ) as svc:
+                await svc.solve(REQUEST)  # unstreamed: warms the cache
+                job = svc.submit_nowait(REQUEST, stream=True)
+                assert job.done
+                events = await self._drain(job)
+                assert events and events[-1]["kind"] == "done"
+                assert svc.metrics().answer_hits == 1
+
+        asyncio.run(main())
+
+
+class TestCachedStreamReplay:
+    def test_hit_replays_stored_timeline_without_resimulating(self):
+        async def scenario(server, service):
+            async with await AsyncServiceClient.connect(
+                port=server.port
+            ) as client:
+                start = time.perf_counter()
+                first = await collect_watch(client)
+                first_s = time.perf_counter() - start
+                assert service.metrics().reactive_runs == 1
+                start = time.perf_counter()
+                second = await collect_watch(client)
+                second_s = time.perf_counter() - start
+
+            def timeline(frames):
+                return [
+                    (f["event"]["kind"], f["event"]["time_s"])
+                    for f in frames
+                    if f["type"] == "event"
+                ]
+
+            # The hit replayed the stored timeline: no second
+            # closed-loop run happened...
+            assert service.metrics().reactive_runs == 1
+            # ...the replayed events are the original ones...
+            assert timeline(first) == timeline(second)
+            assert_well_formed_watch(second)
+            # ...and the hit skipped both the solve and the transient
+            # simulation, so it answers in a fraction of the fresh
+            # watch's wall time.
+            assert second_s < first_s
+
+        run_with_server(scenario, **REACTIVE_KWARGS)
+
+    def test_unstreamed_answers_store_no_timeline(self):
+        async def main():
+            async with ScheduleService(
+                backend="thread", max_workers=2, **REACTIVE_KWARGS
+            ) as svc:
+                job = await svc.submit(REQUEST)
+                await job.outcome()
+                assert svc.answer_cache is not None
+                assert svc.answer_cache.reactive_report(job.key) is None
+
+        asyncio.run(main())
 
 
 class TestThroughRouter:
